@@ -1,0 +1,187 @@
+//! CSV and aligned-text table emitters for experiment outputs.
+//!
+//! Every figure binary prints its series both as CSV (machine-readable,
+//! for replotting) and as an aligned table (human-readable, for
+//! EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+
+/// A simple table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row arity differs from the header arity.
+    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (comma-separated; fields containing commas or
+    /// quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |f: &str| -> String {
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn to_aligned(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, f) in row.iter().enumerate() {
+                widths[i] = widths[i].max(f.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, row: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>w$}", row[i], w = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with `prec` decimal places.
+pub fn fnum(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["alg", "throughput", "delay"]);
+        t.push(["fifo", "12.1", "5000"]);
+        t.push(["dynamic max-bandwidth", "190.0", "900"]);
+        t
+    }
+
+    #[test]
+    fn csv_output() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "alg,throughput,delay");
+        assert_eq!(lines[1], "fifo,12.1,5000");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(["a"]);
+        t.push(["x,y"]);
+        t.push(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn aligned_output_pads_columns() {
+        let txt = sample().to_aligned();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines[0].contains("alg"));
+        assert!(lines[1].starts_with('-'));
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_output() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| alg | throughput | delay |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["only-one"]);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(10.0, 0), "10");
+    }
+}

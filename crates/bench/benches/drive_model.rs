@@ -1,0 +1,29 @@
+//! Microbenchmarks of the drive timing model: locate cost evaluation and
+//! sweep cost walks — the hot inner loops of every bandwidth estimate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tapesim::prelude::*;
+use tapesim::sched::walk_cost;
+
+fn bench_locate(c: &mut Criterion) {
+    let t = TimingModel::paper_default();
+    let b = BlockSize::PAPER_DEFAULT;
+    c.bench_function("drive/locate_short_fwd", |bench| {
+        bench.iter(|| t.drive.locate(black_box(SlotIndex(10)), black_box(SlotIndex(11)), b))
+    });
+    c.bench_function("drive/locate_long_rev_to_bot", |bench| {
+        bench.iter(|| t.drive.locate(black_box(SlotIndex(440)), black_box(SlotIndex(0)), b))
+    });
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let t = TimingModel::paper_default();
+    let b = BlockSize::PAPER_DEFAULT;
+    let stops: Vec<SlotIndex> = (0..100).map(|i| SlotIndex(i * 4)).collect();
+    c.bench_function("drive/walk_cost_100_stops", |bench| {
+        bench.iter(|| walk_cost(&t, b, SlotIndex(0), black_box(stops.iter().copied())))
+    });
+}
+
+criterion_group!(benches, bench_locate, bench_walk);
+criterion_main!(benches);

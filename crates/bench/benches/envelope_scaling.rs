@@ -1,0 +1,44 @@
+//! Scaling of the upper-envelope computation with the number of pending
+//! requests — the O(n^2 t^2) bound of Section 3.3 in practice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tapesim::prelude::*;
+use tapesim::model::SimTime;
+use tapesim::sched::compute_upper_envelope;
+
+fn bench_envelope(c: &mut Criterion) {
+    let g = JukeboxGeometry::PAPER_DEFAULT;
+    let placed = build_placement(
+        g,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig::paper_full_replication(g),
+    )
+    .unwrap();
+    let timing = TimingModel::paper_default();
+    let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+    let mut group = c.benchmark_group("envelope/compute_upper");
+    for n in [20u32, 60, 140, 280] {
+        let mut f = RequestFactory::new(
+            sampler.clone(),
+            ArrivalProcess::Closed { queue_length: n },
+            11,
+        );
+        let snapshot: Vec<Request> = (0..n).map(|_| f.make(SimTime::ZERO)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snapshot, |b, snap| {
+            let view = tapesim::sched::JukeboxView {
+                catalog: &placed.catalog,
+                timing: &timing,
+                mounted: None,
+                head: SlotIndex(0),
+                now: SimTime::ZERO,
+                unavailable: &[],
+            };
+            b.iter(|| compute_upper_envelope(&view, snap))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_envelope);
+criterion_main!(benches);

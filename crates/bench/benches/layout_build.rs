@@ -1,0 +1,41 @@
+//! Benchmarks of catalog construction: full placements (horizontal and
+//! vertical, with and without replication) and the spare-capacity
+//! layouts, at 16 MB and 1 MB block sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tapesim::prelude::*;
+
+fn bench_placements(c: &mut Criterion) {
+    let g = JukeboxGeometry::PAPER_DEFAULT;
+    c.bench_function("layout/horizontal_norepl_16mb", |b| {
+        b.iter(|| build_placement(g, BlockSize::PAPER_DEFAULT, PlacementConfig::paper_baseline()))
+    });
+    c.bench_function("layout/vertical_full_repl_16mb", |b| {
+        b.iter(|| {
+            build_placement(
+                g,
+                BlockSize::PAPER_DEFAULT,
+                PlacementConfig::paper_full_replication(g),
+            )
+        })
+    });
+    c.bench_function("layout/horizontal_norepl_1mb", |b| {
+        b.iter(|| build_placement(g, BlockSize::from_mb(1), PlacementConfig::paper_baseline()))
+    });
+    c.bench_function("layout/spare_spread_replicas", |b| {
+        b.iter(|| {
+            build_spare_layout(
+                g,
+                BlockSize::PAPER_DEFAULT,
+                SpareConfig {
+                    ph_percent: 10.0,
+                    fill_fraction: 0.75,
+                    spare_use: SpareUse::FillWithReplicas,
+                },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_placements);
+criterion_main!(benches);

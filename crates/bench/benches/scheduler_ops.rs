@@ -1,0 +1,60 @@
+//! Benchmarks of one major-rescheduler invocation per algorithm, at light
+//! and heavy queue lengths, on the full-replication catalog (the hardest
+//! case: every hot request has ten candidate tapes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tapesim::prelude::*;
+use tapesim::sched::PendingList;
+use tapesim::model::SimTime;
+
+fn pending(catalog: &Catalog, n: u32, seed: u64) -> PendingList {
+    let sampler = BlockSampler::from_catalog(catalog, 40.0);
+    let mut f = RequestFactory::new(
+        sampler,
+        ArrivalProcess::Closed { queue_length: n },
+        seed,
+    );
+    (0..n).map(|_| f.make(SimTime::ZERO)).collect()
+}
+
+fn bench_major(c: &mut Criterion) {
+    let g = JukeboxGeometry::PAPER_DEFAULT;
+    let placed = build_placement(
+        g,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig::paper_full_replication(g),
+    )
+    .unwrap();
+    let timing = TimingModel::paper_default();
+    let algorithms = [
+        AlgorithmId::Fifo,
+        AlgorithmId::Static(TapeSelectPolicy::MaxRequests),
+        AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+        AlgorithmId::Envelope(EnvelopePolicy::MaxBandwidth),
+    ];
+    for queue in [20u32, 140] {
+        for alg in algorithms {
+            let id = format!("major_reschedule/{}/q{queue}", alg.name().replace(' ', "_"));
+            c.bench_function(&id, |b| {
+                b.iter_batched(
+                    || (make_scheduler(alg), pending(&placed.catalog, queue, 7)),
+                    |(mut s, mut p)| {
+                        let view = tapesim::sched::JukeboxView {
+                            catalog: &placed.catalog,
+                            timing: &timing,
+                            mounted: None,
+                            head: SlotIndex(0),
+                            now: SimTime::ZERO,
+                            unavailable: &[],
+                        };
+                        s.major_reschedule(&view, &mut p)
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_major);
+criterion_main!(benches);

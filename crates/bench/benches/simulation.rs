@@ -1,0 +1,49 @@
+//! End-to-end simulator throughput: simulated seconds per wall second for
+//! representative algorithm/layout combinations on a short horizon.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tapesim::prelude::*;
+
+fn short_sim(catalog: &Catalog, alg: AlgorithmId) -> MetricsReport {
+    let timing = TimingModel::paper_default();
+    let sampler = BlockSampler::from_catalog(catalog, 40.0);
+    let mut factory = RequestFactory::new(
+        sampler,
+        ArrivalProcess::Closed { queue_length: 60 },
+        3,
+    );
+    let mut sched = make_scheduler(alg);
+    let cfg = SimConfig {
+        duration: Micros::from_secs(50_000),
+        warmup: Micros::from_secs(5_000),
+        max_pending: 5_000,
+    };
+    run_simulation(catalog, &timing, sched.as_mut(), &mut factory, &cfg)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let g = JukeboxGeometry::PAPER_DEFAULT;
+    let norepl = build_placement(g, BlockSize::PAPER_DEFAULT, PlacementConfig::paper_baseline())
+        .unwrap()
+        .catalog;
+    let repl = build_placement(
+        g,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig::paper_full_replication(g),
+    )
+    .unwrap()
+    .catalog;
+    c.bench_function("sim/50ks_fifo_norepl", |b| {
+        b.iter(|| short_sim(&norepl, AlgorithmId::Fifo))
+    });
+    c.bench_function("sim/50ks_dynamic_maxbw_norepl", |b| {
+        b.iter(|| short_sim(&norepl, AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth)))
+    });
+    c.bench_function("sim/50ks_envelope_maxbw_fullrepl", |b| {
+        b.iter(|| short_sim(&repl, AlgorithmId::paper_recommended()))
+    });
+    criterion::black_box(());
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

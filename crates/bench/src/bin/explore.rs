@@ -1,0 +1,109 @@
+//! Free-form experiment explorer: run any single point of the paper's
+//! parameter space from the command line.
+//!
+//! ```text
+//! cargo run --release -p tapesim-bench --bin explore -- \
+//!     --alg "envelope max-bandwidth" --ph 10 --rh 60 --nr 9 --sp 1.0 \
+//!     --layout vertical --queue 60 --scale default
+//! ```
+
+use tapesim::prelude::*;
+use tapesim::Scale;
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper_baseline();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| die("missing value"));
+        match a.as_str() {
+            "--alg" => {
+                let v = val();
+                cfg.algorithm = AlgorithmId::parse(&v)
+                    .unwrap_or_else(|| die(&format!("unknown algorithm '{v}'; one of: {}",
+                        AlgorithmId::all().iter().map(|a| a.name()).collect::<Vec<_>>().join(", "))));
+            }
+            "--ph" => cfg.ph_percent = parse(&val(), "--ph"),
+            "--rh" => cfg.rh_percent = parse(&val(), "--rh"),
+            "--nr" => cfg.replicas = parse(&val(), "--nr"),
+            "--sp" => cfg.sp = parse(&val(), "--sp"),
+            "--block-mb" => cfg.block = BlockSize::from_mb(parse(&val(), "--block-mb")),
+            "--tapes" => {
+                cfg.geometry = JukeboxGeometry::new(parse(&val(), "--tapes"), cfg.geometry.tape_capacity_mb)
+            }
+            "--tape-gb" => {
+                cfg.geometry =
+                    JukeboxGeometry::new(cfg.geometry.tapes, parse::<u64>(&val(), "--tape-gb") * 1024)
+            }
+            "--layout" => {
+                cfg.layout = match val().as_str() {
+                    "horizontal" => LayoutKind::Horizontal,
+                    "vertical" => LayoutKind::Vertical,
+                    other => die(&format!("unknown layout '{other}'")),
+                }
+            }
+            "--queue" => cfg.process = ArrivalProcess::Closed { queue_length: parse(&val(), "--queue") },
+            "--interarrival" => {
+                cfg.process = ArrivalProcess::OpenPoisson {
+                    mean_interarrival: Micros::from_secs(parse(&val(), "--interarrival")),
+                }
+            }
+            "--scale" => {
+                let v = val();
+                cfg.scale = Scale::parse(&v).unwrap_or_else(|| die(&format!("unknown scale '{v}'")));
+            }
+            "--fast-drive" => cfg.timing = TimingModel::hypothetical_fast(),
+            "--help" | "-h" => {
+                eprintln!("flags: --alg NAME --ph P --rh P --nr N --sp S --block-mb M --tapes T \
+                           --tape-gb G --layout horizontal|vertical --queue N | --interarrival SECS \
+                           --scale quick|default|paper --fast-drive");
+                return;
+            }
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+
+    println!(
+        "config: {} | PH-{} RH-{} NR-{} SP-{} {:?} | {} MB blocks | {} tapes x {} MB | {:?}",
+        cfg.algorithm.name(),
+        cfg.ph_percent,
+        cfg.rh_percent,
+        cfg.replicas,
+        cfg.sp,
+        cfg.layout,
+        cfg.block.mb(),
+        cfg.geometry.tapes,
+        cfg.geometry.tape_capacity_mb,
+        cfg.process,
+    );
+    match run_experiment(&cfg) {
+        Ok(res) => {
+            let r = &res.report;
+            println!("expansion factor E = {:.3}", res.expansion);
+            println!(
+                "throughput      {:.1} +- {:.1} KB/s ({:.2} requests/min)",
+                r.throughput_kb_per_s, res.throughput_ci95, r.requests_per_min
+            );
+            println!("delay           mean {:.0}s, median {:.0}s, p95 {:.0}s, max {:.0}s",
+                r.mean_delay_s, r.median_delay_s, r.p95_delay_s, r.max_delay_s);
+            println!("tape switches   {} ({:.1}/hour)", r.tape_switches, r.switches_per_hour);
+            println!("drive time      {:.0}% locate, {:.0}% read, {:.0}% switch, {:.0}% idle",
+                r.locate_frac * 100.0, r.read_frac * 100.0, r.switch_frac * 100.0, r.idle_frac * 100.0);
+            if r.saturated {
+                println!("WARNING: the run saturated (arrivals exceed service capacity)");
+            }
+            for (i, s) in res.per_seed.iter().enumerate() {
+                println!("  seed {i}: {:.1} KB/s, {:.0}s mean delay", s.throughput_kb_per_s, s.mean_delay_s);
+            }
+        }
+        Err(e) => die(&format!("infeasible configuration: {e}")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("bad value '{s}' for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,177 @@
+//! Shared harness code for the figure-regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale quick|default|paper` — simulation horizon (default:
+//!   `default`, i.e. 1M simulated seconds x 3 seeds);
+//! * `--open` — run the open-queuing (Poisson) variant instead of the
+//!   closed-queuing one;
+//! * `--out DIR` — also write the CSV into `DIR` (default `results/`,
+//!   created on demand; pass `--out -` to skip writing).
+
+use std::fs;
+use std::path::PathBuf;
+
+use tapesim::prelude::*;
+use tapesim::{Scale, SweepSeries};
+
+/// Parsed command-line options common to all figure binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Simulation scale.
+    pub scale: Scale,
+    /// Open-queuing variant.
+    pub open: bool,
+    /// Output directory for CSV files (`None` = don't write).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`; exits with usage on error.
+    pub fn from_args() -> HarnessOpts {
+        let mut opts = HarnessOpts {
+            scale: Scale::Default,
+            open: false,
+            out_dir: Some(PathBuf::from("results")),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    match Scale::parse(&v) {
+                        Some(s) => opts.scale = s,
+                        None => usage(&format!("unknown scale '{v}'")),
+                    }
+                }
+                "--open" => opts.open = true,
+                "--out" => {
+                    let v = args.next().unwrap_or_default();
+                    opts.out_dir = if v == "-" { None } else { Some(PathBuf::from(v)) };
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        opts
+    }
+
+    /// Suffix identifying the workload variant in filenames/titles.
+    pub fn variant(&self) -> &'static str {
+        if self.open {
+            "open"
+        } else {
+            "closed"
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <figure-binary> [--scale quick|default|paper] [--open] [--out DIR|-]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Writes `contents` as `results/<name>.csv` (or the `--out` directory).
+pub fn write_csv(opts: &HarnessOpts, name: &str, contents: &str) {
+    let Some(dir) = &opts.out_dir else { return };
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match fs::write(&path, contents) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Renders a family of sweep series as a long-form CSV: one row per
+/// (series, point).
+pub fn series_to_csv(series: &[SweepSeries], param_name: &str) -> String {
+    let mut t = Table::new([
+        "series",
+        param_name,
+        "throughput_kb_per_s",
+        "requests_per_min",
+        "mean_delay_s",
+        "p95_delay_s",
+        "tape_switches",
+        "physical_reads",
+        "saturated",
+    ]);
+    for s in series {
+        for p in &s.points {
+            t.push([
+                s.label.clone(),
+                format!("{}", p.param),
+                fnum(p.report.throughput_kb_per_s, 3),
+                fnum(p.report.requests_per_min, 4),
+                fnum(p.report.mean_delay_s, 1),
+                fnum(p.report.p95_delay_s, 1),
+                p.report.tape_switches.to_string(),
+                p.report.physical_reads.to_string(),
+                p.report.saturated.to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Renders a compact aligned table: one row per (series, point) with the
+/// two paper axes (throughput, mean delay).
+pub fn series_to_table(series: &[SweepSeries], param_name: &str) -> String {
+    let mut t = Table::new(["series", param_name, "KB/s", "delay(s)", "switches"]);
+    for s in series {
+        for p in &s.points {
+            t.push([
+                s.label.clone(),
+                format!("{}", p.param),
+                fnum(p.report.throughput_kb_per_s, 1),
+                fnum(p.report.mean_delay_s, 0),
+                p.report.tape_switches.to_string(),
+            ]);
+        }
+    }
+    t.to_aligned()
+}
+
+/// Renders the paper's parametric throughput/delay plot for a family.
+pub fn parametric_plot(title: &str, series: &[SweepSeries]) -> String {
+    let plot_series: Vec<Series> = series
+        .iter()
+        .map(|s| {
+            Series::new(
+                s.label.clone(),
+                s.points
+                    .iter()
+                    .map(|p| (p.report.throughput_kb_per_s, p.report.mean_delay_s))
+                    .collect(),
+            )
+        })
+        .collect();
+    ascii_plot(
+        title,
+        "mean throughput (KB/s)",
+        "mean delay (s)",
+        &plot_series,
+        64,
+        20,
+    )
+}
+
+/// Prints the standard three renderings of a figure and writes its CSV.
+pub fn emit_figure(
+    opts: &HarnessOpts,
+    name: &str,
+    title: &str,
+    param_name: &str,
+    series: &[SweepSeries],
+) {
+    println!("{}", parametric_plot(title, series));
+    println!("{}", series_to_table(series, param_name));
+    let csv = series_to_csv(series, param_name);
+    write_csv(opts, &format!("{name}_{}", opts.variant()), &csv);
+}

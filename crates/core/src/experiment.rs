@@ -1,0 +1,251 @@
+//! End-to-end experiment configuration: one struct capturing the paper's
+//! six-dimensional parameter space (arrival process, skew, transfer size,
+//! algorithm, placement, replication) plus simulation scale.
+
+use tapesim_layout::{build_placement, LayoutKind, PlacedCatalog, PlacementConfig, PlacementError};
+use tapesim_model::{BlockSize, JukeboxGeometry, Micros, TimingModel};
+use tapesim_sched::AlgorithmId;
+use tapesim_sim::{default_seeds, run_seeds, MetricsReport, RunSpec, SimConfig};
+use tapesim_workload::ArrivalProcess;
+
+/// How long and how many seeds to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short runs for tests and smoke checks (100k simulated seconds,
+    /// 1 seed).
+    Quick,
+    /// The default: 1M simulated seconds, 3 seeds — reproduces the
+    /// paper's rankings in minutes of wall-clock time.
+    Default,
+    /// The paper's horizon: 10M simulated seconds, 3 seeds.
+    Paper,
+}
+
+impl Scale {
+    /// The simulation config for this scale.
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            Scale::Quick => SimConfig::quick(),
+            Scale::Default => SimConfig::default(),
+            Scale::Paper => SimConfig::paper_scale(),
+        }
+    }
+
+    /// The RNG seeds for this scale.
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scale::Quick => default_seeds(1),
+            Scale::Default | Scale::Paper => default_seeds(3),
+        }
+    }
+
+    /// The closed-queue lengths swept by the parametric figures
+    /// (the paper plots 20, 40, ..., 140).
+    pub fn queue_lengths(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![20, 60, 100, 140],
+            Scale::Default | Scale::Paper => vec![20, 40, 60, 80, 100, 120, 140],
+        }
+    }
+
+    /// Parses `"quick"`, `"default"`, or `"paper"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// A complete experiment point, in the paper's notation: `PH`/`RH` skew,
+/// `NR` replicas, `SP` placement, plus layout, block size, algorithm,
+/// arrival process, and simulation scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Jukebox shape (paper: 10 tapes x 7 GB).
+    pub geometry: JukeboxGeometry,
+    /// Logical block size (paper settles on 16 MB).
+    pub block: BlockSize,
+    /// Percent of data that is hot (`PH`).
+    pub ph_percent: f64,
+    /// Percent of requests directed to hot data (`RH`).
+    pub rh_percent: f64,
+    /// Replicas of each hot block (`NR`).
+    pub replicas: u32,
+    /// Normalized start position of the hot/replica region (`SP`).
+    pub sp: f64,
+    /// Horizontal or vertical hot-data layout.
+    pub layout: LayoutKind,
+    /// Scheduling algorithm.
+    pub algorithm: AlgorithmId,
+    /// Closed or open arrivals.
+    pub process: ArrivalProcess,
+    /// Drive/robot timing model.
+    pub timing: TimingModel,
+    /// Horizon/warmup/seeds.
+    pub scale: Scale,
+    /// Number of tape drives (1 = the paper's configuration).
+    pub drives: u16,
+    /// Sequential-run probability (0 = the paper's independent stream).
+    pub cluster_run_p: f64,
+}
+
+impl ExperimentConfig {
+    /// The paper's moderate-skew baseline: PH-10 RH-40 NR-0 SP-0,
+    /// horizontal layout, dynamic max-bandwidth, closed queue of 60.
+    pub fn paper_baseline() -> Self {
+        ExperimentConfig {
+            geometry: JukeboxGeometry::PAPER_DEFAULT,
+            block: BlockSize::PAPER_DEFAULT,
+            ph_percent: 10.0,
+            rh_percent: 40.0,
+            replicas: 0,
+            sp: 0.0,
+            layout: LayoutKind::Horizontal,
+            algorithm: AlgorithmId::Dynamic(tapesim_sched::TapeSelectPolicy::MaxBandwidth),
+            process: ArrivalProcess::Closed { queue_length: 60 },
+            timing: TimingModel::paper_default(),
+            scale: Scale::Default,
+            drives: 1,
+            cluster_run_p: 0.0,
+        }
+    }
+
+    /// The paper's best replicated configuration: vertical layout, full
+    /// replication at the tape ends, max-bandwidth envelope.
+    pub fn paper_full_replication() -> Self {
+        let geometry = JukeboxGeometry::PAPER_DEFAULT;
+        ExperimentConfig {
+            replicas: geometry.tapes as u32 - 1,
+            sp: 1.0,
+            layout: LayoutKind::Vertical,
+            algorithm: AlgorithmId::paper_recommended(),
+            ..ExperimentConfig::paper_baseline()
+        }
+    }
+
+    /// Builds the catalog for this configuration.
+    pub fn build_catalog(&self) -> Result<PlacedCatalog, PlacementError> {
+        build_placement(
+            self.geometry,
+            self.block,
+            PlacementConfig {
+                layout: self.layout,
+                ph_percent: self.ph_percent,
+                replicas: self.replicas,
+                sp: self.sp,
+            },
+        )
+    }
+
+    /// Convenience: replaces the closed-queue length.
+    pub fn with_queue(mut self, queue_length: u32) -> Self {
+        self.process = ArrivalProcess::Closed { queue_length };
+        self
+    }
+
+    /// Convenience: replaces the open-queue mean interarrival time.
+    pub fn with_open(mut self, mean_interarrival_s: u64) -> Self {
+        self.process = ArrivalProcess::OpenPoisson {
+            mean_interarrival: Micros::from_secs(mean_interarrival_s),
+        };
+        self
+    }
+}
+
+/// The result of running one experiment point.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Seed-averaged metrics.
+    pub report: MetricsReport,
+    /// Per-seed metrics, in seed order.
+    pub per_seed: Vec<MetricsReport>,
+    /// Analytic expansion factor of the placement.
+    pub expansion: f64,
+    /// 95% confidence half-width on the mean throughput (KB/s), from the
+    /// per-seed spread; 0 for single-seed runs.
+    pub throughput_ci95: f64,
+    /// 95% confidence half-width on the mean delay (seconds).
+    pub delay_ci95: f64,
+}
+
+/// Builds the catalog and runs the experiment across this scale's seeds.
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, PlacementError> {
+    let placed = cfg.build_catalog()?;
+    let (report, per_seed) = run_with_catalog(cfg, &placed);
+    let thr: Vec<f64> = per_seed.iter().map(|r| r.throughput_kb_per_s).collect();
+    let del: Vec<f64> = per_seed.iter().map(|r| r.mean_delay_s).collect();
+    Ok(ExperimentResult {
+        report,
+        throughput_ci95: tapesim_analysis::ci95_half_width(&thr),
+        delay_ci95: tapesim_analysis::ci95_half_width(&del),
+        per_seed,
+        expansion: placed.expansion,
+    })
+}
+
+/// Runs the experiment against an already-built catalog (lets figure
+/// sweeps that vary only the workload reuse one placement).
+pub fn run_with_catalog(
+    cfg: &ExperimentConfig,
+    placed: &PlacedCatalog,
+) -> (MetricsReport, Vec<MetricsReport>) {
+    let spec = RunSpec {
+        catalog: &placed.catalog,
+        timing: &cfg.timing,
+        algorithm: cfg.algorithm,
+        process: cfg.process,
+        rh_percent: cfg.rh_percent,
+        cluster_run_p: cfg.cluster_run_p,
+        drives: cfg.drives,
+        config: cfg.scale.sim_config(),
+    };
+    run_seeds(&spec, &cfg.scale.seeds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_builds_and_runs_quick() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Quick,
+            ..ExperimentConfig::paper_baseline()
+        };
+        let r = run_experiment(&cfg).unwrap();
+        assert!(r.report.completed > 100);
+        assert_eq!(r.per_seed.len(), 1);
+        assert!((r.expansion - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_replication_has_expansion() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Quick,
+            ..ExperimentConfig::paper_full_replication()
+        };
+        let placed = cfg.build_catalog().unwrap();
+        assert!((placed.expansion - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_grids() {
+        assert_eq!(Scale::Quick.queue_lengths(), vec![20, 60, 100, 140]);
+        assert_eq!(Scale::Default.queue_lengths().len(), 7);
+        assert_eq!(Scale::Quick.seeds().len(), 1);
+        assert_eq!(Scale::Paper.seeds().len(), 3);
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn with_helpers_replace_process() {
+        let cfg = ExperimentConfig::paper_baseline().with_queue(20);
+        assert_eq!(cfg.process, ArrivalProcess::Closed { queue_length: 20 });
+        let cfg = cfg.with_open(120);
+        assert!(matches!(cfg.process, ArrivalProcess::OpenPoisson { .. }));
+    }
+}

@@ -1,0 +1,47 @@
+//! Logical blocks and the hot/cold classification.
+
+use std::fmt;
+
+/// Identifier of a logical data block.
+///
+/// The unit of I/O is a data block of fixed size (Section 2.2). Logical
+/// block numbers are dense: a catalog with `n` blocks uses ids `0..n`.
+/// By convention the placement builders assign ids `0..hot_count` to hot
+/// blocks and the rest to cold blocks, so the hot set is a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The id as a usize, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block{}", self.0)
+    }
+}
+
+/// Access-frequency class of a block under the paper's hot/cold skew model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heat {
+    /// Frequently requested data (the PH% of data receiving RH% of requests).
+    Hot,
+    /// The remaining, rarely requested data.
+    Cold,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(BlockId(3) < BlockId(10));
+        assert_eq!(BlockId(7).index(), 7);
+        assert_eq!(BlockId(7).to_string(), "block7");
+    }
+}

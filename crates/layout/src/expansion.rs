@@ -1,0 +1,86 @@
+//! Storage-expansion accounting for replication (Section 4.8, Figure 10a).
+//!
+//! Storing `NR` replicas of the `PH`% of data that are hot grows the
+//! required storage by the expansion factor `E = 1 + NR * PH / 100`.
+
+/// Analytic expansion factor `E = 1 + NR * PH / 100`.
+///
+/// `E` is the ratio of total stored copies to logical blocks; a farm of
+/// jukeboxes must grow by this factor to store the same logical data with
+/// replication.
+pub fn expansion_factor(replicas: u32, ph_percent: f64) -> f64 {
+    1.0 + replicas as f64 * ph_percent / 100.0
+}
+
+/// One row of the Figure 10(a) surface: expansion factor as a function of
+/// the number of replicas for a fixed percent of hot data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionRow {
+    /// Percent of data that is hot.
+    pub ph_percent: f64,
+    /// `(NR, E)` pairs.
+    pub points: Vec<(u32, f64)>,
+}
+
+/// Computes the Figure 10(a) family: expansion factor for every
+/// `NR in 0..=max_replicas` at each given `PH`.
+pub fn expansion_table(ph_percents: &[f64], max_replicas: u32) -> Vec<ExpansionRow> {
+    ph_percents
+        .iter()
+        .map(|&ph| ExpansionRow {
+            ph_percent: ph,
+            points: (0..=max_replicas)
+                .map(|nr| (nr, expansion_factor(nr, ph)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The per-jukebox workload scale-down of Section 4.8: spreading the same
+/// total workload over `E` times more jukeboxes divides each jukebox's
+/// queue length by `E`.
+pub fn scaled_queue_length(base_queue: u32, expansion: f64) -> u32 {
+    assert!(expansion >= 1.0, "expansion factor below 1");
+    ((base_queue as f64 / expansion).round() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_factor_formula() {
+        assert_eq!(expansion_factor(0, 10.0), 1.0);
+        assert!((expansion_factor(9, 10.0) - 1.9).abs() < 1e-12);
+        assert!((expansion_factor(4, 25.0) - 2.0).abs() < 1e-12);
+        assert_eq!(expansion_factor(5, 0.0), 1.0);
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = expansion_table(&[5.0, 10.0, 20.0], 9);
+        assert_eq!(t.len(), 3);
+        for row in &t {
+            assert_eq!(row.points.len(), 10);
+            assert_eq!(row.points[0], (0, 1.0));
+            // Monotone in NR.
+            for w in row.points.windows(2) {
+                assert!(w[1].1 >= w[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_scaling_matches_paper() {
+        // Paper: queue length 60 per jukebox non-replicated, 60/E replicated.
+        assert_eq!(scaled_queue_length(60, 1.0), 60);
+        assert_eq!(scaled_queue_length(60, 1.9), 32); // 31.6 rounds to 32
+        assert_eq!(scaled_queue_length(1, 10.0), 1); // never below 1
+    }
+
+    #[test]
+    #[should_panic(expected = "below 1")]
+    fn rejects_sub_unit_expansion() {
+        scaled_queue_length(60, 0.5);
+    }
+}

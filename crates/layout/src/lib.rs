@@ -1,0 +1,31 @@
+//! # tapesim-layout
+//!
+//! Data layout, placement, and replication for the tape-jukebox simulator,
+//! implementing Sections 2.2 and 4.3-4.5 and the Section 4.8
+//! spare-capacity schemes of *Scheduling and Data Replication to Improve
+//! Tape Jukebox Performance* (ICDE 1999).
+//!
+//! The central type is the [`Catalog`]: the mapping from logical
+//! [`BlockId`]s to physical tape addresses, with the paper's invariant of
+//! at most one copy of a block per tape. Catalogs are produced by
+//! placement builders:
+//!
+//! * [`build_placement`] — horizontal/vertical layouts with `PH`% hot
+//!   data, `NR` replicas, and a normalized hot-region start position `SP`;
+//! * [`build_spare_layout`] — partially filled jukeboxes whose spare
+//!   capacity is either left empty or filled with hot replicas at the
+//!   tape ends ("replication for free").
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod catalog;
+pub mod expansion;
+pub mod placement;
+pub mod spare;
+
+pub use block::{BlockId, Heat};
+pub use catalog::{Catalog, CatalogBuilder, CatalogError};
+pub use expansion::{expansion_factor, expansion_table, scaled_queue_length, ExpansionRow};
+pub use placement::{build_placement, LayoutKind, PlacedCatalog, PlacementConfig, PlacementError};
+pub use spare::{build_spare_layout, SpareConfig, SpareUse};

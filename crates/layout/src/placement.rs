@@ -1,0 +1,573 @@
+//! Placement and replication schemes (Sections 4.3-4.5).
+//!
+//! Two layouts are studied by the paper:
+//!
+//! * **horizontal** — hot data distributed over all tapes;
+//! * **vertical** — hot data collected onto as few tapes as possible
+//!   (exactly one tape in the paper's PH-10 configuration).
+//!
+//! Within a tape, the contiguous region of hot copies (originals and/or
+//! replicas) is positioned by the normalized *start position* `SP`:
+//! `SP = 0` places it at the beginning of tape, `SP = 1` at the end.
+//! Replication stores `NR` extra copies of every hot block, distributed
+//! round-robin across the other tapes, at most one copy per tape.
+//! Cold data fills the remaining slots.
+
+use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId};
+
+use crate::block::BlockId;
+use crate::catalog::{Catalog, CatalogError};
+use crate::expansion::expansion_factor;
+
+/// Which layout to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// Hot data (and replicas) distributed over all tapes.
+    Horizontal,
+    /// Hot originals packed onto as few tapes as possible; replicas
+    /// distributed round-robin across the remaining tapes.
+    Vertical,
+}
+
+/// Parameters of a placement, mirroring the paper's experiment notation:
+/// `PH` (percent hot), `NR` (number of replicas), `SP` (start position).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementConfig {
+    /// Layout of hot originals.
+    pub layout: LayoutKind,
+    /// Percent of logical blocks that are hot (`PH`), in `[0, 100]`.
+    pub ph_percent: f64,
+    /// Number of replicas of each hot block (`NR`).
+    pub replicas: u32,
+    /// Normalized start position of the hot/replica region within each
+    /// tape (`SP`), in `[0, 1]`.
+    pub sp: f64,
+}
+
+impl PlacementConfig {
+    /// The paper's moderate-skew baseline: PH-10, NR-0, SP-0, horizontal.
+    pub fn paper_baseline() -> Self {
+        PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            replicas: 0,
+            sp: 0.0,
+        }
+    }
+
+    /// The paper's best replicated configuration: vertical hot tape, full
+    /// replication, replicas at the tape ends (Sections 4.4-4.5).
+    pub fn paper_full_replication(geometry: JukeboxGeometry) -> Self {
+        PlacementConfig {
+            layout: LayoutKind::Vertical,
+            ph_percent: 10.0,
+            replicas: geometry.tapes as u32 - 1,
+            sp: 1.0,
+        }
+    }
+}
+
+/// Errors raised while computing a placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// `NR` exceeds the number of tapes that can hold a distinct copy.
+    TooManyReplicas {
+        /// Requested number of replicas.
+        requested: u32,
+        /// Maximum feasible for this geometry/layout.
+        max: u32,
+    },
+    /// The configuration admits no blocks at all.
+    NoCapacity,
+    /// `PH` or `SP` outside their valid ranges.
+    InvalidParameter(&'static str),
+    /// A bug-level failure from the catalog builder.
+    Catalog(CatalogError),
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::TooManyReplicas { requested, max } => {
+                write!(f, "requested {requested} replicas; at most {max} feasible")
+            }
+            PlacementError::NoCapacity => write!(f, "no blocks fit this configuration"),
+            PlacementError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+            PlacementError::Catalog(e) => write!(f, "catalog error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl From<CatalogError> for PlacementError {
+    fn from(e: CatalogError) -> Self {
+        PlacementError::Catalog(e)
+    }
+}
+
+/// The result of a placement: the catalog plus summary statistics.
+#[derive(Debug, Clone)]
+pub struct PlacedCatalog {
+    /// The block-to-tape mapping.
+    pub catalog: Catalog,
+    /// Analytic expansion factor `E = 1 + NR * PH / 100`.
+    pub expansion: f64,
+    /// Tapes that hold hot originals (one entry for horizontal layouts
+    /// means every tape does; listed explicitly for vertical layouts).
+    pub hot_tapes: Vec<TapeId>,
+    /// The configuration that produced this catalog.
+    pub config: PlacementConfig,
+}
+
+/// Builds the catalog for a placement configuration, packing as many
+/// logical blocks as fit (the paper's simulations always model a full
+/// jukebox; replication trades cold capacity for hot copies).
+pub fn build_placement(
+    geometry: JukeboxGeometry,
+    block: BlockSize,
+    cfg: PlacementConfig,
+) -> Result<PlacedCatalog, PlacementError> {
+    validate_config(geometry, &cfg)?;
+    let slots = geometry.slots_per_tape(block);
+    let total = geometry.total_slots(block);
+    let e = expansion_factor(cfg.replicas, cfg.ph_percent);
+    // Upper bound on the number of logical blocks, then search downward for
+    // the largest feasible count. Rounding of the hot count means the exact
+    // bound can be off by a block or two in either direction.
+    let mut d = ((total as f64 / e).floor() as u64 + 2).min(total) as u32;
+    loop {
+        if d == 0 {
+            return Err(PlacementError::NoCapacity);
+        }
+        match try_build(geometry, block, slots, cfg, d) {
+            Ok((catalog, hot_tapes)) => {
+                return Ok(PlacedCatalog {
+                    catalog,
+                    expansion: e,
+                    hot_tapes,
+                    config: cfg,
+                });
+            }
+            Err(TryBuildError::DoesNotFit) => d -= 1,
+            Err(TryBuildError::Catalog(e)) => return Err(e.into()),
+        }
+    }
+}
+
+fn validate_config(geometry: JukeboxGeometry, cfg: &PlacementConfig) -> Result<(), PlacementError> {
+    if !(0.0..=100.0).contains(&cfg.ph_percent) || !cfg.ph_percent.is_finite() {
+        return Err(PlacementError::InvalidParameter("ph_percent"));
+    }
+    if !(0.0..=1.0).contains(&cfg.sp) || !cfg.sp.is_finite() {
+        return Err(PlacementError::InvalidParameter("sp"));
+    }
+    // Every hot block has its original on one tape plus NR replicas, each
+    // on a distinct other tape.
+    let max = geometry.tapes as u32 - 1;
+    if cfg.replicas > max && cfg.ph_percent > 0.0 {
+        return Err(PlacementError::TooManyReplicas {
+            requested: cfg.replicas,
+            max,
+        });
+    }
+    Ok(())
+}
+
+enum TryBuildError {
+    DoesNotFit,
+    Catalog(CatalogError),
+}
+
+impl From<CatalogError> for TryBuildError {
+    fn from(e: CatalogError) -> Self {
+        TryBuildError::Catalog(e)
+    }
+}
+
+/// Number of hot blocks for `d` logical blocks at `ph` percent.
+fn hot_count_for(d: u32, ph_percent: f64) -> u32 {
+    ((d as f64 * ph_percent / 100.0).round() as u32).min(d)
+}
+
+fn try_build(
+    geometry: JukeboxGeometry,
+    block: BlockSize,
+    slots: u32,
+    cfg: PlacementConfig,
+    d: u32,
+) -> Result<(Catalog, Vec<TapeId>), TryBuildError> {
+    let t = geometry.tapes as u32;
+    let hot = hot_count_for(d, cfg.ph_percent);
+    let nr = if hot == 0 { 0 } else { cfg.replicas };
+    let copies = hot as u64 * (1 + nr) as u64 + (d - hot) as u64;
+    if copies > geometry.total_slots(block) {
+        return Err(TryBuildError::DoesNotFit);
+    }
+
+    // Per-tape list of hot copies (block ids), in block-id order, plus the
+    // set of tapes holding hot *originals*.
+    let mut hot_on_tape: Vec<Vec<BlockId>> = vec![Vec::new(); t as usize];
+    let mut origin_tapes: Vec<bool> = vec![false; t as usize];
+    match cfg.layout {
+        LayoutKind::Horizontal => {
+            for b in 0..hot {
+                let origin = b % t;
+                origin_tapes[origin as usize] = true;
+                hot_on_tape[origin as usize].push(BlockId(b));
+                for j in 0..nr {
+                    let tape = (origin + 1 + j) % t;
+                    hot_on_tape[tape as usize].push(BlockId(b));
+                }
+            }
+        }
+        LayoutKind::Vertical => {
+            let hot_tapes = hot.div_ceil(slots);
+            if hot_tapes >= t && d > hot {
+                return Err(TryBuildError::DoesNotFit);
+            }
+            let remaining = t - hot_tapes;
+            if nr > remaining {
+                // Cannot give each replica a distinct non-hot tape.
+                return Err(TryBuildError::DoesNotFit);
+            }
+            for b in 0..hot {
+                let origin = b / slots;
+                origin_tapes[origin as usize] = true;
+                hot_on_tape[origin as usize].push(BlockId(b));
+                for j in 0..nr {
+                    let tape = hot_tapes + (b * nr + j) % remaining;
+                    hot_on_tape[tape as usize].push(BlockId(b));
+                }
+            }
+        }
+    }
+
+    // Hot copies are placed in one contiguous region per tape, positioned
+    // by SP; they must each fit on their tape.
+    for copies in &hot_on_tape {
+        if copies.len() as u32 > slots {
+            return Err(TryBuildError::DoesNotFit);
+        }
+    }
+
+    let mut builder = Catalog::builder(geometry, block, d, hot);
+    let mut free: Vec<Vec<SlotIndex>> = Vec::with_capacity(t as usize);
+    for (tape_idx, copies) in hot_on_tape.iter().enumerate() {
+        let len = copies.len() as u32;
+        let start = region_start(cfg.sp, len, slots);
+        for (i, &b) in copies.iter().enumerate() {
+            builder.place(
+                b,
+                PhysicalAddr {
+                    tape: TapeId(tape_idx as u16),
+                    slot: SlotIndex(start + i as u32),
+                },
+            )?;
+        }
+        // Remaining slots on this tape, ascending, are available for cold.
+        let mut f: Vec<SlotIndex> = (0..start)
+            .chain(start + len..slots)
+            .map(SlotIndex)
+            .collect();
+        f.reverse(); // use as a stack popping the lowest slot first
+        free.push(f);
+    }
+
+    place_cold_round_robin(&mut builder, geometry, slots, &mut free, hot, d, cfg.layout)?;
+    let catalog = builder.build().map_err(TryBuildError::Catalog)?;
+    let hot_tapes = origin_tapes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &is_origin)| is_origin.then_some(TapeId(i as u16)))
+        .collect();
+    Ok((catalog, hot_tapes))
+}
+
+/// Start slot of a contiguous region of `len` copies on a tape of `slots`
+/// slots, for normalized position `sp` (0 = beginning, 1 = end).
+pub(crate) fn region_start(sp: f64, len: u32, slots: u32) -> u32 {
+    debug_assert!(len <= slots);
+    ((slots - len) as f64 * sp).round() as u32
+}
+
+/// Distributes cold blocks round-robin over tape free lists. For vertical
+/// layouts, tapes holding hot originals are used only after all other
+/// tapes are full, preserving the paper's hot/cold separation.
+fn place_cold_round_robin(
+    builder: &mut crate::catalog::CatalogBuilder,
+    geometry: JukeboxGeometry,
+    slots: u32,
+    free: &mut [Vec<SlotIndex>],
+    hot: u32,
+    d: u32,
+    layout: LayoutKind,
+) -> Result<(), TryBuildError> {
+    let t = geometry.tapes as usize;
+    // Tape visit order for cold data.
+    let order: Vec<usize> = match layout {
+        LayoutKind::Horizontal => (0..t).collect(),
+        LayoutKind::Vertical => {
+            // Non-hot tapes first (hot originals are packed onto a prefix
+            // of tapes), then hot tapes as spill.
+            let hot_tapes = hot.div_ceil(slots) as usize;
+            (hot_tapes..t).chain(0..hot_tapes).collect()
+        }
+    };
+    let mut cursor = 0usize;
+    for b in hot..d {
+        let mut placed = false;
+        for step in 0..order.len() {
+            let tape_idx = order[(cursor + step) % order.len()];
+            if let Some(slot) = free[tape_idx].pop() {
+                builder.place(
+                    BlockId(b),
+                    PhysicalAddr {
+                        tape: TapeId(tape_idx as u16),
+                        slot,
+                    },
+                )?;
+                cursor = (cursor + step + 1) % order.len();
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(TryBuildError::DoesNotFit);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Heat;
+
+    const B16: BlockSize = BlockSize::PAPER_DEFAULT;
+
+    fn paper_geom() -> JukeboxGeometry {
+        JukeboxGeometry::PAPER_DEFAULT
+    }
+
+    #[test]
+    fn region_start_positions() {
+        assert_eq!(region_start(0.0, 10, 100), 0);
+        assert_eq!(region_start(1.0, 10, 100), 90);
+        assert_eq!(region_start(0.5, 10, 100), 45);
+        assert_eq!(region_start(0.5, 100, 100), 0);
+    }
+
+    #[test]
+    fn paper_baseline_fills_jukebox_exactly() {
+        // PH-10, NR-0: no replication, so every slot holds a distinct block.
+        let placed =
+            build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
+        let c = &placed.catalog;
+        assert_eq!(c.num_blocks(), 4480);
+        assert_eq!(c.hot_count(), 448);
+        assert_eq!(c.total_copies(), 4480);
+        for t in paper_geom().tape_ids() {
+            assert_eq!(c.occupied_slots(t), 448);
+        }
+        assert!((placed.expansion - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizontal_spreads_hot_evenly() {
+        let placed =
+            build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
+        let c = &placed.catalog;
+        for t in paper_geom().tape_ids() {
+            let hot_here = c
+                .tape_contents(t)
+                .filter(|&(_, b)| c.heat(b) == Heat::Hot)
+                .count();
+            assert_eq!(hot_here, 44 + usize::from(t.0 < 8)); // 448 over 10 tapes
+        }
+        assert_eq!(placed.hot_tapes.len(), 10);
+    }
+
+    #[test]
+    fn sp_zero_places_hot_at_beginning() {
+        let placed =
+            build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
+        let c = &placed.catalog;
+        // First slots of tape 0 are hot.
+        let first: Vec<_> = c.tape_contents(TapeId(0)).take(5).collect();
+        for (slot, b) in first {
+            assert!(slot.0 < 45);
+            assert_eq!(c.heat(b), Heat::Hot);
+        }
+    }
+
+    #[test]
+    fn sp_one_places_hot_at_end() {
+        let cfg = PlacementConfig {
+            sp: 1.0,
+            ..PlacementConfig::paper_baseline()
+        };
+        let placed = build_placement(paper_geom(), B16, cfg).unwrap();
+        let c = &placed.catalog;
+        for t in paper_geom().tape_ids() {
+            let hot_slots: Vec<u32> = c
+                .tape_contents(t)
+                .filter(|&(_, b)| c.heat(b) == Heat::Hot)
+                .map(|(s, _)| s.0)
+                .collect();
+            assert!(!hot_slots.is_empty());
+            assert!(
+                hot_slots.iter().all(|&s| s >= 448 - 45),
+                "hot not at end of {t}: {hot_slots:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_replication_vertical_matches_hand_count() {
+        // Worked out by hand: T=10, S=448, NR=9, PH=10 => D=2356, H=236,
+        // copies = 236*10 + 2120 = 4480 (jukebox exactly full).
+        let cfg = PlacementConfig::paper_full_replication(paper_geom());
+        let placed = build_placement(paper_geom(), B16, cfg).unwrap();
+        let c = &placed.catalog;
+        assert_eq!(c.num_blocks(), 2356);
+        assert_eq!(c.hot_count(), 236);
+        assert_eq!(c.total_copies(), 4480);
+        // Every hot block has a copy on every tape.
+        for b in 0..c.hot_count() {
+            assert_eq!(c.replicas(BlockId(b)).len(), 10);
+        }
+        // Hot originals all on tape 0.
+        assert_eq!(placed.hot_tapes, vec![TapeId(0)]);
+        assert!((placed.expansion - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertical_replicas_at_tape_end_when_sp_one() {
+        let cfg = PlacementConfig::paper_full_replication(paper_geom());
+        let placed = build_placement(paper_geom(), B16, cfg).unwrap();
+        let c = &placed.catalog;
+        // On a non-hot tape, the 236 replicas occupy the last 236 slots.
+        for t in 1..10u16 {
+            let hot_slots: Vec<u32> = c
+                .tape_contents(TapeId(t))
+                .filter(|&(_, b)| c.heat(b) == Heat::Hot)
+                .map(|(s, _)| s.0)
+                .collect();
+            assert_eq!(hot_slots.len(), 236);
+            assert_eq!(*hot_slots.first().unwrap(), 448 - 236);
+            assert_eq!(*hot_slots.last().unwrap(), 447);
+        }
+    }
+
+    #[test]
+    fn partial_replication_counts() {
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Vertical,
+            ph_percent: 10.0,
+            replicas: 2,
+            sp: 1.0,
+        };
+        let placed = build_placement(paper_geom(), B16, cfg).unwrap();
+        let c = &placed.catalog;
+        for b in 0..c.hot_count() {
+            assert_eq!(c.replicas(BlockId(b)).len(), 3, "original + 2 replicas");
+        }
+        for b in c.hot_count()..c.num_blocks() {
+            assert_eq!(c.replicas(BlockId(b)).len(), 1);
+        }
+        // Capacity is nearly fully used (within a couple of slots of 4480).
+        assert!(c.total_copies() >= 4478, "copies = {}", c.total_copies());
+    }
+
+    #[test]
+    fn horizontal_full_replication_feasible() {
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            replicas: 9,
+            sp: 1.0,
+        };
+        let placed = build_placement(paper_geom(), B16, cfg).unwrap();
+        let c = &placed.catalog;
+        for b in 0..c.hot_count() {
+            assert_eq!(c.replicas(BlockId(b)).len(), 10);
+        }
+        assert!(c.total_copies() >= 4470);
+    }
+
+    #[test]
+    fn too_many_replicas_rejected() {
+        let cfg = PlacementConfig {
+            replicas: 10,
+            ..PlacementConfig::paper_baseline()
+        };
+        assert_eq!(
+            build_placement(paper_geom(), B16, cfg).unwrap_err(),
+            PlacementError::TooManyReplicas {
+                requested: 10,
+                max: 9
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let bad_ph = PlacementConfig {
+            ph_percent: 101.0,
+            ..PlacementConfig::paper_baseline()
+        };
+        assert!(matches!(
+            build_placement(paper_geom(), B16, bad_ph).unwrap_err(),
+            PlacementError::InvalidParameter("ph_percent")
+        ));
+        let bad_sp = PlacementConfig {
+            sp: 1.5,
+            ..PlacementConfig::paper_baseline()
+        };
+        assert!(matches!(
+            build_placement(paper_geom(), B16, bad_sp).unwrap_err(),
+            PlacementError::InvalidParameter("sp")
+        ));
+    }
+
+    #[test]
+    fn zero_percent_hot_is_all_cold() {
+        let cfg = PlacementConfig {
+            ph_percent: 0.0,
+            replicas: 5,
+            ..PlacementConfig::paper_baseline()
+        };
+        let placed = build_placement(paper_geom(), B16, cfg).unwrap();
+        assert_eq!(placed.catalog.hot_count(), 0);
+        assert_eq!(placed.catalog.num_blocks(), 4480);
+    }
+
+    #[test]
+    fn five_tape_geometry_works() {
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Vertical,
+            ph_percent: 10.0,
+            replicas: 4,
+            sp: 1.0,
+        };
+        let placed = build_placement(JukeboxGeometry::FIVE_TAPE, B16, cfg).unwrap();
+        let c = &placed.catalog;
+        assert!(c.num_blocks() > 0);
+        for b in 0..c.hot_count() {
+            assert_eq!(c.replicas(BlockId(b)).len(), 5);
+        }
+    }
+
+    #[test]
+    fn one_mb_blocks_scale_up() {
+        let placed = build_placement(
+            paper_geom(),
+            BlockSize::from_mb(1),
+            PlacementConfig::paper_baseline(),
+        )
+        .unwrap();
+        assert_eq!(placed.catalog.num_blocks(), 71_680);
+        assert_eq!(placed.catalog.hot_count(), 7_168);
+    }
+}

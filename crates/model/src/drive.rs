@@ -1,0 +1,446 @@
+//! The tape drive and robot timing model of Section 2.1.
+//!
+//! For single-pass (helical-scan) tape technologies, the locate time is
+//! modeled as four linear functions of the distance traversed: short and
+//! long distances, in the forward and reverse directions. The constants
+//! below are the paper's least-squares fit over 2130 random locates on an
+//! Exabyte EXB-8505XL with 1 MB logical blocks:
+//!
+//! * forward locate past `k` MB: `4.834 + 0.378k` s for `k <= 28`, else
+//!   `14.342 + 0.028k` s;
+//! * reverse locate past `k` MB: `4.99 + 0.328k` s for `k <= 28`, else
+//!   `13.74 + 0.0286k` s;
+//! * locating to the physical beginning of tape costs an extra 21 s;
+//! * reading `k` MB after a forward locate: `0.38 + 1.77k` s; after a
+//!   reverse locate: `1.77k` s;
+//! * a tape switch in the EXB-210 jukebox: 19 s eject + 20 s robot
+//!   exchange + 42 s load = 81 s (plus the rewind required before eject).
+
+use crate::time::Micros;
+use crate::units::{BlockSize, SlotIndex};
+
+/// Direction of tape motion, induced by the slot numbering: *up* (forward)
+/// toward higher slots, *down* (reverse) toward slot 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocateDirection {
+    /// Motion toward higher block positions.
+    Forward,
+    /// Motion toward the beginning of tape.
+    Reverse,
+}
+
+/// What preceded a block read; the read startup cost depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadContext {
+    /// The read follows a forward locate (startup `0.38` s on the EXB-8505XL).
+    AfterForwardLocate,
+    /// The read follows a reverse locate (no extra startup).
+    AfterReverseLocate,
+    /// The read continues directly after the previous block (streaming).
+    Streaming,
+}
+
+/// One linear segment of the piecewise locate model: `startup + per_mb * k`
+/// seconds to traverse `k` megabytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSegment {
+    /// Fixed startup time in seconds.
+    pub startup_s: f64,
+    /// Marginal cost in seconds per megabyte traversed.
+    pub per_mb_s: f64,
+}
+
+impl LinearSegment {
+    /// Creates a segment.
+    pub const fn new(startup_s: f64, per_mb_s: f64) -> Self {
+        LinearSegment {
+            startup_s,
+            per_mb_s,
+        }
+    }
+
+    /// Evaluates the segment at a distance of `mb` megabytes.
+    #[inline]
+    pub fn eval_secs(&self, mb: f64) -> f64 {
+        self.startup_s + self.per_mb_s * mb
+    }
+}
+
+/// The four-regime piecewise-linear locate model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocateModel {
+    /// Boundary (in MB) between the short- and long-distance regimes.
+    pub short_threshold_mb: u64,
+    /// Forward, short distance (`k <= short_threshold_mb`).
+    pub fwd_short: LinearSegment,
+    /// Forward, long distance.
+    pub fwd_long: LinearSegment,
+    /// Reverse, short distance.
+    pub rev_short: LinearSegment,
+    /// Reverse, long distance.
+    pub rev_long: LinearSegment,
+    /// Extra seconds whenever the drive locates to the physical beginning
+    /// of tape (it performs overhead work on a full rewind).
+    pub bot_extra_s: f64,
+}
+
+impl LocateModel {
+    /// Time in seconds to locate past `mb` megabytes in direction `dir`.
+    /// `to_bot` marks a locate whose target is the physical beginning of
+    /// tape, which incurs the full-rewind overhead.
+    pub fn locate_secs(&self, dir: LocateDirection, mb: u64, to_bot: bool) -> f64 {
+        debug_assert!(mb > 0 || to_bot, "zero-distance locate has no cost");
+        let seg = match (dir, mb <= self.short_threshold_mb) {
+            (LocateDirection::Forward, true) => &self.fwd_short,
+            (LocateDirection::Forward, false) => &self.fwd_long,
+            (LocateDirection::Reverse, true) => &self.rev_short,
+            (LocateDirection::Reverse, false) => &self.rev_long,
+        };
+        let mut t = seg.eval_secs(mb as f64);
+        if to_bot {
+            t += self.bot_extra_s;
+        }
+        t
+    }
+}
+
+/// Read-time model: `startup + per_mb * k` seconds to transfer `k`
+/// megabytes, where the startup applies only after a forward locate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadModel {
+    /// Startup in seconds when the read follows a forward locate.
+    pub after_forward_startup_s: f64,
+    /// Transfer time in seconds per megabyte.
+    pub per_mb_s: f64,
+}
+
+impl ReadModel {
+    /// Time in seconds to read `mb` megabytes in context `ctx`.
+    pub fn read_secs(&self, mb: u64, ctx: ReadContext) -> f64 {
+        let startup = match ctx {
+            ReadContext::AfterForwardLocate => self.after_forward_startup_s,
+            ReadContext::AfterReverseLocate | ReadContext::Streaming => 0.0,
+        };
+        startup + self.per_mb_s * mb as f64
+    }
+
+    /// The drive's streaming transfer rate in megabytes per second.
+    #[inline]
+    pub fn streaming_mb_per_s(&self) -> f64 {
+        1.0 / self.per_mb_s
+    }
+}
+
+/// A complete tape drive timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveModel {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// Piecewise locate model.
+    pub locate: LocateModel,
+    /// Read model.
+    pub read: ReadModel,
+    /// Seconds for the drive to eject a (rewound) tape.
+    pub eject_s: f64,
+    /// Seconds for the drive to load a tape and prepare for I/O.
+    pub load_s: f64,
+}
+
+impl DriveModel {
+    /// The Exabyte EXB-8505XL model with the paper's fitted constants.
+    pub fn exb8505xl() -> Self {
+        DriveModel {
+            name: "Exabyte EXB-8505XL",
+            locate: LocateModel {
+                short_threshold_mb: 28,
+                fwd_short: LinearSegment::new(4.834, 0.378),
+                fwd_long: LinearSegment::new(14.342, 0.028),
+                rev_short: LinearSegment::new(4.99, 0.328),
+                rev_long: LinearSegment::new(13.74, 0.0286),
+                bot_extra_s: 21.0,
+            },
+            read: ReadModel {
+                after_forward_startup_s: 0.38,
+                per_mb_s: 1.77,
+            },
+            eject_s: 19.0,
+            load_s: 42.0,
+        }
+    }
+
+    /// A hypothetical higher-performance helical-scan drive, used by the
+    /// drive-sensitivity ablation. The paper states (Section 2.1) that a
+    /// faster drive improves absolute numbers but does not materially alter
+    /// the conclusions about scheduling, replication, and placement.
+    pub fn hypothetical_fast() -> Self {
+        DriveModel {
+            name: "Hypothetical fast helical drive",
+            locate: LocateModel {
+                short_threshold_mb: 28,
+                fwd_short: LinearSegment::new(1.2, 0.09),
+                fwd_long: LinearSegment::new(3.6, 0.007),
+                rev_short: LinearSegment::new(1.25, 0.08),
+                rev_long: LinearSegment::new(3.4, 0.0072),
+                bot_extra_s: 5.0,
+            },
+            read: ReadModel {
+                after_forward_startup_s: 0.1,
+                per_mb_s: 0.0625, // 16 MB/s streaming
+            },
+            eject_s: 5.0,
+            load_s: 10.0,
+        }
+    }
+
+    /// Time and direction of a locate from slot `from` to slot `to`.
+    /// Returns `(Micros::ZERO, None)` when no head motion is needed.
+    pub fn locate(
+        &self,
+        from: SlotIndex,
+        to: SlotIndex,
+        block: BlockSize,
+    ) -> (Micros, Option<LocateDirection>) {
+        if from == to {
+            return (Micros::ZERO, None);
+        }
+        let dir = if to > from {
+            LocateDirection::Forward
+        } else {
+            LocateDirection::Reverse
+        };
+        let mb = block.slots_to_mb(from.distance(to));
+        let to_bot = to == SlotIndex::BOT;
+        let secs = self.locate.locate_secs(dir, mb, to_bot);
+        (Micros::from_secs_f64(secs), Some(dir))
+    }
+
+    /// Time to read one block in context `ctx`.
+    pub fn read_block(&self, block: BlockSize, ctx: ReadContext) -> Micros {
+        Micros::from_secs_f64(self.read.read_secs(block.mb() as u64, ctx))
+    }
+
+    /// Time to rewind to the beginning of tape from `head` (zero when the
+    /// head is already there).
+    pub fn rewind(&self, head: SlotIndex, block: BlockSize) -> Micros {
+        if head == SlotIndex::BOT {
+            return Micros::ZERO;
+        }
+        let mb = block.slots_to_mb(head.distance(SlotIndex::BOT));
+        Micros::from_secs_f64(
+            self.locate
+                .locate_secs(LocateDirection::Reverse, mb, true),
+        )
+    }
+
+    /// Time for the drive to eject a rewound tape.
+    pub fn eject(&self) -> Micros {
+        Micros::from_secs_f64(self.eject_s)
+    }
+
+    /// Time for the drive to load a tape and become ready.
+    pub fn load(&self) -> Micros {
+        Micros::from_secs_f64(self.load_s)
+    }
+}
+
+/// Timing model of the jukebox's robotic arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobotModel {
+    /// Seconds for the arm to put away the old tape and fetch the new one.
+    pub exchange_s: f64,
+}
+
+impl RobotModel {
+    /// The Exabyte EXB-210 robot (20 s exchange).
+    pub fn exb210() -> Self {
+        RobotModel { exchange_s: 20.0 }
+    }
+
+    /// A faster hypothetical robot, paired with
+    /// [`DriveModel::hypothetical_fast`].
+    pub fn hypothetical_fast() -> Self {
+        RobotModel { exchange_s: 6.0 }
+    }
+
+    /// Time for one tape exchange.
+    pub fn exchange(&self) -> Micros {
+        Micros::from_secs_f64(self.exchange_s)
+    }
+}
+
+/// The combined drive + robot timing model used by schedulers and the
+/// simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// The tape drive.
+    pub drive: DriveModel,
+    /// The robotic arm.
+    pub robot: RobotModel,
+}
+
+impl TimingModel {
+    /// The paper's testbed: EXB-8505XL drive in an EXB-210 library.
+    pub fn paper_default() -> Self {
+        TimingModel {
+            drive: DriveModel::exb8505xl(),
+            robot: RobotModel::exb210(),
+        }
+    }
+
+    /// A higher-performance system for the drive-sensitivity ablation.
+    pub fn hypothetical_fast() -> Self {
+        TimingModel {
+            drive: DriveModel::hypothetical_fast(),
+            robot: RobotModel::hypothetical_fast(),
+        }
+    }
+
+    /// Tape switch time excluding the rewind: eject + robot exchange +
+    /// load (81 s on the paper's hardware).
+    pub fn switch_time(&self) -> Micros {
+        self.drive.eject() + self.robot.exchange() + self.drive.load()
+    }
+
+    /// Full cost of leaving the current tape from head position `head` and
+    /// becoming ready on another tape: rewind + eject + exchange + load.
+    pub fn full_switch_from(&self, head: SlotIndex, block: BlockSize) -> Micros {
+        self.drive.rewind(head, block) + self.switch_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> DriveModel {
+        DriveModel::exb8505xl()
+    }
+
+    #[test]
+    fn paper_switch_time_is_81_seconds() {
+        let t = TimingModel::paper_default();
+        assert_eq!(t.switch_time(), Micros::from_secs(81));
+    }
+
+    #[test]
+    fn forward_short_locate_matches_fit() {
+        // 10 slots of 1 MB -> k = 10 -> 4.834 + 0.378 * 10 = 8.614 s.
+        let (t, dir) = paper().locate(SlotIndex(5), SlotIndex(15), BlockSize::from_mb(1));
+        assert_eq!(dir, Some(LocateDirection::Forward));
+        assert_eq!(t, Micros::from_secs_f64(8.614));
+    }
+
+    #[test]
+    fn forward_long_locate_matches_fit() {
+        // 100 MB -> 14.342 + 0.028 * 100 = 17.142 s.
+        let (t, _) = paper().locate(SlotIndex(0), SlotIndex(100), BlockSize::from_mb(1));
+        assert_eq!(t, Micros::from_secs_f64(17.142));
+    }
+
+    #[test]
+    fn short_long_boundary_is_28_mb() {
+        let m = paper().locate;
+        // At exactly 28 MB the short segment applies.
+        let short = m.locate_secs(LocateDirection::Forward, 28, false);
+        assert!((short - (4.834 + 0.378 * 28.0)).abs() < 1e-9);
+        // At 29 MB the long segment applies.
+        let long = m.locate_secs(LocateDirection::Forward, 29, false);
+        assert!((long - (14.342 + 0.028 * 29.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reverse_locate_to_bot_adds_21_seconds() {
+        // 50 MB reverse to slot 0: 13.74 + 0.0286*50 + 21.
+        let (t, dir) = paper().locate(SlotIndex(50), SlotIndex(0), BlockSize::from_mb(1));
+        assert_eq!(dir, Some(LocateDirection::Reverse));
+        let expect = 13.74 + 0.0286 * 50.0 + 21.0;
+        assert_eq!(t, Micros::from_secs_f64(expect));
+    }
+
+    #[test]
+    fn reverse_locate_not_to_bot_has_no_rewind_overhead() {
+        let (t, _) = paper().locate(SlotIndex(60), SlotIndex(10), BlockSize::from_mb(1));
+        let expect = 13.74 + 0.0286 * 50.0;
+        assert_eq!(t, Micros::from_secs_f64(expect));
+    }
+
+    #[test]
+    fn zero_distance_locate_is_free() {
+        let (t, dir) = paper().locate(SlotIndex(7), SlotIndex(7), BlockSize::from_mb(16));
+        assert_eq!(t, Micros::ZERO);
+        assert_eq!(dir, None);
+    }
+
+    #[test]
+    fn block_size_scales_locate_distance() {
+        // 2 slots of 16 MB = 32 MB -> long regime.
+        let (t, _) = paper().locate(SlotIndex(0), SlotIndex(2), BlockSize::from_mb(16));
+        assert_eq!(t, Micros::from_secs_f64(14.342 + 0.028 * 32.0));
+    }
+
+    #[test]
+    fn read_times_match_fit() {
+        let d = paper();
+        let b = BlockSize::from_mb(16);
+        assert_eq!(
+            d.read_block(b, ReadContext::AfterForwardLocate),
+            Micros::from_secs_f64(0.38 + 1.77 * 16.0)
+        );
+        assert_eq!(
+            d.read_block(b, ReadContext::AfterReverseLocate),
+            Micros::from_secs_f64(1.77 * 16.0)
+        );
+        assert_eq!(
+            d.read_block(b, ReadContext::Streaming),
+            Micros::from_secs_f64(1.77 * 16.0)
+        );
+    }
+
+    #[test]
+    fn rewind_from_bot_is_free() {
+        assert_eq!(
+            paper().rewind(SlotIndex::BOT, BlockSize::from_mb(16)),
+            Micros::ZERO
+        );
+    }
+
+    #[test]
+    fn rewind_includes_bot_overhead() {
+        let d = paper();
+        let t = d.rewind(SlotIndex(100), BlockSize::from_mb(1));
+        assert_eq!(t, Micros::from_secs_f64(13.74 + 0.0286 * 100.0 + 21.0));
+    }
+
+    #[test]
+    fn full_switch_is_rewind_plus_81s() {
+        let t = TimingModel::paper_default();
+        let b = BlockSize::from_mb(1);
+        let expect = t.drive.rewind(SlotIndex(40), b) + Micros::from_secs(81);
+        assert_eq!(t.full_switch_from(SlotIndex(40), b), expect);
+        assert_eq!(
+            t.full_switch_from(SlotIndex::BOT, b),
+            Micros::from_secs(81)
+        );
+    }
+
+    #[test]
+    fn streaming_rate_of_paper_drive() {
+        let r = paper().read.streaming_mb_per_s();
+        assert!((r - 1.0 / 1.77).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_drive_is_faster_everywhere() {
+        let slow = DriveModel::exb8505xl();
+        let fast = DriveModel::hypothetical_fast();
+        let b = BlockSize::from_mb(16);
+        for (from, to) in [(0u32, 5u32), (5, 0), (0, 400), (400, 10)] {
+            let (ts, _) = slow.locate(SlotIndex(from), SlotIndex(to), b);
+            let (tf, _) = fast.locate(SlotIndex(from), SlotIndex(to), b);
+            assert!(tf < ts, "fast drive slower for {from}->{to}");
+        }
+        assert!(
+            fast.read_block(b, ReadContext::Streaming) < slow.read_block(b, ReadContext::Streaming)
+        );
+    }
+}

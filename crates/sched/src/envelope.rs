@@ -1,0 +1,957 @@
+//! The envelope-extension algorithm (Section 3.2).
+//!
+//! Simple algorithms greedily service every request on the chosen tape,
+//! even when a replicated block could be fetched far more cheaply from
+//! another tape. The envelope-extension algorithm takes a global view:
+//!
+//! 1. the requests for **non-replicated** blocks pin down an *envelope* —
+//!    a set of tape prefixes that must be traversed no matter what;
+//! 2. replicated requests whose copies already fall inside the envelope
+//!    are absorbed at no extra cost;
+//! 3. the remaining requests are scheduled by repeatedly extending the
+//!    envelope along the prefix with the highest *incremental bandwidth*
+//!    (bytes gained per second of extra locate/read/switch time),
+//!    shrinking it back wherever a newly enclosed replica makes an
+//!    earlier extension redundant.
+//!
+//! The resulting *upper envelope* covers all requests. A tape-switch
+//! policy (oldest request / max requests / max bandwidth) then chooses
+//! which tape to visit first, and the sweep services every request
+//! satisfiable inside the chosen tape's envelope.
+//!
+//! Scheduling an optimal extension is NP-hard (Theorem 1); the greedy
+//! extension is within a harmonic factor of optimal (Theorem 2, tested
+//! against a brute-force oracle in `optimal.rs`).
+
+use tapesim_model::{Micros, ReadContext, SlotIndex, TapeId};
+use tapesim_workload::Request;
+
+use crate::api::{
+    ArrivalOutcome, JukeboxView, PendingList, Scheduler, ServiceList, SweepPlan,
+};
+use crate::cost::{mount_cost, split_sweep, start_head, walk_cost};
+
+/// Tape-switch policies applicable to the envelope algorithm
+/// (Section 3.2: "oldest request envelope", "max requests envelope",
+/// "max bandwidth envelope").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvelopePolicy {
+    /// Visit a tape that can satisfy the oldest request (by max requests
+    /// among those).
+    OldestRequest,
+    /// Visit the tape whose envelope satisfies the most requests.
+    MaxRequests,
+    /// Visit the tape whose in-envelope schedule has the highest effective
+    /// bandwidth.
+    MaxBandwidth,
+}
+
+impl EnvelopePolicy {
+    /// All three envelope tape-switch policies.
+    pub const ALL: [EnvelopePolicy; 3] = [
+        EnvelopePolicy::OldestRequest,
+        EnvelopePolicy::MaxRequests,
+        EnvelopePolicy::MaxBandwidth,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvelopePolicy::OldestRequest => "oldest-request",
+            EnvelopePolicy::MaxRequests => "max-requests",
+            EnvelopePolicy::MaxBandwidth => "max-bandwidth",
+        }
+    }
+}
+
+/// The upper envelope: per tape, the first slot *outside* the envelope
+/// (0 = empty envelope). A copy at slot `s` on tape `t` is inside the
+/// envelope iff `s < env[t]`.
+pub type Envelope = Vec<u32>;
+
+/// The result of the upper-envelope computation: the envelope itself plus
+/// the per-request tape assignment (indices into the pending snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpperEnvelope {
+    /// First-slot-outside boundary per tape.
+    pub env: Envelope,
+    /// Assigned tape per request (same order as the input snapshot).
+    pub assigned: Vec<TapeId>,
+    /// Number of requests assigned per tape.
+    pub counts: Vec<u32>,
+}
+
+/// The envelope-extension scheduler.
+#[derive(Debug, Clone)]
+pub struct EnvelopeScheduler {
+    policy: EnvelopePolicy,
+    name: String,
+    /// Envelope from the most recent major reschedule, consulted and
+    /// extended by the incremental scheduler during the sweep.
+    env: Envelope,
+}
+
+impl EnvelopeScheduler {
+    /// Creates an envelope scheduler with the given tape-switch policy.
+    pub fn new(policy: EnvelopePolicy) -> Self {
+        EnvelopeScheduler {
+            policy,
+            name: format!("envelope {}", policy.name()),
+            env: Vec::new(),
+        }
+    }
+
+    /// The tape-switch policy.
+    pub fn policy(&self) -> EnvelopePolicy {
+        self.policy
+    }
+
+    /// The envelope from the most recent major reschedule (for tests and
+    /// diagnostics).
+    pub fn current_envelope(&self) -> &Envelope {
+        &self.env
+    }
+}
+
+impl Scheduler for EnvelopeScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn major_reschedule(
+        &mut self,
+        view: &JukeboxView<'_>,
+        pending: &mut PendingList,
+    ) -> Option<SweepPlan> {
+        if pending.is_empty() {
+            return None;
+        }
+        // Only requests with a copy on an available tape can be planned
+        // now (others wait for another drive to release their tape).
+        let snapshot: Vec<Request> = pending
+            .iter()
+            .filter(|r| {
+                view.catalog
+                    .replicas(r.block)
+                    .iter()
+                    .any(|a| view.is_available(a.tape))
+            })
+            .copied()
+            .collect();
+        if snapshot.is_empty() {
+            return None;
+        }
+        let upper = compute_upper_envelope(view, &snapshot);
+        let tape = select_envelope_tape(self.policy, view, &snapshot, &upper.env)?;
+        let env_t = upper.env[tape.index()];
+        let taken = pending.extract(|r| {
+            view.catalog
+                .copy_on_tape(r.block, tape)
+                .is_some_and(|a| a.slot.0 < env_t)
+        });
+        debug_assert!(!taken.is_empty(), "chosen tape must satisfy something");
+        self.env = upper.env;
+        Some(SweepPlan {
+            tape,
+            list: split_sweep(view.catalog, tape, start_head(view, tape), taken),
+        })
+    }
+
+    fn on_arrival(
+        &mut self,
+        view: &JukeboxView<'_>,
+        sweep_tape: TapeId,
+        sweep: &mut ServiceList,
+        request: Request,
+        pending: &mut PendingList,
+    ) -> ArrivalOutcome {
+        if self.env.len() != view.catalog.geometry().tapes as usize {
+            // No envelope computed yet (no major reschedule has run).
+            pending.push(request);
+            return ArrivalOutcome::Deferred;
+        }
+        // Case 1: satisfiable by the current tape within the envelope.
+        if let Some(addr) = view.catalog.copy_on_tape(request.block, sweep_tape) {
+            if addr.slot.0 < self.env[sweep_tape.index()] {
+                if addr.slot >= view.head {
+                    sweep.insert_forward(addr.slot, request);
+                } else {
+                    // Behind the head but inside the envelope: read it in
+                    // the reverse phase on the way back down the tape.
+                    sweep.insert_reverse(addr.slot, request);
+                }
+                return ArrivalOutcome::Inserted;
+            }
+        }
+        // Case 2: satisfiable inside another tape's envelope at no extra
+        // envelope cost -> it will be picked up by a later sweep; defer.
+        let inside_elsewhere = view.catalog.replicas(request.block).iter().any(|a| {
+            a.tape != sweep_tape
+                && view.is_available(a.tape)
+                && a.slot.0 < self.env[a.tape.index()]
+        });
+        if inside_elsewhere {
+            pending.push(request);
+            return ArrivalOutcome::Deferred;
+        }
+        // Case 3: outside the envelope everywhere. Apply the extension
+        // rule (steps 3-4) for this single request: extend the envelope
+        // along the copy with the highest incremental bandwidth.
+        let block = view.catalog.block_size();
+        let mut best: Option<(f64, TapeId, SlotIndex)> = None;
+        for a in view.catalog.replicas(request.block) {
+            if !view.is_available(a.tape) {
+                continue;
+            }
+            let env_a = SlotIndex(self.env[a.tape.index()]);
+            let mut cost = prefix_cost(view, env_a, &[a.slot]);
+            if env_a == SlotIndex::BOT && view.mounted != Some(a.tape) {
+                cost += view.timing.switch_time();
+            }
+            let bw = block.bytes() as f64 / cost.as_secs_f64();
+            let better = match &best {
+                None => true,
+                Some((b, t, _)) => bw > *b || (bw == *b && a.tape < *t),
+            };
+            if better {
+                best = Some((bw, a.tape, a.slot));
+            }
+        }
+        let Some((_, tape, slot)) = best else {
+            // Every copy is on a tape held by another drive; wait.
+            pending.push(request);
+            return ArrivalOutcome::Deferred;
+        };
+        self.env[tape.index()] = self.env[tape.index()].max(slot.0 + 1);
+        if tape == sweep_tape {
+            // The envelope on the mounted tape always starts at or beyond
+            // the head, so an extension is ahead of the head.
+            sweep.insert_forward(slot, request);
+            ArrivalOutcome::Inserted
+        } else {
+            pending.push(request);
+            ArrivalOutcome::Deferred
+        }
+    }
+}
+
+/// Cost of walking from the envelope boundary `start` through `slots`
+/// (ascending) and locating back to `start` — the incremental cost of an
+/// envelope extension, excluding any tape-switch charge.
+fn prefix_cost(view: &JukeboxView<'_>, start: SlotIndex, slots: &[SlotIndex]) -> Micros {
+    let block = view.catalog.block_size();
+    let mut total = walk_cost(view.timing, block, start, slots.iter().copied());
+    if let Some(&last) = slots.last() {
+        let (back, _) = view.timing.drive.locate(last.next(), start, block);
+        total += back;
+    }
+    total
+}
+
+/// Computes the schedule `S1` of Section 3.3: the envelope and assignment
+/// after steps 1-2 only (initial envelope from non-replicated requests,
+/// then absorption). Requests left `None` are the ones an extension must
+/// still schedule. Used by the Theorem 2 oracle in [`crate::optimal`].
+pub fn envelope_after_absorb(
+    view: &JukeboxView<'_>,
+    pending: &[Request],
+) -> (Envelope, Vec<Option<TapeId>>) {
+    let catalog = view.catalog;
+    let tapes = catalog.geometry().tapes as usize;
+    let mut env: Envelope = vec![0; tapes];
+    for r in pending {
+        let replicas = catalog.replicas(r.block);
+        if replicas.len() == 1 && view.is_available(replicas[0].tape) {
+            let a = replicas[0];
+            let boundary = &mut env[a.tape.index()];
+            *boundary = (*boundary).max(a.slot.0 + 1);
+        }
+    }
+    if let Some(m) = view.mounted {
+        env[m.index()] = env[m.index()].max(view.head.0);
+    }
+    let mut assigned: Vec<Option<TapeId>> = vec![None; pending.len()];
+    let mut counts: Vec<u32> = vec![0; tapes];
+    absorb(view, pending, &mut assigned, &mut counts, &env);
+    (env, assigned)
+}
+
+/// Computes the upper envelope over a snapshot of the pending list,
+/// following Section 3.2's six steps.
+pub fn compute_upper_envelope(view: &JukeboxView<'_>, pending: &[Request]) -> UpperEnvelope {
+    let catalog = view.catalog;
+    let tapes = catalog.geometry().tapes as usize;
+    let n = pending.len();
+    let mut env: Envelope = vec![0; tapes];
+
+    // Step 1: initial envelope from non-replicated requests; include the
+    // current head position on the mounted tape. In the multi-drive
+    // extension, every request in `pending` must have a copy on an
+    // available tape (the caller filters), and unavailable tapes are
+    // never part of the envelope.
+    for r in pending {
+        debug_assert!(
+            catalog
+                .replicas(r.block)
+                .iter()
+                .any(|a| view.is_available(a.tape)),
+            "snapshot contains a request with no available copy"
+        );
+        let replicas = catalog.replicas(r.block);
+        if replicas.len() == 1 {
+            let a = replicas[0];
+            let boundary = &mut env[a.tape.index()];
+            *boundary = (*boundary).max(a.slot.0 + 1);
+        }
+    }
+    if let Some(m) = view.mounted {
+        env[m.index()] = env[m.index()].max(view.head.0);
+    }
+
+    let mut assigned: Vec<Option<TapeId>> = vec![None; n];
+    let mut counts: Vec<u32> = vec![0; tapes];
+
+    // Step 2 (and re-absorption at each iteration): schedule every
+    // request satisfiable inside the current envelope.
+    absorb(view, pending, &mut assigned, &mut counts, &env);
+
+    // Steps 3-6: extend along the best prefix, shrink, iterate.
+    while assigned.iter().any(Option::is_none) {
+        extend_once(view, pending, &mut assigned, &mut counts, &mut env);
+        shrink(view, pending, &mut assigned, &mut counts, &mut env);
+        absorb(view, pending, &mut assigned, &mut counts, &env);
+    }
+
+    UpperEnvelope {
+        env,
+        assigned: assigned.into_iter().map(Option::unwrap).collect(),
+        counts,
+    }
+}
+
+/// Step 2: absorb unscheduled requests that are inside the envelope. When
+/// several replicas are inside, prefer the currently mounted tape, then
+/// the tape with the most scheduled requests that is first in jukebox
+/// order after the mounted tape.
+fn absorb(
+    view: &JukeboxView<'_>,
+    pending: &[Request],
+    assigned: &mut [Option<TapeId>],
+    counts: &mut [u32],
+    env: &Envelope,
+) {
+    let geometry = view.catalog.geometry();
+    let anchor = view.mounted.unwrap_or(TapeId(0));
+    for (i, r) in pending.iter().enumerate() {
+        if assigned[i].is_some() {
+            continue;
+        }
+        let mut choice: Option<(u32, u16, TapeId)> = None; // (count, dist, tape)
+        for a in view.catalog.replicas(r.block) {
+            if !view.is_available(a.tape) || a.slot.0 >= env[a.tape.index()] {
+                continue;
+            }
+            if view.mounted == Some(a.tape) {
+                choice = Some((u32::MAX, 0, a.tape));
+                break;
+            }
+            let c = counts[a.tape.index()];
+            let dist = geometry.circular_distance(anchor, a.tape);
+            let better = match &choice {
+                None => true,
+                Some((bc, bd, _)) => c > *bc || (c == *bc && dist < *bd),
+            };
+            if better {
+                choice = Some((c, dist, a.tape));
+            }
+        }
+        if let Some((_, _, tape)) = choice {
+            assigned[i] = Some(tape);
+            counts[tape.index()] += 1;
+        }
+    }
+}
+
+/// Steps 3-4: compute the incremental bandwidth of every extension-list
+/// prefix and extend the envelope along the best one, scheduling its
+/// requests.
+fn extend_once(
+    view: &JukeboxView<'_>,
+    pending: &[Request],
+    assigned: &mut [Option<TapeId>],
+    counts: &mut [u32],
+    env: &mut Envelope,
+) {
+    let catalog = view.catalog;
+    let block = catalog.block_size();
+    let geometry = catalog.geometry();
+
+    // Best = (bandwidth, scheduled-count on tape, tape, prefix length).
+    struct Best {
+        bw: f64,
+        count: u32,
+        tape: TapeId,
+        prefix: usize,
+    }
+    let mut best: Option<Best> = None;
+    // Per-tape extension lists: (slot, request indices) sorted by slot.
+    for tape in geometry.tape_ids() {
+        if !view.is_available(tape) {
+            continue;
+        }
+        let mut entries: Vec<(SlotIndex, Vec<usize>)> = Vec::new();
+        for (i, r) in pending.iter().enumerate() {
+            if assigned[i].is_some() {
+                continue;
+            }
+            if let Some(a) = catalog.copy_on_tape(r.block, tape) {
+                debug_assert!(a.slot.0 >= env[tape.index()], "unscheduled inside envelope");
+                entries.push((a.slot, vec![i]));
+            }
+        }
+        if entries.is_empty() {
+            continue;
+        }
+        entries.sort_by_key(|e| e.0);
+        // Merge duplicate slots (several requests for the same block).
+        let mut merged: Vec<(SlotIndex, Vec<usize>)> = Vec::with_capacity(entries.len());
+        for (slot, idxs) in entries {
+            match merged.last_mut() {
+                Some((s, v)) if *s == slot => v.extend(idxs),
+                _ => merged.push((slot, idxs)),
+            }
+        }
+
+        // Walk each prefix incrementally.
+        let start = SlotIndex(env[tape.index()]);
+        let switch = if start == SlotIndex::BOT && view.mounted != Some(tape) {
+            view.timing.switch_time()
+        } else {
+            Micros::ZERO
+        };
+        let mut pos = start;
+        let mut out_time = Micros::ZERO;
+        for (k, (slot, _)) in merged.iter().enumerate() {
+            let (lt, dir) = view.timing.drive.locate(pos, *slot, block);
+            let ctx = match dir {
+                None => ReadContext::Streaming,
+                Some(tapesim_model::LocateDirection::Forward) => ReadContext::AfterForwardLocate,
+                Some(tapesim_model::LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
+            };
+            out_time += lt + view.timing.drive.read_block(block, ctx);
+            pos = slot.next();
+            let (back, _) = view.timing.drive.locate(pos, start, block);
+            let cost = switch + out_time + back;
+            let bytes = (k + 1) as u64 * block.bytes();
+            let bw = bytes as f64 / cost.as_secs_f64();
+            let count = counts[tape.index()];
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    bw > b.bw
+                        || (bw == b.bw
+                            && (count > b.count || (count == b.count && tape < b.tape)))
+                }
+            };
+            if better {
+                best = Some(Best {
+                    bw,
+                    count,
+                    tape,
+                    prefix: k + 1,
+                });
+            }
+        }
+        // Stash the merged list for the winner by recomputing below (the
+        // lists are cheap to rebuild and this keeps the loop allocation-
+        // light).
+    }
+
+    let best = best.expect("extend_once called with unscheduled requests remaining");
+    // Rebuild the winning tape's merged extension list and apply the
+    // chosen prefix.
+    let tape = best.tape;
+    let mut entries: Vec<(SlotIndex, usize)> = Vec::new();
+    for (i, r) in pending.iter().enumerate() {
+        if assigned[i].is_some() {
+            continue;
+        }
+        if let Some(a) = catalog.copy_on_tape(r.block, tape) {
+            entries.push((a.slot, i));
+        }
+    }
+    entries.sort_by_key(|e| e.0);
+    let mut distinct = 0usize;
+    let mut last: Option<SlotIndex> = None;
+    for (slot, i) in entries {
+        if last != Some(slot) {
+            distinct += 1;
+            last = Some(slot);
+        }
+        if distinct > best.prefix {
+            break;
+        }
+        assigned[i] = Some(tape);
+        counts[tape.index()] += 1;
+        env[tape.index()] = env[tape.index()].max(slot.0 + 1);
+    }
+}
+
+/// Step 5: shrink the envelope wherever the block scheduled at a tape's
+/// outer edge is replicated inside another tape's envelope. Shrinks the
+/// tape with the fewest scheduled requests first, breaking ties toward
+/// the lowest tape in jukebox order, and repeats until no envelope can
+/// shrink further.
+fn shrink(
+    view: &JukeboxView<'_>,
+    pending: &[Request],
+    assigned: &mut [Option<TapeId>],
+    counts: &mut [u32],
+    env: &mut Envelope,
+) {
+    let catalog = view.catalog;
+    let geometry = catalog.geometry();
+    let anchor = view.mounted.unwrap_or(TapeId(0));
+    loop {
+        // Collect shrink candidates: (count, tape a, target tape b).
+        let mut candidate: Option<(u32, TapeId, TapeId)> = None;
+        for a in geometry.tape_ids() {
+            // The outer edge must be defined by a scheduled request.
+            let edge = env[a.index()];
+            if edge == 0 {
+                continue;
+            }
+            // The head position pins the mounted tape's envelope: there is
+            // nothing to gain by moving the edge block elsewhere.
+            if view.mounted == Some(a) && view.head.0 >= edge {
+                continue;
+            }
+            // Find the requests assigned to `a` at the edge slot.
+            let edge_slot = SlotIndex(edge - 1);
+            let mut edge_block = None;
+            for (i, r) in pending.iter().enumerate() {
+                if assigned[i] != Some(a) {
+                    continue;
+                }
+                if catalog.copy_on_tape(r.block, a).map(|x| x.slot) == Some(edge_slot) {
+                    edge_block = Some(r.block);
+                    break;
+                }
+            }
+            let Some(block) = edge_block else {
+                continue; // edge pinned by the head position, not a request
+            };
+            let replicas = catalog.replicas(block);
+            if replicas.len() < 2 {
+                continue; // non-replicated blocks cannot move
+            }
+            // Candidate target: a copy inside another tape's envelope.
+            let mut target: Option<(u32, u16, TapeId)> = None;
+            for c in replicas {
+                if c.tape == a
+                    || !view.is_available(c.tape)
+                    || c.slot.0 >= env[c.tape.index()]
+                {
+                    continue;
+                }
+                if view.mounted == Some(c.tape) {
+                    target = Some((u32::MAX, 0, c.tape));
+                    break;
+                }
+                let cnt = counts[c.tape.index()];
+                let dist = geometry.circular_distance(anchor, c.tape);
+                let better = match &target {
+                    None => true,
+                    Some((bc, bd, _)) => cnt > *bc || (cnt == *bc && dist < *bd),
+                };
+                if better {
+                    target = Some((cnt, dist, c.tape));
+                }
+            }
+            let Some((_, _, b)) = target else { continue };
+            let cnt_a = counts[a.index()];
+            let better = match &candidate {
+                None => true,
+                Some((bc, ba, _)) => cnt_a < *bc || (cnt_a == *bc && a < *ba),
+            };
+            if better {
+                candidate = Some((cnt_a, a, b));
+            }
+        }
+        let Some((_, a, b)) = candidate else { break };
+
+        // Move every request reading the edge block from a to b.
+        let edge_slot = SlotIndex(env[a.index()] - 1);
+        for (i, r) in pending.iter().enumerate() {
+            if assigned[i] == Some(a)
+                && catalog.copy_on_tape(r.block, a).map(|x| x.slot) == Some(edge_slot)
+            {
+                assigned[i] = Some(b);
+                counts[a.index()] -= 1;
+                counts[b.index()] += 1;
+            }
+        }
+        // Shrink a's envelope back to its next scheduled request (or to
+        // the head position on the mounted tape, or to zero).
+        let mut new_edge: u32 = 0;
+        for (i, r) in pending.iter().enumerate() {
+            if assigned[i] == Some(a) {
+                if let Some(x) = catalog.copy_on_tape(r.block, a) {
+                    new_edge = new_edge.max(x.slot.0 + 1);
+                }
+            }
+        }
+        if view.mounted == Some(a) {
+            new_edge = new_edge.max(view.head.0);
+        }
+        debug_assert!(new_edge < env[a.index()], "shrink must make progress");
+        env[a.index()] = new_edge;
+    }
+}
+
+/// Applies the envelope tape-switch policy: for each tape, the candidate
+/// set is every pending request satisfiable inside that tape's envelope
+/// (in general a superset of the per-tape assignment).
+fn select_envelope_tape(
+    policy: EnvelopePolicy,
+    view: &JukeboxView<'_>,
+    pending: &[Request],
+    env: &Envelope,
+) -> Option<TapeId> {
+    let catalog = view.catalog;
+    let geometry = catalog.geometry();
+    let anchor = view.mounted.unwrap_or(TapeId(0));
+    let block = catalog.block_size();
+
+    // In-envelope candidate sets per tape.
+    let in_env = |r: &Request, tape: TapeId| -> Option<SlotIndex> {
+        catalog
+            .copy_on_tape(r.block, tape)
+            .filter(|a| a.slot.0 < env[tape.index()])
+            .map(|a| a.slot)
+    };
+
+    let eligible: Option<Vec<TapeId>> = match policy {
+        EnvelopePolicy::OldestRequest => {
+            let oldest = pending.first()?;
+            Some(
+                geometry
+                    .tape_ids()
+                    .filter(|&t| in_env(oldest, t).is_some())
+                    .collect(),
+            )
+        }
+        _ => None,
+    };
+
+    let mut best: Option<(f64, u16, TapeId)> = None;
+    for tape in geometry.tape_ids() {
+        if !view.is_available(tape) {
+            continue;
+        }
+        if let Some(list) = &eligible {
+            if !list.contains(&tape) {
+                continue;
+            }
+        }
+        let mut slots: Vec<SlotIndex> = Vec::new();
+        let mut request_count = 0usize;
+        for r in pending {
+            if let Some(s) = in_env(r, tape) {
+                slots.push(s);
+                request_count += 1;
+            }
+        }
+        if slots.is_empty() {
+            continue;
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        let score = match policy {
+            EnvelopePolicy::MaxBandwidth => {
+                let cost = mount_cost(view, tape)
+                    + walk_cost(
+                        view.timing,
+                        block,
+                        start_head(view, tape),
+                        slots.iter().copied(),
+                    );
+                (slots.len() as u64 * block.bytes()) as f64 / cost.as_secs_f64()
+            }
+            // OldestRequest restricts eligibility and then ranks by
+            // request count, like the basic oldest-request policies.
+            EnvelopePolicy::MaxRequests | EnvelopePolicy::OldestRequest => request_count as f64,
+        };
+        let dist = geometry.circular_distance(anchor, tape);
+        let better = match &best {
+            None => true,
+            Some((bs, bd, _)) => score > *bs || (score == *bs && dist < *bd),
+        };
+        if better {
+            best = Some((score, dist, tape));
+        }
+    }
+    best.map(|(_, _, t)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_layout::{BlockId, Catalog, CatalogBuilder};
+    use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SimTime, TimingModel};
+    use tapesim_workload::RequestId;
+
+    fn req(id: u64, blockid: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            block: BlockId(blockid),
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    fn place(b: &mut CatalogBuilder, blk: u32, t: u16, s: u32) {
+        b.place(
+            BlockId(blk),
+            PhysicalAddr {
+                tape: TapeId(t),
+                slot: SlotIndex(s),
+            },
+        )
+        .unwrap();
+    }
+
+    fn view<'a>(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        mounted: Option<TapeId>,
+        head: SlotIndex,
+    ) -> JukeboxView<'a> {
+        JukeboxView {
+            catalog,
+            timing,
+            mounted,
+            head,
+            now: SimTime::ZERO,
+            unavailable: &[],
+        }
+    }
+
+    /// The paper's Figure 2: tape 1 holds A, B and a far copy of D; tape 0
+    /// holds C with the other copy of D right after it. With the head at
+    /// the beginning of tape 1, the envelope algorithm must fetch D from
+    /// tape 0 (extending past C) instead of running to the end of tape 1.
+    fn figure2_catalog() -> Catalog {
+        let g = JukeboxGeometry::new(2, 500);
+        let mut b = Catalog::builder(g, BlockSize::from_mb(1), 4, 0);
+        // Blocks: 0 = A, 1 = B, 2 = C, 3 = D.
+        place(&mut b, 0, 1, 10); // A on tape 1
+        place(&mut b, 1, 1, 20); // B on tape 1
+        place(&mut b, 2, 0, 30); // C on tape 0
+        place(&mut b, 3, 0, 31); // D replica right after C
+        place(&mut b, 3, 1, 450); // D replica at the far end of tape 1
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure2_example_fetches_d_from_tape0() {
+        let c = figure2_catalog();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
+        let pending = [req(0, 0), req(1, 1), req(2, 2), req(3, 3)];
+        let upper = compute_upper_envelope(&v, &pending);
+        // Non-replicated: A, B pin tape 1 to 21; C pins tape 0 to 31.
+        // D extends tape 0 to 32 (cheap) rather than tape 1 to 451.
+        assert_eq!(upper.env, vec![32, 21]);
+        assert_eq!(
+            upper.assigned,
+            vec![TapeId(1), TapeId(1), TapeId(0), TapeId(0)]
+        );
+        assert_eq!(upper.counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn greedy_would_have_gone_to_the_tape_end() {
+        // Sanity check of the scenario: without the envelope's global
+        // view, tape 1's own schedule for {A, B, D} runs to slot 450.
+        let c = figure2_catalog();
+        let d_on_tape1 = c.copy_on_tape(BlockId(3), TapeId(1)).unwrap();
+        assert_eq!(d_on_tape1.slot, SlotIndex(450));
+    }
+
+    /// Shrink scenario: X is extended onto tape 0 first (cheap, envelope
+    /// already open there); a later extension of tape 1 encloses X's
+    /// other copy, so step 5 moves X to tape 1 and shrinks tape 0.
+    #[test]
+    fn shrink_moves_edge_block_and_contracts_envelope() {
+        let g = JukeboxGeometry::new(3, 500);
+        let mut b = Catalog::builder(g, BlockSize::from_mb(1), 4, 0);
+        place(&mut b, 0, 0, 9); // N0: non-replicated, pins tape 0 to 10
+        place(&mut b, 1, 0, 10); // X on tape 0, just past N0
+        place(&mut b, 1, 1, 30); // X's replica on tape 1
+        place(&mut b, 2, 1, 60); // Z on tape 1 ...
+        place(&mut b, 2, 2, 300); // ... and far out on tape 2
+        place(&mut b, 3, 2, 490); // filler so the catalog has a block 3
+        let c = b.build().unwrap();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, None, SlotIndex(0));
+        let pending = [req(0, 0), req(1, 1), req(2, 2)];
+        let upper = compute_upper_envelope(&v, &pending);
+        // X ends up on tape 1 (its copy at 30 is inside tape 1's envelope
+        // once Z extends it to 61), and tape 0 shrinks back to N0.
+        assert_eq!(upper.env, vec![10, 61, 0]);
+        assert_eq!(
+            upper.assigned,
+            vec![TapeId(0), TapeId(1), TapeId(1)]
+        );
+        assert_eq!(upper.counts, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn no_replication_envelope_covers_exactly_the_requests() {
+        // With single-copy blocks the upper envelope is just the initial
+        // envelope, and every request is absorbed onto its only tape.
+        let g = JukeboxGeometry::new(2, 500);
+        let mut b = Catalog::builder(g, BlockSize::from_mb(1), 4, 0);
+        place(&mut b, 0, 0, 100);
+        place(&mut b, 1, 0, 200);
+        place(&mut b, 2, 1, 50);
+        place(&mut b, 3, 1, 400);
+        let c = b.build().unwrap();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, None, SlotIndex(0));
+        let pending = [req(0, 0), req(1, 1), req(2, 2), req(3, 3)];
+        let upper = compute_upper_envelope(&v, &pending);
+        assert_eq!(upper.env, vec![201, 401]);
+        assert_eq!(
+            upper.assigned,
+            vec![TapeId(0), TapeId(0), TapeId(1), TapeId(1)]
+        );
+    }
+
+    #[test]
+    fn major_reschedule_extracts_only_in_envelope_requests() {
+        let c = figure2_catalog();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
+        let mut pending: PendingList =
+            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
+        let plan = s.major_reschedule(&v, &mut pending).unwrap();
+        // Mounted tape 1 has A and B cheap (no switch); the envelope on
+        // tape 1 is only 21 slots, so D@450 is NOT part of tape 1's sweep.
+        assert_eq!(plan.tape, TapeId(1));
+        let slots: Vec<u32> = plan.list.forward_stops().map(|r| r.slot.0).collect();
+        assert_eq!(slots, vec![10, 20]);
+        // C and D remain pending for the tape 0 sweep.
+        assert_eq!(pending.len(), 2);
+        assert_eq!(s.current_envelope(), &vec![32, 21]);
+    }
+
+    #[test]
+    fn incremental_inserts_inside_envelope_ahead_of_head() {
+        let c = figure2_catalog();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
+        let mut pending: PendingList =
+            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
+        let mut plan = s.major_reschedule(&v, &mut pending).unwrap();
+        // New request for B (tape 1 slot 20, inside envelope 21, ahead of
+        // head 11 after reading A).
+        let v2 = view(&c, &t, Some(TapeId(1)), SlotIndex(11));
+        let out = s.on_arrival(&v2, TapeId(1), &mut plan.list, req(9, 1), &mut pending);
+        assert_eq!(out, ArrivalOutcome::Inserted);
+    }
+
+    #[test]
+    fn incremental_reverse_inserts_behind_head() {
+        let c = figure2_catalog();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
+        let mut pending: PendingList =
+            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
+        let mut plan = s.major_reschedule(&v, &mut pending).unwrap();
+        // Head has passed slot 10; a new request for A (slot 10) lands in
+        // the reverse phase.
+        let v2 = view(&c, &t, Some(TapeId(1)), SlotIndex(15));
+        let out = s.on_arrival(&v2, TapeId(1), &mut plan.list, req(9, 0), &mut pending);
+        assert_eq!(out, ArrivalOutcome::Inserted);
+        let rev: Vec<u32> = plan.list.reverse_stops().map(|r| r.slot.0).collect();
+        assert_eq!(rev, vec![10]);
+    }
+
+    #[test]
+    fn incremental_defers_requests_inside_other_envelopes() {
+        let c = figure2_catalog();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
+        let mut pending: PendingList =
+            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
+        let mut plan = s.major_reschedule(&v, &mut pending).unwrap();
+        // New request for C: inside tape 0's envelope, not on tape 1 at
+        // all -> deferred, envelope untouched.
+        let before = s.current_envelope().clone();
+        let out = s.on_arrival(&v, TapeId(1), &mut plan.list, req(9, 2), &mut pending);
+        assert_eq!(out, ArrivalOutcome::Deferred);
+        assert_eq!(s.current_envelope(), &before);
+        assert_eq!(pending.len(), 3);
+    }
+
+    #[test]
+    fn incremental_extends_envelope_for_uncovered_requests() {
+        // A fresh block far out on the mounted tape: the envelope extends
+        // and the request joins the sweep.
+        let g = JukeboxGeometry::new(2, 500);
+        let mut b = Catalog::builder(g, BlockSize::from_mb(1), 3, 0);
+        place(&mut b, 0, 0, 10);
+        place(&mut b, 1, 0, 50);
+        place(&mut b, 2, 1, 100);
+        let c = b.build().unwrap();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, Some(TapeId(0)), SlotIndex(0));
+        let mut pending: PendingList = vec![req(0, 0)].into_iter().collect();
+        let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
+        let mut plan = s.major_reschedule(&v, &mut pending).unwrap();
+        assert_eq!(s.current_envelope(), &vec![11, 0]);
+        let out = s.on_arrival(&v, TapeId(0), &mut plan.list, req(9, 1), &mut pending);
+        assert_eq!(out, ArrivalOutcome::Inserted);
+        assert_eq!(s.current_envelope(), &vec![51, 0]);
+        // And an off-tape block is deferred but still extends its tape.
+        let out2 = s.on_arrival(&v, TapeId(0), &mut plan.list, req(10, 2), &mut pending);
+        assert_eq!(out2, ArrivalOutcome::Deferred);
+        assert_eq!(s.current_envelope(), &vec![51, 101]);
+    }
+
+    #[test]
+    fn empty_pending_returns_none() {
+        let c = figure2_catalog();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, None, SlotIndex(0));
+        let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxRequests);
+        assert!(s.major_reschedule(&v, &mut PendingList::new()).is_none());
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(
+            EnvelopeScheduler::new(EnvelopePolicy::OldestRequest).name(),
+            "envelope oldest-request"
+        );
+        assert_eq!(EnvelopePolicy::ALL.len(), 3);
+    }
+
+    #[test]
+    fn envelope_after_absorb_leaves_extensions_unassigned() {
+        let c = figure2_catalog();
+        let t = TimingModel::paper_default();
+        let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
+        let pending = [req(0, 0), req(1, 1), req(2, 2), req(3, 3)];
+        let (env, assigned) = envelope_after_absorb(&v, &pending);
+        assert_eq!(env, vec![31, 21]);
+        // D (index 3) is outside both initial envelopes.
+        assert_eq!(assigned[3], None);
+        assert!(assigned[..3].iter().all(Option::is_some));
+    }
+}

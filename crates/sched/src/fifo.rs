@@ -1,0 +1,175 @@
+//! The trivial FIFO scheduling algorithm (Section 3.1).
+//!
+//! FIFO services requests strictly in their order of arrival. For random
+//! requests to a tape jukebox this gives terrible performance: most
+//! retrievals incur a tape rewind, switch, and a long locate. It is
+//! included as the baseline that motivates every other algorithm.
+
+use crate::api::{JukeboxView, PendingList, Scheduler, ServiceList, SweepPlan};
+
+/// The FIFO scheduler: one request per sweep, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct FifoScheduler;
+
+impl FifoScheduler {
+    /// Creates a FIFO scheduler.
+    pub fn new() -> Self {
+        FifoScheduler
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn major_reschedule(
+        &mut self,
+        view: &JukeboxView<'_>,
+        pending: &mut PendingList,
+    ) -> Option<SweepPlan> {
+        // The first (oldest) request with a copy on an available tape.
+        // Satisfy it from the mounted tape when possible; otherwise from
+        // the copy on the lowest available tape in jukebox order.
+        let pick = pending.iter().find_map(|r| {
+            let replicas = view.catalog.replicas(r.block);
+            view.mounted
+                .filter(|&m| view.is_available(m))
+                .and_then(|m| replicas.iter().find(|a| a.tape == m))
+                .or_else(|| replicas.iter().find(|a| view.is_available(a.tape)))
+                .map(|addr| (*r, *addr))
+        })?;
+        let (oldest, addr) = pick;
+        let taken = pending.extract(|r| r.id == oldest.id);
+        debug_assert_eq!(taken.len(), 1);
+        let mut list = ServiceList::new();
+        list.insert_forward(addr.slot, oldest);
+        Some(SweepPlan {
+            tape: addr.tape,
+            list,
+        })
+    }
+    // Incremental scheduler: the default (defer everything).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_layout::{BlockId, Catalog};
+    use tapesim_model::{
+        BlockSize, JukeboxGeometry, PhysicalAddr, SimTime, SlotIndex, TapeId, TimingModel,
+    };
+    use tapesim_workload::{Request, RequestId};
+
+    /// Block 0 on tapes 0 and 1; block 1 only on tape 1.
+    fn catalog() -> Catalog {
+        let g = JukeboxGeometry::new(2, 100);
+        let mut b = Catalog::builder(g, BlockSize::from_mb(1), 2, 0);
+        b.place(
+            BlockId(0),
+            PhysicalAddr {
+                tape: TapeId(0),
+                slot: SlotIndex(10),
+            },
+        )
+        .unwrap();
+        b.place(
+            BlockId(0),
+            PhysicalAddr {
+                tape: TapeId(1),
+                slot: SlotIndex(90),
+            },
+        )
+        .unwrap();
+        b.place(
+            BlockId(1),
+            PhysicalAddr {
+                tape: TapeId(1),
+                slot: SlotIndex(20),
+            },
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    fn req(id: u64, blockid: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            block: BlockId(blockid),
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn services_strictly_in_arrival_order() {
+        let c = catalog();
+        let t = TimingModel::paper_default();
+        let v = JukeboxView {
+            catalog: &c,
+            timing: &t,
+            mounted: None,
+            head: SlotIndex(0),
+            now: SimTime::ZERO,
+            unavailable: &[],
+        };
+        let mut p: PendingList = vec![req(0, 1), req(1, 0)].into_iter().collect();
+        let mut s = FifoScheduler::new();
+        let plan = s.major_reschedule(&v, &mut p).unwrap();
+        assert_eq!(plan.tape, TapeId(1));
+        assert_eq!(plan.list.requests(), 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.oldest().unwrap().id, RequestId(1));
+    }
+
+    #[test]
+    fn prefers_replica_on_mounted_tape() {
+        let c = catalog();
+        let t = TimingModel::paper_default();
+        let v = JukeboxView {
+            catalog: &c,
+            timing: &t,
+            mounted: Some(TapeId(1)),
+            head: SlotIndex(0),
+            now: SimTime::ZERO,
+            unavailable: &[],
+        };
+        let mut p: PendingList = vec![req(0, 0)].into_iter().collect();
+        let plan = FifoScheduler::new().major_reschedule(&v, &mut p).unwrap();
+        assert_eq!(plan.tape, TapeId(1));
+        assert_eq!(plan.list.peek().unwrap().0.slot, SlotIndex(90));
+    }
+
+    #[test]
+    fn falls_back_to_lowest_tape() {
+        let c = catalog();
+        let t = TimingModel::paper_default();
+        let v = JukeboxView {
+            catalog: &c,
+            timing: &t,
+            mounted: None,
+            head: SlotIndex(0),
+            now: SimTime::ZERO,
+            unavailable: &[],
+        };
+        let mut p: PendingList = vec![req(0, 0)].into_iter().collect();
+        let plan = FifoScheduler::new().major_reschedule(&v, &mut p).unwrap();
+        assert_eq!(plan.tape, TapeId(0));
+    }
+
+    #[test]
+    fn empty_pending_returns_none() {
+        let c = catalog();
+        let t = TimingModel::paper_default();
+        let v = JukeboxView {
+            catalog: &c,
+            timing: &t,
+            mounted: None,
+            head: SlotIndex(0),
+            now: SimTime::ZERO,
+            unavailable: &[],
+        };
+        assert!(FifoScheduler::new()
+            .major_reschedule(&v, &mut PendingList::new())
+            .is_none());
+    }
+}

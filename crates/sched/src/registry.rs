@@ -1,0 +1,104 @@
+//! A registry of every scheduling algorithm studied by the paper, for
+//! experiment harnesses that sweep over algorithms.
+
+use crate::api::Scheduler;
+use crate::envelope::{EnvelopePolicy, EnvelopeScheduler};
+use crate::families::{DynamicScheduler, StaticScheduler};
+use crate::fifo::FifoScheduler;
+use crate::select::TapeSelectPolicy;
+
+/// Identifier of one of the fourteen algorithms: FIFO, five static, five
+/// dynamic, and three envelope variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmId {
+    /// First-in first-out.
+    Fifo,
+    /// Static family member.
+    Static(TapeSelectPolicy),
+    /// Dynamic family member.
+    Dynamic(TapeSelectPolicy),
+    /// Envelope-extension variant.
+    Envelope(EnvelopePolicy),
+}
+
+impl AlgorithmId {
+    /// Every algorithm, in the order the paper introduces them.
+    pub fn all() -> Vec<AlgorithmId> {
+        let mut v = vec![AlgorithmId::Fifo];
+        v.extend(TapeSelectPolicy::ALL.into_iter().map(AlgorithmId::Static));
+        v.extend(TapeSelectPolicy::ALL.into_iter().map(AlgorithmId::Dynamic));
+        v.extend(EnvelopePolicy::ALL.into_iter().map(AlgorithmId::Envelope));
+        v
+    }
+
+    /// Stable display name, matching `Scheduler::name`.
+    pub fn name(self) -> String {
+        match self {
+            AlgorithmId::Fifo => "fifo".to_string(),
+            AlgorithmId::Static(p) => format!("static {}", p.name()),
+            AlgorithmId::Dynamic(p) => format!("dynamic {}", p.name()),
+            AlgorithmId::Envelope(p) => format!("envelope {}", p.name()),
+        }
+    }
+
+    /// The paper's recommended default: max-bandwidth envelope, which
+    /// degenerates to dynamic max-bandwidth when nothing is replicated
+    /// (Section 4.6).
+    pub fn paper_recommended() -> AlgorithmId {
+        AlgorithmId::Envelope(EnvelopePolicy::MaxBandwidth)
+    }
+
+    /// Parses a name produced by [`AlgorithmId::name`].
+    pub fn parse(s: &str) -> Option<AlgorithmId> {
+        AlgorithmId::all().into_iter().find(|a| a.name() == s)
+    }
+}
+
+/// Instantiates the scheduler for an algorithm id.
+pub fn make_scheduler(id: AlgorithmId) -> Box<dyn Scheduler> {
+    match id {
+        AlgorithmId::Fifo => Box::new(FifoScheduler::new()),
+        AlgorithmId::Static(p) => Box::new(StaticScheduler::new(p)),
+        AlgorithmId::Dynamic(p) => Box::new(DynamicScheduler::new(p)),
+        AlgorithmId::Envelope(p) => Box::new(EnvelopeScheduler::new(p)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_fourteen_algorithms() {
+        let all = AlgorithmId::all();
+        assert_eq!(all.len(), 14);
+        let mut names: Vec<String> = all.iter().map(|a| a.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 14, "duplicate algorithm names");
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for id in AlgorithmId::all() {
+            assert_eq!(AlgorithmId::parse(&id.name()), Some(id));
+        }
+        assert_eq!(AlgorithmId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn schedulers_report_matching_names() {
+        for id in AlgorithmId::all() {
+            let s = make_scheduler(id);
+            assert_eq!(s.name(), id.name());
+        }
+    }
+
+    #[test]
+    fn recommended_is_envelope_max_bandwidth() {
+        assert_eq!(
+            AlgorithmId::paper_recommended().name(),
+            "envelope max-bandwidth"
+        );
+    }
+}

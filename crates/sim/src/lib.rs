@@ -1,0 +1,27 @@
+//! # tapesim-sim
+//!
+//! Discrete-event simulator for the tape-jukebox service model of
+//! *Scheduling and Data Replication to Improve Tape Jukebox Performance*
+//! (ICDE 1999), Section 2.2.
+//!
+//! The [`engine`] executes the four-step service loop (major reschedule,
+//! tape switch, sweep execution with incremental scheduling of arrivals,
+//! idle wait) against any [`tapesim_sched::Scheduler`], a
+//! [`tapesim_layout::Catalog`], and a [`tapesim_workload::RequestFactory`].
+//! [`metrics`] collects throughput/delay/switch statistics over a
+//! measurement window, and [`runner`] averages runs across seeds in
+//! parallel.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod multidrive;
+pub mod runner;
+pub mod writeback;
+
+pub use engine::{run_simulation, SimConfig};
+pub use multidrive::run_multi_drive;
+pub use writeback::{run_with_writeback, FlushPolicy, WriteBackConfig, WriteBackReport};
+pub use metrics::{MetricsCollector, MetricsReport};
+pub use runner::{default_seeds, run_one, run_paired, run_seeds, RunSpec};

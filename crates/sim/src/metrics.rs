@@ -1,0 +1,325 @@
+//! Metrics collection: throughput, delay, and time-accounting breakdowns.
+//!
+//! The paper's parametric graphs plot *mean throughput* against *mean
+//! delay* as the workload intensity varies; supporting discussion cites
+//! requests per minute, response-time improvements, and tape-switch
+//! counts. The collector gathers all of these over a measurement window
+//! that excludes a configurable warmup.
+
+use tapesim_model::{Micros, SimTime};
+
+/// Raw counters accumulated during a run (within the measurement window).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsCollector {
+    window_start: SimTime,
+    completed: u64,
+    bytes_delivered: u64,
+    physical_reads: u64,
+    tape_switches: u64,
+    total_delay: Micros,
+    max_delay: Micros,
+    delays: Vec<Micros>,
+    time_locating: Micros,
+    time_reading: Micros,
+    time_switching: Micros,
+    time_idle: Micros,
+}
+
+impl MetricsCollector {
+    /// Creates a collector whose measurement window opens at
+    /// `window_start` (the end of warmup).
+    pub fn new(window_start: SimTime) -> Self {
+        MetricsCollector {
+            window_start,
+            ..Default::default()
+        }
+    }
+
+    fn in_window(&self, now: SimTime) -> bool {
+        now >= self.window_start
+    }
+
+    /// Records a completed request: `arrival` is when it entered the
+    /// system, `now` when its block was delivered.
+    pub fn record_completion(
+        &mut self,
+        arrival: SimTime,
+        now: SimTime,
+        block_bytes: u64,
+    ) {
+        if !self.in_window(now) {
+            return;
+        }
+        let delay = now.duration_since(arrival.max(SimTime::ZERO));
+        self.completed += 1;
+        self.bytes_delivered += block_bytes;
+        self.total_delay += delay;
+        self.max_delay = self.max_delay.max(delay);
+        self.delays.push(delay);
+    }
+
+    /// Records one physical block read ending at `now`.
+    pub fn record_physical_read(&mut self, now: SimTime) {
+        if self.in_window(now) {
+            self.physical_reads += 1;
+        }
+    }
+
+    /// Records a tape switch completing at `now`.
+    pub fn record_tape_switch(&mut self, now: SimTime) {
+        if self.in_window(now) {
+            self.tape_switches += 1;
+        }
+    }
+
+    /// Attributes `dur` of drive time ending at `now` to locating.
+    pub fn add_locate_time(&mut self, now: SimTime, dur: Micros) {
+        if self.in_window(now) {
+            self.time_locating += dur;
+        }
+    }
+
+    /// Attributes `dur` of drive time ending at `now` to reading.
+    pub fn add_read_time(&mut self, now: SimTime, dur: Micros) {
+        if self.in_window(now) {
+            self.time_reading += dur;
+        }
+    }
+
+    /// Attributes `dur` of drive time ending at `now` to rewind/switch.
+    pub fn add_switch_time(&mut self, now: SimTime, dur: Micros) {
+        if self.in_window(now) {
+            self.time_switching += dur;
+        }
+    }
+
+    /// Attributes `dur` of idle waiting ending at `now`.
+    pub fn add_idle_time(&mut self, now: SimTime, dur: Micros) {
+        if self.in_window(now) {
+            self.time_idle += dur;
+        }
+    }
+
+    /// Finalizes into a report over a window of `window` duration.
+    pub fn report(mut self, window: Micros, saturated: bool) -> MetricsReport {
+        let secs = window.as_secs_f64();
+        let completed = self.completed;
+        self.delays.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if self.delays.is_empty() {
+                return 0.0;
+            }
+            let idx = ((self.delays.len() - 1) as f64 * p).round() as usize;
+            self.delays[idx].as_secs_f64()
+        };
+        MetricsReport {
+            window_secs: secs,
+            completed,
+            throughput_kb_per_s: if secs > 0.0 {
+                self.bytes_delivered as f64 / 1024.0 / secs
+            } else {
+                0.0
+            },
+            requests_per_min: if secs > 0.0 {
+                completed as f64 / (secs / 60.0)
+            } else {
+                0.0
+            },
+            mean_delay_s: if completed > 0 {
+                self.total_delay.as_secs_f64() / completed as f64
+            } else {
+                0.0
+            },
+            median_delay_s: pct(0.5),
+            p95_delay_s: pct(0.95),
+            max_delay_s: self.max_delay.as_secs_f64(),
+            physical_reads: self.physical_reads,
+            tape_switches: self.tape_switches,
+            switches_per_hour: if secs > 0.0 {
+                self.tape_switches as f64 / (secs / 3600.0)
+            } else {
+                0.0
+            },
+            locate_frac: frac(self.time_locating, window),
+            read_frac: frac(self.time_reading, window),
+            switch_frac: frac(self.time_switching, window),
+            idle_frac: frac(self.time_idle, window),
+            saturated,
+        }
+    }
+}
+
+fn frac(part: Micros, whole: Micros) -> f64 {
+    if whole.is_zero() {
+        0.0
+    } else {
+        part.as_secs_f64() / whole.as_secs_f64()
+    }
+}
+
+/// Summary statistics of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Length of the measurement window in seconds.
+    pub window_secs: f64,
+    /// Requests completed within the window.
+    pub completed: u64,
+    /// Delivered kilobytes per second (the paper's throughput metric).
+    pub throughput_kb_per_s: f64,
+    /// Completed requests per minute.
+    pub requests_per_min: f64,
+    /// Mean response time in seconds (the paper's delay metric).
+    pub mean_delay_s: f64,
+    /// Median response time in seconds.
+    pub median_delay_s: f64,
+    /// 95th-percentile response time in seconds.
+    pub p95_delay_s: f64,
+    /// Worst response time in seconds.
+    pub max_delay_s: f64,
+    /// Physical block reads (merged duplicate requests read once).
+    pub physical_reads: u64,
+    /// Number of tape switches.
+    pub tape_switches: u64,
+    /// Tape switches per hour.
+    pub switches_per_hour: f64,
+    /// Fraction of the window spent locating.
+    pub locate_frac: f64,
+    /// Fraction of the window spent reading.
+    pub read_frac: f64,
+    /// Fraction of the window spent rewinding/switching.
+    pub switch_frac: f64,
+    /// Fraction of the window spent idle.
+    pub idle_frac: f64,
+    /// True when an open-queuing run was cut short because the pending
+    /// queue exceeded the configured bound (overloaded server).
+    pub saturated: bool,
+}
+
+impl MetricsReport {
+    /// Element-wise mean of several reports (used to average seeds).
+    /// Counters are averaged too (as f64 rounded), so the result reflects
+    /// a typical run.
+    pub fn mean_of(reports: &[MetricsReport]) -> MetricsReport {
+        assert!(!reports.is_empty(), "cannot average zero reports");
+        let n = reports.len() as f64;
+        let avg = |f: fn(&MetricsReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        MetricsReport {
+            window_secs: avg(|r| r.window_secs),
+            completed: (reports.iter().map(|r| r.completed).sum::<u64>() as f64 / n).round()
+                as u64,
+            throughput_kb_per_s: avg(|r| r.throughput_kb_per_s),
+            requests_per_min: avg(|r| r.requests_per_min),
+            mean_delay_s: avg(|r| r.mean_delay_s),
+            median_delay_s: avg(|r| r.median_delay_s),
+            p95_delay_s: avg(|r| r.p95_delay_s),
+            max_delay_s: avg(|r| r.max_delay_s),
+            physical_reads: (reports.iter().map(|r| r.physical_reads).sum::<u64>() as f64 / n)
+                .round() as u64,
+            tape_switches: (reports.iter().map(|r| r.tape_switches).sum::<u64>() as f64 / n)
+                .round() as u64,
+            switches_per_hour: avg(|r| r.switches_per_hour),
+            locate_frac: avg(|r| r.locate_frac),
+            read_frac: avg(|r| r.read_frac),
+            switch_frac: avg(|r| r.switch_frac),
+            idle_frac: avg(|r| r.idle_frac),
+            saturated: reports.iter().any(|r| r.saturated),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_before_window_are_ignored() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(100));
+        m.record_completion(SimTime::ZERO, SimTime::from_secs(50), 1024);
+        m.record_completion(SimTime::from_secs(90), SimTime::from_secs(150), 2048);
+        let r = m.report(Micros::from_secs(100), false);
+        assert_eq!(r.completed, 1);
+        // 2048 bytes over 100 s = 0.02 KB/s.
+        assert!((r.throughput_kb_per_s - 0.02).abs() < 1e-12);
+        // Delay of the counted request: 150 - 90 = 60 s.
+        assert!((r.mean_delay_s - 60.0).abs() < 1e-12);
+        assert!((r.max_delay_s - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_and_rate_math() {
+        let mut m = MetricsCollector::new(SimTime::ZERO);
+        for i in 0..6u64 {
+            m.record_completion(
+                SimTime::from_secs(i * 10),
+                SimTime::from_secs(i * 10 + 5),
+                1 << 20,
+            );
+        }
+        let r = m.report(Micros::from_secs(60), false);
+        assert_eq!(r.completed, 6);
+        assert!((r.requests_per_min - 6.0).abs() < 1e-12);
+        // 6 MB over 60 s = 102.4 KB/s.
+        assert!((r.throughput_kb_per_s - 102.4).abs() < 1e-9);
+        assert!((r.mean_delay_s - 5.0).abs() < 1e-12);
+        assert!((r.median_delay_s - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_from_sorted_delays() {
+        let mut m = MetricsCollector::new(SimTime::ZERO);
+        // Delays 1..=100 seconds.
+        for i in 1..=100u64 {
+            m.record_completion(SimTime::ZERO, SimTime::from_secs(i), 1);
+        }
+        let r = m.report(Micros::from_secs(1000), false);
+        assert!((r.median_delay_s - 51.0).abs() < 1.5);
+        assert!((r.p95_delay_s - 95.0).abs() < 1.5);
+        assert!((r.max_delay_s - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_accounting_fractions() {
+        let mut m = MetricsCollector::new(SimTime::ZERO);
+        let t = SimTime::from_secs(10);
+        m.add_locate_time(t, Micros::from_secs(25));
+        m.add_read_time(t, Micros::from_secs(50));
+        m.add_switch_time(t, Micros::from_secs(15));
+        m.add_idle_time(t, Micros::from_secs(10));
+        let r = m.report(Micros::from_secs(100), false);
+        assert!((r.locate_frac - 0.25).abs() < 1e-12);
+        assert!((r.read_frac - 0.50).abs() < 1e-12);
+        assert!((r.switch_frac - 0.15).abs() < 1e-12);
+        assert!((r.idle_frac - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_averages_reports() {
+        let mut a = MetricsCollector::new(SimTime::ZERO);
+        a.record_completion(SimTime::ZERO, SimTime::from_secs(10), 1024);
+        let ra = a.report(Micros::from_secs(100), false);
+        let mut b = MetricsCollector::new(SimTime::ZERO);
+        b.record_completion(SimTime::ZERO, SimTime::from_secs(30), 1024);
+        b.record_completion(SimTime::ZERO, SimTime::from_secs(30), 1024);
+        let rb = b.report(Micros::from_secs(100), true);
+        let m = MetricsReport::mean_of(&[ra.clone(), rb.clone()]);
+        assert!((m.mean_delay_s - (ra.mean_delay_s + rb.mean_delay_s) / 2.0).abs() < 1e-12);
+        assert_eq!(m.completed, 2); // (1 + 2) / 2 rounds to 2
+        assert!(m.saturated);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reports")]
+    fn mean_of_empty_panics() {
+        let _ = MetricsReport::mean_of(&[]);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let m = MetricsCollector::new(SimTime::ZERO);
+        let r = m.report(Micros::from_secs(10), false);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.throughput_kb_per_s, 0.0);
+        assert_eq!(r.mean_delay_s, 0.0);
+        assert_eq!(r.p95_delay_s, 0.0);
+    }
+}

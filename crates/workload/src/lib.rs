@@ -1,0 +1,25 @@
+//! # tapesim-workload
+//!
+//! Request generation for the tape-jukebox simulator: the hot/cold skew
+//! model (`PH`/`RH`) and the closed- and open-queuing arrival scenarios of
+//! Section 4 of *Scheduling and Data Replication to Improve Tape Jukebox
+//! Performance* (ICDE 1999).
+//!
+//! All randomness flows through a seeded [`rand::rngs::StdRng`], so a
+//! `(configuration, seed)` pair always reproduces the same request stream.
+
+#![warn(missing_docs)]
+
+pub mod clustered;
+pub mod process;
+pub mod request;
+pub mod skew;
+pub mod trace;
+pub mod zipf;
+
+pub use clustered::ClusteredSampler;
+pub use process::{ArrivalProcess, RequestFactory};
+pub use request::{Request, RequestId};
+pub use skew::BlockSampler;
+pub use trace::{generate_trace, generate_zipf_trace};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,52 @@
+//! Read requests and their identifiers.
+
+use std::fmt;
+
+use tapesim_layout::BlockId;
+use tapesim_model::SimTime;
+
+/// Monotonically increasing identifier of a request. Arrival order equals
+/// id order, so the "oldest request" policies can compare ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// A read request for one logical block (Section 2.2: the workload
+/// consists of random logical block reads; writes go to disk-resident
+/// delta files and are outside this study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Identifier; also encodes arrival order.
+    pub id: RequestId,
+    /// The requested logical block.
+    pub block: BlockId,
+    /// When the request entered the system.
+    pub arrival: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_order_is_arrival_order() {
+        assert!(RequestId(3) < RequestId(10));
+        assert_eq!(RequestId(5).to_string(), "req5");
+    }
+
+    #[test]
+    fn request_is_copy_and_comparable() {
+        let r = Request {
+            id: RequestId(1),
+            block: BlockId(9),
+            arrival: SimTime::from_secs(2),
+        };
+        let s = r;
+        assert_eq!(r, s);
+    }
+}

@@ -1,0 +1,52 @@
+//! Request traces: record a block sequence once, replay it under several
+//! configurations.
+//!
+//! Replaying an identical trace is the common-random-numbers variance
+//! reduction: two schedulers compared on the *same* request sequence
+//! differ only by their scheduling decisions, not by sampling noise.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tapesim_layout::BlockId;
+
+use crate::skew::BlockSampler;
+use crate::zipf::ZipfSampler;
+
+/// Generates a trace of `n` block ids from a hot/cold sampler.
+pub fn generate_trace(sampler: &BlockSampler, n: usize, seed: u64) -> Vec<BlockId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sampler.sample(&mut rng)).collect()
+}
+
+/// Generates a trace of `n` block ids from a Zipf sampler.
+pub fn generate_zipf_trace(sampler: &ZipfSampler, n: usize, seed: u64) -> Vec<BlockId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sampler.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let s = BlockSampler::new(100, 10, 40.0);
+        assert_eq!(generate_trace(&s, 50, 1), generate_trace(&s, 50, 1));
+        assert_ne!(generate_trace(&s, 50, 1), generate_trace(&s, 50, 2));
+    }
+
+    #[test]
+    fn zipf_traces_are_deterministic() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert_eq!(generate_zipf_trace(&z, 50, 1), generate_zipf_trace(&z, 50, 1));
+    }
+
+    #[test]
+    fn trace_respects_sampler_range() {
+        let s = BlockSampler::new(30, 3, 50.0);
+        for b in generate_trace(&s, 1000, 9) {
+            assert!(b.0 < 30);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the tapesim example binaries.
+
+use tapesim::prelude::*;
+
+/// Prints a one-line summary of a metrics report.
+pub fn summarize(label: &str, r: &MetricsReport) {
+    println!(
+        "{label:<34} {:>8.1} KB/s  {:>7.1} req/h  delay mean {:>6.0}s  p95 {:>6.0}s  switches {:>5}{}",
+        r.throughput_kb_per_s,
+        r.requests_per_min * 60.0,
+        r.mean_delay_s,
+        r.p95_delay_s,
+        r.tape_switches,
+        if r.saturated { "  [SATURATED]" } else { "" },
+    );
+}

@@ -1,0 +1,230 @@
+//! End-to-end integration tests: full simulations through the public
+//! `tapesim` API, checking determinism and the paper's qualitative
+//! orderings at short horizons.
+
+use tapesim::prelude::*;
+use tapesim::Scale;
+
+fn quick(cfg: ExperimentConfig) -> MetricsReport {
+    run_experiment(&ExperimentConfig {
+        scale: Scale::Quick,
+        ..cfg
+    })
+    .expect("config is feasible")
+    .report
+}
+
+#[test]
+fn experiment_is_deterministic_end_to_end() {
+    let cfg = ExperimentConfig::paper_baseline();
+    let a = quick(cfg.clone());
+    let b = quick(cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn every_algorithm_completes_requests() {
+    for alg in AlgorithmId::all() {
+        let r = quick(ExperimentConfig {
+            algorithm: alg,
+            process: ArrivalProcess::Closed { queue_length: 40 },
+            ..ExperimentConfig::paper_baseline()
+        });
+        assert!(
+            r.completed > 20,
+            "{} completed only {}",
+            alg.name(),
+            r.completed
+        );
+        assert!(r.throughput_kb_per_s > 0.0, "{}", alg.name());
+        assert!(r.mean_delay_s > 0.0, "{}", alg.name());
+    }
+}
+
+#[test]
+fn every_algorithm_works_with_full_replication() {
+    for alg in AlgorithmId::all() {
+        let r = quick(ExperimentConfig {
+            algorithm: alg,
+            process: ArrivalProcess::Closed { queue_length: 40 },
+            ..ExperimentConfig::paper_full_replication()
+        });
+        assert!(
+            r.completed > 20,
+            "{} completed only {}",
+            alg.name(),
+            r.completed
+        );
+    }
+}
+
+#[test]
+fn fifo_is_the_worst_reasonable_algorithm() {
+    let fifo = quick(ExperimentConfig {
+        algorithm: AlgorithmId::Fifo,
+        ..ExperimentConfig::paper_baseline()
+    });
+    for alg in [
+        AlgorithmId::Static(TapeSelectPolicy::MaxRequests),
+        AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+        AlgorithmId::paper_recommended(),
+    ] {
+        let r = quick(ExperimentConfig {
+            algorithm: alg,
+            ..ExperimentConfig::paper_baseline()
+        });
+        assert!(
+            r.throughput_kb_per_s > fifo.throughput_kb_per_s * 1.5,
+            "{} ({:.1}) should dominate FIFO ({:.1})",
+            alg.name(),
+            r.throughput_kb_per_s,
+            fifo.throughput_kb_per_s
+        );
+    }
+}
+
+#[test]
+fn dynamic_beats_static_at_heavy_load() {
+    // Figure 4: at heavy workloads the dynamic algorithms are
+    // significantly better than their static counterparts.
+    let heavy = ArrivalProcess::Closed { queue_length: 140 };
+    let stat = quick(ExperimentConfig {
+        algorithm: AlgorithmId::Static(TapeSelectPolicy::MaxBandwidth),
+        process: heavy,
+        ..ExperimentConfig::paper_baseline()
+    });
+    let dynamic = quick(ExperimentConfig {
+        algorithm: AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+        process: heavy,
+        ..ExperimentConfig::paper_baseline()
+    });
+    assert!(
+        dynamic.throughput_kb_per_s > stat.throughput_kb_per_s,
+        "dynamic {:.1} vs static {:.1}",
+        dynamic.throughput_kb_per_s,
+        stat.throughput_kb_per_s
+    );
+}
+
+#[test]
+fn full_replication_improves_throughput_and_delay() {
+    // Figure 6's headline at moderate skew.
+    let norepl = quick(ExperimentConfig {
+        layout: LayoutKind::Vertical,
+        sp: 1.0,
+        ..ExperimentConfig::paper_baseline()
+    });
+    let repl = quick(ExperimentConfig::paper_full_replication());
+    assert!(
+        repl.throughput_kb_per_s > norepl.throughput_kb_per_s * 1.05,
+        "replication {:.1} vs none {:.1}",
+        repl.throughput_kb_per_s,
+        norepl.throughput_kb_per_s
+    );
+    assert!(repl.mean_delay_s < norepl.mean_delay_s);
+    assert!(repl.tape_switches < norepl.tape_switches);
+}
+
+#[test]
+fn transfer_size_throughput_collapses_below_16mb() {
+    // Figure 3: halving the block from 16 MB to 8 MB costs close to 2x.
+    let at = |mb: u32| {
+        quick(ExperimentConfig {
+            block: BlockSize::from_mb(mb),
+            process: ArrivalProcess::Closed { queue_length: 100 },
+            ..ExperimentConfig::paper_baseline()
+        })
+        .throughput_kb_per_s
+    };
+    let t16 = at(16);
+    let t8 = at(8);
+    let t1 = at(1);
+    assert!(t16 / t8 > 1.5, "16MB {t16:.1} vs 8MB {t8:.1}");
+    assert!(t16 / t1 > 6.0, "16MB {t16:.1} vs 1MB {t1:.1}");
+}
+
+#[test]
+fn hot_at_beginning_beats_end_without_replication() {
+    // Figure 5.
+    let sp0 = quick(ExperimentConfig {
+        sp: 0.0,
+        ..ExperimentConfig::paper_baseline()
+    });
+    let sp1 = quick(ExperimentConfig {
+        sp: 1.0,
+        ..ExperimentConfig::paper_baseline()
+    });
+    assert!(
+        sp0.throughput_kb_per_s > sp1.throughput_kb_per_s,
+        "SP-0 {:.1} vs SP-1 {:.1}",
+        sp0.throughput_kb_per_s,
+        sp1.throughput_kb_per_s
+    );
+}
+
+#[test]
+fn open_queue_throughput_tracks_arrival_rate_when_underloaded() {
+    // In an underloaded open system, throughput equals the offered load,
+    // regardless of the scheduler.
+    let r = quick(ExperimentConfig {
+        ..ExperimentConfig::paper_baseline().with_open(500)
+    });
+    assert!(!r.saturated);
+    // Offered: one 16 MB request per 500 s = 32.8 KB/s.
+    let offered = 16.0 * 1024.0 / 500.0;
+    assert!(
+        (r.throughput_kb_per_s - offered).abs() / offered < 0.25,
+        "throughput {:.1} vs offered {:.1}",
+        r.throughput_kb_per_s,
+        offered
+    );
+}
+
+#[test]
+fn five_tape_jukebox_reproduces_replication_benefit() {
+    // Section 4.8's sensitivity check: a 5-tape jukebox behaves alike.
+    let g = JukeboxGeometry::FIVE_TAPE;
+    let norepl = quick(ExperimentConfig {
+        geometry: g,
+        layout: LayoutKind::Vertical,
+        sp: 1.0,
+        ..ExperimentConfig::paper_baseline()
+    });
+    let repl = quick(ExperimentConfig {
+        geometry: g,
+        layout: LayoutKind::Vertical,
+        replicas: 4,
+        sp: 1.0,
+        ..ExperimentConfig::paper_baseline()
+    });
+    assert!(
+        repl.throughput_kb_per_s > norepl.throughput_kb_per_s,
+        "5-tape replication {:.1} vs none {:.1}",
+        repl.throughput_kb_per_s,
+        norepl.throughput_kb_per_s
+    );
+}
+
+#[test]
+fn faster_drive_improves_absolute_numbers_but_not_rankings() {
+    // Section 2.1: changing the drive model improves performance without
+    // altering the algorithmic conclusions.
+    let mk = |timing: TimingModel, alg: AlgorithmId| {
+        quick(ExperimentConfig {
+            timing,
+            algorithm: alg,
+            ..ExperimentConfig::paper_baseline()
+        })
+    };
+    let dyn_bw = AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth);
+    let slow_fifo = mk(TimingModel::paper_default(), AlgorithmId::Fifo);
+    let slow_dyn = mk(TimingModel::paper_default(), dyn_bw);
+    let fast_fifo = mk(TimingModel::hypothetical_fast(), AlgorithmId::Fifo);
+    let fast_dyn = mk(TimingModel::hypothetical_fast(), dyn_bw);
+    // Absolute numbers improve across the board...
+    assert!(fast_fifo.throughput_kb_per_s > slow_fifo.throughput_kb_per_s);
+    assert!(fast_dyn.throughput_kb_per_s > slow_dyn.throughput_kb_per_s);
+    // ...and the ranking is preserved.
+    assert!(fast_dyn.throughput_kb_per_s > fast_fifo.throughput_kb_per_s);
+    assert!(slow_dyn.throughput_kb_per_s > slow_fifo.throughput_kb_per_s);
+}

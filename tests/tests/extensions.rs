@@ -1,0 +1,161 @@
+//! Integration tests for the beyond-the-paper extensions, driven through
+//! the public `tapesim` API.
+
+use tapesim::prelude::*;
+use tapesim::sim::{run_with_writeback, FlushPolicy, WriteBackConfig};
+use tapesim::workload::{generate_trace, ZipfSampler};
+use tapesim::Scale;
+
+fn quick(cfg: ExperimentConfig) -> MetricsReport {
+    run_experiment(&ExperimentConfig {
+        scale: Scale::Quick,
+        ..cfg
+    })
+    .expect("feasible")
+    .report
+}
+
+#[test]
+fn multi_drive_through_experiment_config() {
+    let one = quick(ExperimentConfig {
+        process: ArrivalProcess::Closed { queue_length: 120 },
+        ..ExperimentConfig::paper_baseline()
+    });
+    let three = quick(ExperimentConfig {
+        drives: 3,
+        process: ArrivalProcess::Closed { queue_length: 120 },
+        ..ExperimentConfig::paper_baseline()
+    });
+    assert!(
+        three.throughput_kb_per_s > 2.0 * one.throughput_kb_per_s,
+        "3 drives {:.1} vs 1 drive {:.1}",
+        three.throughput_kb_per_s,
+        one.throughput_kb_per_s
+    );
+    assert!(three.mean_delay_s < one.mean_delay_s);
+}
+
+#[test]
+fn clustering_through_experiment_config() {
+    let independent = quick(ExperimentConfig::paper_baseline());
+    let clustered = quick(ExperimentConfig {
+        cluster_run_p: 0.95,
+        ..ExperimentConfig::paper_baseline()
+    });
+    // Long sequential runs turn locates into streaming reads.
+    assert!(
+        clustered.throughput_kb_per_s > independent.throughput_kb_per_s,
+        "clustered {:.1} vs independent {:.1}",
+        clustered.throughput_kb_per_s,
+        independent.throughput_kb_per_s
+    );
+}
+
+#[test]
+fn zipf_stream_served_end_to_end() {
+    let placed = ExperimentConfig::paper_baseline()
+        .build_catalog()
+        .expect("feasible");
+    let timing = TimingModel::paper_default();
+    let sampler = ZipfSampler::new(placed.catalog.num_blocks(), 1.0);
+    let mut factory = RequestFactory::new_zipf(
+        sampler,
+        ArrivalProcess::Closed { queue_length: 60 },
+        3,
+    );
+    let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+    let r = run_simulation(
+        &placed.catalog,
+        &timing,
+        sched.as_mut(),
+        &mut factory,
+        &SimConfig::quick(),
+    );
+    assert!(r.completed > 100);
+    assert!(!r.saturated);
+}
+
+#[test]
+fn trace_replay_is_bit_identical() {
+    let placed = ExperimentConfig::paper_baseline()
+        .build_catalog()
+        .expect("feasible");
+    let timing = TimingModel::paper_default();
+    let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+    let trace = generate_trace(&sampler, 5_000, 11);
+    let run = || {
+        let mut factory = RequestFactory::from_trace(
+            trace.clone(),
+            ArrivalProcess::Closed { queue_length: 40 },
+            0,
+        );
+        let mut sched = make_scheduler(AlgorithmId::Dynamic(TapeSelectPolicy::MaxRequests));
+        run_simulation(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &SimConfig::quick(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn writeback_policies_trade_freshness_for_latency() {
+    let placed = ExperimentConfig::paper_baseline()
+        .build_catalog()
+        .expect("feasible");
+    let timing = TimingModel::paper_default();
+    let run = |policy| {
+        let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+        let mut factory = RequestFactory::new(
+            sampler,
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: Micros::from_secs(300),
+            },
+            7,
+        );
+        let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+        run_with_writeback(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &SimConfig::quick(),
+            &WriteBackConfig {
+                write_mean_interarrival: Micros::from_secs(200),
+                flush_batch: 8,
+                piggyback_min: 4,
+                policy,
+            },
+            42,
+        )
+    };
+    let idle = run(FlushPolicy::IdleOnly);
+    let piggy = run(FlushPolicy::Piggyback);
+    assert!(idle.deltas_flushed > 50);
+    assert!(piggy.deltas_flushed > 50);
+    assert!(
+        piggy.mean_delta_age_s < idle.mean_delta_age_s,
+        "piggyback {:.0}s vs idle {:.0}s",
+        piggy.mean_delta_age_s,
+        idle.mean_delta_age_s
+    );
+}
+
+#[test]
+fn experiment_result_reports_confidence_intervals() {
+    let res = run_experiment(&ExperimentConfig::paper_baseline()).expect("feasible");
+    // Default scale runs 3 seeds, so a CI exists and is modest relative
+    // to the mean (the simulator is long-run stable).
+    assert_eq!(res.per_seed.len(), 3);
+    assert!(res.throughput_ci95 > 0.0);
+    assert!(
+        res.throughput_ci95 < 0.1 * res.report.throughput_kb_per_s,
+        "CI {:.2} too wide for mean {:.1}",
+        res.throughput_ci95,
+        res.report.throughput_kb_per_s
+    );
+    assert!(res.delay_ci95 >= 0.0);
+}

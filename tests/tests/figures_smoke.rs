@@ -1,0 +1,187 @@
+//! Smoke tests over every figure driver at quick scale: each must
+//! produce the right number of series/points with sane metrics, for both
+//! queuing models. These are the same code paths the `tapesim-bench`
+//! binaries print, so a green run here means the whole evaluation
+//! regenerates.
+
+use tapesim::prelude::*;
+use tapesim::Scale;
+use tapesim::{SweepSeries};
+
+fn check_series(name: &str, series: &[SweepSeries], expect_series: usize, expect_points: usize) {
+    assert_eq!(series.len(), expect_series, "{name}: series count");
+    for s in series {
+        assert_eq!(
+            s.points.len(),
+            expect_points,
+            "{name}/{}: point count",
+            s.label
+        );
+        for p in &s.points {
+            assert!(
+                p.report.completed > 0,
+                "{name}/{} at {}: no completions",
+                s.label,
+                p.param
+            );
+            assert!(p.report.throughput_kb_per_s > 0.0);
+        }
+    }
+    // Labels are unique.
+    let mut labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), expect_series, "{name}: duplicate labels");
+}
+
+#[test]
+fn fig1_refit_recovers_the_model() {
+    let data = tapesim::fig1_locate_model(2130, 7);
+    assert_eq!(data.samples.len(), 2130);
+    let truth = &data.drive.locate;
+    // Within 10% on every coefficient.
+    let close = |fit: f64, truth: f64| (fit - truth).abs() / truth < 0.10;
+    assert!(close(data.forward.0.intercept, truth.fwd_short.startup_s));
+    assert!(close(data.forward.0.slope, truth.fwd_short.per_mb_s));
+    assert!(close(data.forward.1.intercept, truth.fwd_long.startup_s));
+    assert!(close(data.forward.1.slope, truth.fwd_long.per_mb_s));
+    assert!(close(data.reverse.1.slope, truth.rev_long.per_mb_s));
+    assert!(data.forward.1.r_squared > 0.95);
+}
+
+#[test]
+fn validation_table_magnitudes() {
+    let v = tapesim::model_validation();
+    assert_eq!(v.walks.len(), 10);
+    assert!(v.mean_locate_rel_err < 0.02);
+    assert!(v.mean_read_rel_err < 0.10);
+}
+
+#[test]
+fn fig3_shapes() {
+    let series = tapesim::fig3_transfer_size(Scale::Quick, false);
+    check_series("fig3", &series, 4, 7);
+    // Throughput is monotone in block size for every intensity, and the
+    // 16 MB point is far above the 1 MB point.
+    for s in &series {
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].report.throughput_kb_per_s > w[0].report.throughput_kb_per_s,
+                "fig3/{}: throughput not monotone in block size",
+                s.label
+            );
+        }
+        let t1 = s.points[0].report.throughput_kb_per_s;
+        let t16 = s.points[4].report.throughput_kb_per_s;
+        assert!(t16 > 5.0 * t1, "fig3/{}: 16MB {t16} vs 1MB {t1}", s.label);
+    }
+}
+
+#[test]
+fn fig4_shapes() {
+    let series = tapesim::fig4_sched_algorithms(Scale::Quick, false);
+    check_series("fig4", &series, 11, 4);
+    // FIFO throughput is flat in queue length (vertical line).
+    let fifo = series.iter().find(|s| s.label == "fifo").unwrap();
+    let t0 = fifo.points.first().unwrap().report.throughput_kb_per_s;
+    let tn = fifo.points.last().unwrap().report.throughput_kb_per_s;
+    assert!((tn - t0).abs() / t0 < 0.02, "fifo not flat: {t0} vs {tn}");
+    // ...while its delay keeps growing.
+    assert!(
+        fifo.points.last().unwrap().report.mean_delay_s
+            > 3.0 * fifo.points.first().unwrap().report.mean_delay_s
+    );
+}
+
+#[test]
+fn fig5_and_fig7_shapes() {
+    let f5 = tapesim::fig5_placement(Scale::Quick, false);
+    check_series("fig5", &f5, 6, 4);
+    assert!(f5.iter().any(|s| s.label == "vertical"));
+
+    let f7 = tapesim::fig7_replica_placement(Scale::Quick, false);
+    check_series("fig7", &f7, 5, 4);
+}
+
+#[test]
+fn fig6_replication_is_monotone() {
+    let series = tapesim::fig6_replicas(Scale::Quick, false);
+    check_series("fig6", &series, 3, 4);
+    // At every intensity, NR-9 beats NR-0 on throughput and switches.
+    let nr0 = &series[0];
+    let nr9 = series.last().unwrap();
+    for (a, b) in nr0.points.iter().zip(&nr9.points) {
+        assert!(b.report.throughput_kb_per_s > a.report.throughput_kb_per_s);
+        assert!(b.report.tape_switches < a.report.tape_switches);
+    }
+}
+
+#[test]
+fn fig8_envelope_beats_dynamic() {
+    let series = tapesim::fig8_sched_replication(Scale::Quick, false);
+    check_series("fig8", &series, 9, 4);
+    let get = |n: &str| {
+        series
+            .iter()
+            .find(|s| s.label == n)
+            .unwrap_or_else(|| panic!("missing {n}"))
+    };
+    // At moderate load (queue 60 = index 1).
+    let env = &get("envelope max-bandwidth").points[1].report;
+    let dynamic = &get("dynamic max-bandwidth").points[1].report;
+    assert!(
+        env.throughput_kb_per_s > dynamic.throughput_kb_per_s,
+        "envelope {:.1} <= dynamic {:.1}",
+        env.throughput_kb_per_s,
+        dynamic.throughput_kb_per_s
+    );
+}
+
+#[test]
+fn fig9_skew_helps() {
+    let series = tapesim::fig9_skew(Scale::Quick, false);
+    check_series("fig9", &series, 8, 4);
+    // Non-replicated: RH-80 beats RH-20 at every intensity.
+    let lo = series.iter().find(|s| s.label == "RH-20 no-repl").unwrap();
+    let hi = series.iter().find(|s| s.label == "RH-80 no-repl").unwrap();
+    for (a, b) in lo.points.iter().zip(&hi.points) {
+        assert!(b.report.throughput_kb_per_s > a.report.throughput_kb_per_s);
+    }
+}
+
+#[test]
+fn fig10_cost_performance_shapes() {
+    let rows = tapesim::fig10a_expansion();
+    assert_eq!(rows.len(), 4);
+    let curves = tapesim::fig10b_cost_performance(Scale::Quick, 60);
+    assert_eq!(curves.len(), 4);
+    for c in &curves {
+        assert_eq!(c.points.first().unwrap().nr, 0);
+        assert!((c.points.first().unwrap().ratio - 1.0).abs() < 1e-9);
+        // Queue scales down with expansion.
+        let last = c.points.last().unwrap();
+        assert!(last.queue < 60);
+        assert!(last.ratio > 0.5 && last.ratio < 2.0);
+    }
+    // Very high skew benefits more from replication than moderate skew.
+    let moderate = curves[0].points.last().unwrap().ratio;
+    let very_high = curves[3].points.last().unwrap().ratio;
+    assert!(
+        very_high > moderate,
+        "cost-performance: RH-95 {very_high:.3} vs RH-40 {moderate:.3}"
+    );
+}
+
+#[test]
+fn open_variants_run() {
+    // One open-queuing sweep per family of figures; underloaded points
+    // must not saturate.
+    let f4 = tapesim::fig4_sched_algorithms(Scale::Quick, true);
+    check_series("fig4-open", &f4, 11, 4);
+    let lightest = &f4
+        .iter()
+        .find(|s| s.label == "dynamic max-bandwidth")
+        .unwrap()
+        .points[0];
+    assert!(!lightest.report.saturated);
+}

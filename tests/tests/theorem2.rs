@@ -1,0 +1,159 @@
+//! Empirical check of Theorem 2's harmonic bound: the cost the greedy
+//! envelope extension adds over the post-absorption schedule `S1` is
+//! within `Hn * opt - n(Hn-1)(Cs+Cr) + n*Cd` of the brute-force optimal
+//! extension, on randomized small instances.
+
+use proptest::prelude::*;
+
+use tapesim::layout::{BlockId, Catalog};
+use tapesim::model::{
+    BlockSize, JukeboxGeometry, PhysicalAddr, SimTime, SlotIndex, TapeId, TimingModel,
+};
+use tapesim::prelude::*;
+use tapesim::sched::envelope::{compute_upper_envelope, envelope_after_absorb};
+use tapesim::sched::optimal::{brute_force_optimal_extension, extension_cost, theorem2_bound_secs};
+use tapesim::sched::JukeboxView;
+use tapesim::workload::RequestId;
+
+/// Builds a random catalog of `blocks` blocks on 3 tapes x 500 slots
+/// (1 MB blocks), each block with 1..=3 copies at random slots.
+fn random_catalog(
+    placements: &[(u16, u32)],
+    copies_per_block: &[usize],
+) -> Option<(Catalog, Vec<BlockId>)> {
+    let g = JukeboxGeometry::new(3, 500);
+    let blocks = copies_per_block.len() as u32;
+    let mut builder = Catalog::builder(g, BlockSize::from_mb(1), blocks, 0);
+    let mut it = placements.iter();
+    let mut ids = Vec::new();
+    for (b, &copies) in copies_per_block.iter().enumerate() {
+        let id = BlockId(b as u32);
+        ids.push(id);
+        let mut placed_tapes = Vec::new();
+        let mut placed = 0;
+        while placed < copies {
+            let &(t, s) = it.next()?;
+            let tape = TapeId(t % 3);
+            if placed_tapes.contains(&tape) {
+                continue;
+            }
+            let addr = PhysicalAddr {
+                tape,
+                slot: SlotIndex(s % 500),
+            };
+            if builder.place(id, addr).is_ok() {
+                placed_tapes.push(tape);
+                placed += 1;
+            }
+        }
+    }
+    builder.build().ok().map(|c| (c, ids))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn greedy_extension_within_harmonic_bound(
+        placements in proptest::collection::vec((0u16..3, 0u32..500), 40),
+        copies in proptest::collection::vec(1usize..=3, 2..=6),
+        mounted in proptest::option::of(0u16..3),
+    ) {
+        let Some((catalog, ids)) = random_catalog(&placements, &copies) else {
+            return Ok(());
+        };
+        let timing = TimingModel::paper_default();
+        let view = JukeboxView {
+            catalog: &catalog,
+            timing: &timing,
+            mounted: mounted.map(TapeId),
+            head: SlotIndex(0),
+            now: SimTime::ZERO,
+            unavailable: &[],
+        };
+        // One request per block.
+        let pending: Vec<Request> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Request {
+                id: RequestId(i as u64),
+                block: b,
+                arrival: SimTime::ZERO,
+            })
+            .collect();
+
+        // S1: the envelope and assignment after steps 1-2.
+        let (env1, base_assignment) = envelope_after_absorb(&view, &pending);
+        let n = base_assignment.iter().filter(|a| a.is_none()).count();
+        if n == 0 {
+            return Ok(()); // nothing to extend; bound is trivial
+        }
+
+        // Greedy: the full envelope computation, costed as an extension
+        // of S1 under the same accounting.
+        let upper = compute_upper_envelope(&view, &pending);
+        let greedy = extension_cost(&view, &env1, &pending, &upper.assigned);
+
+        // Oracle: exhaustive minimum over replica choices.
+        let (opt, _) = brute_force_optimal_extension(&view, &env1, &pending, &base_assignment);
+
+        let bound = theorem2_bound_secs(&view, n, opt.as_secs_f64());
+        prop_assert!(
+            greedy.as_secs_f64() <= bound + 1e-6,
+            "greedy {:.3}s exceeds bound {:.3}s (opt {:.3}s, n={n})",
+            greedy.as_secs_f64(),
+            bound,
+            opt.as_secs_f64()
+        );
+        // And of course the greedy can never beat the true optimum.
+        prop_assert!(greedy >= opt);
+    }
+}
+
+#[test]
+fn bound_is_tight_for_single_request() {
+    // With n = 1, H1 = 1 and the bound reduces to opt + Cd; the greedy
+    // extension must equal the optimum (it picks the max-bandwidth =
+    // min-cost single extension).
+    let g = JukeboxGeometry::new(3, 500);
+    let mut b = Catalog::builder(g, BlockSize::from_mb(1), 2, 0);
+    let place = |b: &mut tapesim::layout::CatalogBuilder, blk: u32, t: u16, s: u32| {
+        b.place(
+            BlockId(blk),
+            PhysicalAddr {
+                tape: TapeId(t),
+                slot: SlotIndex(s),
+            },
+        )
+        .unwrap();
+    };
+    place(&mut b, 0, 0, 100); // non-replicated anchor on tape 0
+    place(&mut b, 1, 0, 120); // replicated block: near the anchor...
+    place(&mut b, 1, 1, 5); // ...or on a fresh tape near BOT
+    let catalog = b.build().unwrap();
+    let timing = TimingModel::paper_default();
+    let view = JukeboxView {
+        catalog: &catalog,
+        timing: &timing,
+        mounted: Some(TapeId(0)),
+        head: SlotIndex(0),
+        now: SimTime::ZERO,
+        unavailable: &[],
+    };
+    let pending: Vec<Request> = (0..2)
+        .map(|i| Request {
+            id: RequestId(i),
+            block: BlockId(i as u32),
+            arrival: SimTime::ZERO,
+        })
+        .collect();
+    let (env1, base) = envelope_after_absorb(&view, &pending);
+    assert_eq!(env1, vec![101, 0, 0]);
+    assert_eq!(base[1], None, "replicated block is unscheduled in S1");
+    let upper = compute_upper_envelope(&view, &pending);
+    let greedy = extension_cost(&view, &env1, &pending, &upper.assigned);
+    let (opt, assign) = brute_force_optimal_extension(&view, &env1, &pending, &base);
+    assert_eq!(greedy, opt, "single-request greedy must be optimal");
+    // Extending tape 0 from 101 to 120 beats switching to tape 1.
+    assert_eq!(assign[1], TapeId(0));
+}
