@@ -56,7 +56,11 @@ pub fn least_squares(points: &[(f64, f64)]) -> LineFit {
 /// Splits points at `x = threshold` and fits each side separately — the
 /// shape of the paper's short/long-distance locate regimes.
 pub fn piecewise_fit(points: &[(f64, f64)], threshold: f64) -> (LineFit, LineFit) {
-    let short: Vec<(f64, f64)> = points.iter().copied().filter(|p| p.0 <= threshold).collect();
+    let short: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|p| p.0 <= threshold)
+        .collect();
     let long: Vec<(f64, f64)> = points.iter().copied().filter(|p| p.0 > threshold).collect();
     (least_squares(&short), least_squares(&long))
 }
@@ -67,7 +71,9 @@ mod tests {
 
     #[test]
     fn exact_line_is_recovered() {
-        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 4.834 + 0.378 * i as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, 4.834 + 0.378 * i as f64))
+            .collect();
         let fit = least_squares(&pts);
         assert!((fit.intercept - 4.834).abs() < 1e-9);
         assert!((fit.slope - 0.378).abs() < 1e-9);
@@ -86,7 +92,11 @@ mod tests {
             })
             .collect();
         let fit = least_squares(&pts);
-        assert!((fit.intercept - 14.342).abs() < 0.2, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 14.342).abs() < 0.2,
+            "intercept {}",
+            fit.intercept
+        );
         assert!((fit.slope - 0.028).abs() < 0.001, "slope {}", fit.slope);
         assert!(fit.r_squared > 0.9);
     }

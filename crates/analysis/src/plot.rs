@@ -42,7 +42,10 @@ pub fn ascii_plot(
     height: usize,
 ) -> String {
     assert!(width >= 10 && height >= 5, "plot too small");
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     if pts.is_empty() {

@@ -9,10 +9,16 @@ fn bench_locate(c: &mut Criterion) {
     let t = TimingModel::paper_default();
     let b = BlockSize::PAPER_DEFAULT;
     c.bench_function("drive/locate_short_fwd", |bench| {
-        bench.iter(|| t.drive.locate(black_box(SlotIndex(10)), black_box(SlotIndex(11)), b))
+        bench.iter(|| {
+            t.drive
+                .locate(black_box(SlotIndex(10)), black_box(SlotIndex(11)), b)
+        })
     });
     c.bench_function("drive/locate_long_rev_to_bot", |bench| {
-        bench.iter(|| t.drive.locate(black_box(SlotIndex(440)), black_box(SlotIndex(0)), b))
+        bench.iter(|| {
+            t.drive
+                .locate(black_box(SlotIndex(440)), black_box(SlotIndex(0)), b)
+        })
     });
 }
 

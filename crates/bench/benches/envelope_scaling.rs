@@ -2,8 +2,8 @@
 //! requests — the O(n^2 t^2) bound of Section 3.3 in practice.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tapesim::prelude::*;
 use tapesim::model::SimTime;
+use tapesim::prelude::*;
 use tapesim::sched::compute_upper_envelope;
 
 fn bench_envelope(c: &mut Criterion) {
@@ -33,6 +33,7 @@ fn bench_envelope(c: &mut Criterion) {
                 head: SlotIndex(0),
                 now: SimTime::ZERO,
                 unavailable: &[],
+                offline: &[],
             };
             b.iter(|| compute_upper_envelope(&view, snap))
         });

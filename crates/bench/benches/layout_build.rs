@@ -8,7 +8,13 @@ use tapesim::prelude::*;
 fn bench_placements(c: &mut Criterion) {
     let g = JukeboxGeometry::PAPER_DEFAULT;
     c.bench_function("layout/horizontal_norepl_16mb", |b| {
-        b.iter(|| build_placement(g, BlockSize::PAPER_DEFAULT, PlacementConfig::paper_baseline()))
+        b.iter(|| {
+            build_placement(
+                g,
+                BlockSize::PAPER_DEFAULT,
+                PlacementConfig::paper_baseline(),
+            )
+        })
     });
     c.bench_function("layout/vertical_full_repl_16mb", |b| {
         b.iter(|| {

@@ -3,17 +3,13 @@
 //! case: every hot request has ten candidate tapes).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tapesim::model::SimTime;
 use tapesim::prelude::*;
 use tapesim::sched::PendingList;
-use tapesim::model::SimTime;
 
 fn pending(catalog: &Catalog, n: u32, seed: u64) -> PendingList {
     let sampler = BlockSampler::from_catalog(catalog, 40.0);
-    let mut f = RequestFactory::new(
-        sampler,
-        ArrivalProcess::Closed { queue_length: n },
-        seed,
-    );
+    let mut f = RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: n }, seed);
     (0..n).map(|_| f.make(SimTime::ZERO)).collect()
 }
 
@@ -46,6 +42,7 @@ fn bench_major(c: &mut Criterion) {
                             head: SlotIndex(0),
                             now: SimTime::ZERO,
                             unavailable: &[],
+                            offline: &[],
                         };
                         s.major_reschedule(&view, &mut p)
                     },

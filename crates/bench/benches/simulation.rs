@@ -7,11 +7,7 @@ use tapesim::prelude::*;
 fn short_sim(catalog: &Catalog, alg: AlgorithmId) -> MetricsReport {
     let timing = TimingModel::paper_default();
     let sampler = BlockSampler::from_catalog(catalog, 40.0);
-    let mut factory = RequestFactory::new(
-        sampler,
-        ArrivalProcess::Closed { queue_length: 60 },
-        3,
-    );
+    let mut factory = RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 60 }, 3);
     let mut sched = make_scheduler(alg);
     let cfg = SimConfig {
         duration: Micros::from_secs(50_000),
@@ -19,13 +15,18 @@ fn short_sim(catalog: &Catalog, alg: AlgorithmId) -> MetricsReport {
         max_pending: 5_000,
     };
     run_simulation(catalog, &timing, sched.as_mut(), &mut factory, &cfg)
+        .expect("bench config is valid")
 }
 
 fn bench_sim(c: &mut Criterion) {
     let g = JukeboxGeometry::PAPER_DEFAULT;
-    let norepl = build_placement(g, BlockSize::PAPER_DEFAULT, PlacementConfig::paper_baseline())
-        .unwrap()
-        .catalog;
+    let norepl = build_placement(
+        g,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig::paper_baseline(),
+    )
+    .unwrap()
+    .catalog;
     let repl = build_placement(
         g,
         BlockSize::PAPER_DEFAULT,
@@ -37,7 +38,12 @@ fn bench_sim(c: &mut Criterion) {
         b.iter(|| short_sim(&norepl, AlgorithmId::Fifo))
     });
     c.bench_function("sim/50ks_dynamic_maxbw_norepl", |b| {
-        b.iter(|| short_sim(&norepl, AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth)))
+        b.iter(|| {
+            short_sim(
+                &norepl,
+                AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+            )
+        })
     });
     c.bench_function("sim/50ks_envelope_maxbw_fullrepl", |b| {
         b.iter(|| short_sim(&repl, AlgorithmId::paper_recommended()))

@@ -7,9 +7,7 @@ use tapesim_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let mut t = Table::new([
-        "drive", "config", "KB/s", "delay s", "switches",
-    ]);
+    let mut t = Table::new(["drive", "config", "KB/s", "delay s", "switches"]);
     let mut summary = Vec::new();
     for (drive_name, timing) in [
         ("EXB-8505XL (paper)", TimingModel::paper_default()),
@@ -17,22 +15,31 @@ fn main() {
     ] {
         let mut row = Vec::new();
         for (label, cfg) in [
-            ("fifo no-repl", ExperimentConfig {
-                algorithm: AlgorithmId::Fifo,
-                timing: timing.clone(),
-                scale: opts.scale,
-                ..ExperimentConfig::paper_baseline()
-            }),
-            ("dyn max-bw no-repl", ExperimentConfig {
-                timing: timing.clone(),
-                scale: opts.scale,
-                ..ExperimentConfig::paper_baseline()
-            }),
-            ("envelope full-repl", ExperimentConfig {
-                timing: timing.clone(),
-                scale: opts.scale,
-                ..ExperimentConfig::paper_full_replication()
-            }),
+            (
+                "fifo no-repl",
+                ExperimentConfig {
+                    algorithm: AlgorithmId::Fifo,
+                    timing: timing.clone(),
+                    scale: opts.scale,
+                    ..ExperimentConfig::paper_baseline()
+                },
+            ),
+            (
+                "dyn max-bw no-repl",
+                ExperimentConfig {
+                    timing: timing.clone(),
+                    scale: opts.scale,
+                    ..ExperimentConfig::paper_baseline()
+                },
+            ),
+            (
+                "envelope full-repl",
+                ExperimentConfig {
+                    timing: timing.clone(),
+                    scale: opts.scale,
+                    ..ExperimentConfig::paper_full_replication()
+                },
+            ),
         ] {
             let r = run_experiment(&cfg).expect("feasible").report;
             t.push([

@@ -40,7 +40,13 @@ fn main() {
 
     println!("--- Figure 7 ---");
     let s7 = tapesim::fig7_replica_placement(opts.scale, opts.open);
-    emit_figure(&opts, "fig7_replica_placement", "Figure 7", "intensity", &s7);
+    emit_figure(
+        &opts,
+        "fig7_replica_placement",
+        "Figure 7",
+        "intensity",
+        &s7,
+    );
 
     println!("--- Figure 8 ---");
     let s8 = tapesim::fig8_sched_replication(opts.scale, opts.open);

@@ -18,9 +18,16 @@ fn main() {
         match a.as_str() {
             "--alg" => {
                 let v = val();
-                cfg.algorithm = AlgorithmId::parse(&v)
-                    .unwrap_or_else(|| die(&format!("unknown algorithm '{v}'; one of: {}",
-                        AlgorithmId::all().iter().map(|a| a.name()).collect::<Vec<_>>().join(", "))));
+                cfg.algorithm = AlgorithmId::parse(&v).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown algorithm '{v}'; one of: {}",
+                        AlgorithmId::all()
+                            .iter()
+                            .map(|a| a.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                });
             }
             "--ph" => cfg.ph_percent = parse(&val(), "--ph"),
             "--rh" => cfg.rh_percent = parse(&val(), "--rh"),
@@ -28,11 +35,14 @@ fn main() {
             "--sp" => cfg.sp = parse(&val(), "--sp"),
             "--block-mb" => cfg.block = BlockSize::from_mb(parse(&val(), "--block-mb")),
             "--tapes" => {
-                cfg.geometry = JukeboxGeometry::new(parse(&val(), "--tapes"), cfg.geometry.tape_capacity_mb)
+                cfg.geometry =
+                    JukeboxGeometry::new(parse(&val(), "--tapes"), cfg.geometry.tape_capacity_mb)
             }
             "--tape-gb" => {
-                cfg.geometry =
-                    JukeboxGeometry::new(cfg.geometry.tapes, parse::<u64>(&val(), "--tape-gb") * 1024)
+                cfg.geometry = JukeboxGeometry::new(
+                    cfg.geometry.tapes,
+                    parse::<u64>(&val(), "--tape-gb") * 1024,
+                )
             }
             "--layout" => {
                 cfg.layout = match val().as_str() {
@@ -41,7 +51,11 @@ fn main() {
                     other => die(&format!("unknown layout '{other}'")),
                 }
             }
-            "--queue" => cfg.process = ArrivalProcess::Closed { queue_length: parse(&val(), "--queue") },
+            "--queue" => {
+                cfg.process = ArrivalProcess::Closed {
+                    queue_length: parse(&val(), "--queue"),
+                }
+            }
             "--interarrival" => {
                 cfg.process = ArrivalProcess::OpenPoisson {
                     mean_interarrival: Micros::from_secs(parse(&val(), "--interarrival")),
@@ -49,7 +63,8 @@ fn main() {
             }
             "--scale" => {
                 let v = val();
-                cfg.scale = Scale::parse(&v).unwrap_or_else(|| die(&format!("unknown scale '{v}'")));
+                cfg.scale =
+                    Scale::parse(&v).unwrap_or_else(|| die(&format!("unknown scale '{v}'")));
             }
             "--fast-drive" => cfg.timing = TimingModel::hypothetical_fast(),
             "--help" | "-h" => {
@@ -83,16 +98,29 @@ fn main() {
                 "throughput      {:.1} +- {:.1} KB/s ({:.2} requests/min)",
                 r.throughput_kb_per_s, res.throughput_ci95, r.requests_per_min
             );
-            println!("delay           mean {:.0}s, median {:.0}s, p95 {:.0}s, max {:.0}s",
-                r.mean_delay_s, r.median_delay_s, r.p95_delay_s, r.max_delay_s);
-            println!("tape switches   {} ({:.1}/hour)", r.tape_switches, r.switches_per_hour);
-            println!("drive time      {:.0}% locate, {:.0}% read, {:.0}% switch, {:.0}% idle",
-                r.locate_frac * 100.0, r.read_frac * 100.0, r.switch_frac * 100.0, r.idle_frac * 100.0);
+            println!(
+                "delay           mean {:.0}s, median {:.0}s, p95 {:.0}s, max {:.0}s",
+                r.mean_delay_s, r.median_delay_s, r.p95_delay_s, r.max_delay_s
+            );
+            println!(
+                "tape switches   {} ({:.1}/hour)",
+                r.tape_switches, r.switches_per_hour
+            );
+            println!(
+                "drive time      {:.0}% locate, {:.0}% read, {:.0}% switch, {:.0}% idle",
+                r.locate_frac * 100.0,
+                r.read_frac * 100.0,
+                r.switch_frac * 100.0,
+                r.idle_frac * 100.0
+            );
             if r.saturated {
                 println!("WARNING: the run saturated (arrivals exceed service capacity)");
             }
             for (i, s) in res.per_seed.iter().enumerate() {
-                println!("  seed {i}: {:.1} KB/s, {:.0}s mean delay", s.throughput_kb_per_s, s.mean_delay_s);
+                println!(
+                    "  seed {i}: {:.1} KB/s, {:.0}s mean delay",
+                    s.throughput_kb_per_s, s.mean_delay_s
+                );
             }
         }
         Err(e) => die(&format!("infeasible configuration: {e}")),
@@ -100,7 +128,8 @@ fn main() {
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| die(&format!("bad value '{s}' for {flag}")))
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value '{s}' for {flag}")))
 }
 
 fn die(msg: &str) -> ! {

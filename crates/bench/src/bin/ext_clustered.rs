@@ -42,13 +42,10 @@ fn main() {
                     seed,
                 );
                 let mut sched = make_scheduler(alg);
-                reports.push(run_simulation(
-                    &placed.catalog,
-                    &timing,
-                    sched.as_mut(),
-                    &mut factory,
-                    &sim,
-                ));
+                reports.push(
+                    run_simulation(&placed.catalog, &timing, sched.as_mut(), &mut factory, &sim)
+                        .expect("clustered config is valid"),
+                );
             }
             let r = MetricsReport::mean_of(&reports);
             t.push([

@@ -11,22 +11,21 @@ fn main() {
     let timing = TimingModel::paper_default();
     let sim = opts.scale.sim_config();
 
-    let mut t = Table::new([
-        "layout", "drives", "KB/s", "speedup", "delay s", "switches",
-    ]);
+    let mut t = Table::new(["layout", "drives", "KB/s", "speedup", "delay s", "switches"]);
     println!("Multi-drive extension: closed queue 120, PH-10 RH-40, envelope max-bandwidth\n");
     for (label, cfg) in [
-        (
-            "no replication",
-            PlacementConfig::paper_baseline(),
-        ),
+        ("no replication", PlacementConfig::paper_baseline()),
         (
             "full replication",
             PlacementConfig::paper_full_replication(JukeboxGeometry::PAPER_DEFAULT),
         ),
     ] {
-        let placed = build_placement(JukeboxGeometry::PAPER_DEFAULT, BlockSize::PAPER_DEFAULT, cfg)
-            .expect("feasible");
+        let placed = build_placement(
+            JukeboxGeometry::PAPER_DEFAULT,
+            BlockSize::PAPER_DEFAULT,
+            cfg,
+        )
+        .expect("feasible");
         let mut base = None;
         for drives in [1u16, 2, 3, 4] {
             let mut reports = Vec::new();
@@ -38,14 +37,17 @@ fn main() {
                     seed,
                 );
                 let mut sched = make_scheduler(AlgorithmId::paper_recommended());
-                reports.push(run_multi_drive(
-                    &placed.catalog,
-                    &timing,
-                    sched.as_mut(),
-                    &mut factory,
-                    &sim,
-                    drives,
-                ));
+                reports.push(
+                    run_multi_drive(
+                        &placed.catalog,
+                        &timing,
+                        sched.as_mut(),
+                        &mut factory,
+                        &sim,
+                        drives,
+                    )
+                    .expect("multi-drive config is valid"),
+                );
             }
             let r = MetricsReport::mean_of(&reports);
             let b = *base.get_or_insert(r.throughput_kb_per_s);

@@ -12,9 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tapesim::model::{
-    logical_sweep_order, nearest_neighbor_order, SerpentineModel, SlotIndex,
-};
+use tapesim::model::{logical_sweep_order, nearest_neighbor_order, SerpentineModel, SlotIndex};
 use tapesim::prelude::*;
 use tapesim_bench::{write_csv, HarnessOpts};
 
@@ -29,7 +27,11 @@ fn main() {
     );
 
     let mut t = Table::new([
-        "batch", "fifo s", "logical sweep s", "nearest-neighbor s", "NN vs sweep",
+        "batch",
+        "fifo s",
+        "logical sweep s",
+        "nearest-neighbor s",
+        "NN vs sweep",
     ]);
     let mut rng = StdRng::seed_from_u64(0x5E2F);
     for batch in [5usize, 10, 20, 50, 100, 200] {

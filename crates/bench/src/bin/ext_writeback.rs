@@ -20,9 +20,17 @@ fn main() {
     )
     .expect("feasible");
 
-    println!("Write-back extension: open reads (1 per 300 s), PH-10 RH-40, envelope max-bandwidth\n");
+    println!(
+        "Write-back extension: open reads (1 per 300 s), PH-10 RH-40, envelope max-bandwidth\n"
+    );
     let mut t = Table::new([
-        "write gap s", "policy", "read delay s", "deltas flushed", "delta age s", "piggy", "idle",
+        "write gap s",
+        "policy",
+        "read delay s",
+        "deltas flushed",
+        "delta age s",
+        "piggy",
+        "idle",
     ]);
     for write_gap in [1_000_000u64, 600, 300, 150] {
         for policy in [FlushPolicy::IdleOnly, FlushPolicy::Piggyback] {
@@ -48,7 +56,8 @@ fn main() {
                     policy,
                 },
                 1234,
-            );
+            )
+            .expect("write-back config is valid");
             t.push([
                 if write_gap >= 1_000_000 {
                     "(none)".to_string()

@@ -32,6 +32,7 @@ fn run_zipf(
             );
             let mut sched = make_scheduler(alg);
             run_simulation(&placed.catalog, &timing, sched.as_mut(), &mut factory, sim)
+                .expect("zipf config is valid")
         })
         .collect();
     MetricsReport::mean_of(&reports)
@@ -57,7 +58,12 @@ fn main() {
 
     println!("Zipf-skew extension: closed queue 60; exponent fitted to the paper's (PH-10, RH)\n");
     let mut t = Table::new([
-        "RH-equiv", "theta", "fifo KB/s", "dyn max-bw KB/s", "repl+envelope KB/s", "repl gain",
+        "RH-equiv",
+        "theta",
+        "fifo KB/s",
+        "dyn max-bw KB/s",
+        "repl+envelope KB/s",
+        "repl gain",
     ]);
     for rh in [40.0, 60.0, 80.0] {
         // Exponent whose top-10% mass matches RH; fitted on the

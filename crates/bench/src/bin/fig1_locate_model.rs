@@ -13,7 +13,15 @@ fn main() {
     let data = tapesim::fig1_locate_model(2130, 0x51);
 
     println!("Figure 1: locate time vs distance (Exabyte EXB-8505XL model)\n");
-    let mut t = Table::new(["regime", "fit startup (s)", "true", "fit s/MB", "true", "R^2", "n"]);
+    let mut t = Table::new([
+        "regime",
+        "fit startup (s)",
+        "true",
+        "fit s/MB",
+        "true",
+        "R^2",
+        "n",
+    ]);
     let truth = &data.drive.locate;
     let rows = [
         ("forward short", data.forward.0, truth.fwd_short),
@@ -59,7 +67,13 @@ fn main() {
         )
     );
 
-    let mut csv = Table::new(["direction", "distance_mb", "to_bot", "predicted_s", "measured_s"]);
+    let mut csv = Table::new([
+        "direction",
+        "distance_mb",
+        "to_bot",
+        "predicted_s",
+        "measured_s",
+    ]);
     for s in &data.samples {
         csv.push([
             format!("{:?}", s.direction),

@@ -48,7 +48,10 @@ fn main() {
                 .map(|p| p.report.throughput_kb_per_s)
         };
         if let (Some(t8), Some(t16)) = (at(8.0), at(16.0)) {
-            println!("16 MB vs 8 MB throughput ratio at highest intensity: {:.2}x (paper: ~2x)", t16 / t8);
+            println!(
+                "16 MB vs 8 MB throughput ratio at highest intensity: {:.2}x (paper: ~2x)",
+                t16 / t8
+            );
         }
     }
 }

@@ -15,7 +15,10 @@ fn main() {
     );
     // Envelope max-bandwidth vs dynamic max-bandwidth headline.
     let find = |name: &str| series.iter().find(|s| s.label == name);
-    if let (Some(d), Some(e)) = (find("dynamic max-bandwidth"), find("envelope max-bandwidth")) {
+    if let (Some(d), Some(e)) = (
+        find("dynamic max-bandwidth"),
+        find("envelope max-bandwidth"),
+    ) {
         if let (Some(dp), Some(ep)) = (d.points.last(), e.points.last()) {
             println!(
                 "envelope vs dynamic max-bandwidth at highest intensity: {:+.1}% throughput, {:+.1}% delay (paper: +6% / -5%)",

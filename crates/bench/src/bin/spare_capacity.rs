@@ -41,8 +41,9 @@ fn main() {
                 cluster_run_p: 0.0,
                 drives: 1,
                 config: sim,
+                faults: tapesim::model::FaultConfig::NONE,
             };
-            let (r, _) = tapesim::sim::run_seeds(&spec, &seeds);
+            let (r, _) = tapesim::sim::run_seeds(&spec, &seeds).expect("spare config is valid");
             t.push([
                 format!("{:.0}", fill * 100.0),
                 name.to_string(),

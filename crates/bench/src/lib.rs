@@ -47,7 +47,11 @@ impl HarnessOpts {
                 "--open" => opts.open = true,
                 "--out" => {
                     let v = args.next().unwrap_or_default();
-                    opts.out_dir = if v == "-" { None } else { Some(PathBuf::from(v)) };
+                    opts.out_dir = if v == "-" {
+                        None
+                    } else {
+                        Some(PathBuf::from(v))
+                    };
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),

@@ -3,10 +3,43 @@
 //! algorithm, placement, replication) plus simulation scale.
 
 use tapesim_layout::{build_placement, LayoutKind, PlacedCatalog, PlacementConfig, PlacementError};
-use tapesim_model::{BlockSize, JukeboxGeometry, Micros, TimingModel};
+use tapesim_model::{BlockSize, FaultConfig, JukeboxGeometry, Micros, TimingModel};
 use tapesim_sched::AlgorithmId;
-use tapesim_sim::{default_seeds, run_seeds, MetricsReport, RunSpec, SimConfig};
+use tapesim_sim::{default_seeds, run_seeds, MetricsReport, RunSpec, SimConfig, SimError};
 use tapesim_workload::ArrivalProcess;
+
+/// Anything that can go wrong running an experiment end to end: the
+/// placement can be infeasible, or the simulation config invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The requested placement does not fit the jukebox.
+    Placement(PlacementError),
+    /// The simulation rejected its configuration.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Placement(e) => write!(f, "placement error: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<PlacementError> for ExperimentError {
+    fn from(e: PlacementError) -> Self {
+        ExperimentError::Placement(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
 
 /// How long and how many seeds to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +123,9 @@ pub struct ExperimentConfig {
     pub drives: u16,
     /// Sequential-run probability (0 = the paper's independent stream).
     pub cluster_run_p: f64,
+    /// Fault model ([`FaultConfig::NONE`] reproduces the paper's
+    /// fault-free runs exactly).
+    pub faults: FaultConfig,
 }
 
 impl ExperimentConfig {
@@ -110,6 +146,7 @@ impl ExperimentConfig {
             scale: Scale::Default,
             drives: 1,
             cluster_run_p: 0.0,
+            faults: FaultConfig::NONE,
         }
     }
 
@@ -172,9 +209,9 @@ pub struct ExperimentResult {
 }
 
 /// Builds the catalog and runs the experiment across this scale's seeds.
-pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, PlacementError> {
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, ExperimentError> {
     let placed = cfg.build_catalog()?;
-    let (report, per_seed) = run_with_catalog(cfg, &placed);
+    let (report, per_seed) = run_with_catalog(cfg, &placed)?;
     let thr: Vec<f64> = per_seed.iter().map(|r| r.throughput_kb_per_s).collect();
     let del: Vec<f64> = per_seed.iter().map(|r| r.mean_delay_s).collect();
     Ok(ExperimentResult {
@@ -191,7 +228,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Placem
 pub fn run_with_catalog(
     cfg: &ExperimentConfig,
     placed: &PlacedCatalog,
-) -> (MetricsReport, Vec<MetricsReport>) {
+) -> Result<(MetricsReport, Vec<MetricsReport>), SimError> {
     let spec = RunSpec {
         catalog: &placed.catalog,
         timing: &cfg.timing,
@@ -201,6 +238,7 @@ pub fn run_with_catalog(
         cluster_run_p: cfg.cluster_run_p,
         drives: cfg.drives,
         config: cfg.scale.sim_config(),
+        faults: cfg.faults,
     };
     run_seeds(&spec, &cfg.scale.seeds())
 }

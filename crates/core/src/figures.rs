@@ -3,13 +3,13 @@
 //! the figure plots. The `tapesim-bench` binaries print these as CSV,
 //! aligned tables, and ASCII plots.
 
+use tapesim_analysis::{piecewise_fit, LineFit};
 use tapesim_layout::{
     expansion_factor, expansion_table, scaled_queue_length, ExpansionRow, LayoutKind,
 };
-use tapesim_model::{BlockSize, DriveModel, LocateDirection};
 use tapesim_model::synth::{synthesize_locates, LocateSample, NoiseModel};
 use tapesim_model::validate::{validate_model, ValidationConfig, ValidationReport};
-use tapesim_analysis::{piecewise_fit, LineFit};
+use tapesim_model::{BlockSize, DriveModel, LocateDirection};
 use tapesim_sched::{AlgorithmId, EnvelopePolicy, TapeSelectPolicy};
 use tapesim_sim::MetricsReport;
 use tapesim_workload::ArrivalProcess;
@@ -63,9 +63,7 @@ impl IntensityGrid {
 
     fn apply(&self, cfg: &ExperimentConfig, idx: usize) -> (f64, ExperimentConfig) {
         match self {
-            IntensityGrid::Closed(qs) => {
-                (qs[idx] as f64, cfg.clone().with_queue(qs[idx]))
-            }
+            IntensityGrid::Closed(qs) => (qs[idx] as f64, cfg.clone().with_queue(qs[idx])),
             IntensityGrid::Open(gaps) => (gaps[idx] as f64, cfg.clone().with_open(gaps[idx])),
         }
     }
@@ -91,7 +89,8 @@ pub fn sweep_intensity(
     let points = (0..grid.len())
         .map(|i| {
             let (param, cfg) = grid.apply(base, i);
-            let (report, _) = run_with_catalog(&cfg, &placed);
+            let (report, _) =
+                run_with_catalog(&cfg, &placed).expect("figure simulation configs are valid");
             SweepPoint { param, report }
         })
         .collect();
@@ -187,7 +186,8 @@ pub fn fig3_transfer_size(scale: Scale, open: bool) -> Vec<SweepSeries> {
         let placed = base.build_catalog().expect("feasible");
         for (i, s) in series.iter_mut().enumerate() {
             let (_, cfg) = grid.apply(&base, i);
-            let (report, _) = run_with_catalog(&cfg, &placed);
+            let (report, _) =
+                run_with_catalog(&cfg, &placed).expect("figure simulation configs are valid");
             s.points.push(SweepPoint {
                 param: mb as f64,
                 report,
@@ -403,12 +403,15 @@ pub fn fig10b_cost_performance(scale: Scale, base_queue: u32) -> Vec<CostPerfSer
                         sp: 1.0,
                         rh_percent: rh,
                         algorithm: AlgorithmId::paper_recommended(),
-                        process: ArrivalProcess::Closed { queue_length: queue },
+                        process: ArrivalProcess::Closed {
+                            queue_length: queue,
+                        },
                         scale,
                         ..ExperimentConfig::paper_baseline()
                     };
                     let placed = cfg.build_catalog().expect("feasible");
-                    let (report, _) = run_with_catalog(&cfg, &placed);
+                    let (report, _) = run_with_catalog(&cfg, &placed)
+                        .expect("figure simulation configs are valid");
                     let throughput = report.throughput_kb_per_s;
                     if nr == 0 {
                         baseline_throughput = Some(throughput);
@@ -437,5 +440,7 @@ pub fn baseline_report(scale: Scale) -> MetricsReport {
         scale,
         ..ExperimentConfig::paper_baseline()
     };
-    crate::experiment::run_experiment(&cfg).expect("baseline feasible").report
+    crate::experiment::run_experiment(&cfg)
+        .expect("baseline feasible")
+        .report
 }

@@ -32,34 +32,34 @@
 pub mod experiment;
 pub mod figures;
 
-/// The tape/drive/robot timing model (Section 2.1).
-pub use tapesim_model as model;
+/// Statistics, fitting, tables, and plots.
+pub use tapesim_analysis as analysis;
 /// Data layout, placement, and replication (Sections 4.3-4.5, 4.8).
 pub use tapesim_layout as layout;
-/// Request generation: hot/cold skew, closed/open queuing (Section 4).
-pub use tapesim_workload as workload;
+/// The tape/drive/robot timing model (Section 2.1).
+pub use tapesim_model as model;
 /// Scheduling algorithms (Section 3).
 pub use tapesim_sched as sched;
 /// The discrete-event simulator (Section 2.2).
 pub use tapesim_sim as sim;
-/// Statistics, fitting, tables, and plots.
-pub use tapesim_analysis as analysis;
+/// Request generation: hot/cold skew, closed/open queuing (Section 4).
+pub use tapesim_workload as workload;
 
 pub use experiment::{
-    run_experiment, run_with_catalog, ExperimentConfig, ExperimentResult, Scale,
+    run_experiment, run_with_catalog, ExperimentConfig, ExperimentError, ExperimentResult, Scale,
 };
 pub use figures::{
     baseline_report, fig10a_expansion, fig10b_cost_performance, fig1_locate_model,
     fig3_transfer_size, fig4_sched_algorithms, fig5_placement, fig6_replicas,
-    fig7_replica_placement, fig8_sched_replication, fig9_skew, model_validation,
-    sweep_intensity, CostPerfPoint, CostPerfSeries, Fig1Data, IntensityGrid, SweepPoint,
-    SweepSeries,
+    fig7_replica_placement, fig8_sched_replication, fig9_skew, model_validation, sweep_intensity,
+    CostPerfPoint, CostPerfSeries, Fig1Data, IntensityGrid, SweepPoint, SweepSeries,
 };
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::experiment::{
-        run_experiment, run_with_catalog, ExperimentConfig, ExperimentResult, Scale,
+        run_experiment, run_with_catalog, ExperimentConfig, ExperimentError, ExperimentResult,
+        Scale,
     };
     pub use crate::figures::*;
     pub use tapesim_analysis::{ascii_plot, fnum, Series, Table};
@@ -67,6 +67,7 @@ pub mod prelude {
         build_placement, build_spare_layout, expansion_factor, BlockId, Catalog, LayoutKind,
         PlacementConfig, SpareConfig, SpareUse,
     };
+    pub use tapesim_model::FaultConfig;
     pub use tapesim_model::{
         BlockSize, DriveModel, JukeboxGeometry, Micros, RobotModel, SimTime, SlotIndex, TapeId,
         TimingModel,
@@ -74,6 +75,6 @@ pub mod prelude {
     pub use tapesim_sched::{
         make_scheduler, AlgorithmId, EnvelopePolicy, Scheduler, TapeSelectPolicy,
     };
-    pub use tapesim_sim::{run_simulation, MetricsReport, RunSpec, SimConfig};
+    pub use tapesim_sim::{run_simulation, MetricsReport, RunSpec, SimConfig, SimError};
     pub use tapesim_workload::{ArrivalProcess, BlockSampler, Request, RequestFactory};
 }

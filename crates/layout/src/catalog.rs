@@ -150,6 +150,22 @@ impl Catalog {
         &self.replicas[block.index()]
     }
 
+    /// The surviving copies of `block`: all replicas except those on
+    /// tapes in `offline` (a sorted or unsorted small slice). This is the
+    /// failover lookup used by the scheduler when a request's primary
+    /// copy sits on a failed tape — any returned address can serve the
+    /// request.
+    pub fn replicas_of<'a>(
+        &'a self,
+        block: BlockId,
+        offline: &'a [TapeId],
+    ) -> impl Iterator<Item = PhysicalAddr> + 'a {
+        self.replicas(block)
+            .iter()
+            .copied()
+            .filter(move |a| !offline.contains(&a.tape))
+    }
+
     /// The copy of `block` on `tape`, if one exists.
     pub fn copy_on_tape(&self, block: BlockId, tape: TapeId) -> Option<PhysicalAddr> {
         self.replicas(block)
@@ -377,6 +393,20 @@ mod tests {
         let c = b.build().unwrap();
         let tapes: Vec<u16> = c.replicas(BlockId(0)).iter().map(|a| a.tape.0).collect();
         assert_eq!(tapes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn replicas_of_filters_offline_tapes() {
+        let mut b = small_builder(1, 1);
+        b.place(BlockId(0), addr(0, 3)).unwrap();
+        b.place(BlockId(0), addr(2, 0)).unwrap();
+        let c = b.build().unwrap();
+        let all: Vec<_> = c.replicas_of(BlockId(0), &[]).collect();
+        assert_eq!(all, vec![addr(0, 3), addr(2, 0)]);
+        let survivors: Vec<_> = c.replicas_of(BlockId(0), &[TapeId(0)]).collect();
+        assert_eq!(survivors, vec![addr(2, 0)]);
+        let none: Vec<_> = c.replicas_of(BlockId(0), &[TapeId(0), TapeId(2)]).collect();
+        assert!(none.is_empty());
     }
 
     #[test]

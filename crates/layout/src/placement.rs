@@ -361,8 +361,7 @@ mod tests {
     #[test]
     fn paper_baseline_fills_jukebox_exactly() {
         // PH-10, NR-0: no replication, so every slot holds a distinct block.
-        let placed =
-            build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
+        let placed = build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
         let c = &placed.catalog;
         assert_eq!(c.num_blocks(), 4480);
         assert_eq!(c.hot_count(), 448);
@@ -375,8 +374,7 @@ mod tests {
 
     #[test]
     fn horizontal_spreads_hot_evenly() {
-        let placed =
-            build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
+        let placed = build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
         let c = &placed.catalog;
         for t in paper_geom().tape_ids() {
             let hot_here = c
@@ -390,8 +388,7 @@ mod tests {
 
     #[test]
     fn sp_zero_places_hot_at_beginning() {
-        let placed =
-            build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
+        let placed = build_placement(paper_geom(), B16, PlacementConfig::paper_baseline()).unwrap();
         let c = &placed.catalog;
         // First slots of tape 0 are hot.
         let first: Vec<_> = c.tape_contents(TapeId(0)).take(5).collect();

@@ -237,8 +237,12 @@ mod tests {
             // 224 cold at the front + 224 replicas at the end.
             assert_eq!(contents.len(), 448);
             let (front, back) = contents.split_at(224);
-            assert!(front.iter().all(|&(s, b)| s.0 < 224 && c.heat(b) == Heat::Cold));
-            assert!(back.iter().all(|&(s, b)| s.0 >= 224 && c.heat(b) == Heat::Hot));
+            assert!(front
+                .iter()
+                .all(|&(s, b)| s.0 < 224 && c.heat(b) == Heat::Cold));
+            assert!(back
+                .iter()
+                .all(|&(s, b)| s.0 >= 224 && c.heat(b) == Heat::Hot));
         }
         assert!(placed.expansion > 1.0);
     }

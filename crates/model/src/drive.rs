@@ -226,10 +226,7 @@ impl DriveModel {
             return Micros::ZERO;
         }
         let mb = block.slots_to_mb(head.distance(SlotIndex::BOT));
-        Micros::from_secs_f64(
-            self.locate
-                .locate_secs(LocateDirection::Reverse, mb, true),
-        )
+        Micros::from_secs_f64(self.locate.locate_secs(LocateDirection::Reverse, mb, true))
     }
 
     /// Time for the drive to eject a rewound tape.
@@ -417,10 +414,7 @@ mod tests {
         let b = BlockSize::from_mb(1);
         let expect = t.drive.rewind(SlotIndex(40), b) + Micros::from_secs(81);
         assert_eq!(t.full_switch_from(SlotIndex(40), b), expect);
-        assert_eq!(
-            t.full_switch_from(SlotIndex::BOT, b),
-            Micros::from_secs(81)
-        );
+        assert_eq!(t.full_switch_from(SlotIndex::BOT, b), Micros::from_secs(81));
     }
 
     #[test]

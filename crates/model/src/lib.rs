@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod drive;
+pub mod faults;
 pub mod serpentine;
 pub mod synth;
 pub mod time;
@@ -37,9 +38,9 @@ pub use drive::{
     DriveModel, LinearSegment, LocateDirection, LocateModel, ReadContext, ReadModel, RobotModel,
     TimingModel,
 };
+pub use faults::{substream, FaultConfig, FaultInjector};
 pub use serpentine::{
-    logical_sweep_order, nearest_neighbor_order, SerpentineGeometry, SerpentineModel,
-    SerpentinePos,
+    logical_sweep_order, nearest_neighbor_order, SerpentineGeometry, SerpentineModel, SerpentinePos,
 };
 pub use time::{Micros, SimTime};
 pub use units::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId};

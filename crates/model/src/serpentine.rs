@@ -70,7 +70,7 @@ impl SerpentineGeometry {
         let track = (offset_mb / self.track_length_mb) as u32;
         assert!(track < self.tracks, "slot beyond tape capacity");
         let within = offset_mb % self.track_length_mb;
-        let forward = track % 2 == 0;
+        let forward = track.is_multiple_of(2);
         let x_mb = if forward {
             within
         } else {
@@ -135,12 +135,7 @@ impl SerpentineModel {
 
     /// Locate time from the head parked after `from` to the start of `to`.
     /// `from = None` means the head is at the load point (track 0, x 0).
-    pub fn locate(
-        &self,
-        from: Option<SlotIndex>,
-        to: SlotIndex,
-        block: BlockSize,
-    ) -> Micros {
+    pub fn locate(&self, from: Option<SlotIndex>, to: SlotIndex, block: BlockSize) -> Micros {
         // Reading the next logical block continues the stream: the head
         // is already positioned (track changes at a snake turn-around are
         // folded into the drive's streaming behaviour, as on real
@@ -165,9 +160,8 @@ impl SerpentineModel {
         }
         let dx = fx.abs_diff(tp.x_mb);
         let dt = ft.abs_diff(tp.track);
-        let secs = self.seek_startup_s
-            + self.seek_per_mb_s * dx as f64
-            + self.track_step_s * dt as f64;
+        let secs =
+            self.seek_startup_s + self.seek_per_mb_s * dx as f64 + self.track_step_s * dt as f64;
         Micros::from_secs_f64(secs)
     }
 
@@ -273,7 +267,10 @@ mod tests {
     #[test]
     fn locate_costs_are_symmetric_and_zero_at_rest() {
         let m = model();
-        assert_eq!(m.locate(Some(SlotIndex(5)), SlotIndex(5), B16), Micros::ZERO);
+        assert_eq!(
+            m.locate(Some(SlotIndex(5)), SlotIndex(5), B16),
+            Micros::ZERO
+        );
         let ab = m.locate(Some(SlotIndex(3)), SlotIndex(40), B16);
         let ba = m.locate(Some(SlotIndex(40)), SlotIndex(3), B16);
         assert_eq!(ab, ba);
@@ -318,7 +315,10 @@ mod tests {
     #[test]
     fn orders_are_permutations() {
         let m = model();
-        let slots: Vec<SlotIndex> = vec![5, 100, 17, 300, 222, 8].into_iter().map(SlotIndex).collect();
+        let slots: Vec<SlotIndex> = vec![5, 100, 17, 300, 222, 8]
+            .into_iter()
+            .map(SlotIndex)
+            .collect();
         for order in [
             logical_sweep_order(slots.clone()),
             nearest_neighbor_order(&m, B16, slots.clone()),

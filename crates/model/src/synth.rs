@@ -257,14 +257,8 @@ mod tests {
     #[test]
     fn noise_is_roughly_unbiased() {
         let b = BlockSize::from_mb(1);
-        let samples = synthesize_locates(
-            &drive(),
-            b,
-            7168,
-            4000,
-            NoiseModel::locate_default(),
-            999,
-        );
+        let samples =
+            synthesize_locates(&drive(), b, 7168, 4000, NoiseModel::locate_default(), 999);
         let predicted: f64 = samples.iter().map(|s| s.predicted_s).sum();
         let measured: f64 = samples.iter().map(|s| s.measured_s).sum();
         let rel_err = (measured - predicted).abs() / predicted;

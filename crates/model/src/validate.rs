@@ -92,10 +92,7 @@ pub fn validate_model(drive: &DriveModel, cfg: &ValidationConfig) -> ValidationR
         .collect();
     let n = walks.len() as f64;
     ValidationReport {
-        max_locate_rel_err: walks
-            .iter()
-            .map(|w| w.locate_rel_err)
-            .fold(0.0, f64::max),
+        max_locate_rel_err: walks.iter().map(|w| w.locate_rel_err).fold(0.0, f64::max),
         mean_locate_rel_err: walks.iter().map(|w| w.locate_rel_err).sum::<f64>() / n,
         max_read_rel_err: walks.iter().map(|w| w.read_rel_err).fold(0.0, f64::max),
         mean_read_rel_err: walks.iter().map(|w| w.read_rel_err).sum::<f64>() / n,

@@ -37,13 +37,25 @@ pub struct JukeboxView<'a> {
     pub now: SimTime,
     /// Tapes held by other drives; schedulers must not select them.
     pub unavailable: &'a [TapeId],
+    /// Tapes currently failed (offline) per the fault injector;
+    /// schedulers must not select them. Unlike `unavailable`, offline
+    /// tapes may come back after repair, and a request whose only copies
+    /// are offline should be left pending rather than scheduled.
+    pub offline: &'a [TapeId],
 }
 
 impl JukeboxView<'_> {
-    /// True when `tape` may be selected by this drive's scheduler.
+    /// True when `tape` may be selected by this drive's scheduler: it is
+    /// neither held by another drive nor offline due to a fault.
     #[inline]
     pub fn is_available(&self, tape: TapeId) -> bool {
-        !self.unavailable.contains(&tape)
+        !self.unavailable.contains(&tape) && !self.offline.contains(&tape)
+    }
+
+    /// True when `tape` is failed/offline per the fault injector.
+    #[inline]
+    pub fn is_offline(&self, tape: TapeId) -> bool {
+        self.offline.contains(&tape)
     }
 }
 

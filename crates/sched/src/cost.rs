@@ -8,9 +8,7 @@
 //! model.
 
 use tapesim_layout::Catalog;
-use tapesim_model::{
-    BlockSize, Micros, ReadContext, SlotIndex, TapeId, TimingModel,
-};
+use tapesim_model::{BlockSize, Micros, ReadContext, SlotIndex, TapeId, TimingModel};
 use tapesim_workload::Request;
 
 use crate::api::{JukeboxView, PendingList, ServiceList};
@@ -226,7 +224,8 @@ mod tests {
         let b = block1();
         // Locate 0 -> 10 (10 MB, short fwd) + read after forward locate.
         let cost = walk_cost(&t, b, SlotIndex(0), [SlotIndex(10)]);
-        let expect = Micros::from_secs_f64(4.834 + 0.378 * 10.0) + Micros::from_secs_f64(0.38 + 1.77);
+        let expect =
+            Micros::from_secs_f64(4.834 + 0.378 * 10.0) + Micros::from_secs_f64(0.38 + 1.77);
         assert_eq!(cost, expect);
     }
 
@@ -302,6 +301,7 @@ mod tests {
             head,
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         // Already mounted: free.
         assert_eq!(
@@ -331,6 +331,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let c0 = candidate_for_tape(&c, &p, TapeId(0)).unwrap();
         let c1 = candidate_for_tape(&c, &p, TapeId(1)).unwrap();
@@ -341,11 +342,7 @@ mod tests {
     #[test]
     fn forward_list_groups_same_block() {
         let c = catalog();
-        let list = forward_list_for(
-            &c,
-            TapeId(0),
-            vec![req(0, 3), req(1, 0), req(2, 3)],
-        );
+        let list = forward_list_for(&c, TapeId(0), vec![req(0, 3), req(1, 0), req(2, 3)]);
         let slots: Vec<u32> = list.forward_stops().map(|r| r.slot.0).collect();
         assert_eq!(slots, vec![10, 40]);
         assert_eq!(list.requests(), 3);

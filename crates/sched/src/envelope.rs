@@ -26,9 +26,7 @@
 use tapesim_model::{Micros, ReadContext, SlotIndex, TapeId};
 use tapesim_workload::Request;
 
-use crate::api::{
-    ArrivalOutcome, JukeboxView, PendingList, Scheduler, ServiceList, SweepPlan,
-};
+use crate::api::{ArrivalOutcome, JukeboxView, PendingList, Scheduler, ServiceList, SweepPlan};
 use crate::cost::{mount_cost, split_sweep, start_head, walk_cost};
 
 /// Tape-switch policies applicable to the envelope algorithm
@@ -186,9 +184,7 @@ impl Scheduler for EnvelopeScheduler {
         // Case 2: satisfiable inside another tape's envelope at no extra
         // envelope cost -> it will be picked up by a later sweep; defer.
         let inside_elsewhere = view.catalog.replicas(request.block).iter().any(|a| {
-            a.tape != sweep_tape
-                && view.is_available(a.tape)
-                && a.slot.0 < self.env[a.tape.index()]
+            a.tape != sweep_tape && view.is_available(a.tape) && a.slot.0 < self.env[a.tape.index()]
         });
         if inside_elsewhere {
             pending.push(request);
@@ -449,8 +445,7 @@ fn extend_once(
                 None => true,
                 Some(b) => {
                     bw > b.bw
-                        || (bw == b.bw
-                            && (count > b.count || (count == b.count && tape < b.tape)))
+                        || (bw == b.bw && (count > b.count || (count == b.count && tape < b.tape)))
                 }
             };
             if better {
@@ -548,10 +543,7 @@ fn shrink(
             // Candidate target: a copy inside another tape's envelope.
             let mut target: Option<(u32, u16, TapeId)> = None;
             for c in replicas {
-                if c.tape == a
-                    || !view.is_available(c.tape)
-                    || c.slot.0 >= env[c.tape.index()]
-                {
+                if c.tape == a || !view.is_available(c.tape) || c.slot.0 >= env[c.tape.index()] {
                     continue;
                 }
                 if view.mounted == Some(c.tape) {
@@ -733,6 +725,7 @@ mod tests {
             head,
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         }
     }
 
@@ -799,10 +792,7 @@ mod tests {
         // X ends up on tape 1 (its copy at 30 is inside tape 1's envelope
         // once Z extends it to 61), and tape 0 shrinks back to N0.
         assert_eq!(upper.env, vec![10, 61, 0]);
-        assert_eq!(
-            upper.assigned,
-            vec![TapeId(0), TapeId(1), TapeId(1)]
-        );
+        assert_eq!(upper.assigned, vec![TapeId(0), TapeId(1), TapeId(1)]);
         assert_eq!(upper.counts, vec![1, 2, 0]);
     }
 
@@ -833,8 +823,9 @@ mod tests {
         let c = figure2_catalog();
         let t = TimingModel::paper_default();
         let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
-        let mut pending: PendingList =
-            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut pending: PendingList = vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)]
+            .into_iter()
+            .collect();
         let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
         let plan = s.major_reschedule(&v, &mut pending).unwrap();
         // Mounted tape 1 has A and B cheap (no switch); the envelope on
@@ -852,8 +843,9 @@ mod tests {
         let c = figure2_catalog();
         let t = TimingModel::paper_default();
         let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
-        let mut pending: PendingList =
-            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut pending: PendingList = vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)]
+            .into_iter()
+            .collect();
         let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
         let mut plan = s.major_reschedule(&v, &mut pending).unwrap();
         // New request for B (tape 1 slot 20, inside envelope 21, ahead of
@@ -868,8 +860,9 @@ mod tests {
         let c = figure2_catalog();
         let t = TimingModel::paper_default();
         let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
-        let mut pending: PendingList =
-            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut pending: PendingList = vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)]
+            .into_iter()
+            .collect();
         let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
         let mut plan = s.major_reschedule(&v, &mut pending).unwrap();
         // Head has passed slot 10; a new request for A (slot 10) lands in
@@ -886,8 +879,9 @@ mod tests {
         let c = figure2_catalog();
         let t = TimingModel::paper_default();
         let v = view(&c, &t, Some(TapeId(1)), SlotIndex(0));
-        let mut pending: PendingList =
-            vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)].into_iter().collect();
+        let mut pending: PendingList = vec![req(0, 0), req(1, 1), req(2, 2), req(3, 3)]
+            .into_iter()
+            .collect();
         let mut s = EnvelopeScheduler::new(EnvelopePolicy::MaxBandwidth);
         let mut plan = s.major_reschedule(&v, &mut pending).unwrap();
         // New request for C: inside tape 0's envelope, not on tape 1 at

@@ -12,9 +12,7 @@
 use tapesim_model::TapeId;
 use tapesim_workload::Request;
 
-use crate::api::{
-    ArrivalOutcome, JukeboxView, PendingList, Scheduler, ServiceList, SweepPlan,
-};
+use crate::api::{ArrivalOutcome, JukeboxView, PendingList, Scheduler, ServiceList, SweepPlan};
 use crate::cost::{split_sweep, start_head};
 use crate::select::TapeSelectPolicy;
 
@@ -178,6 +176,7 @@ mod tests {
             head,
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         }
     }
 

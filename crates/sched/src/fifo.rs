@@ -111,6 +111,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let mut p: PendingList = vec![req(0, 1), req(1, 0)].into_iter().collect();
         let mut s = FifoScheduler::new();
@@ -132,6 +133,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let mut p: PendingList = vec![req(0, 0)].into_iter().collect();
         let plan = FifoScheduler::new().major_reschedule(&v, &mut p).unwrap();
@@ -150,6 +152,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let mut p: PendingList = vec![req(0, 0)].into_iter().collect();
         let plan = FifoScheduler::new().major_reschedule(&v, &mut p).unwrap();
@@ -167,6 +170,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         assert!(FifoScheduler::new()
             .major_reschedule(&v, &mut PendingList::new())

@@ -38,5 +38,5 @@ pub use cost::{
 pub use envelope::{compute_upper_envelope, EnvelopePolicy, EnvelopeScheduler, UpperEnvelope};
 pub use families::{DynamicScheduler, StaticScheduler};
 pub use fifo::FifoScheduler;
-pub use registry::{AlgorithmId, make_scheduler};
+pub use registry::{make_scheduler, AlgorithmId};
 pub use select::TapeSelectPolicy;

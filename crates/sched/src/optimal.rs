@@ -145,11 +145,7 @@ pub fn brute_force_optimal_extension(
 
 /// The Theorem 2 right-hand side, in seconds:
 /// `Hn * opt - n*(Hn - 1)*(Cs + Cr) + n*Cd`.
-pub fn theorem2_bound_secs(
-    view: &JukeboxView<'_>,
-    n: usize,
-    opt_extension_secs: f64,
-) -> f64 {
+pub fn theorem2_bound_secs(view: &JukeboxView<'_>, n: usize, opt_extension_secs: f64) -> f64 {
     if n == 0 {
         return 0.0;
     }
@@ -211,6 +207,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let pending = [req(0, 0)];
         // Envelope already covers t0 up to slot 11.
@@ -230,6 +227,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let pending = [req(0, 0)];
         let env = vec![0, 0, 0];
@@ -251,6 +249,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         // Request 0 (block 1) pins tape 2's envelope implicitly? No —
         // env1 is given. Say tape 2 is already open to slot 401.
@@ -258,8 +257,7 @@ mod tests {
         // Block 2 has copies on t1@25 (fresh tape, switch) and t2@30
         // (inside the open envelope: free!).
         let pending = [req(0, 2)];
-        let (cost, assign) =
-            brute_force_optimal_extension(&view, &env1, &pending, &[None]);
+        let (cost, assign) = brute_force_optimal_extension(&view, &env1, &pending, &[None]);
         assert_eq!(assign, vec![TapeId(2)]);
         assert_eq!(cost, Micros::ZERO);
     }
@@ -275,6 +273,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let env1 = vec![0, 0, 0];
         // Block 0: t0@10 (mounted, no switch) vs t1@20 (switch) — t0 wins.
@@ -299,6 +298,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         assert_eq!(theorem2_bound_secs(&view, 0, 0.0), 0.0);
         let b1 = theorem2_bound_secs(&view, 1, 100.0);

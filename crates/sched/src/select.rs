@@ -14,6 +14,7 @@
 //! * **oldest request, max bandwidth** — likewise by max bandwidth.
 
 use tapesim_model::TapeId;
+use tapesim_workload::Request;
 
 use crate::api::{JukeboxView, PendingList};
 use crate::cost::{candidate_for_tape, effective_bandwidth, TapeCandidate};
@@ -70,47 +71,63 @@ impl TapeSelectPolicy {
                 // Scan mounted+1, mounted+2, ..., wrapping, ending at the
                 // mounted tape itself.
                 let t = geometry.tapes;
-                (1..=t)
-                    .map(|i| TapeId((anchor.0 + i) % t))
-                    .find(|&tape| {
-                        view.is_available(tape)
-                            && candidate_for_tape(view.catalog, pending, tape).is_some()
-                    })
+                (1..=t).map(|i| TapeId((anchor.0 + i) % t)).find(|&tape| {
+                    view.is_available(tape)
+                        && candidate_for_tape(view.catalog, pending, tape).is_some()
+                })
             }
             TapeSelectPolicy::MaxRequests => {
                 best_by(view, pending, anchor, None, |_, c| c.request_count as f64)
             }
-            TapeSelectPolicy::MaxBandwidth => {
-                best_by(view, pending, anchor, None, |v, c| {
-                    effective_bandwidth(v, c)
-                })
-            }
+            TapeSelectPolicy::MaxBandwidth => best_by(view, pending, anchor, None, |v, c| {
+                effective_bandwidth(v, c)
+            }),
             TapeSelectPolicy::OldestMaxRequests => {
-                let oldest = pending.oldest()?;
-                let eligible: Vec<TapeId> = view
-                    .catalog
-                    .replicas(oldest.block)
-                    .iter()
-                    .map(|a| a.tape)
-                    .collect();
+                let eligible = oldest_eligible(view, pending)?;
                 best_by(view, pending, anchor, Some(&eligible), |_, c| {
                     c.request_count as f64
                 })
             }
             TapeSelectPolicy::OldestMaxBandwidth => {
-                let oldest = pending.oldest()?;
-                let eligible: Vec<TapeId> = view
-                    .catalog
-                    .replicas(oldest.block)
-                    .iter()
-                    .map(|a| a.tape)
-                    .collect();
+                let eligible = oldest_eligible(view, pending)?;
                 best_by(view, pending, anchor, Some(&eligible), |v, c| {
                     effective_bandwidth(v, c)
                 })
             }
         }
     }
+}
+
+/// The tapes eligible to serve under the "oldest request" policies:
+/// normally the replica tapes of the oldest pending request. When fault
+/// injection has taken *every* copy of the oldest request offline, the
+/// policies would otherwise deadlock (no tape can ever be selected), so
+/// they fail over to the oldest pending request that still has a copy on
+/// a non-offline tape; the stranded request stays pending until a repair
+/// brings a copy back. With no offline tapes — every fault-free
+/// configuration — this is exactly the replica set of the oldest request.
+fn oldest_eligible(view: &JukeboxView<'_>, pending: &PendingList) -> Option<Vec<TapeId>> {
+    let replica_tapes = |r: &Request| -> Vec<TapeId> {
+        view.catalog
+            .replicas(r.block)
+            .iter()
+            .map(|a| a.tape)
+            .collect()
+    };
+    let oldest = pending.oldest()?;
+    let tapes = replica_tapes(oldest);
+    if view.offline.is_empty() || tapes.iter().any(|&t| !view.is_offline(t)) {
+        return Some(tapes);
+    }
+    pending
+        .iter()
+        .find(|r| {
+            view.catalog
+                .replicas_of(r.block, view.offline)
+                .next()
+                .is_some()
+        })
+        .map(replica_tapes)
 }
 
 /// Picks the tape maximizing `score`, breaking ties by the first tape in
@@ -197,6 +214,7 @@ mod tests {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         }
     }
 
@@ -304,6 +322,54 @@ mod tests {
             TapeSelectPolicy::OldestMaxBandwidth.select(&v, &p),
             Some(TapeId(1))
         );
+    }
+
+    #[test]
+    fn offline_tapes_are_never_selected() {
+        let c = catalog();
+        let t = TimingModel::paper_default();
+        // Requests on tapes 1 and 3; tape 3 has more work but is offline.
+        let p: PendingList = vec![req(0, 1), req(1, 3), req(2, 7), req(3, 11)]
+            .into_iter()
+            .collect();
+        let offline = [TapeId(3)];
+        let v = JukeboxView {
+            offline: &offline,
+            ..view(&c, &t, None)
+        };
+        for policy in TapeSelectPolicy::ALL {
+            assert_eq!(policy.select(&v, &p), Some(TapeId(1)), "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn oldest_policies_fail_over_when_oldest_is_stranded() {
+        let c = catalog();
+        let t = TimingModel::paper_default();
+        // Oldest request's only copy is on tape 1, which is offline. The
+        // oldest policies must fall back to the next-oldest serviceable
+        // request (block 2, on tape 2) instead of deadlocking.
+        let p: PendingList = vec![req(0, 1), req(1, 2)].into_iter().collect();
+        let offline = [TapeId(1)];
+        let v = JukeboxView {
+            offline: &offline,
+            ..view(&c, &t, None)
+        };
+        assert_eq!(
+            TapeSelectPolicy::OldestMaxRequests.select(&v, &p),
+            Some(TapeId(2))
+        );
+        assert_eq!(
+            TapeSelectPolicy::OldestMaxBandwidth.select(&v, &p),
+            Some(TapeId(2))
+        );
+        // When every pending request is stranded, nothing is selected.
+        let all_off = [TapeId(1), TapeId(2)];
+        let v2 = JukeboxView {
+            offline: &all_off,
+            ..view(&c, &t, None)
+        };
+        assert_eq!(TapeSelectPolicy::OldestMaxRequests.select(&v2, &p), None);
     }
 
     #[test]

@@ -13,12 +13,38 @@
 //! Closed-queuing workloads regenerate a request at the instant each
 //! request completes (keeping the queue length constant); open-queuing
 //! workloads draw Poisson arrivals independent of the service rate.
+//!
+//! # Fault injection
+//!
+//! [`run_simulation_with_faults`] layers the fault model of
+//! [`tapesim_model::faults`] over the same loop:
+//!
+//! * tape failures take tapes offline (visible to schedulers through
+//!   [`JukeboxView::offline`]); a failure under the mounted tape aborts
+//!   the sweep and requeues its requests, which fail over to replicas on
+//!   surviving tapes or wait for the repair;
+//! * media errors cost extra read passes and, after the configured
+//!   retries, lose the copy — requests fall back to a replica, or fail
+//!   permanently when no copy survives anywhere;
+//! * load failures cost extra robot exchanges and, after the configured
+//!   retries, fail the whole tape;
+//! * drive failures halt service for the configured repair time.
+//!
+//! With [`FaultConfig::NONE`] the fault path is completely inert: no
+//! random numbers are drawn and the simulation is identical to
+//! [`run_simulation`].
+
+use std::collections::HashMap;
 
 use tapesim_layout::Catalog;
-use tapesim_model::{LocateDirection, Micros, ReadContext, SimTime, SlotIndex, TapeId, TimingModel};
+use tapesim_model::{
+    FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext, SimTime,
+    SlotIndex, TapeId, TimingModel,
+};
 use tapesim_sched::{JukeboxView, PendingList, Scheduler, SweepPlan};
-use tapesim_workload::{ArrivalProcess, RequestFactory};
+use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
 
+use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
 
 /// Configuration of a single simulation run.
@@ -66,15 +92,42 @@ impl SimConfig {
     }
 }
 
-/// Runs one simulation to completion and reports its metrics.
+/// Runs one fault-free simulation to completion and reports its metrics.
 pub fn run_simulation(
     catalog: &Catalog,
     timing: &TimingModel,
     scheduler: &mut dyn Scheduler,
     factory: &mut RequestFactory,
     cfg: &SimConfig,
-) -> MetricsReport {
-    assert!(cfg.warmup < cfg.duration, "warmup must precede the horizon");
+) -> Result<MetricsReport, SimError> {
+    run_simulation_with_faults(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        &FaultConfig::NONE,
+        0,
+    )
+}
+
+/// Runs one simulation under the given fault model. `fault_seed` drives
+/// every fault substream; pass a value derived from the run's workload
+/// seed so the whole run reproduces from one number.
+pub fn run_simulation_with_faults(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    faults: &FaultConfig,
+    fault_seed: u64,
+) -> Result<MetricsReport, SimError> {
+    if cfg.warmup >= cfg.duration {
+        return Err(SimError::InvalidConfig("warmup must precede the horizon"));
+    }
+    faults.validate().map_err(SimError::InvalidConfig)?;
+    let mut injector = FaultInjector::new(*faults, &catalog.geometry(), 1, fault_seed);
     let block = catalog.block_size();
     let block_bytes = block.bytes();
     let end = SimTime::ZERO + cfg.duration;
@@ -87,6 +140,10 @@ pub fn run_simulation(
     let mut pending = PendingList::new();
     let mut metrics = MetricsCollector::new(warmup_end);
     let mut saturated = false;
+    // Requests disrupted by a fault on the given tape; completing one from
+    // a different tape counts as a replica failover.
+    let mut faulted: HashMap<RequestId, TapeId> = HashMap::new();
+    let mut stranded_in_plan: u64 = 0;
 
     // Seed the workload.
     let mut next_arrival: Option<SimTime> = None;
@@ -94,10 +151,13 @@ pub fn run_simulation(
         ArrivalProcess::Closed { queue_length } => {
             for _ in 0..queue_length {
                 pending.push(factory.make(now));
+                metrics.record_admission();
             }
         }
         ArrivalProcess::OpenPoisson { .. } => {
-            let gap = factory.next_interarrival().expect("open process");
+            let gap = factory
+                .next_interarrival()
+                .ok_or(SimError::ClosedArrivalStream)?;
             next_arrival = Some(now + gap);
         }
     }
@@ -110,13 +170,46 @@ pub fn run_simulation(
                 break;
             }
             pending.push(factory.make(t));
-            let gap = factory.next_interarrival().expect("open process");
+            metrics.record_admission();
+            let gap = factory
+                .next_interarrival()
+                .ok_or(SimError::ClosedArrivalStream)?;
             next_arrival = Some(t + gap);
         }
         if pending.len() > cfg.max_pending {
             saturated = true;
             break 'outer;
         }
+
+        if injector.is_active() {
+            injector.advance(now);
+            // A drive failure halts service for the repair interval, then
+            // the loop restarts (delivering arrivals that came due).
+            if let Some(repair) = injector.drive_outage(0, now) {
+                now += repair;
+                metrics.add_repair_time(now, repair);
+                continue 'outer;
+            }
+            // Once copies have been permanently lost, fail out the pending
+            // requests that no surviving copy can serve.
+            if injector.has_permanent_damage() {
+                let dead = pending.extract(|r| {
+                    catalog
+                        .replicas(r.block)
+                        .iter()
+                        .all(|a| injector.copy_dead(*a))
+                });
+                for r in dead {
+                    faulted.remove(&r.id);
+                    metrics.record_permanent_failure();
+                    if closed {
+                        pending.push(factory.make(now));
+                        metrics.record_admission();
+                    }
+                }
+            }
+        }
+        let offline = injector.offline().to_vec();
 
         // Step 1: major reschedule.
         let view = JukeboxView {
@@ -126,21 +219,33 @@ pub fn run_simulation(
             head,
             now,
             unavailable: &[],
+            offline: &offline,
         };
         let Some(mut plan) = scheduler.major_reschedule(&view, &mut pending) else {
-            // Step 4: idle until the next arrival (or the end of time).
-            match next_arrival {
-                Some(t) if t < end => {
-                    metrics.add_idle_time(t, t.duration_since(now));
-                    now = t;
-                    continue;
-                }
-                _ => {
-                    metrics.add_idle_time(end, end.duration_since(now));
-                    now = end;
-                    break 'outer;
+            // Step 4: idle until the next arrival or fault event (a repair
+            // can make a stranded request schedulable again).
+            let mut wake = end;
+            let mut have_event = false;
+            if let Some(t) = next_arrival {
+                if t < wake {
+                    wake = t;
+                    have_event = true;
                 }
             }
+            if let Some(t) = injector.next_event(now) {
+                if t < wake {
+                    wake = t;
+                    have_event = true;
+                }
+            }
+            if have_event {
+                metrics.add_idle_time(wake, wake.duration_since(now));
+                now = wake;
+                continue;
+            }
+            metrics.add_idle_time(end, end.duration_since(now));
+            now = end;
+            break 'outer;
         };
 
         // Step 2: switch tapes if needed.
@@ -150,15 +255,37 @@ pub fn run_simulation(
                 switch += timing.drive.rewind(head, block) + timing.drive.eject();
             }
             switch += timing.robot.exchange() + timing.drive.load();
+            // Fault: each failed load attempt costs another exchange +
+            // load; exhausting the retries fails the tape itself.
+            let mut tape_failed_on_load = false;
+            if injector.is_active() {
+                let mut tries = 0u32;
+                while injector.load_fails() {
+                    if tries >= faults.load_retries {
+                        tape_failed_on_load = true;
+                        break;
+                    }
+                    tries += 1;
+                    switch += timing.robot.exchange() + timing.drive.load();
+                }
+            }
             now += switch;
             metrics.add_switch_time(now, switch);
             metrics.record_tape_switch(now);
+            if tape_failed_on_load {
+                injector.force_tape_failure(plan.tape, now);
+                mounted = None;
+                head = SlotIndex::BOT;
+                abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
+                continue 'outer;
+            }
             mounted = Some(plan.tape);
             head = SlotIndex::BOT;
         }
 
         // Step 3: execute the service list.
         loop {
+            let offline = injector.offline().to_vec();
             // Hand arrivals that came due to the incremental scheduler.
             process_due_arrivals(
                 catalog,
@@ -169,15 +296,36 @@ pub fn run_simulation(
                 now,
                 mounted,
                 head,
+                &offline,
                 &mut plan,
                 &mut pending,
-            );
+                &mut metrics,
+            )?;
             if pending.len() > cfg.max_pending {
                 saturated = true;
+                stranded_in_plan = plan.list.requests() as u64;
                 break 'outer;
             }
             if now >= end {
+                stranded_in_plan = plan.list.requests() as u64;
                 break 'outer;
+            }
+            if injector.is_active() {
+                injector.advance(now);
+                if let Some(repair) = injector.drive_outage(0, now) {
+                    // The drive is repaired in place; the sweep resumes.
+                    now += repair;
+                    metrics.add_repair_time(now, repair);
+                    continue;
+                }
+                if injector.is_offline(plan.tape) {
+                    // The mounted tape failed mid-sweep: the remaining
+                    // requests fail over to replicas or wait for repair.
+                    mounted = None;
+                    head = SlotIndex::BOT;
+                    abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
+                    continue 'outer;
+                }
             }
             let Some((stop, _phase)) = plan.list.pop() else {
                 break; // sweep complete; head stays put
@@ -192,6 +340,63 @@ pub fn run_simulation(
             let rt = timing.drive.read_block(block, ctx);
             now += lt;
             metrics.add_locate_time(now, lt);
+            // Fault: every failed read attempt costs another pass over the
+            // block; exhausting the retries loses the copy.
+            let mut read_ok = true;
+            if injector.is_active() {
+                let mut tries = 0u32;
+                while injector.media_error() {
+                    now += rt;
+                    metrics.add_read_time(now, rt);
+                    if tries >= faults.media_retries {
+                        read_ok = false;
+                        break;
+                    }
+                    tries += 1;
+                }
+            }
+            if !read_ok {
+                head = stop.slot.next();
+                let addr = PhysicalAddr {
+                    tape: plan.tape,
+                    slot: stop.slot,
+                };
+                injector.mark_bad_copy(addr);
+                for r in &stop.requests {
+                    let survives = catalog
+                        .replicas(r.block)
+                        .iter()
+                        .any(|a| !injector.copy_dead(*a));
+                    if survives {
+                        faulted.insert(r.id, plan.tape);
+                        pending.push(*r);
+                    } else {
+                        faulted.remove(&r.id);
+                        metrics.record_permanent_failure();
+                        if closed {
+                            let req = factory.make(now);
+                            metrics.record_admission();
+                            let view = JukeboxView {
+                                catalog,
+                                timing,
+                                mounted,
+                                head,
+                                now,
+                                unavailable: &[],
+                                offline: &offline,
+                            };
+                            scheduler.on_arrival(
+                                &view,
+                                plan.tape,
+                                &mut plan.list,
+                                req,
+                                &mut pending,
+                            );
+                        }
+                    }
+                }
+                continue;
+            }
             now += rt;
             metrics.add_read_time(now, rt);
             head = stop.slot.next();
@@ -203,10 +408,18 @@ pub fn run_simulation(
             let completions = stop.requests.len();
             for r in &stop.requests {
                 metrics.record_completion(r.arrival, now, block_bytes);
+                if !faulted.is_empty() {
+                    if let Some(failed_tape) = faulted.remove(&r.id) {
+                        if failed_tape != plan.tape {
+                            metrics.record_replica_failover();
+                        }
+                    }
+                }
             }
             if closed {
                 for _ in 0..completions {
                     let req = factory.make(now);
+                    metrics.record_admission();
                     let view = JukeboxView {
                         catalog,
                         timing,
@@ -214,6 +427,7 @@ pub fn run_simulation(
                         head,
                         now,
                         unavailable: &[],
+                        offline: &offline,
                     };
                     scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, &mut pending);
                 }
@@ -231,7 +445,40 @@ pub fn run_simulation(
     } else {
         cfg.duration - cfg.warmup
     };
-    metrics.report(window, saturated)
+    if injector.is_active() {
+        injector.advance(now);
+        metrics.set_fault_accounting(
+            injector.media_errors(),
+            injector.tape_downtime(now),
+            injector.degraded_time(now),
+            pending.len() as u64 + stranded_in_plan,
+        );
+    } else {
+        metrics.set_fault_accounting(
+            0,
+            Vec::new(),
+            Micros::ZERO,
+            pending.len() as u64 + stranded_in_plan,
+        );
+    }
+    Ok(metrics.report(window, saturated))
+}
+
+/// Requeues every request still scheduled in `plan` after its tape
+/// failed, marking each as disrupted by `failed_tape` for failover
+/// attribution.
+pub(crate) fn abort_plan(
+    plan: &SweepPlan,
+    failed_tape: TapeId,
+    pending: &mut PendingList,
+    faulted: &mut HashMap<RequestId, TapeId>,
+) {
+    for stop in plan.list.forward_stops().chain(plan.list.reverse_stops()) {
+        for r in &stop.requests {
+            faulted.insert(r.id, failed_tape);
+            pending.push(*r);
+        }
+    }
 }
 
 /// Feeds every arrival due at or before `now` to the incremental
@@ -246,14 +493,17 @@ fn process_due_arrivals(
     now: SimTime,
     mounted: Option<TapeId>,
     head: SlotIndex,
+    offline: &[TapeId],
     plan: &mut SweepPlan,
     pending: &mut PendingList,
-) {
+    metrics: &mut MetricsCollector,
+) -> Result<(), SimError> {
     while let Some(t) = *next_arrival {
         if t > now {
             break;
         }
         let req = factory.make(t);
+        metrics.record_admission();
         let view = JukeboxView {
             catalog,
             timing,
@@ -261,11 +511,15 @@ fn process_due_arrivals(
             head,
             now,
             unavailable: &[],
+            offline,
         };
         scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, pending);
-        let gap = factory.next_interarrival().expect("open process");
+        let gap = factory
+            .next_interarrival()
+            .ok_or(SimError::ClosedArrivalStream)?;
         *next_arrival = Some(t + gap);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -298,11 +552,31 @@ mod tests {
         seed: u64,
         cfg: &SimConfig,
     ) -> MetricsReport {
+        run_with_faults(catalog, algorithm, process, seed, cfg, &FaultConfig::NONE)
+    }
+
+    fn run_with_faults(
+        catalog: &tapesim_layout::Catalog,
+        algorithm: AlgorithmId,
+        process: ArrivalProcess,
+        seed: u64,
+        cfg: &SimConfig,
+        faults: &FaultConfig,
+    ) -> MetricsReport {
         let timing = TimingModel::paper_default();
         let sampler = BlockSampler::from_catalog(catalog, 40.0);
         let mut factory = RequestFactory::new(sampler, process, seed);
         let mut sched = make_scheduler(algorithm);
-        run_simulation(catalog, &timing, sched.as_mut(), &mut factory, cfg)
+        run_simulation_with_faults(
+            catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            cfg,
+            faults,
+            seed,
+        )
+        .expect("simulation failed")
     }
 
     #[test]
@@ -430,9 +704,198 @@ mod tests {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let cfg = SimConfig::quick();
         let alg = AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth);
-        let q20 = run(&catalog, alg, ArrivalProcess::Closed { queue_length: 20 }, 1, &cfg);
-        let q140 = run(&catalog, alg, ArrivalProcess::Closed { queue_length: 140 }, 1, &cfg);
+        let q20 = run(
+            &catalog,
+            alg,
+            ArrivalProcess::Closed { queue_length: 20 },
+            1,
+            &cfg,
+        );
+        let q140 = run(
+            &catalog,
+            alg,
+            ArrivalProcess::Closed { queue_length: 140 },
+            1,
+            &cfg,
+        );
         assert!(q140.throughput_kb_per_s > q20.throughput_kb_per_s);
         assert!(q140.mean_delay_s > q20.mean_delay_s);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let timing = TimingModel::paper_default();
+        let sampler = BlockSampler::from_catalog(&catalog, 40.0);
+        let mut factory =
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 5 }, 1);
+        let mut sched = make_scheduler(AlgorithmId::Fifo);
+        let bad = SimConfig {
+            duration: Micros::from_secs(10),
+            warmup: Micros::from_secs(10),
+            max_pending: 100,
+        };
+        let err = run_simulation(&catalog, &timing, sched.as_mut(), &mut factory, &bad);
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+        let bad_faults = FaultConfig {
+            media_error_per_read: 2.0,
+            ..FaultConfig::NONE
+        };
+        let err = run_simulation_with_faults(
+            &catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &SimConfig::quick(),
+            &bad_faults,
+            1,
+        );
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn inert_faults_match_the_plain_entry_point() {
+        let catalog = paper_catalog(1, 0.5, LayoutKind::Vertical);
+        let cfg = SimConfig::quick();
+        let proc = ArrivalProcess::Closed { queue_length: 40 };
+        let alg = AlgorithmId::paper_recommended();
+        let plain = run(&catalog, alg, proc, 11, &cfg);
+        let inert = run_with_faults(&catalog, alg, proc, 11, &cfg, &FaultConfig::NONE);
+        assert_eq!(plain, inert);
+        assert_eq!(plain.failed_requests, 0);
+        assert_eq!(plain.media_errors, 0);
+        assert_eq!(plain.degraded_frac, 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_faults_is_deterministic() {
+        let catalog = paper_catalog(1, 0.5, LayoutKind::Vertical);
+        let cfg = SimConfig::quick();
+        let proc = ArrivalProcess::Closed { queue_length: 40 };
+        let faults = FaultConfig {
+            media_error_per_read: 0.02,
+            media_retries: 1,
+            load_failure_p: 0.02,
+            load_retries: 2,
+            tape_mtbf: Some(Micros::from_secs(400_000)),
+            tape_mttr: Some(Micros::from_secs(20_000)),
+            drive_mtbf: Some(Micros::from_secs(300_000)),
+            drive_mttr: Micros::from_secs(5_000),
+        };
+        let alg = AlgorithmId::paper_recommended();
+        let a = run_with_faults(&catalog, alg, proc, 13, &cfg, &faults);
+        let b = run_with_faults(&catalog, alg, proc, 13, &cfg, &faults);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn request_conservation_holds_under_faults() {
+        let catalog = paper_catalog(1, 0.5, LayoutKind::Vertical);
+        let faults = FaultConfig {
+            media_error_per_read: 0.05,
+            media_retries: 0,
+            tape_mtbf: Some(Micros::from_secs(200_000)),
+            tape_mttr: None, // permanent failures
+            ..FaultConfig::NONE
+        };
+        for alg in [
+            AlgorithmId::Fifo,
+            AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+            AlgorithmId::paper_recommended(),
+        ] {
+            let r = run_with_faults(
+                &catalog,
+                alg,
+                ArrivalProcess::Closed { queue_length: 40 },
+                17,
+                &SimConfig::quick(),
+                &faults,
+            );
+            assert_eq!(
+                r.admitted,
+                r.served + r.failed_requests + r.unserved,
+                "conservation violated for {}",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn repairable_tape_failures_degrade_but_do_not_lose_requests() {
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let faults = FaultConfig {
+            tape_mtbf: Some(Micros::from_secs(150_000)),
+            tape_mttr: Some(Micros::from_secs(10_000)),
+            ..FaultConfig::NONE
+        };
+        let r = run_with_faults(
+            &catalog,
+            AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+            ArrivalProcess::Closed { queue_length: 40 },
+            19,
+            &SimConfig::quick(),
+            &faults,
+        );
+        assert_eq!(r.failed_requests, 0, "repairable faults lose nothing");
+        assert!(r.degraded_frac > 0.0, "expected degraded time");
+        assert!(
+            r.tape_downtime_s.iter().any(|&d| d > 0.0),
+            "expected tape downtime"
+        );
+        assert!(r.completed > 50, "service continued: {}", r.completed);
+    }
+
+    #[test]
+    fn replication_reduces_permanent_failures() {
+        // Permanent (unrepaired) tape failures: without replication every
+        // request stranded on a dead tape is lost; with full replication
+        // of the hot data, hot requests fail over to surviving copies.
+        // Cold blocks have a single copy under every NR, so losses do not
+        // drop to zero — but they must drop strictly.
+        let faults = FaultConfig {
+            tape_mtbf: Some(Micros::from_secs(300_000)),
+            tape_mttr: None,
+            ..FaultConfig::NONE
+        };
+        let cfg = SimConfig::quick();
+        let proc = ArrivalProcess::Closed { queue_length: 40 };
+        let alg = AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth);
+        let bare = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let replicated = paper_catalog(9, 1.0, LayoutKind::Vertical);
+        let r0 = run_with_faults(&bare, alg, proc, 23, &cfg, &faults);
+        let r9 = run_with_faults(&replicated, alg, proc, 23, &cfg, &faults);
+        assert!(r0.failed_requests > 0, "expected losses without replicas");
+        assert!(
+            r9.failed_requests < r0.failed_requests,
+            "replication must reduce losses: NR=9 lost {} vs NR=0 lost {}",
+            r9.failed_requests,
+            r0.failed_requests
+        );
+        assert!(r9.completed > 100);
+    }
+
+    #[test]
+    fn media_errors_fail_over_to_replicas() {
+        let catalog = paper_catalog(1, 1.0, LayoutKind::Vertical);
+        let faults = FaultConfig {
+            media_error_per_read: 0.2,
+            media_retries: 0,
+            ..FaultConfig::NONE
+        };
+        let r = run_with_faults(
+            &catalog,
+            AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+            ArrivalProcess::Closed { queue_length: 40 },
+            29,
+            &SimConfig::quick(),
+            &faults,
+        );
+        assert!(r.media_errors > 0, "expected media errors");
+        assert!(
+            r.replica_failovers > 0,
+            "expected failovers, got {} (media errors {})",
+            r.replica_failovers,
+            r.media_errors
+        );
     }
 }

@@ -15,13 +15,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod metrics;
 pub mod multidrive;
 pub mod runner;
 pub mod writeback;
 
-pub use engine::{run_simulation, SimConfig};
-pub use multidrive::run_multi_drive;
-pub use writeback::{run_with_writeback, FlushPolicy, WriteBackConfig, WriteBackReport};
+pub use engine::{run_simulation, run_simulation_with_faults, SimConfig};
+pub use error::SimError;
 pub use metrics::{MetricsCollector, MetricsReport};
+pub use multidrive::{run_multi_drive, run_multi_drive_with_faults};
 pub use runner::{default_seeds, run_one, run_paired, run_seeds, RunSpec};
+pub use writeback::{run_with_writeback, FlushPolicy, WriteBackConfig, WriteBackReport};

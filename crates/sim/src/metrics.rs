@@ -23,6 +23,15 @@ pub struct MetricsCollector {
     time_reading: Micros,
     time_switching: Micros,
     time_idle: Micros,
+    time_repairing: Micros,
+    admitted: u64,
+    served: u64,
+    failed_requests: u64,
+    replica_failovers: u64,
+    media_errors: u64,
+    unserved: u64,
+    tape_downtime: Vec<Micros>,
+    degraded: Micros,
 }
 
 impl MetricsCollector {
@@ -41,12 +50,8 @@ impl MetricsCollector {
 
     /// Records a completed request: `arrival` is when it entered the
     /// system, `now` when its block was delivered.
-    pub fn record_completion(
-        &mut self,
-        arrival: SimTime,
-        now: SimTime,
-        block_bytes: u64,
-    ) {
+    pub fn record_completion(&mut self, arrival: SimTime, now: SimTime, block_bytes: u64) {
+        self.served += 1;
         if !self.in_window(now) {
             return;
         }
@@ -100,6 +105,49 @@ impl MetricsCollector {
         }
     }
 
+    /// Attributes `dur` of drive repair downtime ending at `now`.
+    pub fn add_repair_time(&mut self, now: SimTime, dur: Micros) {
+        if self.in_window(now) {
+            self.time_repairing += dur;
+        }
+    }
+
+    /// Records a request entering the system (counted over the whole run,
+    /// not the window, so that request conservation can be checked).
+    pub fn record_admission(&mut self) {
+        self.admitted += 1;
+    }
+
+    /// Records a request failing permanently: every copy of its block was
+    /// lost (failed tape without repair, or a copy gone bad) so it can
+    /// never be served. Counted over the whole run.
+    pub fn record_permanent_failure(&mut self) {
+        self.failed_requests += 1;
+    }
+
+    /// Records a request completing from a replica after a fault disrupted
+    /// its originally scheduled copy. Counted over the whole run.
+    pub fn record_replica_failover(&mut self) {
+        self.replica_failovers += 1;
+    }
+
+    /// Installs the end-of-run availability accounting produced by the
+    /// fault injector: total media errors drawn, per-tape downtime,
+    /// accumulated degraded-mode time, and requests still unserved (left
+    /// pending or stranded in an aborted sweep) when the run ended.
+    pub fn set_fault_accounting(
+        &mut self,
+        media_errors: u64,
+        tape_downtime: Vec<Micros>,
+        degraded: Micros,
+        unserved: u64,
+    ) {
+        self.media_errors = media_errors;
+        self.tape_downtime = tape_downtime;
+        self.degraded = degraded;
+        self.unserved = unserved;
+    }
+
     /// Finalizes into a report over a window of `window` duration.
     pub fn report(mut self, window: Micros, saturated: bool) -> MetricsReport {
         let secs = window.as_secs_f64();
@@ -144,6 +192,15 @@ impl MetricsCollector {
             read_frac: frac(self.time_reading, window),
             switch_frac: frac(self.time_switching, window),
             idle_frac: frac(self.time_idle, window),
+            repair_frac: frac(self.time_repairing, window),
+            degraded_frac: frac(self.degraded, window),
+            admitted: self.admitted,
+            served: self.served,
+            failed_requests: self.failed_requests,
+            replica_failovers: self.replica_failovers,
+            media_errors: self.media_errors,
+            unserved: self.unserved,
+            tape_downtime_s: self.tape_downtime.iter().map(|d| d.as_secs_f64()).collect(),
             saturated,
         }
     }
@@ -190,6 +247,34 @@ pub struct MetricsReport {
     pub switch_frac: f64,
     /// Fraction of the window spent idle.
     pub idle_frac: f64,
+    /// Fraction of the window the drive spent under repair after a
+    /// whole-drive failure. Zero when fault injection is off.
+    pub repair_frac: f64,
+    /// Fraction of the window spent in degraded mode (at least one tape
+    /// offline). Zero when fault injection is off.
+    pub degraded_frac: f64,
+    /// Requests admitted over the whole run, including warmup.
+    pub admitted: u64,
+    /// Requests served over the whole run, including warmup (`completed`
+    /// counts only the measurement window).
+    pub served: u64,
+    /// Requests that failed permanently: every copy of the block was lost
+    /// to a fault. Counted over the whole run; always zero without fault
+    /// injection.
+    pub failed_requests: u64,
+    /// Requests served from a replica on a different tape after a fault
+    /// disrupted their originally scheduled copy. Counted over the whole
+    /// run; always zero without fault injection.
+    pub replica_failovers: u64,
+    /// Media errors injected over the whole run.
+    pub media_errors: u64,
+    /// Requests still unserved when the run ended (pending, or stranded
+    /// in an aborted sweep). `admitted == served + failed_requests +
+    /// unserved` holds for every run.
+    pub unserved: u64,
+    /// Per-tape downtime in seconds over the whole run. Empty when fault
+    /// injection is off.
+    pub tape_downtime_s: Vec<f64>,
     /// True when an open-queuing run was cut short because the pending
     /// queue exceeded the configured bound (overloaded server).
     pub saturated: bool,
@@ -205,8 +290,7 @@ impl MetricsReport {
         let avg = |f: fn(&MetricsReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
         MetricsReport {
             window_secs: avg(|r| r.window_secs),
-            completed: (reports.iter().map(|r| r.completed).sum::<u64>() as f64 / n).round()
-                as u64,
+            completed: (reports.iter().map(|r| r.completed).sum::<u64>() as f64 / n).round() as u64,
             throughput_kb_per_s: avg(|r| r.throughput_kb_per_s),
             requests_per_min: avg(|r| r.requests_per_min),
             mean_delay_s: avg(|r| r.mean_delay_s),
@@ -215,16 +299,45 @@ impl MetricsReport {
             max_delay_s: avg(|r| r.max_delay_s),
             physical_reads: (reports.iter().map(|r| r.physical_reads).sum::<u64>() as f64 / n)
                 .round() as u64,
-            tape_switches: (reports.iter().map(|r| r.tape_switches).sum::<u64>() as f64 / n)
-                .round() as u64,
+            tape_switches: (reports.iter().map(|r| r.tape_switches).sum::<u64>() as f64 / n).round()
+                as u64,
             switches_per_hour: avg(|r| r.switches_per_hour),
             locate_frac: avg(|r| r.locate_frac),
             read_frac: avg(|r| r.read_frac),
             switch_frac: avg(|r| r.switch_frac),
             idle_frac: avg(|r| r.idle_frac),
+            repair_frac: avg(|r| r.repair_frac),
+            degraded_frac: avg(|r| r.degraded_frac),
+            admitted: avg_count(reports, |r| r.admitted),
+            served: avg_count(reports, |r| r.served),
+            failed_requests: avg_count(reports, |r| r.failed_requests),
+            replica_failovers: avg_count(reports, |r| r.replica_failovers),
+            media_errors: avg_count(reports, |r| r.media_errors),
+            unserved: avg_count(reports, |r| r.unserved),
+            tape_downtime_s: {
+                let tapes = reports
+                    .iter()
+                    .map(|r| r.tape_downtime_s.len())
+                    .max()
+                    .unwrap_or(0);
+                (0..tapes)
+                    .map(|i| {
+                        reports
+                            .iter()
+                            .map(|r| r.tape_downtime_s.get(i).copied().unwrap_or(0.0))
+                            .sum::<f64>()
+                            / n
+                    })
+                    .collect()
+            },
             saturated: reports.iter().any(|r| r.saturated),
         }
     }
+}
+
+/// Mean of a counter across reports, rounded to the nearest integer.
+fn avg_count(reports: &[MetricsReport], f: fn(&MetricsReport) -> u64) -> u64 {
+    (reports.iter().map(f).sum::<u64>() as f64 / reports.len() as f64).round() as u64
 }
 
 #[cfg(test)]
@@ -305,6 +418,39 @@ mod tests {
         assert!((m.mean_delay_s - (ra.mean_delay_s + rb.mean_delay_s) / 2.0).abs() < 1e-12);
         assert_eq!(m.completed, 2); // (1 + 2) / 2 rounds to 2
         assert!(m.saturated);
+    }
+
+    #[test]
+    fn availability_accounting_flows_into_the_report() {
+        let mut m = MetricsCollector::new(SimTime::ZERO);
+        m.record_admission();
+        m.record_admission();
+        m.record_admission();
+        m.record_completion(SimTime::ZERO, SimTime::from_secs(5), 1024);
+        m.record_permanent_failure();
+        m.record_replica_failover();
+        m.add_repair_time(SimTime::from_secs(9), Micros::from_secs(10));
+        m.set_fault_accounting(
+            4,
+            vec![Micros::from_secs(25), Micros::ZERO],
+            Micros::from_secs(25),
+            1,
+        );
+        let r = m.report(Micros::from_secs(100), false);
+        assert_eq!(r.admitted, 3);
+        assert_eq!(r.served, 1);
+        assert_eq!(r.failed_requests, 1);
+        assert_eq!(r.replica_failovers, 1);
+        assert_eq!(r.media_errors, 4);
+        assert_eq!(r.unserved, 1);
+        assert_eq!(r.admitted, r.served + r.failed_requests + r.unserved);
+        assert!((r.repair_frac - 0.10).abs() < 1e-12);
+        assert!((r.degraded_frac - 0.25).abs() < 1e-12);
+        assert_eq!(r.tape_downtime_s, vec![25.0, 0.0]);
+        // Averaging keeps the availability fields.
+        let m2 = MetricsReport::mean_of(&[r.clone(), r.clone()]);
+        assert_eq!(m2.failed_requests, 1);
+        assert_eq!(m2.tape_downtime_s, vec![25.0, 0.0]);
     }
 
     #[test]

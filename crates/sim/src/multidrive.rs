@@ -13,18 +13,24 @@
 //! drive at whose operation boundary they surface; the scheduler instance
 //! (and, for the envelope algorithm, its envelope state) is shared across
 //! drives, mirroring a per-jukebox scheduling daemon.
+//!
+//! [`run_multi_drive_with_faults`] additionally injects the fault model of
+//! [`tapesim_model::faults`], per drive and per tape, exactly as
+//! [`crate::engine::run_simulation_with_faults`] does for one drive.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use tapesim_layout::Catalog;
 use tapesim_model::{
-    LocateDirection, Micros, ReadContext, SimTime, SlotIndex, TapeId, TimingModel,
+    FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext, SimTime,
+    SlotIndex, TapeId, TimingModel,
 };
-use tapesim_sched::{JukeboxView, PendingList, Scheduler, SweepPlan};
-use tapesim_workload::{ArrivalProcess, RequestFactory};
+use tapesim_sched::{JukeboxView, PendingList, Scheduler};
+use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
 
-use crate::engine::SimConfig;
+use crate::engine::{abort_plan, SimConfig};
+use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
 
 /// A request waiting to become visible at its arrival instant (closed-
@@ -53,13 +59,20 @@ impl PartialOrd for QueuedArrival {
 struct DriveState {
     mounted: Option<TapeId>,
     head: SlotIndex,
-    plan: Option<SweepPlan>,
+    plan: Option<tapesim_sched::SweepPlan>,
     free_at: SimTime,
+    /// True when `free_at` was set by the idle branch (nothing was
+    /// schedulable). An idle drive's wake changes no jukebox state, so
+    /// *other* idle drives must not treat it as an event to wait for —
+    /// two idle drives leapfrogging each other's wake times would
+    /// otherwise crawl forward a microsecond at a time.
+    idle: bool,
 }
 
-/// Runs a jukebox with `drives` tape drives sharing one robot arm.
-/// With `drives == 1` this behaves like [`crate::engine::run_simulation`]
-/// (modulo immaterial bookkeeping differences in event ordering).
+/// Runs a fault-free jukebox with `drives` tape drives sharing one robot
+/// arm. With `drives == 1` this behaves like
+/// [`crate::engine::run_simulation`] (modulo immaterial bookkeeping
+/// differences in event ordering).
 pub fn run_multi_drive(
     catalog: &Catalog,
     timing: &TimingModel,
@@ -67,13 +80,46 @@ pub fn run_multi_drive(
     factory: &mut RequestFactory,
     cfg: &SimConfig,
     drives: u16,
-) -> MetricsReport {
-    assert!(drives >= 1, "need at least one drive");
-    assert!(
-        drives <= catalog.geometry().tapes,
-        "more drives than tapes is pointless"
-    );
-    assert!(cfg.warmup < cfg.duration, "warmup must precede the horizon");
+) -> Result<MetricsReport, SimError> {
+    run_multi_drive_with_faults(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        drives,
+        &FaultConfig::NONE,
+        0,
+    )
+}
+
+/// Runs a multi-drive jukebox under the given fault model. `fault_seed`
+/// drives every fault substream, independently of the workload stream.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multi_drive_with_faults(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    drives: u16,
+    faults: &FaultConfig,
+    fault_seed: u64,
+) -> Result<MetricsReport, SimError> {
+    if drives < 1 {
+        return Err(SimError::InvalidConfig("need at least one drive"));
+    }
+    if drives > catalog.geometry().tapes {
+        return Err(SimError::InvalidConfig(
+            "more drives than tapes is pointless",
+        ));
+    }
+    if cfg.warmup >= cfg.duration {
+        return Err(SimError::InvalidConfig("warmup must precede the horizon"));
+    }
+    faults.validate().map_err(SimError::InvalidConfig)?;
+    let mut injector =
+        FaultInjector::new(*faults, &catalog.geometry(), drives as usize, fault_seed);
     let block = catalog.block_size();
     let block_bytes = block.bytes();
     let end = SimTime::ZERO + cfg.duration;
@@ -86,12 +132,14 @@ pub fn run_multi_drive(
     let mut metrics = MetricsCollector::new(warmup_end);
     let mut saturated = false;
     let mut robot_free = SimTime::ZERO;
+    let mut faulted: HashMap<RequestId, TapeId> = HashMap::new();
     let mut states: Vec<DriveState> = (0..drives)
         .map(|_| DriveState {
             mounted: None,
             head: SlotIndex::BOT,
             plan: None,
             free_at: SimTime::ZERO,
+            idle: false,
         })
         .collect();
 
@@ -101,24 +149,73 @@ pub fn run_multi_drive(
         ArrivalProcess::Closed { queue_length } => {
             for _ in 0..queue_length {
                 pending.push(factory.make(SimTime::ZERO));
+                metrics.record_admission();
             }
         }
         ArrivalProcess::OpenPoisson { .. } => {
-            let gap = factory.next_interarrival().expect("open process");
+            let gap = factory
+                .next_interarrival()
+                .ok_or(SimError::ClosedArrivalStream)?;
             next_arrival = Some(SimTime::ZERO + gap);
         }
     }
 
     let mut now = SimTime::ZERO;
-    'outer: loop {
-        // Next drive to act: earliest free_at, lowest index on ties.
-        let d = (0..states.len())
-            .min_by_key(|&i| (states[i].free_at, i))
-            .expect("at least one drive");
+    // Next drive to act: earliest free_at, lowest index on ties.
+    'outer: while let Some(d) = (0..states.len()).min_by_key(|&i| (states[i].free_at, i)) {
         now = states[d].free_at.max(now);
+        states[d].idle = false;
         if now >= end {
             break;
         }
+
+        if injector.is_active() {
+            injector.advance(now);
+            // A failed drive sits out its repair; the other drives keep
+            // serving.
+            if let Some(repair) = injector.drive_outage(d, now) {
+                states[d].free_at = now + repair;
+                metrics.add_repair_time(now + repair, repair);
+                continue 'outer;
+            }
+            // Fail out requests no surviving copy can serve any more.
+            if injector.has_permanent_damage() {
+                let dead = pending.extract(|r| {
+                    catalog
+                        .replicas(r.block)
+                        .iter()
+                        .all(|a| injector.copy_dead(*a))
+                });
+                for r in dead {
+                    faulted.remove(&r.id);
+                    metrics.record_permanent_failure();
+                    if closed {
+                        queued.push(Reverse(QueuedArrival {
+                            at: now,
+                            seq,
+                            req: factory.make(now),
+                        }));
+                        seq += 1;
+                        metrics.record_admission();
+                    }
+                }
+            }
+            // The tape under this drive failed: abort the sweep and let
+            // the requests fail over or wait for the repair.
+            let tape_dead = states[d]
+                .plan
+                .as_ref()
+                .is_some_and(|p| injector.is_offline(p.tape));
+            if tape_dead {
+                if let Some(plan) = states[d].plan.take() {
+                    abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
+                }
+                states[d].mounted = None;
+                states[d].head = SlotIndex::BOT;
+                continue 'outer;
+            }
+        }
+        let offline = injector.offline().to_vec();
 
         // Deliver due arrivals (Poisson stream and queued closed-queue
         // regenerations, in time order). If drive `d` has an active sweep
@@ -135,7 +232,10 @@ pub fn run_multi_drive(
                         req: factory.make(t),
                     }));
                     seq += 1;
-                    let gap = factory.next_interarrival().expect("open process");
+                    metrics.record_admission();
+                    let gap = factory
+                        .next_interarrival()
+                        .ok_or(SimError::ClosedArrivalStream)?;
                     next_arrival = Some(t + gap);
                     continue;
                 }
@@ -144,11 +244,12 @@ pub fn run_multi_drive(
             if !due {
                 break;
             }
-            let Reverse(q) = queued.pop().expect("peeked");
+            let Some(Reverse(q)) = queued.pop() else {
+                break;
+            };
+            let unavailable = tapes_held_except(&states, d);
             let (mounted, head) = (states[d].mounted, states[d].head);
-            if states[d].plan.is_some() {
-                let unavailable = tapes_held_except(&states, d);
-                let plan = states[d].plan.as_mut().expect("checked above");
+            if let Some(plan) = states[d].plan.as_mut() {
                 let view = JukeboxView {
                     catalog,
                     timing,
@@ -156,6 +257,7 @@ pub fn run_multi_drive(
                     head,
                     now,
                     unavailable: &unavailable,
+                    offline: &offline,
                 };
                 scheduler.on_arrival(&view, plan.tape, &mut plan.list, q.req, &mut pending);
             } else {
@@ -167,15 +269,18 @@ pub fn run_multi_drive(
             break 'outer;
         }
 
-        let has_stops = states[d]
-            .plan
-            .as_ref()
-            .is_some_and(|p| !p.list.is_empty());
+        let has_stops = states[d].plan.as_ref().is_some_and(|p| !p.list.is_empty());
         if has_stops {
             // Execute the next stop of this drive's sweep.
-            let plan = states[d].plan.as_mut().expect("checked above");
-            let (stop, _phase) = plan.list.pop().expect("non-empty");
-            let tape = plan.tape;
+            let (stop, tape) = {
+                let Some(plan) = states[d].plan.as_mut() else {
+                    continue;
+                };
+                match plan.list.pop() {
+                    Some((stop, _phase)) => (stop, plan.tape),
+                    None => continue,
+                }
+            };
             let (lt, dir) = timing.drive.locate(states[d].head, stop.slot, block);
             let ctx = match dir {
                 None => ReadContext::Streaming,
@@ -183,15 +288,71 @@ pub fn run_multi_drive(
                 Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
             };
             let rt = timing.drive.read_block(block, ctx);
-            let done = now + lt + rt;
+            // Fault: every failed read attempt costs another pass over the
+            // block; exhausting the retries loses the copy.
+            let mut extra = Micros::ZERO;
+            let mut read_ok = true;
+            if injector.is_active() {
+                let mut tries = 0u32;
+                while injector.media_error() {
+                    extra += rt;
+                    if tries >= faults.media_retries {
+                        read_ok = false;
+                        break;
+                    }
+                    tries += 1;
+                }
+            }
+            if !read_ok {
+                let done = now + lt + extra;
+                metrics.add_locate_time(done, lt);
+                metrics.add_read_time(done, extra);
+                states[d].head = stop.slot.next();
+                states[d].free_at = done;
+                injector.mark_bad_copy(PhysicalAddr {
+                    tape,
+                    slot: stop.slot,
+                });
+                for r in &stop.requests {
+                    let survives = catalog
+                        .replicas(r.block)
+                        .iter()
+                        .any(|a| !injector.copy_dead(*a));
+                    if survives {
+                        faulted.insert(r.id, tape);
+                        pending.push(*r);
+                    } else {
+                        faulted.remove(&r.id);
+                        metrics.record_permanent_failure();
+                        if closed {
+                            queued.push(Reverse(QueuedArrival {
+                                at: done,
+                                seq,
+                                req: factory.make(done),
+                            }));
+                            seq += 1;
+                            metrics.record_admission();
+                        }
+                    }
+                }
+                continue;
+            }
+            let done = now + lt + extra + rt;
             metrics.add_locate_time(done, lt);
-            metrics.add_read_time(done, rt);
+            metrics.add_read_time(done, extra + rt);
             metrics.record_physical_read(done);
             states[d].head = stop.slot.next();
             states[d].free_at = done;
             let completions = stop.requests.len();
             for r in &stop.requests {
                 metrics.record_completion(r.arrival, done, block_bytes);
+                if !faulted.is_empty() {
+                    if let Some(failed_tape) = faulted.remove(&r.id) {
+                        if failed_tape != tape {
+                            metrics.record_replica_failover();
+                        }
+                    }
+                }
             }
             if closed {
                 for _ in 0..completions {
@@ -201,9 +362,9 @@ pub fn run_multi_drive(
                         req: factory.make(done),
                     }));
                     seq += 1;
+                    metrics.record_admission();
                 }
             }
-            let _ = tape;
             continue;
         }
 
@@ -217,21 +378,44 @@ pub fn run_multi_drive(
             head: states[d].head,
             now,
             unavailable: &unavailable,
+            offline: &offline,
         };
         match scheduler.major_reschedule(&view, &mut pending) {
             Some(plan) => {
                 if states[d].mounted != Some(plan.tape) {
                     // Rewind + eject locally, then the (shared) robot
-                    // exchange, then load.
+                    // exchange, then load. Each failed load attempt costs
+                    // another robot exchange + load; exhausting the
+                    // retries fails the tape itself.
                     let mut t = now;
                     if states[d].mounted.is_some() {
                         t = t + timing.drive.rewind(states[d].head, block) + timing.drive.eject();
                     }
-                    let robot_start = t.max(robot_free);
-                    robot_free = robot_start + timing.robot.exchange();
-                    let ready = robot_free + timing.drive.load();
+                    robot_free = t.max(robot_free) + timing.robot.exchange();
+                    let mut ready = robot_free + timing.drive.load();
+                    let mut tape_failed_on_load = false;
+                    if injector.is_active() {
+                        let mut tries = 0u32;
+                        while injector.load_fails() {
+                            if tries >= faults.load_retries {
+                                tape_failed_on_load = true;
+                                break;
+                            }
+                            tries += 1;
+                            robot_free = ready.max(robot_free) + timing.robot.exchange();
+                            ready = robot_free + timing.drive.load();
+                        }
+                    }
                     metrics.add_switch_time(ready, ready.duration_since(now));
                     metrics.record_tape_switch(ready);
+                    if tape_failed_on_load {
+                        injector.force_tape_failure(plan.tape, ready);
+                        abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
+                        states[d].mounted = None;
+                        states[d].head = SlotIndex::BOT;
+                        states[d].free_at = ready;
+                        continue 'outer;
+                    }
                     states[d].mounted = Some(plan.tape);
                     states[d].head = SlotIndex::BOT;
                     states[d].free_at = ready;
@@ -240,10 +424,11 @@ pub fn run_multi_drive(
             }
             None => {
                 // Nothing this drive can do: wait for the next system
-                // event (another drive's action or an arrival).
+                // event (another drive's action, an arrival, or a fault
+                // repair that brings a tape back).
                 let mut next = end;
                 for (i, s) in states.iter().enumerate() {
-                    if i != d && s.free_at > now && s.free_at < next {
+                    if i != d && !s.idle && s.free_at > now && s.free_at < next {
                         next = s.free_at;
                     }
                 }
@@ -255,6 +440,11 @@ pub fn run_multi_drive(
                 if let Some(Reverse(q)) = queued.peek() {
                     if q.at > now && q.at < next {
                         next = q.at;
+                    }
+                }
+                if let Some(t) = injector.next_event(now) {
+                    if t < next {
+                        next = t;
                     }
                 }
                 if next >= end {
@@ -272,6 +462,7 @@ pub fn run_multi_drive(
                 }
                 metrics.add_idle_time(next, next.duration_since(now));
                 states[d].free_at = next + Micros::from_micros(1);
+                states[d].idle = true;
             }
         }
     }
@@ -285,7 +476,24 @@ pub fn run_multi_drive(
     } else {
         cfg.duration - cfg.warmup
     };
-    metrics.report(window, saturated)
+    let stranded: u64 = states
+        .iter()
+        .map(|s| s.plan.as_ref().map_or(0, |p| p.list.requests() as u64))
+        .sum::<u64>()
+        + queued.len() as u64
+        + pending.len() as u64;
+    if injector.is_active() {
+        injector.advance(now);
+        metrics.set_fault_accounting(
+            injector.media_errors(),
+            injector.tape_downtime(now),
+            injector.degraded_time(now),
+            stranded,
+        );
+    } else {
+        metrics.set_fault_accounting(0, Vec::new(), Micros::ZERO, stranded);
+    }
+    Ok(metrics.report(window, saturated))
 }
 
 /// Tapes mounted in (or reserved by) every drive other than `except`.
@@ -306,20 +514,39 @@ mod tests {
     use tapesim_sched::{make_scheduler, AlgorithmId, TapeSelectPolicy};
     use tapesim_workload::BlockSampler;
 
-    fn run(drives: u16, alg: AlgorithmId, queue: u32, seed: u64) -> MetricsReport {
-        let placed = build_placement(
+    fn paper_catalog(nr: u32, sp: f64, layout: LayoutKind) -> Catalog {
+        build_placement(
             JukeboxGeometry::PAPER_DEFAULT,
             BlockSize::PAPER_DEFAULT,
             PlacementConfig {
-                layout: LayoutKind::Horizontal,
+                layout,
                 ph_percent: 10.0,
-                replicas: 0,
-                sp: 0.0,
+                replicas: nr,
+                sp,
             },
         )
-        .unwrap();
+        .unwrap()
+        .catalog
+    }
+
+    fn run(drives: u16, alg: AlgorithmId, queue: u32, seed: u64) -> MetricsReport {
+        run_faulty(drives, alg, queue, seed, &FaultConfig::NONE)
+    }
+
+    fn run_faulty(
+        drives: u16,
+        alg: AlgorithmId,
+        queue: u32,
+        seed: u64,
+        faults: &FaultConfig,
+    ) -> MetricsReport {
+        let catalog = if faults.is_inert() {
+            paper_catalog(0, 0.0, LayoutKind::Horizontal)
+        } else {
+            paper_catalog(1, 0.5, LayoutKind::Vertical)
+        };
         let timing = TimingModel::paper_default();
-        let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+        let sampler = BlockSampler::from_catalog(&catalog, 40.0);
         let mut factory = RequestFactory::new(
             sampler,
             ArrivalProcess::Closed {
@@ -328,19 +555,27 @@ mod tests {
             seed,
         );
         let mut sched = make_scheduler(alg);
-        run_multi_drive(
-            &placed.catalog,
+        run_multi_drive_with_faults(
+            &catalog,
             &timing,
             sched.as_mut(),
             &mut factory,
             &SimConfig::quick(),
             drives,
+            faults,
+            seed,
         )
+        .expect("simulation failed")
     }
 
     #[test]
     fn single_drive_matches_scale_of_engine() {
-        let r = run(1, AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth), 60, 1);
+        let r = run(
+            1,
+            AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+            60,
+            1,
+        );
         assert!(r.completed > 200, "completed {}", r.completed);
         assert!(r.throughput_kb_per_s > 100.0);
     }
@@ -393,7 +628,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "more drives than tapes")]
     fn too_many_drives_rejected() {
         let placed = build_placement(
             JukeboxGeometry::new(2, 1024),
@@ -408,13 +642,10 @@ mod tests {
         .unwrap();
         let timing = TimingModel::paper_default();
         let sampler = BlockSampler::from_catalog(&placed.catalog, 0.0);
-        let mut factory = RequestFactory::new(
-            sampler,
-            ArrivalProcess::Closed { queue_length: 5 },
-            1,
-        );
+        let mut factory =
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 5 }, 1);
         let mut sched = make_scheduler(AlgorithmId::Fifo);
-        let _ = run_multi_drive(
+        let err = run_multi_drive(
             &placed.catalog,
             &timing,
             sched.as_mut(),
@@ -422,5 +653,52 @@ mod tests {
             &SimConfig::quick(),
             3,
         );
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+        let err = run_multi_drive(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &SimConfig::quick(),
+            0,
+        );
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn multi_drive_conserves_requests_under_faults() {
+        let faults = FaultConfig {
+            media_error_per_read: 0.05,
+            media_retries: 0,
+            load_failure_p: 0.02,
+            load_retries: 1,
+            tape_mtbf: Some(Micros::from_secs(200_000)),
+            tape_mttr: Some(Micros::from_secs(15_000)),
+            drive_mtbf: Some(Micros::from_secs(250_000)),
+            drive_mttr: Micros::from_secs(4_000),
+        };
+        for drives in [1, 3] {
+            let r = run_faulty(drives, AlgorithmId::paper_recommended(), 60, 31, &faults);
+            assert_eq!(
+                r.admitted,
+                r.served + r.failed_requests + r.unserved,
+                "conservation violated with {drives} drives"
+            );
+            assert!(r.completed > 50, "progress with {drives} drives");
+        }
+    }
+
+    #[test]
+    fn multi_drive_faults_are_deterministic() {
+        let faults = FaultConfig {
+            media_error_per_read: 0.02,
+            media_retries: 1,
+            tape_mtbf: Some(Micros::from_secs(300_000)),
+            tape_mttr: Some(Micros::from_secs(10_000)),
+            ..FaultConfig::NONE
+        };
+        let a = run_faulty(2, AlgorithmId::paper_recommended(), 60, 37, &faults);
+        let b = run_faulty(2, AlgorithmId::paper_recommended(), 60, 37, &faults);
+        assert_eq!(a, b);
     }
 }

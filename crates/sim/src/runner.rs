@@ -5,13 +5,18 @@
 //! seeds — in parallel across OS threads — and averages the reports.
 
 use tapesim_layout::Catalog;
-use tapesim_model::TimingModel;
+use tapesim_model::{substream, FaultConfig, TimingModel};
 use tapesim_sched::{make_scheduler, AlgorithmId};
 use tapesim_workload::{ArrivalProcess, BlockSampler, RequestFactory};
 
-use crate::engine::{run_simulation, SimConfig};
+use crate::engine::{run_simulation_with_faults, SimConfig};
+use crate::error::SimError;
 use crate::metrics::MetricsReport;
-use crate::multidrive::run_multi_drive;
+use crate::multidrive::run_multi_drive_with_faults;
+
+/// Substream offset deriving a run's fault seed from its workload seed
+/// (offsets below `0x100` are reserved by `tapesim_model::faults`).
+const FAULT_SEED_STREAM: u64 = 0x200;
 
 /// A complete description of one simulated experiment point.
 #[derive(Clone)]
@@ -34,50 +39,80 @@ pub struct RunSpec<'a> {
     pub drives: u16,
     /// Horizon, warmup, and overload bound.
     pub config: SimConfig,
+    /// Fault model ([`FaultConfig::NONE`] reproduces the paper's
+    /// fault-free runs exactly). The fault streams are seeded from the
+    /// run's workload seed, so one seed reproduces the whole run.
+    pub faults: FaultConfig,
 }
 
 /// Runs the specification once with the given seed.
-pub fn run_one(spec: &RunSpec<'_>, seed: u64) -> MetricsReport {
+pub fn run_one(spec: &RunSpec<'_>, seed: u64) -> Result<MetricsReport, SimError> {
     let sampler = BlockSampler::from_catalog(spec.catalog, spec.rh_percent);
     let mut factory =
         RequestFactory::new_clustered(sampler, spec.process, spec.cluster_run_p, seed);
     let mut scheduler = make_scheduler(spec.algorithm);
+    let fault_seed = substream(seed, FAULT_SEED_STREAM);
     if spec.drives <= 1 {
-        run_simulation(
+        run_simulation_with_faults(
             spec.catalog,
             spec.timing,
             scheduler.as_mut(),
             &mut factory,
             &spec.config,
+            &spec.faults,
+            fault_seed,
         )
     } else {
-        run_multi_drive(
+        run_multi_drive_with_faults(
             spec.catalog,
             spec.timing,
             scheduler.as_mut(),
             &mut factory,
             &spec.config,
             spec.drives,
+            &spec.faults,
+            fault_seed,
         )
     }
 }
 
 /// Runs the specification under each seed (in parallel) and returns the
 /// averaged report plus the per-seed reports, in seed order.
-pub fn run_seeds(spec: &RunSpec<'_>, seeds: &[u64]) -> (MetricsReport, Vec<MetricsReport>) {
-    assert!(!seeds.is_empty(), "need at least one seed");
+pub fn run_seeds(
+    spec: &RunSpec<'_>,
+    seeds: &[u64],
+) -> Result<(MetricsReport, Vec<MetricsReport>), SimError> {
+    if seeds.is_empty() {
+        return Err(SimError::InvalidConfig("need at least one seed"));
+    }
     let reports: Vec<MetricsReport> = if seeds.len() == 1 {
-        vec![run_one(spec, seeds[0])]
+        vec![run_one(spec, seeds[0])?]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = seeds
                 .iter()
                 .map(|&seed| scope.spawn(move || run_one(spec, seed)))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(worker_panic_error)?)
+                .collect::<Result<Vec<_>, SimError>>()
+        })?
     };
-    (MetricsReport::mean_of(&reports), reports)
+    Ok((MetricsReport::mean_of(&reports), reports))
+}
+
+/// Converts a thread-join panic payload into a [`SimError`], preserving
+/// the panic message when it was a string.
+fn worker_panic_error(payload: Box<dyn std::any::Any + Send>) -> SimError {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_owned()
+    };
+    SimError::WorkerPanicked(msg)
 }
 
 /// The default seed set used by the experiment harnesses.
@@ -97,13 +132,21 @@ pub fn run_paired(
     process: ArrivalProcess,
     config: &SimConfig,
     seed: u64,
-) -> Vec<MetricsReport> {
+) -> Result<Vec<MetricsReport>, SimError> {
     algorithms
         .iter()
         .map(|&alg| {
             let mut factory = RequestFactory::from_trace(trace.clone(), process, seed);
             let mut scheduler = make_scheduler(alg);
-            run_simulation(catalog, timing, scheduler.as_mut(), &mut factory, config)
+            run_simulation_with_faults(
+                catalog,
+                timing,
+                scheduler.as_mut(),
+                &mut factory,
+                config,
+                &FaultConfig::NONE,
+                0,
+            )
         })
         .collect()
 }
@@ -138,16 +181,38 @@ mod tests {
             cluster_run_p: 0.0,
             drives: 1,
             config: SimConfig::quick(),
+            faults: FaultConfig::NONE,
         };
         let seeds = default_seeds(3);
-        let (mean, per_seed) = run_seeds(&spec, &seeds);
+        let (mean, per_seed) = run_seeds(&spec, &seeds).unwrap();
         assert_eq!(per_seed.len(), 3);
         // Averaging really averaged.
         let manual: f64 = per_seed.iter().map(|r| r.throughput_kb_per_s).sum::<f64>() / 3.0;
         assert!((mean.throughput_kb_per_s - manual).abs() < 1e-9);
         // Per-seed order is deterministic: rerunning matches.
-        let (_, again) = run_seeds(&spec, &seeds);
+        let (_, again) = run_seeds(&spec, &seeds).unwrap();
         assert_eq!(per_seed, again);
+    }
+
+    #[test]
+    fn empty_seed_set_is_an_error() {
+        let placed = catalog();
+        let timing = TimingModel::paper_default();
+        let spec = RunSpec {
+            catalog: &placed.catalog,
+            timing: &timing,
+            algorithm: AlgorithmId::Fifo,
+            process: ArrivalProcess::Closed { queue_length: 10 },
+            rh_percent: 40.0,
+            cluster_run_p: 0.0,
+            drives: 1,
+            config: SimConfig::quick(),
+            faults: FaultConfig::NONE,
+        };
+        assert!(matches!(
+            run_seeds(&spec, &[]),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -163,9 +228,10 @@ mod tests {
             cluster_run_p: 0.0,
             drives,
             config: SimConfig::quick(),
+            faults: FaultConfig::NONE,
         };
-        let one = run_one(&mk(1), 5);
-        let three = run_one(&mk(3), 5);
+        let one = run_one(&mk(1), 5).unwrap();
+        let three = run_one(&mk(3), 5).unwrap();
         assert!(three.throughput_kb_per_s > 2.0 * one.throughput_kb_per_s);
     }
 
@@ -188,7 +254,8 @@ mod tests {
             ArrivalProcess::Closed { queue_length: 60 },
             &SimConfig::quick(),
             1,
-        );
+        )
+        .unwrap();
         assert_eq!(reports.len(), 3);
         // Identical algorithm + identical trace = identical report.
         assert_eq!(reports[1], reports[2]);
@@ -196,5 +263,29 @@ mod tests {
         assert_ne!(reports[0], reports[1]);
         // And on the same trace, dynamic cannot lose to static.
         assert!(reports[1].throughput_kb_per_s >= reports[0].throughput_kb_per_s * 0.99);
+    }
+
+    #[test]
+    fn faulty_specs_report_availability_metrics() {
+        let placed = catalog();
+        let timing = TimingModel::paper_default();
+        let spec = RunSpec {
+            catalog: &placed.catalog,
+            timing: &timing,
+            algorithm: AlgorithmId::paper_recommended(),
+            process: ArrivalProcess::Closed { queue_length: 40 },
+            rh_percent: 40.0,
+            cluster_run_p: 0.0,
+            drives: 1,
+            config: SimConfig::quick(),
+            faults: FaultConfig {
+                tape_mtbf: Some(tapesim_model::Micros::from_secs(150_000)),
+                tape_mttr: Some(tapesim_model::Micros::from_secs(10_000)),
+                ..FaultConfig::NONE
+            },
+        };
+        let r = run_one(&spec, 3).unwrap();
+        assert!(r.degraded_frac > 0.0);
+        assert_eq!(r.admitted, r.served + r.failed_requests + r.unserved);
     }
 }

@@ -30,6 +30,7 @@ use tapesim_sched::{JukeboxView, PendingList, Scheduler};
 use tapesim_workload::RequestFactory;
 
 use crate::engine::SimConfig;
+use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
 
 /// When delta blocks are destaged to tape.
@@ -84,9 +85,10 @@ struct Delta {
 /// Runs an open-queuing read workload with a concurrent write stream
 /// destaged per `wb`.
 ///
-/// # Panics
-/// Panics if the factory's arrival process is closed (write-back idle
-/// time only exists in open systems) or if `warmup >= duration`.
+/// # Errors
+/// Returns [`SimError::ClosedArrivalStream`] if the factory's arrival
+/// process is closed (write-back idle time only exists in open systems)
+/// and [`SimError::InvalidConfig`] if `warmup >= duration`.
 pub fn run_with_writeback(
     catalog: &Catalog,
     timing: &TimingModel,
@@ -95,12 +97,15 @@ pub fn run_with_writeback(
     cfg: &SimConfig,
     wb: &WriteBackConfig,
     write_seed: u64,
-) -> WriteBackReport {
-    assert!(cfg.warmup < cfg.duration, "warmup must precede the horizon");
-    assert!(
-        factory.next_interarrival().is_some() || factory.process().initial_requests() == 0,
-        "write-back requires an open-queuing read workload"
-    );
+) -> Result<WriteBackReport, SimError> {
+    if cfg.warmup >= cfg.duration {
+        return Err(SimError::InvalidConfig("warmup must precede the horizon"));
+    }
+    // Probe the arrival stream first (this consumes one interarrival draw,
+    // matching the stream position of earlier releases).
+    if factory.next_interarrival().is_none() && factory.process().initial_requests() != 0 {
+        return Err(SimError::ClosedArrivalStream);
+    }
     let block = catalog.block_size();
     let block_bytes = block.bytes();
     let end = SimTime::ZERO + cfg.duration;
@@ -130,7 +135,9 @@ pub fn run_with_writeback(
     let mut metrics = MetricsCollector::new(warmup_end);
     let mut buffer: VecDeque<Delta> = VecDeque::new();
     let mut next_arrival = {
-        let gap = factory.next_interarrival().expect("open process");
+        let gap = factory
+            .next_interarrival()
+            .ok_or(SimError::ClosedArrivalStream)?;
         Some(SimTime::ZERO + gap)
     };
 
@@ -139,6 +146,7 @@ pub fn run_with_writeback(
     let mut total_age = Micros::ZERO;
     let mut piggyback_flushes = 0u64;
     let mut idle_flushes = 0u64;
+    let mut stranded: u64 = 0;
 
     // Pops every due read/write event at `now`.
     macro_rules! deliver {
@@ -148,7 +156,11 @@ pub fn run_with_writeback(
                     break;
                 }
                 pending.push(factory.make(t));
-                next_arrival = Some(t + factory.next_interarrival().expect("open"));
+                metrics.record_admission();
+                let gap = factory
+                    .next_interarrival()
+                    .ok_or(SimError::ClosedArrivalStream)?;
+                next_arrival = Some(t + gap);
             }
             while let Some(t) = next_write {
                 if t > $now {
@@ -177,6 +189,7 @@ pub fn run_with_writeback(
             head,
             now,
             unavailable: &[],
+            offline: &[],
         };
         if let Some(mut plan) = scheduler.major_reschedule(&view, &mut pending) {
             // Read sweep, exactly as in the base engine.
@@ -195,6 +208,7 @@ pub fn run_with_writeback(
             loop {
                 deliver!(now);
                 if now >= end {
+                    stranded = plan.list.requests() as u64;
                     break 'outer;
                 }
                 // Route due reads through the incremental scheduler.
@@ -249,11 +263,13 @@ pub fn run_with_writeback(
             for d in &buffer {
                 owed[d.dest.index()] += 1;
             }
-            let (ti, _) = owed
+            let Some((ti, _)) = owed
                 .iter()
                 .enumerate()
                 .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
-                .expect("at least one tape");
+            else {
+                return Err(SimError::InvalidConfig("jukebox has no tapes"));
+            };
             let tape = TapeId(ti as u16);
             if mounted != Some(tape) {
                 let mut switch = Micros::ZERO;
@@ -306,7 +322,8 @@ pub fn run_with_writeback(
     }
 
     let window = cfg.duration - cfg.warmup;
-    WriteBackReport {
+    metrics.set_fault_accounting(0, Vec::new(), Micros::ZERO, pending.len() as u64 + stranded);
+    Ok(WriteBackReport {
         reads: metrics.report(window, false),
         deltas_flushed,
         deltas_buffered: buffer.len() as u64,
@@ -318,7 +335,7 @@ pub fn run_with_writeback(
         },
         piggyback_flushes,
         idle_flushes,
-    }
+    })
 }
 
 /// Streams every buffered delta destined for `tape` into its append
@@ -337,13 +354,12 @@ fn flush_deltas(
 ) {
     let block = catalog.block_size();
     let mut first = true;
-    let mut i = 0;
-    while i < buffer.len() {
-        if buffer[i].dest != tape {
-            i += 1;
+    let mut kept: VecDeque<Delta> = VecDeque::with_capacity(buffer.len());
+    for delta in buffer.drain(..) {
+        if delta.dest != tape {
+            kept.push_back(delta);
             continue;
         }
-        let delta = buffer.remove(i).expect("index checked");
         if first {
             let (lt, _) = timing.drive.locate(*head, append_at, block);
             *now += lt;
@@ -363,6 +379,7 @@ fn flush_deltas(
         *deltas_flushed += 1;
         *total_age += now.duration_since(delta.created);
     }
+    *buffer = kept;
 }
 
 /// Deterministic Poisson write stream with round-robin-ish destinations.
@@ -444,6 +461,7 @@ mod tests {
             },
             99,
         )
+        .expect("write-back run failed")
     }
 
     #[test]
@@ -491,6 +509,36 @@ mod tests {
             busy.reads.mean_delay_s,
             quiet.reads.mean_delay_s
         );
+    }
+
+    #[test]
+    fn closed_read_workload_is_rejected() {
+        let placed = build_placement(
+            JukeboxGeometry::PAPER_DEFAULT,
+            BlockSize::PAPER_DEFAULT,
+            PlacementConfig::paper_baseline(),
+        )
+        .unwrap();
+        let timing = TimingModel::paper_default();
+        let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+        let mut factory =
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 10 }, 7);
+        let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+        let err = run_with_writeback(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &SimConfig::quick(),
+            &WriteBackConfig {
+                write_mean_interarrival: Micros::from_secs(100),
+                flush_batch: 5,
+                piggyback_min: 2,
+                policy: FlushPolicy::IdleOnly,
+            },
+            99,
+        );
+        assert_eq!(err, Err(SimError::ClosedArrivalStream));
     }
 
     #[test]

@@ -174,11 +174,7 @@ mod tests {
 
     #[test]
     fn ids_are_sequential() {
-        let mut f = RequestFactory::new(
-            sampler(),
-            ArrivalProcess::Closed { queue_length: 10 },
-            7,
-        );
+        let mut f = RequestFactory::new(sampler(), ArrivalProcess::Closed { queue_length: 10 }, 7);
         let a = f.make(SimTime::ZERO);
         let b = f.make(SimTime::from_secs(1));
         assert_eq!(a.id, RequestId(0));
@@ -189,12 +185,11 @@ mod tests {
     #[test]
     fn factory_is_deterministic_per_seed() {
         let mk = |seed| {
-            let mut f = RequestFactory::new(
-                sampler(),
-                ArrivalProcess::Closed { queue_length: 10 },
-                seed,
-            );
-            (0..100).map(|_| f.make(SimTime::ZERO).block).collect::<Vec<_>>()
+            let mut f =
+                RequestFactory::new(sampler(), ArrivalProcess::Closed { queue_length: 10 }, seed);
+            (0..100)
+                .map(|_| f.make(SimTime::ZERO).block)
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(1), mk(1));
         assert_ne!(mk(1), mk(2));
@@ -202,11 +197,7 @@ mod tests {
 
     #[test]
     fn closed_process_has_no_interarrival() {
-        let mut f = RequestFactory::new(
-            sampler(),
-            ArrivalProcess::Closed { queue_length: 10 },
-            7,
-        );
+        let mut f = RequestFactory::new(sampler(), ArrivalProcess::Closed { queue_length: 10 }, 7);
         assert_eq!(f.next_interarrival(), None);
         assert_eq!(f.process().initial_requests(), 10);
     }

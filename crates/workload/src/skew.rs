@@ -96,9 +96,7 @@ mod tests {
         let s = BlockSampler::new(1000, 100, 40.0);
         let mut rng = StdRng::seed_from_u64(1);
         let n = 50_000;
-        let hot = (0..n)
-            .filter(|_| s.sample(&mut rng).0 < 100)
-            .count() as f64;
+        let hot = (0..n).filter(|_| s.sample(&mut rng).0 < 100).count() as f64;
         let frac = hot / n as f64;
         assert!((frac - 0.4).abs() < 0.01, "hot fraction {frac}");
     }

@@ -39,7 +39,10 @@ mod tests {
     #[test]
     fn zipf_traces_are_deterministic() {
         let z = ZipfSampler::new(100, 1.0);
-        assert_eq!(generate_zipf_trace(&z, 50, 1), generate_zipf_trace(&z, 50, 1));
+        assert_eq!(
+            generate_zipf_trace(&z, 50, 1),
+            generate_zipf_trace(&z, 50, 1)
+        );
     }
 
     #[test]

@@ -23,7 +23,13 @@ fn main() {
     println!("workload over E times more jukeboxes, so queue = {base_queue}/E):\n");
 
     let mut t = Table::new([
-        "NR", "E", "queue", "KB/s", "delay s", "perf ratio", "verdict",
+        "NR",
+        "E",
+        "queue",
+        "KB/s",
+        "delay s",
+        "perf ratio",
+        "verdict",
     ]);
     let mut baseline: Option<MetricsReport> = None;
     let mut best: Option<(u32, f64)> = None;

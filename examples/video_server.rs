@@ -53,8 +53,10 @@ fn main() {
             cluster_run_p: 0.0,
             drives: 1,
             config: sim,
+            faults: tapesim::model::FaultConfig::NONE,
         };
-        let (report, _) = tapesim::sim::run_seeds(&spec, &tapesim::sim::default_seeds(3));
+        let (report, _) = tapesim::sim::run_seeds(&spec, &tapesim::sim::default_seeds(3))
+            .expect("video-server config is valid");
         println!(
             "{label}: {} segments stored, {} copies on tape (E = {:.2})",
             placed.catalog.num_blocks(),

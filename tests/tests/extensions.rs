@@ -58,11 +58,8 @@ fn zipf_stream_served_end_to_end() {
         .expect("feasible");
     let timing = TimingModel::paper_default();
     let sampler = ZipfSampler::new(placed.catalog.num_blocks(), 1.0);
-    let mut factory = RequestFactory::new_zipf(
-        sampler,
-        ArrivalProcess::Closed { queue_length: 60 },
-        3,
-    );
+    let mut factory =
+        RequestFactory::new_zipf(sampler, ArrivalProcess::Closed { queue_length: 60 }, 3);
     let mut sched = make_scheduler(AlgorithmId::paper_recommended());
     let r = run_simulation(
         &placed.catalog,
@@ -70,7 +67,8 @@ fn zipf_stream_served_end_to_end() {
         sched.as_mut(),
         &mut factory,
         &SimConfig::quick(),
-    );
+    )
+    .expect("zipf run is valid");
     assert!(r.completed > 100);
     assert!(!r.saturated);
 }
@@ -97,6 +95,7 @@ fn trace_replay_is_bit_identical() {
             &mut factory,
             &SimConfig::quick(),
         )
+        .expect("trace replay is valid")
     };
     assert_eq!(run(), run());
 }
@@ -131,6 +130,7 @@ fn writeback_policies_trade_freshness_for_latency() {
             },
             42,
         )
+        .expect("write-back run is valid")
     };
     let idle = run(FlushPolicy::IdleOnly);
     let piggy = run(FlushPolicy::Piggyback);
@@ -158,4 +158,61 @@ fn experiment_result_reports_confidence_intervals() {
         res.report.throughput_kb_per_s
     );
     assert!(res.delay_ci95 >= 0.0);
+}
+
+#[test]
+fn faulty_experiments_are_reproducible_from_one_seed() {
+    // The entire run — workload, fault schedule, repairs, failovers — is
+    // a pure function of the top-level seed: every stochastic component
+    // draws from its own substream of it. Two identical specs must agree
+    // bit for bit, across both engines.
+    use tapesim::model::Micros;
+    use tapesim::sim::{run_seeds, RunSpec};
+
+    let g = JukeboxGeometry::PAPER_DEFAULT;
+    let placed = tapesim::layout::build_placement(
+        g,
+        BlockSize::PAPER_DEFAULT,
+        tapesim::layout::PlacementConfig::paper_full_replication(g),
+    )
+    .expect("feasible");
+    let timing = TimingModel::paper_default();
+    let faults = FaultConfig {
+        media_error_per_read: 0.02,
+        media_retries: 1,
+        load_failure_p: 0.01,
+        load_retries: 2,
+        tape_mtbf: Some(Micros::from_secs(200_000)),
+        tape_mttr: Some(Micros::from_secs(15_000)),
+        drive_mtbf: Some(Micros::from_secs(300_000)),
+        drive_mttr: Micros::from_secs(5_000),
+    };
+    for drives in [1u16, 2] {
+        let spec = RunSpec {
+            catalog: &placed.catalog,
+            timing: &timing,
+            algorithm: AlgorithmId::paper_recommended(),
+            process: ArrivalProcess::Closed { queue_length: 60 },
+            rh_percent: 40.0,
+            cluster_run_p: 0.0,
+            drives,
+            config: SimConfig::quick(),
+            faults,
+        };
+        let seeds = [3u64, 17];
+        let (mean_a, per_a) = run_seeds(&spec, &seeds).expect("faulty spec is valid");
+        let (mean_b, per_b) = run_seeds(&spec, &seeds).expect("faulty spec is valid");
+        assert_eq!(
+            per_a, per_b,
+            "per-seed reports diverged with {drives} drives"
+        );
+        assert_eq!(mean_a, mean_b);
+        // The fault model actually did something in these runs.
+        assert!(
+            mean_a.degraded_frac > 0.0 || mean_a.media_errors > 0,
+            "fault config was inert with {drives} drives"
+        );
+        // Different seeds still produce different runs.
+        assert_ne!(per_a[0], per_a[1], "seeds collapsed with {drives} drives");
+    }
 }

@@ -4,9 +4,8 @@
 //! binaries print, so a green run here means the whole evaluation
 //! regenerates.
 
-use tapesim::prelude::*;
 use tapesim::Scale;
-use tapesim::{SweepSeries};
+use tapesim::SweepSeries;
 
 fn check_series(name: &str, series: &[SweepSeries], expect_series: usize, expect_points: usize) {
     assert_eq!(series.len(), expect_series, "{name}: series count");

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 
-use tapesim::prelude::*;
 use tapesim::layout::{build_placement, LayoutKind, PlacementConfig};
 use tapesim::model::{SimTime, SlotIndex};
+use tapesim::prelude::*;
 use tapesim::sched::envelope::compute_upper_envelope;
 use tapesim::sched::{walk_cost, JukeboxView, PendingList};
 use tapesim::workload::RequestId;
@@ -114,6 +114,7 @@ proptest! {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let upper = compute_upper_envelope(&view, &pending);
         prop_assert_eq!(upper.assigned.len(), pending.len());
@@ -167,6 +168,7 @@ proptest! {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         let mut sched = make_scheduler(alg);
         let plan = sched.major_reschedule(&view, &mut pending).expect("non-empty pending");
@@ -308,7 +310,8 @@ mod extension_properties {
                 sched.as_mut(),
                 &mut factory,
                 &cfg,
-            );
+            )
+            .expect("property run is valid");
             prop_assert!(r.completed >= r.physical_reads,
                 "{}: {} completed < {} reads", alg.name(), r.completed, r.physical_reads);
             prop_assert!(r.physical_reads > 0, "{}", alg.name());
@@ -386,6 +389,123 @@ mod spare_properties {
                 if i >= occupied {
                     prop_assert_eq!(u, 0, "hole in packed layout at tape {}", i);
                 }
+            }
+        }
+    }
+}
+
+mod fault_properties {
+    use super::*;
+    use tapesim::model::{Micros, TapeId};
+    use tapesim::sim::RunSpec;
+
+    /// Every admitted request is eventually served, counted as a
+    /// permanent failure, or still unserved at the horizon — nothing is
+    /// lost or double-counted, for any algorithm, drive count, and fault
+    /// intensity.
+    #[test]
+    fn admitted_requests_are_conserved_under_faults() {
+        let g = JukeboxGeometry::PAPER_DEFAULT;
+        let placed = build_placement(
+            g,
+            BlockSize::PAPER_DEFAULT,
+            PlacementConfig::paper_full_replication(g),
+        )
+        .unwrap();
+        let timing = TimingModel::paper_default();
+        let faults = FaultConfig {
+            media_error_per_read: 0.03,
+            media_retries: 1,
+            load_failure_p: 0.01,
+            load_retries: 1,
+            tape_mtbf: Some(Micros::from_secs(150_000)),
+            tape_mttr: Some(Micros::from_secs(10_000)),
+            drive_mtbf: Some(Micros::from_secs(200_000)),
+            drive_mttr: Micros::from_secs(3_000),
+        };
+        for alg in [
+            AlgorithmId::Fifo,
+            AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+            AlgorithmId::paper_recommended(),
+        ] {
+            for drives in [1u16, 2] {
+                let spec = RunSpec {
+                    catalog: &placed.catalog,
+                    timing: &timing,
+                    algorithm: alg,
+                    process: ArrivalProcess::Closed { queue_length: 50 },
+                    rh_percent: 40.0,
+                    cluster_run_p: 0.0,
+                    drives,
+                    config: SimConfig::quick(),
+                    faults,
+                };
+                let r = tapesim::sim::run_one(&spec, 11).expect("faulty run is valid");
+                assert_eq!(
+                    r.admitted,
+                    r.served + r.failed_requests + r.unserved,
+                    "{} with {} drives: {} admitted vs {} served + {} failed + {} unserved",
+                    alg.name(),
+                    drives,
+                    r.admitted,
+                    r.served,
+                    r.failed_requests,
+                    r.unserved
+                );
+                assert!(r.completed > 0, "{} made no progress", alg.name());
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// No scheduling algorithm ever plans a sweep on an offline tape,
+        /// whatever subset of the jukebox is down.
+        #[test]
+        fn no_sweep_plan_targets_an_offline_tape(
+            seed in 0u64..200,
+            n in 1usize..40,
+            alg_idx in 0usize..14,
+            mask in 1u16..1023,
+        ) {
+            let g = JukeboxGeometry::PAPER_DEFAULT;
+            let placed = build_placement(
+                g,
+                BlockSize::PAPER_DEFAULT,
+                PlacementConfig::paper_full_replication(g),
+            ).unwrap();
+            // An arbitrary non-full subset of the 10 tapes is offline.
+            let offline: Vec<TapeId> = (0..g.tapes)
+                .filter(|t| mask & (1 << t) != 0)
+                .map(TapeId)
+                .collect();
+            let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+            let mut f = RequestFactory::new(
+                sampler,
+                ArrivalProcess::Closed { queue_length: n as u32 },
+                seed,
+            );
+            let mut pending: PendingList = (0..n).map(|_| f.make(SimTime::ZERO)).collect();
+            let timing = TimingModel::paper_default();
+            let view = JukeboxView {
+                catalog: &placed.catalog,
+                timing: &timing,
+                mounted: None,
+                head: SlotIndex(0),
+                now: SimTime::ZERO,
+                unavailable: &[],
+                offline: &offline,
+            };
+            let mut sched = make_scheduler(AlgorithmId::all()[alg_idx]);
+            if let Some(plan) = sched.major_reschedule(&view, &mut pending) {
+                prop_assert!(
+                    !offline.contains(&plan.tape),
+                    "{} chose offline tape {:?}",
+                    AlgorithmId::all()[alg_idx].name(),
+                    plan.tape
+                );
+                prop_assert!(plan.list.requests() >= 1);
             }
         }
     }

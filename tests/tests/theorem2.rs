@@ -70,6 +70,7 @@ proptest! {
             head: SlotIndex(0),
             now: SimTime::ZERO,
             unavailable: &[],
+            offline: &[],
         };
         // One request per block.
         let pending: Vec<Request> = ids
@@ -139,6 +140,7 @@ fn bound_is_tight_for_single_request() {
         head: SlotIndex(0),
         now: SimTime::ZERO,
         unavailable: &[],
+        offline: &[],
     };
     let pending: Vec<Request> = (0..2)
         .map(|i| Request {
