@@ -6,8 +6,10 @@
 //! latency the destaging steals, and how long deltas sit on disk.
 
 use tapesim::prelude::*;
-use tapesim::sim::{run_with_writeback, FlushPolicy, WriteBackConfig};
-use tapesim_bench::{write_csv, HarnessOpts};
+use tapesim::sim::{
+    run_with_writeback, run_with_writeback_traced, FlushPolicy, MemorySink, WriteBackConfig,
+};
+use tapesim_bench::{write_csv, write_trace, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -75,5 +77,36 @@ fn main() {
     }
     println!("{}", t.to_aligned());
     write_csv(&opts, "ext_writeback", &t.to_csv());
+    if opts.trace.is_some() {
+        // Record the representative piggyback run (write gap 300 s) with
+        // the event-trace layer attached.
+        let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+        let mut factory = RequestFactory::new(
+            sampler,
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival: Micros::from_secs(300),
+            },
+            7,
+        );
+        let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+        let mut sink = MemorySink::new();
+        run_with_writeback_traced(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &sim,
+            &WriteBackConfig {
+                write_mean_interarrival: Micros::from_secs(300),
+                flush_batch: 10,
+                piggyback_min: 5,
+                policy: FlushPolicy::Piggyback,
+            },
+            1234,
+            &mut sink,
+        )
+        .expect("write-back config is valid");
+        write_trace(&opts, &sink.into_events());
+    }
     println!("(piggybacking destages deltas far sooner — a freshness/latency trade-off the\n paper's \"piggybacked on the read schedule\" suggestion leaves implicit)");
 }

@@ -7,12 +7,17 @@
 //! * `--open` — run the open-queuing (Poisson) variant instead of the
 //!   closed-queuing one;
 //! * `--out DIR` — also write the CSV into `DIR` (default `results/`,
-//!   created on demand; pass `--out -` to skip writing).
+//!   created on demand; pass `--out -` to skip writing);
+//! * `--trace FILE` — for trace-aware binaries (`trace_sample`,
+//!   `ext_writeback`), record the event trace of the representative run
+//!   as JSON Lines into `FILE` (see EXPERIMENTS.md for the schema).
 
 use std::fs;
 use std::path::PathBuf;
 
 use tapesim::prelude::*;
+use tapesim::sim::trace::jsonl;
+use tapesim::sim::TraceRecord;
 use tapesim::{Scale, SweepSeries};
 
 /// Parsed command-line options common to all figure binaries.
@@ -24,6 +29,9 @@ pub struct HarnessOpts {
     pub open: bool,
     /// Output directory for CSV files (`None` = don't write).
     pub out_dir: Option<PathBuf>,
+    /// Destination for a JSONL event trace of the representative run
+    /// (`None` = tracing disabled; only trace-aware binaries honor it).
+    pub trace: Option<PathBuf>,
 }
 
 impl HarnessOpts {
@@ -33,6 +41,7 @@ impl HarnessOpts {
             scale: Scale::Default,
             open: false,
             out_dir: Some(PathBuf::from("results")),
+            trace: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -45,6 +54,13 @@ impl HarnessOpts {
                     }
                 }
                 "--open" => opts.open = true,
+                "--trace" => {
+                    let v = args.next().unwrap_or_default();
+                    if v.is_empty() {
+                        usage("--trace needs a file path");
+                    }
+                    opts.trace = Some(PathBuf::from(v));
+                }
                 "--out" => {
                     let v = args.next().unwrap_or_default();
                     opts.out_dir = if v == "-" {
@@ -74,8 +90,26 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <figure-binary> [--scale quick|default|paper] [--open] [--out DIR|-]");
+    eprintln!(
+        "usage: <figure-binary> [--scale quick|default|paper] [--open] [--out DIR|-] \
+         [--trace FILE]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Writes a recorded event trace as JSON Lines to the `--trace` path.
+/// No-op when tracing was not requested.
+pub fn write_trace(opts: &HarnessOpts, records: &[TraceRecord]) {
+    let Some(path) = &opts.trace else { return };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = fs::create_dir_all(parent);
+        }
+    }
+    match fs::write(path, jsonl::to_jsonl_string(records)) {
+        Ok(()) => eprintln!("wrote {} trace events to {}", records.len(), path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// Writes `contents` as `results/<name>.csv` (or the `--out` directory).
@@ -101,9 +135,16 @@ pub fn series_to_csv(series: &[SweepSeries], param_name: &str) -> String {
         "throughput_kb_per_s",
         "requests_per_min",
         "mean_delay_s",
+        "median_delay_s",
         "p95_delay_s",
+        "p99_delay_s",
+        "max_delay_s",
         "tape_switches",
         "physical_reads",
+        "locate_frac",
+        "read_frac",
+        "switch_frac",
+        "idle_frac",
         "saturated",
     ]);
     for s in series {
@@ -114,9 +155,16 @@ pub fn series_to_csv(series: &[SweepSeries], param_name: &str) -> String {
                 fnum(p.report.throughput_kb_per_s, 3),
                 fnum(p.report.requests_per_min, 4),
                 fnum(p.report.mean_delay_s, 1),
+                fnum(p.report.median_delay_s, 1),
                 fnum(p.report.p95_delay_s, 1),
+                fnum(p.report.p99_delay_s, 1),
+                fnum(p.report.max_delay_s, 1),
                 p.report.tape_switches.to_string(),
                 p.report.physical_reads.to_string(),
+                fnum(p.report.locate_frac, 4),
+                fnum(p.report.read_frac, 4),
+                fnum(p.report.switch_frac, 4),
+                fnum(p.report.idle_frac, 4),
                 p.report.saturated.to_string(),
             ]);
         }

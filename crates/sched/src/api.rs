@@ -80,6 +80,16 @@ pub enum SweepPhase {
     Reverse,
 }
 
+impl SweepPhase {
+    /// Stable lower-case name, used by trace serialization and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepPhase::Forward => "forward",
+            SweepPhase::Reverse => "reverse",
+        }
+    }
+}
+
 /// The retrieval schedule for one sweep: a forward phase of ascending
 /// slots followed by a reverse phase of descending slots.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

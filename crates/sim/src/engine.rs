@@ -41,11 +41,16 @@ use tapesim_model::{
     FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext, SimTime,
     SlotIndex, TapeId, TimingModel,
 };
-use tapesim_sched::{JukeboxView, PendingList, Scheduler, SweepPlan};
+use tapesim_sched::{ArrivalOutcome, JukeboxView, PendingList, Scheduler, SweepPlan};
 use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
 
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::trace::{NullSink, TraceEvent, TraceSink, Tracer, SYSTEM_DRIVE};
+use crate::trace_event;
+
+/// The single-drive engine's drive id in trace records.
+const DRIVE0: u16 = 0;
 
 /// Configuration of a single simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,6 +128,33 @@ pub fn run_simulation_with_faults(
     faults: &FaultConfig,
     fault_seed: u64,
 ) -> Result<MetricsReport, SimError> {
+    run_simulation_traced(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        faults,
+        fault_seed,
+        &mut NullSink,
+    )
+}
+
+/// Runs one simulation while recording every event into `sink` (see
+/// [`crate::trace`]). With a [`NullSink`] this is exactly
+/// [`run_simulation_with_faults`]: the tracing path constructs nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_traced(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    faults: &FaultConfig,
+    fault_seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<MetricsReport, SimError> {
+    let mut tracer = Tracer::new(sink);
     if cfg.warmup >= cfg.duration {
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
@@ -150,7 +182,17 @@ pub fn run_simulation_with_faults(
     match factory.process() {
         ArrivalProcess::Closed { queue_length } => {
             for _ in 0..queue_length {
-                pending.push(factory.make(now));
+                let req = factory.make(now);
+                trace_event!(
+                    tracer,
+                    now,
+                    SYSTEM_DRIVE,
+                    TraceEvent::Arrival {
+                        req: req.id,
+                        block: req.block,
+                    }
+                );
+                pending.push(req);
                 metrics.record_admission();
             }
         }
@@ -169,7 +211,17 @@ pub fn run_simulation_with_faults(
             if t > now {
                 break;
             }
-            pending.push(factory.make(t));
+            let req = factory.make(t);
+            trace_event!(
+                tracer,
+                t,
+                SYSTEM_DRIVE,
+                TraceEvent::Arrival {
+                    req: req.id,
+                    block: req.block,
+                }
+            );
+            pending.push(req);
             metrics.record_admission();
             let gap = factory
                 .next_interarrival()
@@ -188,6 +240,7 @@ pub fn run_simulation_with_faults(
             if let Some(repair) = injector.drive_outage(0, now) {
                 now += repair;
                 metrics.add_repair_time(now, repair);
+                trace_event!(tracer, now, DRIVE0, TraceEvent::DriveRepair { dur: repair });
                 continue 'outer;
             }
             // Once copies have been permanently lost, fail out the pending
@@ -202,8 +255,24 @@ pub fn run_simulation_with_faults(
                 for r in dead {
                     faulted.remove(&r.id);
                     metrics.record_permanent_failure();
+                    trace_event!(
+                        tracer,
+                        now,
+                        SYSTEM_DRIVE,
+                        TraceEvent::RequestFailed { req: r.id }
+                    );
                     if closed {
-                        pending.push(factory.make(now));
+                        let req = factory.make(now);
+                        trace_event!(
+                            tracer,
+                            now,
+                            SYSTEM_DRIVE,
+                            TraceEvent::Arrival {
+                                req: req.id,
+                                block: req.block,
+                            }
+                        );
+                        pending.push(req);
                         metrics.record_admission();
                     }
                 }
@@ -239,20 +308,55 @@ pub fn run_simulation_with_faults(
                 }
             }
             if have_event {
-                metrics.add_idle_time(wake, wake.duration_since(now));
+                let dur = wake.duration_since(now);
+                metrics.add_idle_time(wake, dur);
+                trace_event!(tracer, wake, DRIVE0, TraceEvent::Idle { dur });
                 now = wake;
                 continue;
             }
-            metrics.add_idle_time(end, end.duration_since(now));
+            let dur = end.duration_since(now);
+            metrics.add_idle_time(end, dur);
+            trace_event!(tracer, end, DRIVE0, TraceEvent::Idle { dur });
             now = end;
             break 'outer;
         };
 
+        trace_event!(
+            tracer,
+            now,
+            DRIVE0,
+            TraceEvent::SweepStart {
+                tape: plan.tape,
+                stops: plan.list.stops() as u32,
+                requests: plan.list.requests() as u32,
+            }
+        );
+
         // Step 2: switch tapes if needed.
         if mounted != Some(plan.tape) {
             let mut switch = Micros::ZERO;
-            if mounted.is_some() {
-                switch += timing.drive.rewind(head, block) + timing.drive.eject();
+            let mut rewind = Micros::ZERO;
+            if let Some(old) = mounted {
+                rewind = timing.drive.rewind(head, block);
+                switch += rewind + timing.drive.eject();
+                // The rewind ends `rewind` in; the tape is then ejected
+                // (its time is part of the mount segment below).
+                trace_event!(
+                    tracer,
+                    now + rewind,
+                    DRIVE0,
+                    TraceEvent::Rewind {
+                        tape: old,
+                        from: head,
+                        dur: rewind,
+                    }
+                );
+                trace_event!(
+                    tracer,
+                    now + rewind,
+                    DRIVE0,
+                    TraceEvent::Unmount { tape: old }
+                );
             }
             switch += timing.robot.exchange() + timing.drive.load();
             // Fault: each failed load attempt costs another exchange +
@@ -274,16 +378,41 @@ pub fn run_simulation_with_faults(
             metrics.record_tape_switch(now);
             if tape_failed_on_load {
                 injector.force_tape_failure(plan.tape, now);
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::LoadFailed {
+                        tape: plan.tape,
+                        dur: switch - rewind,
+                    }
+                );
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::TapeOffline { tape: plan.tape }
+                );
                 mounted = None;
                 head = SlotIndex::BOT;
                 abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
                 continue 'outer;
             }
+            trace_event!(
+                tracer,
+                now,
+                DRIVE0,
+                TraceEvent::Mount {
+                    tape: plan.tape,
+                    dur: switch - rewind,
+                }
+            );
             mounted = Some(plan.tape);
             head = SlotIndex::BOT;
         }
 
         // Step 3: execute the service list.
+        let mut cur_phase = None;
         loop {
             let offline = injector.offline().to_vec();
             // Hand arrivals that came due to the incremental scheduler.
@@ -300,6 +429,7 @@ pub fn run_simulation_with_faults(
                 &mut plan,
                 &mut pending,
                 &mut metrics,
+                &mut tracer,
             )?;
             if pending.len() > cfg.max_pending {
                 saturated = true;
@@ -316,20 +446,44 @@ pub fn run_simulation_with_faults(
                     // The drive is repaired in place; the sweep resumes.
                     now += repair;
                     metrics.add_repair_time(now, repair);
+                    trace_event!(tracer, now, DRIVE0, TraceEvent::DriveRepair { dur: repair });
                     continue;
                 }
                 if injector.is_offline(plan.tape) {
                     // The mounted tape failed mid-sweep: the remaining
                     // requests fail over to replicas or wait for repair.
+                    trace_event!(
+                        tracer,
+                        now,
+                        DRIVE0,
+                        TraceEvent::TapeOffline { tape: plan.tape }
+                    );
                     mounted = None;
                     head = SlotIndex::BOT;
                     abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
                     continue 'outer;
                 }
             }
-            let Some((stop, _phase)) = plan.list.pop() else {
+            let Some((stop, phase)) = plan.list.pop() else {
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::SweepEnd { tape: plan.tape }
+                );
                 break; // sweep complete; head stays put
             };
+            if tracer.on && cur_phase != Some(phase) {
+                cur_phase = Some(phase);
+                tracer.push(
+                    now,
+                    DRIVE0,
+                    TraceEvent::PhaseStart {
+                        tape: plan.tape,
+                        phase,
+                    },
+                );
+            }
             // Locate + read.
             let (lt, dir) = timing.drive.locate(head, stop.slot, block);
             let ctx = match dir {
@@ -338,8 +492,20 @@ pub fn run_simulation_with_faults(
                 Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
             };
             let rt = timing.drive.read_block(block, ctx);
+            let locate_from = head;
             now += lt;
             metrics.add_locate_time(now, lt);
+            trace_event!(
+                tracer,
+                now,
+                DRIVE0,
+                TraceEvent::Locate {
+                    tape: plan.tape,
+                    from: locate_from,
+                    to: stop.slot,
+                    dur: lt,
+                }
+            );
             // Fault: every failed read attempt costs another pass over the
             // block; exhausting the retries loses the copy.
             let mut read_ok = true;
@@ -348,6 +514,15 @@ pub fn run_simulation_with_faults(
                 while injector.media_error() {
                     now += rt;
                     metrics.add_read_time(now, rt);
+                    trace_event!(
+                        tracer,
+                        now,
+                        DRIVE0,
+                        TraceEvent::MediaError {
+                            tape: plan.tape,
+                            slot: stop.slot,
+                        }
+                    );
                     if tries >= faults.media_retries {
                         read_ok = false;
                         break;
@@ -362,6 +537,15 @@ pub fn run_simulation_with_faults(
                     slot: stop.slot,
                 };
                 injector.mark_bad_copy(addr);
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::CopyLost {
+                        tape: plan.tape,
+                        slot: stop.slot,
+                    }
+                );
                 for r in &stop.requests {
                     let survives = catalog
                         .replicas(r.block)
@@ -373,8 +557,18 @@ pub fn run_simulation_with_faults(
                     } else {
                         faulted.remove(&r.id);
                         metrics.record_permanent_failure();
+                        trace_event!(tracer, now, DRIVE0, TraceEvent::RequestFailed { req: r.id });
                         if closed {
                             let req = factory.make(now);
+                            trace_event!(
+                                tracer,
+                                now,
+                                SYSTEM_DRIVE,
+                                TraceEvent::Arrival {
+                                    req: req.id,
+                                    block: req.block,
+                                }
+                            );
                             metrics.record_admission();
                             let view = JukeboxView {
                                 catalog,
@@ -385,12 +579,23 @@ pub fn run_simulation_with_faults(
                                 unavailable: &[],
                                 offline: &offline,
                             };
-                            scheduler.on_arrival(
+                            let req_id = req.id;
+                            let outcome = scheduler.on_arrival(
                                 &view,
                                 plan.tape,
                                 &mut plan.list,
                                 req,
                                 &mut pending,
+                            );
+                            trace_event!(
+                                tracer,
+                                now,
+                                DRIVE0,
+                                TraceEvent::Incremental {
+                                    req: req_id,
+                                    tape: plan.tape,
+                                    inserted: outcome == ArrivalOutcome::Inserted,
+                                }
                             );
                         }
                     }
@@ -401,6 +606,17 @@ pub fn run_simulation_with_faults(
             metrics.add_read_time(now, rt);
             head = stop.slot.next();
             metrics.record_physical_read(now);
+            trace_event!(
+                tracer,
+                now,
+                DRIVE0,
+                TraceEvent::Read {
+                    tape: plan.tape,
+                    slot: stop.slot,
+                    phase,
+                    dur: rt,
+                }
+            );
 
             // Complete the requests; closed queuing regenerates one new
             // request per completion, at the completion instant, routed
@@ -412,13 +628,42 @@ pub fn run_simulation_with_faults(
                     if let Some(failed_tape) = faulted.remove(&r.id) {
                         if failed_tape != plan.tape {
                             metrics.record_replica_failover();
+                            trace_event!(
+                                tracer,
+                                now,
+                                DRIVE0,
+                                TraceEvent::Failover {
+                                    req: r.id,
+                                    from: failed_tape,
+                                    to: plan.tape,
+                                }
+                            );
                         }
                     }
                 }
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::Complete {
+                        req: r.id,
+                        tape: plan.tape,
+                        delay: now.duration_since(r.arrival),
+                    }
+                );
             }
             if closed {
                 for _ in 0..completions {
                     let req = factory.make(now);
+                    trace_event!(
+                        tracer,
+                        now,
+                        SYSTEM_DRIVE,
+                        TraceEvent::Arrival {
+                            req: req.id,
+                            block: req.block,
+                        }
+                    );
                     metrics.record_admission();
                     let view = JukeboxView {
                         catalog,
@@ -429,7 +674,19 @@ pub fn run_simulation_with_faults(
                         unavailable: &[],
                         offline: &offline,
                     };
-                    scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, &mut pending);
+                    let req_id = req.id;
+                    let outcome =
+                        scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, &mut pending);
+                    trace_event!(
+                        tracer,
+                        now,
+                        DRIVE0,
+                        TraceEvent::Incremental {
+                            req: req_id,
+                            tape: plan.tape,
+                            inserted: outcome == ArrivalOutcome::Inserted,
+                        }
+                    );
                 }
             }
         }
@@ -497,12 +754,22 @@ fn process_due_arrivals(
     plan: &mut SweepPlan,
     pending: &mut PendingList,
     metrics: &mut MetricsCollector,
+    tracer: &mut Tracer<'_>,
 ) -> Result<(), SimError> {
     while let Some(t) = *next_arrival {
         if t > now {
             break;
         }
         let req = factory.make(t);
+        trace_event!(
+            tracer,
+            t,
+            SYSTEM_DRIVE,
+            TraceEvent::Arrival {
+                req: req.id,
+                block: req.block,
+            }
+        );
         metrics.record_admission();
         let view = JukeboxView {
             catalog,
@@ -513,7 +780,18 @@ fn process_due_arrivals(
             unavailable: &[],
             offline,
         };
-        scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, pending);
+        let req_id = req.id;
+        let outcome = scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, pending);
+        trace_event!(
+            tracer,
+            now,
+            DRIVE0,
+            TraceEvent::Incremental {
+                req: req_id,
+                tape: plan.tape,
+                inserted: outcome == ArrivalOutcome::Inserted,
+            }
+        );
         let gap = factory
             .next_interarrival()
             .ok_or(SimError::ClosedArrivalStream)?;

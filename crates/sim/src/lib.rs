@@ -10,7 +10,9 @@
 //! [`tapesim_layout::Catalog`], and a [`tapesim_workload::RequestFactory`].
 //! [`metrics`] collects throughput/delay/switch statistics over a
 //! measurement window, and [`runner`] averages runs across seeds in
-//! parallel.
+//! parallel. [`trace`] records the per-event timeline of a run (mounts,
+//! locates, reads, sweep boundaries, faults) for invariant checking and
+//! golden-trace testing.
 
 #![warn(missing_docs)]
 
@@ -19,11 +21,18 @@ pub mod error;
 pub mod metrics;
 pub mod multidrive;
 pub mod runner;
+pub mod trace;
 pub mod writeback;
 
-pub use engine::{run_simulation, run_simulation_with_faults, SimConfig};
+pub use engine::{run_simulation, run_simulation_traced, run_simulation_with_faults, SimConfig};
 pub use error::SimError;
-pub use metrics::{MetricsCollector, MetricsReport};
-pub use multidrive::{run_multi_drive, run_multi_drive_with_faults};
-pub use runner::{default_seeds, run_one, run_paired, run_seeds, RunSpec};
-pub use writeback::{run_with_writeback, FlushPolicy, WriteBackConfig, WriteBackReport};
+pub use metrics::{DelayPercentiles, MetricsCollector, MetricsReport};
+pub use multidrive::{run_multi_drive, run_multi_drive_traced, run_multi_drive_with_faults};
+pub use runner::{default_seeds, run_one, run_paired, run_seeds, run_seeds_pooled, RunSpec};
+pub use trace::{
+    check_trace, JsonlSink, MemorySink, NullSink, RingSink, TraceEvent, TraceRecord, TraceSink,
+    Tracer,
+};
+pub use writeback::{
+    run_with_writeback, run_with_writeback_traced, FlushPolicy, WriteBackConfig, WriteBackReport,
+};

@@ -180,7 +180,9 @@ impl MetricsCollector {
             },
             median_delay_s: pct(0.5),
             p95_delay_s: pct(0.95),
+            p99_delay_s: pct(0.99),
             max_delay_s: self.max_delay.as_secs_f64(),
+            delay_samples_us: self.delays.iter().map(|d| d.as_micros()).collect(),
             physical_reads: self.physical_reads,
             tape_switches: self.tape_switches,
             switches_per_hour: if secs > 0.0 {
@@ -231,8 +233,15 @@ pub struct MetricsReport {
     pub median_delay_s: f64,
     /// 95th-percentile response time in seconds.
     pub p95_delay_s: f64,
+    /// 99th-percentile response time in seconds.
+    pub p99_delay_s: f64,
     /// Worst response time in seconds.
     pub max_delay_s: f64,
+    /// Every in-window response time, in microseconds, sorted ascending.
+    /// [`MetricsReport::mean_of`] merges these across seeds so
+    /// [`MetricsReport::pooled_percentiles`] can compute true percentiles
+    /// of the pooled distribution.
+    pub delay_samples_us: Vec<u64>,
     /// Physical block reads (merged duplicate requests read once).
     pub physical_reads: u64,
     /// Number of tape switches.
@@ -280,10 +289,40 @@ pub struct MetricsReport {
     pub saturated: bool,
 }
 
+/// Percentiles of one pooled response-time distribution, in seconds.
+///
+/// Unlike the per-seed-averaged scalar fields of
+/// [`MetricsReport::mean_of`], these are computed over the union of every
+/// delay sample, so `p99` really is the delay 99% of all completed
+/// requests beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayPercentiles {
+    /// Pooled median.
+    pub p50: f64,
+    /// Pooled 95th percentile.
+    pub p95: f64,
+    /// Pooled 99th percentile.
+    pub p99: f64,
+    /// Pooled maximum.
+    pub max: f64,
+    /// Delay samples pooled.
+    pub samples: u64,
+}
+
 impl MetricsReport {
     /// Element-wise mean of several reports (used to average seeds).
     /// Counters are averaged too (as f64 rounded), so the result reflects
     /// a typical run.
+    ///
+    /// **Percentile semantics:** the `median_delay_s` / `p95_delay_s` /
+    /// `p99_delay_s` / `max_delay_s` fields of the result are *means of
+    /// the per-seed percentiles*, not percentiles of the pooled
+    /// distribution — an average of seed p95s generally differs from the
+    /// p95 over all seeds' requests (percentiles are not linear). The
+    /// averaged values are kept because the paper-figure pipeline plots
+    /// a typical seed. For true pooled percentiles, `mean_of` also merges
+    /// every delay sample into `delay_samples_us`; call
+    /// [`MetricsReport::pooled_percentiles`] on the result.
     pub fn mean_of(reports: &[MetricsReport]) -> MetricsReport {
         assert!(!reports.is_empty(), "cannot average zero reports");
         let n = reports.len() as f64;
@@ -296,7 +335,17 @@ impl MetricsReport {
             mean_delay_s: avg(|r| r.mean_delay_s),
             median_delay_s: avg(|r| r.median_delay_s),
             p95_delay_s: avg(|r| r.p95_delay_s),
+            p99_delay_s: avg(|r| r.p99_delay_s),
             max_delay_s: avg(|r| r.max_delay_s),
+            delay_samples_us: {
+                // Merge the per-seed sorted runs into one sorted pool.
+                let mut pooled: Vec<u64> = reports
+                    .iter()
+                    .flat_map(|r| r.delay_samples_us.iter().copied())
+                    .collect();
+                pooled.sort_unstable();
+                pooled
+            },
             physical_reads: (reports.iter().map(|r| r.physical_reads).sum::<u64>() as f64 / n)
                 .round() as u64,
             tape_switches: (reports.iter().map(|r| r.tape_switches).sum::<u64>() as f64 / n).round()
@@ -331,6 +380,29 @@ impl MetricsReport {
                     .collect()
             },
             saturated: reports.iter().any(|r| r.saturated),
+        }
+    }
+
+    /// True percentiles of this report's pooled delay distribution (see
+    /// [`MetricsReport::mean_of`] for why these differ from the averaged
+    /// scalar fields). Uses the same nearest-rank convention as the
+    /// per-run percentiles: `idx = round((n - 1) * p)`.
+    pub fn pooled_percentiles(&self) -> DelayPercentiles {
+        let s = &self.delay_samples_us;
+        debug_assert!(s.windows(2).all(|w| w[0] <= w[1]), "samples not sorted");
+        let pct = |p: f64| -> f64 {
+            if s.is_empty() {
+                return 0.0;
+            }
+            let idx = ((s.len() - 1) as f64 * p).round() as usize;
+            s[idx] as f64 / 1e6
+        };
+        DelayPercentiles {
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: s.last().map_or(0.0, |&v| v as f64 / 1e6),
+            samples: s.len() as u64,
         }
     }
 }
@@ -457,6 +529,49 @@ mod tests {
     #[should_panic(expected = "zero reports")]
     fn mean_of_empty_panics() {
         let _ = MetricsReport::mean_of(&[]);
+    }
+
+    #[test]
+    fn pooled_percentiles_differ_from_averaged_per_seed_percentiles() {
+        // Seed A: delays 1..=100 s. Seed B: delays 1 and 2 s. The mean of
+        // the two seed p95s is far below the p95 of the pooled 102
+        // samples, which is dominated by seed A's tail.
+        let mut a = MetricsCollector::new(SimTime::ZERO);
+        for i in 1..=100u64 {
+            a.record_completion(SimTime::ZERO, SimTime::from_secs(i), 1);
+        }
+        let ra = a.report(Micros::from_secs(1000), false);
+        let mut b = MetricsCollector::new(SimTime::ZERO);
+        b.record_completion(SimTime::ZERO, SimTime::from_secs(1), 1);
+        b.record_completion(SimTime::ZERO, SimTime::from_secs(2), 1);
+        let rb = b.report(Micros::from_secs(1000), false);
+
+        let mean = MetricsReport::mean_of(&[ra.clone(), rb.clone()]);
+        assert!((mean.p95_delay_s - (ra.p95_delay_s + rb.p95_delay_s) / 2.0).abs() < 1e-12);
+
+        let pooled = mean.pooled_percentiles();
+        assert_eq!(pooled.samples, 102);
+        assert!(
+            pooled.p95 > mean.p95_delay_s + 30.0,
+            "pooled p95 {} vs averaged {}",
+            pooled.p95,
+            mean.p95_delay_s
+        );
+        assert!((pooled.max - 100.0).abs() < 1e-12);
+        assert!(pooled.p99 >= pooled.p95);
+    }
+
+    #[test]
+    fn p99_between_p95_and_max() {
+        let mut m = MetricsCollector::new(SimTime::ZERO);
+        for i in 1..=200u64 {
+            m.record_completion(SimTime::ZERO, SimTime::from_secs(i), 1);
+        }
+        let r = m.report(Micros::from_secs(1000), false);
+        assert!(r.p95_delay_s <= r.p99_delay_s);
+        assert!(r.p99_delay_s <= r.max_delay_s);
+        assert!((r.p99_delay_s - 198.0).abs() < 1.5);
+        assert_eq!(r.delay_samples_us.len(), 200);
     }
 
     #[test]

@@ -32,6 +32,8 @@ use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
 use crate::engine::{abort_plan, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::trace::{NullSink, TraceEvent, TraceSink, Tracer, SYSTEM_DRIVE};
+use crate::trace_event;
 
 /// A request waiting to become visible at its arrival instant (closed-
 /// queue regenerations are minted at a *future* completion time relative
@@ -60,6 +62,8 @@ struct DriveState {
     mounted: Option<TapeId>,
     head: SlotIndex,
     plan: Option<tapesim_sched::SweepPlan>,
+    /// Phase of the last traced read in the current sweep (tracing only).
+    cur_phase: Option<tapesim_sched::SweepPhase>,
     free_at: SimTime,
     /// True when `free_at` was set by the idle branch (nothing was
     /// schedulable). An idle drive's wake changes no jukebox state, so
@@ -106,6 +110,35 @@ pub fn run_multi_drive_with_faults(
     faults: &FaultConfig,
     fault_seed: u64,
 ) -> Result<MetricsReport, SimError> {
+    run_multi_drive_traced(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        drives,
+        faults,
+        fault_seed,
+        &mut NullSink,
+    )
+}
+
+/// Runs a multi-drive jukebox while recording every event into `sink`
+/// (see [`crate::trace`]). With a [`NullSink`] this is exactly
+/// [`run_multi_drive_with_faults`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_multi_drive_traced(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    drives: u16,
+    faults: &FaultConfig,
+    fault_seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<MetricsReport, SimError> {
+    let mut tracer = Tracer::new(sink);
     if drives < 1 {
         return Err(SimError::InvalidConfig("need at least one drive"));
     }
@@ -138,6 +171,7 @@ pub fn run_multi_drive_with_faults(
             mounted: None,
             head: SlotIndex::BOT,
             plan: None,
+            cur_phase: None,
             free_at: SimTime::ZERO,
             idle: false,
         })
@@ -148,7 +182,17 @@ pub fn run_multi_drive_with_faults(
     match factory.process() {
         ArrivalProcess::Closed { queue_length } => {
             for _ in 0..queue_length {
-                pending.push(factory.make(SimTime::ZERO));
+                let req = factory.make(SimTime::ZERO);
+                trace_event!(
+                    tracer,
+                    SimTime::ZERO,
+                    SYSTEM_DRIVE,
+                    TraceEvent::Arrival {
+                        req: req.id,
+                        block: req.block,
+                    }
+                );
+                pending.push(req);
                 metrics.record_admission();
             }
         }
@@ -176,6 +220,12 @@ pub fn run_multi_drive_with_faults(
             if let Some(repair) = injector.drive_outage(d, now) {
                 states[d].free_at = now + repair;
                 metrics.add_repair_time(now + repair, repair);
+                trace_event!(
+                    tracer,
+                    now + repair,
+                    d as u16,
+                    TraceEvent::DriveRepair { dur: repair }
+                );
                 continue 'outer;
             }
             // Fail out requests no surviving copy can serve any more.
@@ -189,12 +239,24 @@ pub fn run_multi_drive_with_faults(
                 for r in dead {
                     faulted.remove(&r.id);
                     metrics.record_permanent_failure();
+                    trace_event!(
+                        tracer,
+                        now,
+                        SYSTEM_DRIVE,
+                        TraceEvent::RequestFailed { req: r.id }
+                    );
                     if closed {
-                        queued.push(Reverse(QueuedArrival {
-                            at: now,
-                            seq,
-                            req: factory.make(now),
-                        }));
+                        let req = factory.make(now);
+                        trace_event!(
+                            tracer,
+                            now,
+                            SYSTEM_DRIVE,
+                            TraceEvent::Arrival {
+                                req: req.id,
+                                block: req.block,
+                            }
+                        );
+                        queued.push(Reverse(QueuedArrival { at: now, seq, req }));
                         seq += 1;
                         metrics.record_admission();
                     }
@@ -208,6 +270,12 @@ pub fn run_multi_drive_with_faults(
                 .is_some_and(|p| injector.is_offline(p.tape));
             if tape_dead {
                 if let Some(plan) = states[d].plan.take() {
+                    trace_event!(
+                        tracer,
+                        now,
+                        d as u16,
+                        TraceEvent::TapeOffline { tape: plan.tape }
+                    );
                     abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
                 }
                 states[d].mounted = None;
@@ -226,11 +294,17 @@ pub fn run_multi_drive_with_faults(
             if let Some(t) = next_arrival {
                 let heap_first = queued.peek().map(|Reverse(q)| q.at);
                 if t <= now && heap_first.is_none_or(|h| t <= h) {
-                    queued.push(Reverse(QueuedArrival {
-                        at: t,
-                        seq,
-                        req: factory.make(t),
-                    }));
+                    let req = factory.make(t);
+                    trace_event!(
+                        tracer,
+                        t,
+                        SYSTEM_DRIVE,
+                        TraceEvent::Arrival {
+                            req: req.id,
+                            block: req.block,
+                        }
+                    );
+                    queued.push(Reverse(QueuedArrival { at: t, seq, req }));
                     seq += 1;
                     metrics.record_admission();
                     let gap = factory
@@ -259,7 +333,19 @@ pub fn run_multi_drive_with_faults(
                     unavailable: &unavailable,
                     offline: &offline,
                 };
-                scheduler.on_arrival(&view, plan.tape, &mut plan.list, q.req, &mut pending);
+                let req_id = q.req.id;
+                let outcome =
+                    scheduler.on_arrival(&view, plan.tape, &mut plan.list, q.req, &mut pending);
+                trace_event!(
+                    tracer,
+                    now,
+                    d as u16,
+                    TraceEvent::Incremental {
+                        req: req_id,
+                        tape: plan.tape,
+                        inserted: outcome == tapesim_sched::ArrivalOutcome::Inserted,
+                    }
+                );
             } else {
                 pending.push(q.req);
             }
@@ -272,15 +358,19 @@ pub fn run_multi_drive_with_faults(
         let has_stops = states[d].plan.as_ref().is_some_and(|p| !p.list.is_empty());
         if has_stops {
             // Execute the next stop of this drive's sweep.
-            let (stop, tape) = {
+            let (stop, phase, tape) = {
                 let Some(plan) = states[d].plan.as_mut() else {
                     continue;
                 };
                 match plan.list.pop() {
-                    Some((stop, _phase)) => (stop, plan.tape),
+                    Some((stop, phase)) => (stop, phase, plan.tape),
                     None => continue,
                 }
             };
+            if tracer.on && states[d].cur_phase != Some(phase) {
+                states[d].cur_phase = Some(phase);
+                tracer.push(now, d as u16, TraceEvent::PhaseStart { tape, phase });
+            }
             let (lt, dir) = timing.drive.locate(states[d].head, stop.slot, block);
             let ctx = match dir {
                 None => ReadContext::Streaming,
@@ -288,14 +378,40 @@ pub fn run_multi_drive_with_faults(
                 Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
             };
             let rt = timing.drive.read_block(block, ctx);
+            // Drive time is attributed at the end of each segment (not
+            // lumped at the stop's end) so a stop straddling the warmup
+            // boundary is split exactly as the single-drive engine splits
+            // it — keeping the 1-drive differential exact.
+            let mut t = now + lt;
+            metrics.add_locate_time(t, lt);
+            trace_event!(
+                tracer,
+                t,
+                d as u16,
+                TraceEvent::Locate {
+                    tape,
+                    from: states[d].head,
+                    to: stop.slot,
+                    dur: lt,
+                }
+            );
             // Fault: every failed read attempt costs another pass over the
             // block; exhausting the retries loses the copy.
-            let mut extra = Micros::ZERO;
             let mut read_ok = true;
             if injector.is_active() {
                 let mut tries = 0u32;
                 while injector.media_error() {
-                    extra += rt;
+                    t += rt;
+                    metrics.add_read_time(t, rt);
+                    trace_event!(
+                        tracer,
+                        t,
+                        d as u16,
+                        TraceEvent::MediaError {
+                            tape,
+                            slot: stop.slot,
+                        }
+                    );
                     if tries >= faults.media_retries {
                         read_ok = false;
                         break;
@@ -304,15 +420,22 @@ pub fn run_multi_drive_with_faults(
                 }
             }
             if !read_ok {
-                let done = now + lt + extra;
-                metrics.add_locate_time(done, lt);
-                metrics.add_read_time(done, extra);
+                let done = t;
                 states[d].head = stop.slot.next();
                 states[d].free_at = done;
                 injector.mark_bad_copy(PhysicalAddr {
                     tape,
                     slot: stop.slot,
                 });
+                trace_event!(
+                    tracer,
+                    done,
+                    d as u16,
+                    TraceEvent::CopyLost {
+                        tape,
+                        slot: stop.slot,
+                    }
+                );
                 for r in &stop.requests {
                     let survives = catalog
                         .replicas(r.block)
@@ -324,12 +447,24 @@ pub fn run_multi_drive_with_faults(
                     } else {
                         faulted.remove(&r.id);
                         metrics.record_permanent_failure();
+                        trace_event!(
+                            tracer,
+                            done,
+                            d as u16,
+                            TraceEvent::RequestFailed { req: r.id }
+                        );
                         if closed {
-                            queued.push(Reverse(QueuedArrival {
-                                at: done,
-                                seq,
-                                req: factory.make(done),
-                            }));
+                            let req = factory.make(done);
+                            trace_event!(
+                                tracer,
+                                done,
+                                SYSTEM_DRIVE,
+                                TraceEvent::Arrival {
+                                    req: req.id,
+                                    block: req.block,
+                                }
+                            );
+                            queued.push(Reverse(QueuedArrival { at: done, seq, req }));
                             seq += 1;
                             metrics.record_admission();
                         }
@@ -337,12 +472,23 @@ pub fn run_multi_drive_with_faults(
                 }
                 continue;
             }
-            let done = now + lt + extra + rt;
-            metrics.add_locate_time(done, lt);
-            metrics.add_read_time(done, extra + rt);
+            t += rt;
+            let done = t;
+            metrics.add_read_time(done, rt);
             metrics.record_physical_read(done);
             states[d].head = stop.slot.next();
             states[d].free_at = done;
+            trace_event!(
+                tracer,
+                done,
+                d as u16,
+                TraceEvent::Read {
+                    tape,
+                    slot: stop.slot,
+                    phase,
+                    dur: rt,
+                }
+            );
             let completions = stop.requests.len();
             for r in &stop.requests {
                 metrics.record_completion(r.arrival, done, block_bytes);
@@ -350,17 +496,43 @@ pub fn run_multi_drive_with_faults(
                     if let Some(failed_tape) = faulted.remove(&r.id) {
                         if failed_tape != tape {
                             metrics.record_replica_failover();
+                            trace_event!(
+                                tracer,
+                                done,
+                                d as u16,
+                                TraceEvent::Failover {
+                                    req: r.id,
+                                    from: failed_tape,
+                                    to: tape,
+                                }
+                            );
                         }
                     }
                 }
+                trace_event!(
+                    tracer,
+                    done,
+                    d as u16,
+                    TraceEvent::Complete {
+                        req: r.id,
+                        tape,
+                        delay: done.duration_since(r.arrival),
+                    }
+                );
             }
             if closed {
                 for _ in 0..completions {
-                    queued.push(Reverse(QueuedArrival {
-                        at: done,
-                        seq,
-                        req: factory.make(done),
-                    }));
+                    let req = factory.make(done);
+                    trace_event!(
+                        tracer,
+                        done,
+                        SYSTEM_DRIVE,
+                        TraceEvent::Arrival {
+                            req: req.id,
+                            block: req.block,
+                        }
+                    );
+                    queued.push(Reverse(QueuedArrival { at: done, seq, req }));
                     seq += 1;
                     metrics.record_admission();
                 }
@@ -369,7 +541,10 @@ pub fn run_multi_drive_with_faults(
         }
 
         // Sweep finished (or never started): clear it and reschedule.
-        states[d].plan = None;
+        if let Some(p) = states[d].plan.take() {
+            trace_event!(tracer, now, d as u16, TraceEvent::SweepEnd { tape: p.tape });
+        }
+        states[d].cur_phase = None;
         let unavailable = tapes_held_except(&states, d);
         let view = JukeboxView {
             catalog,
@@ -382,14 +557,42 @@ pub fn run_multi_drive_with_faults(
         };
         match scheduler.major_reschedule(&view, &mut pending) {
             Some(plan) => {
+                trace_event!(
+                    tracer,
+                    now,
+                    d as u16,
+                    TraceEvent::SweepStart {
+                        tape: plan.tape,
+                        stops: plan.list.stops() as u32,
+                        requests: plan.list.requests() as u32,
+                    }
+                );
                 if states[d].mounted != Some(plan.tape) {
                     // Rewind + eject locally, then the (shared) robot
                     // exchange, then load. Each failed load attempt costs
                     // another robot exchange + load; exhausting the
                     // retries fails the tape itself.
                     let mut t = now;
-                    if states[d].mounted.is_some() {
-                        t = t + timing.drive.rewind(states[d].head, block) + timing.drive.eject();
+                    let mut rewind = Micros::ZERO;
+                    if let Some(old) = states[d].mounted {
+                        rewind = timing.drive.rewind(states[d].head, block);
+                        trace_event!(
+                            tracer,
+                            now + rewind,
+                            d as u16,
+                            TraceEvent::Rewind {
+                                tape: old,
+                                from: states[d].head,
+                                dur: rewind,
+                            }
+                        );
+                        trace_event!(
+                            tracer,
+                            now + rewind,
+                            d as u16,
+                            TraceEvent::Unmount { tape: old }
+                        );
+                        t = t + rewind + timing.drive.eject();
                     }
                     robot_free = t.max(robot_free) + timing.robot.exchange();
                     let mut ready = robot_free + timing.drive.load();
@@ -410,12 +613,36 @@ pub fn run_multi_drive_with_faults(
                     metrics.record_tape_switch(ready);
                     if tape_failed_on_load {
                         injector.force_tape_failure(plan.tape, ready);
+                        trace_event!(
+                            tracer,
+                            ready,
+                            d as u16,
+                            TraceEvent::LoadFailed {
+                                tape: plan.tape,
+                                dur: ready.duration_since(now) - rewind,
+                            }
+                        );
+                        trace_event!(
+                            tracer,
+                            ready,
+                            d as u16,
+                            TraceEvent::TapeOffline { tape: plan.tape }
+                        );
                         abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
                         states[d].mounted = None;
                         states[d].head = SlotIndex::BOT;
                         states[d].free_at = ready;
                         continue 'outer;
                     }
+                    trace_event!(
+                        tracer,
+                        ready,
+                        d as u16,
+                        TraceEvent::Mount {
+                            tape: plan.tape,
+                            dur: ready.duration_since(now) - rewind,
+                        }
+                    );
                     states[d].mounted = Some(plan.tape);
                     states[d].head = SlotIndex::BOT;
                     states[d].free_at = ready;
@@ -454,13 +681,17 @@ pub fn run_multi_drive_with_faults(
                         .any(|s| s.plan.as_ref().is_some_and(|p| !p.list.is_empty()))
                         || !queued.is_empty();
                     if !someone_busy {
-                        metrics.add_idle_time(end, end.duration_since(now));
+                        let dur = end.duration_since(now);
+                        metrics.add_idle_time(end, dur);
+                        trace_event!(tracer, end, d as u16, TraceEvent::Idle { dur });
                         now = end;
                         break 'outer;
                     }
                     next = end;
                 }
-                metrics.add_idle_time(next, next.duration_since(now));
+                let dur = next.duration_since(now);
+                metrics.add_idle_time(next, dur);
+                trace_event!(tracer, next, d as u16, TraceEvent::Idle { dur });
                 states[d].free_at = next + Micros::from_micros(1);
                 states[d].idle = true;
             }

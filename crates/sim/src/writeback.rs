@@ -32,6 +32,11 @@ use tapesim_workload::RequestFactory;
 use crate::engine::SimConfig;
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::trace::{NullSink, TraceEvent, TraceSink, Tracer, SYSTEM_DRIVE};
+use crate::trace_event;
+
+/// The single drive the write-back simulation models.
+const DRIVE0: u16 = 0;
 
 /// When delta blocks are destaged to tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +103,35 @@ pub fn run_with_writeback(
     wb: &WriteBackConfig,
     write_seed: u64,
 ) -> Result<WriteBackReport, SimError> {
+    run_with_writeback_traced(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        wb,
+        write_seed,
+        &mut NullSink,
+    )
+}
+
+/// [`run_with_writeback`] with an event-trace sink attached. Read sweeps
+/// emit the same vocabulary as the base engine; destage activity appears
+/// as [`TraceEvent::DeltaFlush`] records.
+///
+/// # Errors
+/// Same as [`run_with_writeback`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_writeback_traced(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    wb: &WriteBackConfig,
+    write_seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<WriteBackReport, SimError> {
     if cfg.warmup >= cfg.duration {
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
@@ -128,6 +162,7 @@ pub fn run_with_writeback(
     let mut wrng = WriteStream::new(wb.write_mean_interarrival, tapes, write_seed);
     let mut next_write = Some(SimTime::ZERO + wrng.next_gap());
 
+    let mut tracer = Tracer::new(sink);
     let mut now = SimTime::ZERO;
     let mut mounted: Option<TapeId> = None;
     let mut head = SlotIndex::BOT;
@@ -155,7 +190,17 @@ pub fn run_with_writeback(
                 if t > $now {
                     break;
                 }
-                pending.push(factory.make(t));
+                let r = factory.make(t);
+                trace_event!(
+                    tracer,
+                    t,
+                    SYSTEM_DRIVE,
+                    TraceEvent::Arrival {
+                        req: r.id,
+                        block: r.block,
+                    }
+                );
+                pending.push(r);
                 metrics.record_admission();
                 let gap = factory
                     .next_interarrival()
@@ -192,19 +237,57 @@ pub fn run_with_writeback(
             offline: &[],
         };
         if let Some(mut plan) = scheduler.major_reschedule(&view, &mut pending) {
+            trace_event!(
+                tracer,
+                now,
+                DRIVE0,
+                TraceEvent::SweepStart {
+                    tape: plan.tape,
+                    stops: plan.list.stops() as u32,
+                    requests: plan.list.requests() as u32,
+                }
+            );
             // Read sweep, exactly as in the base engine.
             if mounted != Some(plan.tape) {
                 let mut switch = Micros::ZERO;
-                if mounted.is_some() {
-                    switch += timing.drive.rewind(head, block) + timing.drive.eject();
+                let mut rewind = Micros::ZERO;
+                if let Some(old) = mounted {
+                    rewind = timing.drive.rewind(head, block);
+                    switch += rewind + timing.drive.eject();
+                    trace_event!(
+                        tracer,
+                        now + rewind,
+                        DRIVE0,
+                        TraceEvent::Rewind {
+                            tape: old,
+                            from: head,
+                            dur: rewind,
+                        }
+                    );
+                    trace_event!(
+                        tracer,
+                        now + rewind,
+                        DRIVE0,
+                        TraceEvent::Unmount { tape: old }
+                    );
                 }
                 switch += timing.robot.exchange() + timing.drive.load();
                 now += switch;
                 metrics.add_switch_time(now, switch);
                 metrics.record_tape_switch(now);
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::Mount {
+                        tape: plan.tape,
+                        dur: switch - rewind,
+                    }
+                );
                 mounted = Some(plan.tape);
                 head = SlotIndex::BOT;
             }
+            let mut cur_phase = None;
             loop {
                 deliver!(now);
                 if now >= end {
@@ -215,9 +298,26 @@ pub fn run_with_writeback(
                 // (deliver! already pushed them to pending; good enough —
                 // static semantics for the write-back study keeps the
                 // comparison between flush policies apples-to-apples.)
-                let Some((stop, _phase)) = plan.list.pop() else {
+                let Some((stop, phase)) = plan.list.pop() else {
+                    trace_event!(
+                        tracer,
+                        now,
+                        DRIVE0,
+                        TraceEvent::SweepEnd { tape: plan.tape }
+                    );
                     break;
                 };
+                if tracer.on && cur_phase != Some(phase) {
+                    cur_phase = Some(phase);
+                    tracer.push(
+                        now,
+                        DRIVE0,
+                        TraceEvent::PhaseStart {
+                            tape: plan.tape,
+                            phase,
+                        },
+                    );
+                }
                 let (lt, dir) = timing.drive.locate(head, stop.slot, block);
                 let ctx = match dir {
                     None => ReadContext::Streaming,
@@ -225,13 +325,45 @@ pub fn run_with_writeback(
                     Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
                 };
                 let rt = timing.drive.read_block(block, ctx);
+                trace_event!(
+                    tracer,
+                    now + lt,
+                    DRIVE0,
+                    TraceEvent::Locate {
+                        tape: plan.tape,
+                        from: head,
+                        to: stop.slot,
+                        dur: lt,
+                    }
+                );
                 now += lt + rt;
                 metrics.add_locate_time(now, lt);
                 metrics.add_read_time(now, rt);
                 head = stop.slot.next();
                 metrics.record_physical_read(now);
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::Read {
+                        tape: plan.tape,
+                        slot: stop.slot,
+                        phase,
+                        dur: rt,
+                    }
+                );
                 for r in &stop.requests {
                     metrics.record_completion(r.arrival, now, block_bytes);
+                    trace_event!(
+                        tracer,
+                        now,
+                        DRIVE0,
+                        TraceEvent::Complete {
+                            req: r.id,
+                            tape: plan.tape,
+                            delay: now.duration_since(r.arrival),
+                        }
+                    );
                 }
             }
             // Piggyback: the tape is still mounted; append its deltas.
@@ -240,6 +372,7 @@ pub fn run_with_writeback(
                 let owed = buffer.iter().filter(|d| d.dest == tape).count();
                 if owed as u32 >= wb.piggyback_min.max(1) && now < end {
                     piggyback_flushes += 1;
+                    let before = deltas_flushed;
                     flush_deltas(
                         catalog,
                         timing,
@@ -250,6 +383,16 @@ pub fn run_with_writeback(
                         &mut head,
                         &mut deltas_flushed,
                         &mut total_age,
+                    );
+                    trace_event!(
+                        tracer,
+                        now,
+                        DRIVE0,
+                        TraceEvent::DeltaFlush {
+                            tape,
+                            blocks: (deltas_flushed - before) as u32,
+                            piggyback: true,
+                        }
                     );
                 }
             }
@@ -273,17 +416,45 @@ pub fn run_with_writeback(
             let tape = TapeId(ti as u16);
             if mounted != Some(tape) {
                 let mut switch = Micros::ZERO;
-                if mounted.is_some() {
-                    switch += timing.drive.rewind(head, block) + timing.drive.eject();
+                let mut rewind = Micros::ZERO;
+                if let Some(old) = mounted {
+                    rewind = timing.drive.rewind(head, block);
+                    switch += rewind + timing.drive.eject();
+                    trace_event!(
+                        tracer,
+                        now + rewind,
+                        DRIVE0,
+                        TraceEvent::Rewind {
+                            tape: old,
+                            from: head,
+                            dur: rewind,
+                        }
+                    );
+                    trace_event!(
+                        tracer,
+                        now + rewind,
+                        DRIVE0,
+                        TraceEvent::Unmount { tape: old }
+                    );
                 }
                 switch += timing.robot.exchange() + timing.drive.load();
                 now += switch;
                 metrics.add_switch_time(now, switch);
                 metrics.record_tape_switch(now);
+                trace_event!(
+                    tracer,
+                    now,
+                    DRIVE0,
+                    TraceEvent::Mount {
+                        tape,
+                        dur: switch - rewind,
+                    }
+                );
                 mounted = Some(tape);
                 head = SlotIndex::BOT;
             }
             idle_flushes += 1;
+            let before = deltas_flushed;
             flush_deltas(
                 catalog,
                 timing,
@@ -294,6 +465,16 @@ pub fn run_with_writeback(
                 &mut head,
                 &mut deltas_flushed,
                 &mut total_age,
+            );
+            trace_event!(
+                tracer,
+                now,
+                DRIVE0,
+                TraceEvent::DeltaFlush {
+                    tape,
+                    blocks: (deltas_flushed - before) as u32,
+                    piggyback: false,
+                }
             );
             continue;
         }
@@ -314,7 +495,9 @@ pub fn run_with_writeback(
             next = now + Micros::from_micros(1);
         }
         let capped = next.min(end);
-        metrics.add_idle_time(capped, capped.duration_since(now));
+        let dur = capped.duration_since(now);
+        metrics.add_idle_time(capped, dur);
+        trace_event!(tracer, capped, DRIVE0, TraceEvent::Idle { dur });
         now = capped;
         if now >= end {
             break;

@@ -1,0 +1,183 @@
+//! Differential tests: the multi-drive engine restricted to **one** drive
+//! must be indistinguishable from the single-drive engine — the same
+//! requests complete at the same instants in the same order, and the
+//! metrics reports agree field-for-field.
+//!
+//! The comparison uses closed workloads: an open-queuing multi-drive run
+//! wakes an idle drive one microsecond after the next arrival (a
+//! scheduling quantum the single-drive engine does not need), so open
+//! traces legitimately diverge by that microsecond.
+
+use tapesim::layout::{build_placement, PlacementConfig};
+use tapesim::model::{BlockSize, FaultConfig, JukeboxGeometry, TimingModel};
+use tapesim::sched::{make_scheduler, AlgorithmId, EnvelopePolicy, TapeSelectPolicy};
+use tapesim::sim::{
+    check_trace, run_multi_drive_traced, run_simulation_traced, MemorySink, MetricsReport,
+    SimConfig, TraceEvent, TraceRecord,
+};
+use tapesim::workload::{ArrivalProcess, BlockSampler, RequestFactory};
+
+/// `(completion instant µs, request id)` for every completion, in trace
+/// order.
+fn completions(trace: &[TraceRecord]) -> Vec<(u64, u64)> {
+    trace
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Complete { req, .. } => Some((r.at.as_micros(), req.0)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A run's aggregate report plus its completion sequence.
+type RunOutcome = (MetricsReport, Vec<(u64, u64)>);
+
+fn run_both(algorithm: AlgorithmId, seed: u64) -> (RunOutcome, RunOutcome) {
+    let placed = build_placement(
+        JukeboxGeometry::PAPER_DEFAULT,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig::paper_baseline(),
+    )
+    .unwrap();
+    let timing = TimingModel::paper_default();
+    let cfg = SimConfig::quick();
+    let process = ArrivalProcess::Closed { queue_length: 40 };
+
+    let mk_factory = || {
+        let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+        RequestFactory::new(sampler, process, seed)
+    };
+
+    let mut single_sink = MemorySink::default();
+    let single = {
+        let mut factory = mk_factory();
+        let mut sched = make_scheduler(algorithm);
+        run_simulation_traced(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            &FaultConfig::NONE,
+            0,
+            &mut single_sink,
+        )
+        .unwrap()
+    };
+
+    let mut multi_sink = MemorySink::default();
+    let multi = {
+        let mut factory = mk_factory();
+        let mut sched = make_scheduler(algorithm);
+        run_multi_drive_traced(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            1,
+            &FaultConfig::NONE,
+            0,
+            &mut multi_sink,
+        )
+        .unwrap()
+    };
+
+    let single_trace = single_sink.into_events();
+    let multi_trace = multi_sink.into_events();
+    check_trace(&single_trace).unwrap_or_else(|v| {
+        panic!("single-drive trace invalid for {algorithm:?}: {}", v[0]);
+    });
+    check_trace(&multi_trace).unwrap_or_else(|v| {
+        panic!("one-drive multi trace invalid for {algorithm:?}: {}", v[0]);
+    });
+    (
+        (single, completions(&single_trace)),
+        (multi, completions(&multi_trace)),
+    )
+}
+
+#[test]
+fn one_drive_multidrive_matches_engine_exactly() {
+    let algorithms = [
+        AlgorithmId::Fifo,
+        AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+        AlgorithmId::Envelope(EnvelopePolicy::MaxBandwidth),
+    ];
+    for algorithm in algorithms {
+        for seed in [1u64, 42, 0x1CDE_1999] {
+            let ((single, single_done), (multi, multi_done)) = run_both(algorithm, seed);
+            assert!(
+                !single_done.is_empty(),
+                "{algorithm:?} seed {seed}: no completions"
+            );
+            assert_eq!(
+                single_done, multi_done,
+                "{algorithm:?} seed {seed}: completion sequences diverge"
+            );
+            assert_eq!(
+                single, multi,
+                "{algorithm:?} seed {seed}: metrics reports diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_drive_differential_holds_under_replication() {
+    // Replicated placement exercises the replica-selection path in both
+    // engines; the envelope scheduler is the one that uses it.
+    let placed = build_placement(
+        JukeboxGeometry::PAPER_DEFAULT,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig {
+            replicas: 1,
+            ..PlacementConfig::paper_baseline()
+        },
+    )
+    .unwrap();
+    let timing = TimingModel::paper_default();
+    let cfg = SimConfig::quick();
+    let algorithm = AlgorithmId::paper_recommended();
+    for seed in [7u64, 99] {
+        let mk_factory = || {
+            let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 40 }, seed)
+        };
+        let mut single_sink = MemorySink::default();
+        let mut factory = mk_factory();
+        let mut sched = make_scheduler(algorithm);
+        let single = run_simulation_traced(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            &FaultConfig::NONE,
+            0,
+            &mut single_sink,
+        )
+        .unwrap();
+        let mut multi_sink = MemorySink::default();
+        let mut factory = mk_factory();
+        let mut sched = make_scheduler(algorithm);
+        let multi = run_multi_drive_traced(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            1,
+            &FaultConfig::NONE,
+            0,
+            &mut multi_sink,
+        )
+        .unwrap();
+        assert_eq!(
+            completions(&single_sink.into_events()),
+            completions(&multi_sink.into_events()),
+            "seed {seed}: replicated completion sequences diverge"
+        );
+        assert_eq!(single, multi, "seed {seed}: replicated reports diverge");
+    }
+}

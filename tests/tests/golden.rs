@@ -1,0 +1,147 @@
+//! Golden-trace snapshot tests.
+//!
+//! Each scenario runs a small, fully deterministic simulation, serializes
+//! its event trace to JSON Lines, and compares it structurally against a
+//! checked-in snapshot under `tests/golden/`. A divergence fails with a
+//! field-level diff around the first differing event.
+//!
+//! To regenerate the snapshots after an intentional engine change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p integration-tests --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use tapesim::layout::{build_placement, PlacementConfig};
+use tapesim::model::{BlockSize, FaultConfig, JukeboxGeometry, Micros, TimingModel};
+use tapesim::sched::{make_scheduler, AlgorithmId, EnvelopePolicy};
+use tapesim::sim::trace::jsonl::{self, Comparison};
+use tapesim::sim::{check_trace, run_simulation_traced, MemorySink, SimConfig, TraceRecord};
+use tapesim::workload::{ArrivalProcess, BlockSampler, RequestFactory};
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(name)
+}
+
+/// Runs one deterministic scenario and returns its trace.
+fn run_scenario(
+    tapes: u16,
+    algorithm: AlgorithmId,
+    queue_length: u32,
+    horizon_s: u64,
+    seed: u64,
+) -> Vec<TraceRecord> {
+    let placed = build_placement(
+        JukeboxGeometry::new(tapes, 64),
+        BlockSize::from_mb(1),
+        PlacementConfig::paper_baseline(),
+    )
+    .unwrap();
+    let timing = TimingModel::paper_default();
+    let cfg = SimConfig {
+        duration: Micros::from_secs(horizon_s),
+        warmup: Micros::ZERO,
+        max_pending: 5_000,
+    };
+    let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+    let mut factory = RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length }, seed);
+    let mut sched = make_scheduler(algorithm);
+    let mut sink = MemorySink::new();
+    run_simulation_traced(
+        &placed.catalog,
+        &timing,
+        sched.as_mut(),
+        &mut factory,
+        &cfg,
+        &FaultConfig::NONE,
+        0,
+        &mut sink,
+    )
+    .unwrap();
+    sink.into_events()
+}
+
+fn assert_matches_golden(name: &str, trace: &[TraceRecord]) {
+    // Whatever we snapshot must itself be physically valid…
+    check_trace(trace).unwrap_or_else(|v| panic!("{name}: trace violates invariants: {}", v[0]));
+    // …and survive a JSONL round-trip losslessly.
+    let text = jsonl::to_jsonl_string(trace);
+    let reparsed = jsonl::parse_records(&text).expect("round-trip parse failed");
+    assert_eq!(reparsed, trace, "{name}: JSONL round-trip not lossless");
+
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, text).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden snapshot {}: {e}\n(regenerate with UPDATE_GOLDEN=1 \
+             cargo test -p integration-tests --test golden)",
+            path.display()
+        )
+    });
+    match jsonl::compare(&expected, trace, 3) {
+        Comparison::Match => {}
+        Comparison::Mismatch(report) => {
+            panic!("{name}: trace diverged from golden snapshot\n{report}")
+        }
+    }
+}
+
+#[test]
+fn one_tape_fifo_trace_is_stable() {
+    let trace = run_scenario(1, AlgorithmId::Fifo, 4, 600, 11);
+    assert!(
+        trace.len() > 20,
+        "scenario too small to be meaningful: {} events",
+        trace.len()
+    );
+    assert_matches_golden("one_tape_fifo.jsonl", &trace);
+}
+
+#[test]
+fn two_tapes_envelope_trace_is_stable() {
+    let trace = run_scenario(
+        2,
+        AlgorithmId::Envelope(EnvelopePolicy::MaxBandwidth),
+        6,
+        900,
+        23,
+    );
+    assert!(
+        trace.len() > 20,
+        "scenario too small to be meaningful: {} events",
+        trace.len()
+    );
+    assert_matches_golden("two_tapes_envelope.jsonl", &trace);
+}
+
+#[test]
+fn golden_mismatch_reports_are_readable() {
+    // Corrupt one field of the actual trace and confirm the comparison
+    // pinpoints it rather than dumping both traces wholesale.
+    let trace = run_scenario(1, AlgorithmId::Fifo, 4, 600, 11);
+    let golden = jsonl::to_jsonl_string(&trace);
+    let mut tampered = trace.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid].at += Micros::from_micros(1);
+    match jsonl::compare(&golden, &tampered, 2) {
+        Comparison::Match => panic!("tampered trace compared equal"),
+        Comparison::Mismatch(report) => {
+            assert!(
+                report.contains("t_us"),
+                "report does not name the field:\n{report}"
+            );
+            assert!(
+                report.contains('>'),
+                "report has no divergence marker:\n{report}"
+            );
+        }
+    }
+}
