@@ -5,6 +5,7 @@
 //! the Figure 1 locate-model coefficients), and CSV/aligned-table/ASCII-
 //! plot renderers for experiment outputs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod linfit;

@@ -1,4 +1,6 @@
 //! Summary statistics for experiment results.
+#![allow(clippy::cast_possible_truncation)] // quantile ranks round within sample bounds
+#![allow(clippy::cast_precision_loss)] // sample counts stay far below 2^53
 
 /// Mean of a sample. Returns 0 for an empty sample.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -38,7 +40,7 @@ pub fn quantile(xs: &[f64], p: f64) -> f64 {
     }
     assert!((0.0..=1.0).contains(&p), "quantile out of range");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_by(f64::total_cmp);
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx]
 }

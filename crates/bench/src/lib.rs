@@ -12,6 +12,8 @@
 //!   `ext_writeback`), record the event trace of the representative run
 //!   as JSON Lines into `FILE` (see EXPERIMENTS.md for the schema).
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 

@@ -2,12 +2,14 @@
 //! paper's evaluation (Section 4), each returning the structured series
 //! the figure plots. The `tapesim-bench` binaries print these as CSV,
 //! aligned tables, and ASCII plots.
+#![allow(clippy::cast_precision_loss)] // sweep grid parameters are small integers
 
 use tapesim_analysis::{piecewise_fit, LineFit};
 use tapesim_layout::{
     expansion_factor, expansion_table, scaled_queue_length, ExpansionRow, LayoutKind,
 };
 use tapesim_model::synth::{synthesize_locates, LocateSample, NoiseModel};
+use tapesim_model::units::mb_f64;
 use tapesim_model::validate::{validate_model, ValidationConfig, ValidationReport};
 use tapesim_model::{BlockSize, DriveModel, LocateDirection};
 use tapesim_sched::{AlgorithmId, EnvelopePolicy, TapeSelectPolicy};
@@ -85,12 +87,14 @@ pub fn sweep_intensity(
 ) -> SweepSeries {
     let placed = base
         .build_catalog()
+        // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
         .expect("figure configurations are feasible by construction");
     let points = (0..grid.len())
         .map(|i| {
             let (param, cfg) = grid.apply(base, i);
-            let (report, _) =
-                run_with_catalog(&cfg, &placed).expect("figure simulation configs are valid");
+            let (report, _) = run_with_catalog(&cfg, &placed)
+                // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+                .expect("figure simulation configs are valid");
             SweepPoint { param, report }
         })
         .collect();
@@ -136,10 +140,10 @@ pub fn fig1_locate_model(n: usize, seed: u64) -> Fig1Data {
         samples
             .iter()
             .filter(|s| s.direction == dir && !s.to_bot)
-            .map(|s| (s.distance_mb as f64, s.measured_s))
+            .map(|s| (mb_f64(s.distance_mb), s.measured_s))
             .collect()
     };
-    let threshold = drive.locate.short_threshold_mb as f64;
+    let threshold = mb_f64(drive.locate.short_threshold_mb);
     Fig1Data {
         forward: piecewise_fit(&split(LocateDirection::Forward), threshold),
         reverse: piecewise_fit(&split(LocateDirection::Reverse), threshold),
@@ -183,13 +187,15 @@ pub fn fig3_transfer_size(scale: Scale, open: bool) -> Vec<SweepSeries> {
             block: BlockSize::from_mb(mb),
             ..base_fig3(scale)
         };
+        // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
         let placed = base.build_catalog().expect("feasible");
         for (i, s) in series.iter_mut().enumerate() {
             let (_, cfg) = grid.apply(&base, i);
-            let (report, _) =
-                run_with_catalog(&cfg, &placed).expect("figure simulation configs are valid");
+            let (report, _) = run_with_catalog(&cfg, &placed)
+                // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+                .expect("figure simulation configs are valid");
             s.points.push(SweepPoint {
-                param: mb as f64,
+                param: f64::from(mb),
                 report,
             });
         }
@@ -409,13 +415,16 @@ pub fn fig10b_cost_performance(scale: Scale, base_queue: u32) -> Vec<CostPerfSer
                         scale,
                         ..ExperimentConfig::paper_baseline()
                     };
+                    // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
                     let placed = cfg.build_catalog().expect("feasible");
                     let (report, _) = run_with_catalog(&cfg, &placed)
+                        // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
                         .expect("figure simulation configs are valid");
                     let throughput = report.throughput_kb_per_s;
                     if nr == 0 {
                         baseline_throughput = Some(throughput);
                     }
+                    // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
                     let base = baseline_throughput.expect("NR grid starts at 0");
                     CostPerfPoint {
                         nr,
@@ -441,6 +450,7 @@ pub fn baseline_report(scale: Scale) -> MetricsReport {
         ..ExperimentConfig::paper_baseline()
     };
     crate::experiment::run_experiment(&cfg)
+        // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
         .expect("baseline feasible")
         .report
 }

@@ -27,6 +27,7 @@
 //! processes), [`sched`] (algorithms), [`sim`] (engine), and
 //! [`analysis`] (stats/tables/plots).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;

@@ -5,8 +5,10 @@
 //! mapping — block to replica addresses, and tape slot to block — and
 //! enforces the one-copy-per-tape and one-block-per-slot invariants at
 //! construction time.
+#![allow(clippy::cast_possible_truncation)] // slot/copy counts are bounded by jukebox capacity (u32)
+#![allow(clippy::cast_precision_loss)] // copy counts stay far below 2^53
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId};
 
@@ -100,7 +102,7 @@ impl Catalog {
                 vec![None; geometry.slots_per_tape(block_size) as usize];
                 geometry.tapes as usize
             ],
-            per_tape_copy: HashMap::new(),
+            per_tape_copy: BTreeSet::new(),
         }
     }
 
@@ -219,7 +221,7 @@ pub struct CatalogBuilder {
     hot_count: u32,
     replicas: Vec<Vec<PhysicalAddr>>,
     slot_map: Vec<Vec<Option<BlockId>>>,
-    per_tape_copy: HashMap<(BlockId, TapeId), ()>,
+    per_tape_copy: BTreeSet<(BlockId, TapeId)>,
 }
 
 impl CatalogBuilder {
@@ -233,7 +235,7 @@ impl CatalogBuilder {
         {
             return Err(CatalogError::OutOfBounds { addr });
         }
-        if self.per_tape_copy.contains_key(&(block, addr.tape)) {
+        if self.per_tape_copy.contains(&(block, addr.tape)) {
             return Err(CatalogError::DuplicateCopyOnTape {
                 block,
                 tape: addr.tape,
@@ -248,7 +250,7 @@ impl CatalogBuilder {
             });
         }
         *cell = Some(block);
-        self.per_tape_copy.insert((block, addr.tape), ());
+        self.per_tape_copy.insert((block, addr.tape));
         self.replicas[block.index()].push(addr);
         Ok(())
     }

@@ -16,6 +16,7 @@
 //!   capacity is either left empty or filled with hot replicas at the
 //!   tape ends ("replication for free").
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;

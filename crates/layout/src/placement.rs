@@ -12,6 +12,8 @@
 //! Replication stores `NR` extra copies of every hot block, distributed
 //! round-robin across the other tapes, at most one copy per tape.
 //! Cold data fills the remaining slots.
+#![allow(clippy::cast_possible_truncation)] // slot and tape counts are bounded by jukebox geometry
+#![allow(clippy::cast_precision_loss)] // capacity totals stay far below 2^53
 
 use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId};
 

@@ -17,7 +17,7 @@
 //!   exchange + 42 s load = 81 s (plus the rewind required before eject).
 
 use crate::time::Micros;
-use crate::units::{BlockSize, SlotIndex};
+use crate::units::{mb_f64, BlockSize, SlotIndex};
 
 /// Direction of tape motion, induced by the slot numbering: *up* (forward)
 /// toward higher slots, *down* (reverse) toward slot 0.
@@ -96,7 +96,7 @@ impl LocateModel {
             (LocateDirection::Reverse, true) => &self.rev_short,
             (LocateDirection::Reverse, false) => &self.rev_long,
         };
-        let mut t = seg.eval_secs(mb as f64);
+        let mut t = seg.eval_secs(mb_f64(mb));
         if to_bot {
             t += self.bot_extra_s;
         }
@@ -121,7 +121,7 @@ impl ReadModel {
             ReadContext::AfterForwardLocate => self.after_forward_startup_s,
             ReadContext::AfterReverseLocate | ReadContext::Streaming => 0.0,
         };
-        startup + self.per_mb_s * mb as f64
+        startup + self.per_mb_s * mb_f64(mb)
     }
 
     /// The drive's streaming transfer rate in megabytes per second.
@@ -216,7 +216,7 @@ impl DriveModel {
 
     /// Time to read one block in context `ctx`.
     pub fn read_block(&self, block: BlockSize, ctx: ReadContext) -> Micros {
-        Micros::from_secs_f64(self.read.read_secs(block.mb() as u64, ctx))
+        Micros::from_secs_f64(self.read.read_secs(block.mb_u64(), ctx))
     }
 
     /// Time to rewind to the beginning of tape from `head` (zero when the

@@ -27,8 +27,10 @@
 //! module.
 //!
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+#![allow(clippy::cast_precision_loss)] // SplitMix64 bit tricks use the top 53 bits, exact by construction
+#![allow(clippy::cast_possible_truncation)] // tape indices fit u16 by geometry construction
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::time::{Micros, SimTime};
 use crate::units::{JukeboxGeometry, PhysicalAddr, TapeId};
@@ -225,7 +227,7 @@ pub struct FaultInjector {
     now: SimTime,
     degraded_since: Option<SimTime>,
     degraded: Micros,
-    bad_copies: HashSet<(TapeId, u32)>,
+    bad_copies: BTreeSet<(TapeId, u32)>,
     media_errors: u64,
     permanent_damage: bool,
 }
@@ -275,7 +277,7 @@ impl FaultInjector {
             now: SimTime::ZERO,
             degraded_since: None,
             degraded: Micros::ZERO,
-            bad_copies: HashSet::new(),
+            bad_copies: BTreeSet::new(),
             media_errors: 0,
             permanent_damage: false,
         }

@@ -24,6 +24,7 @@
 //! (Travan/DLT/3590-style), for the single-tape scheduling comparison in
 //! the `ext_serpentine` experiment.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod drive;

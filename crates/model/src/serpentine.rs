@@ -57,15 +57,17 @@ impl SerpentineGeometry {
     }
 
     /// Number of whole block slots on the tape.
+    #[allow(clippy::cast_possible_truncation)] // capacity / block size fits u32 slots
     pub fn slots(&self, block: BlockSize) -> u32 {
-        (self.capacity_mb() / block.mb() as u64) as u32
+        (self.capacity_mb() / block.mb_u64()) as u32
     }
 
     /// Physical position of a logical slot: `(track, longitudinal MB at
     /// the slot's start, reads_forward)`. Even tracks read away from the
     /// load point, odd tracks read back toward it.
+    #[allow(clippy::cast_possible_truncation)] // track count is asserted below capacity
     pub fn position_of(&self, slot: SlotIndex, block: BlockSize) -> SerpentinePos {
-        let slot_mb = block.mb() as u64;
+        let slot_mb = block.mb_u64();
         let offset_mb = slot.0 as u64 * slot_mb;
         let track = (offset_mb / self.track_length_mb) as u32;
         assert!(track < self.tracks, "slot beyond tape capacity");
@@ -160,8 +162,9 @@ impl SerpentineModel {
         }
         let dx = fx.abs_diff(tp.x_mb);
         let dt = ft.abs_diff(tp.track);
-        let secs =
-            self.seek_startup_s + self.seek_per_mb_s * dx as f64 + self.track_step_s * dt as f64;
+        let secs = self.seek_startup_s
+            + self.seek_per_mb_s * crate::units::mb_f64(dx)
+            + self.track_step_s * f64::from(dt);
         Micros::from_secs_f64(secs)
     }
 
@@ -169,7 +172,7 @@ impl SerpentineModel {
     /// preceding locate direction).
     pub fn read_block(&self, block: BlockSize) -> Micros {
         Micros::from_secs_f64(
-            self.read.after_forward_startup_s + self.read.per_mb_s * block.mb() as f64,
+            self.read.after_forward_startup_s + self.read.per_mb_s * block.mb_f64(),
         )
     }
 
@@ -211,6 +214,7 @@ pub fn nearest_neighbor_order(
             .enumerate()
             .map(|(i, &s)| (i, model.locate(head, s, block)))
             .min_by_key(|&(i, c)| (c, i))
+            // simlint: allow(panic, the while-let guard ensures slots is non-empty)
             .expect("non-empty");
         let s = slots.swap_remove(i);
         out.push(s);

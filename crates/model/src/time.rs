@@ -41,6 +41,7 @@ impl Micros {
     /// timing model can only produce non-negative times, but a defensive
     /// clamp keeps arithmetic total).
     #[inline]
+    #[allow(clippy::cast_possible_truncation)] // rounded non-negative micros fit u64
     pub fn from_secs_f64(s: f64) -> Self {
         if s <= 0.0 {
             return Micros(0);
@@ -56,6 +57,7 @@ impl Micros {
 
     /// The duration as floating-point seconds.
     #[inline]
+    #[allow(clippy::cast_precision_loss)] // micros below 2^53 for any sim horizon
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
@@ -64,6 +66,38 @@ impl Micros {
     #[inline]
     pub fn saturating_sub(self, rhs: Micros) -> Micros {
         Micros(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The duration in whole-and-fractional minutes.
+    #[inline]
+    pub fn as_minutes_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// The duration in whole-and-fractional hours.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Sustained bandwidth in bytes per second when `bytes` are moved in
+    /// this duration.
+    ///
+    /// The schedulers break ties on this quantity, so the exact `f64`
+    /// operation order (`bytes as f64`, then one division) is part of the
+    /// deterministic-replay contract — do not reassociate it.
+    #[inline]
+    #[allow(clippy::cast_precision_loss)] // exact below 2^53 bytes
+    pub fn bytes_per_sec(self, bytes: u64) -> f64 {
+        bytes as f64 / self.as_secs_f64()
+    }
+
+    /// This duration as a fraction of `total` (e.g. a phase's share of a
+    /// run). The caller is responsible for `total` being non-zero.
+    #[inline]
+    #[allow(clippy::cast_precision_loss)] // micros below 2^53 for any sim horizon
+    pub fn frac_of(self, total: Micros) -> f64 {
+        self.0 as f64 / total.0 as f64
     }
 
     /// True if this is the zero duration.
@@ -95,6 +129,7 @@ impl Sub for Micros {
         Micros(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(panic, time never runs backwards in the simulator; use saturating_sub where underflow is a legal outcome)
                 .expect("Micros subtraction underflow"),
         )
     }
@@ -164,6 +199,7 @@ impl SimTime {
 
     /// The instant as floating-point seconds since simulation start.
     #[inline]
+    #[allow(clippy::cast_precision_loss)] // micros below 2^53 for any sim horizon
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }

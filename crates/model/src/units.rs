@@ -118,6 +118,40 @@ impl BlockSize {
     pub fn slots_to_mb(self, slots: u32) -> u64 {
         slots as u64 * self.mb as u64
     }
+
+    /// The block size in whole megabytes as a `u64`, for capacity
+    /// arithmetic against [`JukeboxGeometry`] totals.
+    #[inline]
+    pub fn mb_u64(self) -> u64 {
+        u64::from(self.mb)
+    }
+
+    /// The block size in megabytes as an `f64`, for the continuous
+    /// Section 2.1 timing polynomials (lossless: block sizes are small).
+    #[inline]
+    pub fn mb_f64(self) -> f64 {
+        f64::from(self.mb)
+    }
+}
+
+/// A raw megabyte count entering the continuous timing model.
+///
+/// This is the single sanctioned `u64 -> f64` crossing for tape
+/// distances; everything downstream of it is fitted-model arithmetic in
+/// seconds. Distances are bounded by tape capacity (a few thousand MB),
+/// far below `f64`'s 2^53 integer range, so the conversion is exact.
+#[inline]
+#[allow(clippy::cast_precision_loss)] // exact for any physical tape length
+pub fn mb_f64(mb: u64) -> f64 {
+    mb as f64
+}
+
+/// A raw byte count in kilobytes (1 KB = 2^10 bytes), for throughput
+/// reporting. The sanctioned `u64 -> f64` crossing for data volumes.
+#[inline]
+#[allow(clippy::cast_precision_loss)] // exact below 8 PB delivered
+pub fn bytes_to_kb_f64(bytes: u64) -> f64 {
+    bytes as f64 / 1024.0
 }
 
 impl fmt::Display for BlockSize {
@@ -168,6 +202,7 @@ impl JukeboxGeometry {
 
     /// Number of whole block slots per tape for a given block size.
     #[inline]
+    #[allow(clippy::cast_possible_truncation)] // capacity / block size fits u32 slots
     pub fn slots_per_tape(&self, block: BlockSize) -> u32 {
         (self.tape_capacity_mb / block.mb() as u64) as u32
     }

@@ -9,6 +9,7 @@
 //! A retrieval schedule (the *service list*) is executed in a single sweep
 //! over the tape: a forward phase (forward locates only) followed by a
 //! reverse phase (reverse locates only).
+#![allow(clippy::cast_possible_truncation)] // request ids are minted from a u32-bounded counter
 
 use std::collections::VecDeque;
 
@@ -111,6 +112,7 @@ impl ServiceList {
     /// Panics in debug builds if the stops are not strictly ascending.
     pub fn from_forward(stops: Vec<ScheduledRead>) -> Self {
         debug_assert!(
+            // simlint: allow(panic, windows(2) yields exactly two elements)
             stops.windows(2).all(|w| w[0].slot < w[1].slot),
             "forward stops must be strictly ascending"
         );

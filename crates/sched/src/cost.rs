@@ -126,7 +126,7 @@ pub fn effective_bandwidth(view: &JukeboxView<'_>, candidate: &TapeCandidate) ->
             candidate.slots.iter().copied(),
         );
     let bytes = candidate.slots.len() as u64 * block.bytes();
-    bytes as f64 / cost.as_secs_f64()
+    cost.bytes_per_sec(bytes)
 }
 
 /// Maps a set of requests (all with a copy on `tape`) to a forward-only
@@ -136,6 +136,7 @@ pub fn forward_list_for(catalog: &Catalog, tape: TapeId, requests: Vec<Request>)
     for r in requests {
         let addr = catalog
             .copy_on_tape(r.block, tape)
+            // simlint: allow(panic, scheduler contract; the caller routed this request to a tape holding a copy)
             .expect("request scheduled on a tape without a copy");
         list.insert_forward(addr.slot, r);
     }
@@ -157,6 +158,7 @@ pub fn split_sweep(
     for r in requests {
         let addr = catalog
             .copy_on_tape(r.block, tape)
+            // simlint: allow(panic, scheduler contract; the caller routed this request to a tape holding a copy)
             .expect("request scheduled on a tape without a copy");
         if addr.slot >= head {
             list.insert_forward(addr.slot, r);

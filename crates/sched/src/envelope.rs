@@ -22,6 +22,7 @@
 //! Scheduling an optimal extension is NP-hard (Theorem 1); the greedy
 //! extension is within a harmonic factor of optimal (Theorem 2, tested
 //! against a brute-force oracle in `optimal.rs`).
+#![allow(clippy::cast_precision_loss)] // request counts used for ranking stay far below 2^53
 
 use tapesim_model::{Micros, ReadContext, SlotIndex, TapeId};
 use tapesim_workload::Request;
@@ -204,7 +205,7 @@ impl Scheduler for EnvelopeScheduler {
             if env_a == SlotIndex::BOT && view.mounted != Some(a.tape) {
                 cost += view.timing.switch_time();
             }
-            let bw = block.bytes() as f64 / cost.as_secs_f64();
+            let bw = cost.bytes_per_sec(block.bytes());
             let better = match &best {
                 None => true,
                 Some((b, t, _)) => bw > *b || (bw == *b && a.tape < *t),
@@ -256,11 +257,11 @@ pub fn envelope_after_absorb(
     let tapes = catalog.geometry().tapes as usize;
     let mut env: Envelope = vec![0; tapes];
     for r in pending {
-        let replicas = catalog.replicas(r.block);
-        if replicas.len() == 1 && view.is_available(replicas[0].tape) {
-            let a = replicas[0];
-            let boundary = &mut env[a.tape.index()];
-            *boundary = (*boundary).max(a.slot.0 + 1);
+        if let [a] = catalog.replicas(r.block) {
+            if view.is_available(a.tape) {
+                let boundary = &mut env[a.tape.index()];
+                *boundary = (*boundary).max(a.slot.0 + 1);
+            }
         }
     }
     if let Some(m) = view.mounted {
@@ -293,9 +294,7 @@ pub fn compute_upper_envelope(view: &JukeboxView<'_>, pending: &[Request]) -> Up
                 .any(|a| view.is_available(a.tape)),
             "snapshot contains a request with no available copy"
         );
-        let replicas = catalog.replicas(r.block);
-        if replicas.len() == 1 {
-            let a = replicas[0];
+        if let [a] = catalog.replicas(r.block) {
             let boundary = &mut env[a.tape.index()];
             *boundary = (*boundary).max(a.slot.0 + 1);
         }
@@ -320,7 +319,11 @@ pub fn compute_upper_envelope(view: &JukeboxView<'_>, pending: &[Request]) -> Up
 
     UpperEnvelope {
         env,
-        assigned: assigned.into_iter().map(Option::unwrap).collect(),
+        assigned: assigned
+            .into_iter()
+            // simlint: allow(panic, the absorb/extend loop above exits only once every request is assigned)
+            .map(|a| a.expect("loop exits with all requests assigned"))
+            .collect(),
         counts,
     }
 }
@@ -439,7 +442,7 @@ fn extend_once(
             let (back, _) = view.timing.drive.locate(pos, start, block);
             let cost = switch + out_time + back;
             let bytes = (k + 1) as u64 * block.bytes();
-            let bw = bytes as f64 / cost.as_secs_f64();
+            let bw = cost.bytes_per_sec(bytes);
             let count = counts[tape.index()];
             let better = match &best {
                 None => true,
@@ -462,6 +465,7 @@ fn extend_once(
         // light).
     }
 
+    // simlint: allow(panic, the caller loops only while unscheduled requests remain, so some prefix was scored)
     let best = best.expect("extend_once called with unscheduled requests remaining");
     // Rebuild the winning tape's merged extension list and apply the
     // chosen prefix.
@@ -668,7 +672,7 @@ fn select_envelope_tape(
                         start_head(view, tape),
                         slots.iter().copied(),
                     );
-                (slots.len() as u64 * block.bytes()) as f64 / cost.as_secs_f64()
+                cost.bytes_per_sec(slots.len() as u64 * block.bytes())
             }
             // OldestRequest restricts eligibility and then ranks by
             // request count, like the basic oldest-request policies.

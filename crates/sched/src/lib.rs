@@ -16,6 +16,7 @@
 //! Sweep costs and effective bandwidths are computed with the exact
 //! Section 2.1 timing model via the [`cost`] module.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;

@@ -20,6 +20,8 @@
 //! the true optimum by exhaustive enumeration over the replica choice of
 //! each unscheduled request — exponential, so only usable on the small
 //! instances the property tests construct.
+#![allow(clippy::cast_possible_truncation)] // the oracle is capped at test-sized instances
+#![allow(clippy::cast_precision_loss)] // harmonic-series terms use small n
 
 use tapesim_model::{Micros, SlotIndex, TapeId};
 use tapesim_workload::Request;
@@ -50,6 +52,7 @@ pub fn extension_cost(
     for (r, &tape) in pending.iter().zip(assignment) {
         let addr = catalog
             .copy_on_tape(r.block, tape)
+            // simlint: allow(panic, oracle precondition; assignments only name tapes holding a copy)
             .expect("request assigned to a tape without a copy");
         if addr.slot.0 >= env1[tape.index()] {
             new_slots[tape.index()].push(addr.slot);
@@ -58,21 +61,18 @@ pub fn extension_cost(
 
     let mut total = Micros::ZERO;
     for (t, slots) in new_slots.iter_mut().enumerate() {
-        if slots.is_empty() {
-            continue;
-        }
         slots.sort_unstable();
         slots.dedup();
+        let Some(&last_slot) = slots.last() else {
+            continue;
+        };
         let start = SlotIndex(env1[t]);
         let tape = TapeId(t as u16);
         if start == SlotIndex::BOT && view.mounted != Some(tape) {
             total += view.timing.switch_time();
         }
         total += walk_cost(view.timing, block, start, slots.iter().copied());
-        let (back, _) = view
-            .timing
-            .drive
-            .locate(slots.last().unwrap().next(), start, block);
+        let (back, _) = view.timing.drive.locate(last_slot.next(), start, block);
         total += back;
     }
     total
@@ -111,6 +111,7 @@ pub fn brute_force_optimal_extension(
     let mut assignment: Vec<TapeId> = base_assignment
         .iter()
         .zip(pending)
+        // simlint: allow(panic, catalog guarantees at least one replica per block)
         .map(|(a, r)| a.unwrap_or_else(|| view.catalog.replicas(r.block)[0].tape))
         .collect();
     let mut best_cost = Micros::from_micros(u64::MAX);
@@ -150,7 +151,7 @@ pub fn theorem2_bound_secs(view: &JukeboxView<'_>, n: usize, opt_extension_secs:
         return 0.0;
     }
     let drive = &view.timing.drive;
-    let block_mb = view.catalog.block_size().mb() as f64;
+    let block_mb = view.catalog.block_size().mb_f64();
     let cs = drive.locate.fwd_short.startup_s;
     let cr = drive.read.per_mb_s * block_mb;
     let cd = drive.locate.fwd_long.startup_s - drive.locate.fwd_short.startup_s;

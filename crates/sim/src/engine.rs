@@ -33,8 +33,10 @@
 //! With [`FaultConfig::NONE`] the fault path is completely inert: no
 //! random numbers are drawn and the simulation is identical to
 //! [`run_simulation`].
+#![allow(clippy::cast_possible_truncation)] // slot counts are bounded by jukebox geometry
+#![allow(clippy::cast_precision_loss)] // event counters stay far below 2^53
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tapesim_layout::Catalog;
 use tapesim_model::{
@@ -174,7 +176,7 @@ pub fn run_simulation_traced(
     let mut saturated = false;
     // Requests disrupted by a fault on the given tape; completing one from
     // a different tape counts as a replica failover.
-    let mut faulted: HashMap<RequestId, TapeId> = HashMap::new();
+    let mut faulted: BTreeMap<RequestId, TapeId> = BTreeMap::new();
     let mut stranded_in_plan: u64 = 0;
 
     // Seed the workload.
@@ -728,7 +730,7 @@ pub(crate) fn abort_plan(
     plan: &SweepPlan,
     failed_tape: TapeId,
     pending: &mut PendingList,
-    faulted: &mut HashMap<RequestId, TapeId>,
+    faulted: &mut BTreeMap<RequestId, TapeId>,
 ) {
     for stop in plan.list.forward_stops().chain(plan.list.reverse_stops()) {
         for r in &stop.requests {

@@ -14,6 +14,7 @@
 //! locates, reads, sweep boundaries, faults) for invariant checking and
 //! golden-trace testing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

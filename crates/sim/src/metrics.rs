@@ -5,7 +5,10 @@
 //! requests per minute, response-time improvements, and tape-switch
 //! counts. The collector gathers all of these over a measurement window
 //! that excludes a configurable warmup.
+#![allow(clippy::cast_possible_truncation)] // percentile ranks round within sample-vector bounds
+#![allow(clippy::cast_precision_loss)] // counters stay far below 2^53
 
+use tapesim_model::units::bytes_to_kb_f64;
 use tapesim_model::{Micros, SimTime};
 
 /// Raw counters accumulated during a run (within the measurement window).
@@ -164,12 +167,12 @@ impl MetricsCollector {
             window_secs: secs,
             completed,
             throughput_kb_per_s: if secs > 0.0 {
-                self.bytes_delivered as f64 / 1024.0 / secs
+                bytes_to_kb_f64(self.bytes_delivered) / secs
             } else {
                 0.0
             },
             requests_per_min: if secs > 0.0 {
-                completed as f64 / (secs / 60.0)
+                completed as f64 / window.as_minutes_f64()
             } else {
                 0.0
             },
@@ -186,7 +189,7 @@ impl MetricsCollector {
             physical_reads: self.physical_reads,
             tape_switches: self.tape_switches,
             switches_per_hour: if secs > 0.0 {
-                self.tape_switches as f64 / (secs / 3600.0)
+                self.tape_switches as f64 / window.as_hours_f64()
             } else {
                 0.0
             },
@@ -389,19 +392,22 @@ impl MetricsReport {
     /// per-run percentiles: `idx = round((n - 1) * p)`.
     pub fn pooled_percentiles(&self) -> DelayPercentiles {
         let s = &self.delay_samples_us;
+        // simlint: allow(panic, windows(2) yields exactly two elements)
         debug_assert!(s.windows(2).all(|w| w[0] <= w[1]), "samples not sorted");
         let pct = |p: f64| -> f64 {
             if s.is_empty() {
                 return 0.0;
             }
             let idx = ((s.len() - 1) as f64 * p).round() as usize;
-            s[idx] as f64 / 1e6
+            Micros::from_micros(s[idx]).as_secs_f64()
         };
         DelayPercentiles {
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
-            max: s.last().map_or(0.0, |&v| v as f64 / 1e6),
+            max: s
+                .last()
+                .map_or(0.0, |&v| Micros::from_micros(v).as_secs_f64()),
             samples: s.len() as u64,
         }
     }

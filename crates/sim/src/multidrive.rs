@@ -17,9 +17,10 @@
 //! [`run_multi_drive_with_faults`] additionally injects the fault model of
 //! [`tapesim_model::faults`], per drive and per tape, exactly as
 //! [`crate::engine::run_simulation_with_faults`] does for one drive.
+#![allow(clippy::cast_possible_truncation)] // drive and tape indices fit u16 by geometry construction
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use tapesim_layout::Catalog;
 use tapesim_model::{
@@ -165,7 +166,7 @@ pub fn run_multi_drive_traced(
     let mut metrics = MetricsCollector::new(warmup_end);
     let mut saturated = false;
     let mut robot_free = SimTime::ZERO;
-    let mut faulted: HashMap<RequestId, TapeId> = HashMap::new();
+    let mut faulted: BTreeMap<RequestId, TapeId> = BTreeMap::new();
     let mut states: Vec<DriveState> = (0..drives)
         .map(|_| DriveState {
             mounted: None,

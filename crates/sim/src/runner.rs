@@ -85,8 +85,8 @@ pub fn run_seeds(
     if seeds.is_empty() {
         return Err(SimError::InvalidConfig("need at least one seed"));
     }
-    let reports: Vec<MetricsReport> = if seeds.len() == 1 {
-        vec![run_one(spec, seeds[0])?]
+    let reports: Vec<MetricsReport> = if let [seed] = seeds {
+        vec![run_one(spec, *seed)?]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = seeds

@@ -5,6 +5,8 @@
 //! on live [`MemorySink`](super::MemorySink) captures and on traces
 //! parsed back from JSONL alike — and can cross-check the engines' own
 //! [`MetricsCollector`](crate::MetricsCollector) aggregates.
+#![allow(clippy::cast_possible_truncation)] // percentile ranks round within sample-vector bounds
+#![allow(clippy::cast_precision_loss)] // sample counts stay far below 2^53
 
 use tapesim_model::Micros;
 
@@ -40,11 +42,11 @@ impl PhaseBreakdown {
 
     /// A phase's share of the accounted time, in [0, 1].
     pub fn frac(&self, phase: Micros) -> f64 {
-        let total = self.total().as_micros();
-        if total == 0 {
+        let total = self.total();
+        if total.is_zero() {
             0.0
         } else {
-            phase.as_micros() as f64 / total as f64
+            phase.frac_of(total)
         }
     }
 }

@@ -29,7 +29,7 @@
 //!    completion's reported delay equals completion time minus arrival
 //!    time. Requests outstanding at end of trace are allowed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use tapesim_model::{SimTime, SlotIndex, TapeId};
@@ -113,8 +113,8 @@ enum ReqState {
 pub fn check_trace(trace: &[TraceRecord]) -> Result<TraceStats, Vec<Violation>> {
     let mut violations = Vec::new();
     let mut stats = TraceStats::default();
-    let mut drives: HashMap<u16, DriveState> = HashMap::new();
-    let mut requests: HashMap<RequestId, ReqState> = HashMap::new();
+    let mut drives: BTreeMap<u16, DriveState> = BTreeMap::new();
+    let mut requests: BTreeMap<RequestId, ReqState> = BTreeMap::new();
     let mut last_seq: Option<u64> = None;
 
     for rec in trace {

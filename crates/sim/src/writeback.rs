@@ -19,6 +19,8 @@
 //! writing a block is assumed to cost the same as reading one. Reads
 //! always have priority: a flush never starts while reads are pending,
 //! and read arrivals interrupt a flush at the next block boundary.
+#![allow(clippy::cast_possible_truncation)] // buffer and slot counts are bounded by jukebox geometry
+#![allow(clippy::cast_precision_loss)] // delta counters stay far below 2^53
 
 use std::collections::VecDeque;
 

@@ -1,0 +1,7 @@
+//! Fixture: OS-seeded randomness breaks replay.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    let _ = &mut rng;
+    x
+}

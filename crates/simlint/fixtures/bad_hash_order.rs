@@ -1,0 +1,15 @@
+//! Fixture: result-affecting code iterating hash collections.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}
+
+pub fn index(xs: &[u32]) -> HashMap<u32, usize> {
+    xs.iter().enumerate().map(|(i, &x)| (x, i)).collect()
+}

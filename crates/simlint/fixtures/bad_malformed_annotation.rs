@@ -1,0 +1,7 @@
+//! Fixture: allow-annotation without a reason is itself an error.
+use std::collections::HashMap;
+
+// simlint: allow(hash-order)
+pub fn f() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,10 @@
+//! Fixture: panics in library code.
+pub fn first(xs: &[u32], m: Option<u32>) -> u32 {
+    let a = xs[0];
+    let b = m.unwrap();
+    let c = m.expect("present");
+    if a + b + c == 0 {
+        panic!("zero");
+    }
+    a
+}

@@ -1,0 +1,6 @@
+//! Fixture: raw casts on unit-carrying values.
+pub fn report(delay_micros: u64, size_mb: u32) -> f64 {
+    let d = delay_micros as f64;
+    let s = size_mb as u64;
+    d + s as f64
+}

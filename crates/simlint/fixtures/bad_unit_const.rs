@@ -1,0 +1,4 @@
+//! Fixture: inline unit-conversion constants.
+pub fn seconds(micros: f64, bytes: f64) -> (f64, f64) {
+    (micros / 1e6, bytes / 1024.0)
+}

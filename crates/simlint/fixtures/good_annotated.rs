@@ -1,0 +1,17 @@
+//! Fixture: every violation carries a reasoned annotation.
+// simlint: allow(hash-order, membership-only set that is never iterated)
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u32]) -> usize {
+    // simlint: allow(hash-order, membership-only set that is never iterated)
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}
+
+pub fn tail(xs: &[u32]) -> u32 {
+    // simlint: allow(panic, caller guarantees a non-empty slice)
+    xs[0]
+}

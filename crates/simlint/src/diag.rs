@@ -1,0 +1,283 @@
+//! Lint identities, diagnostics, and report rendering (text + JSON).
+
+use std::fmt;
+use std::path::Path;
+
+/// Every lint simlint knows about, grouped into the three families from
+/// the lint catalog (see README "Static analysis").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// D1: `HashMap`/`HashSet` in result-affecting code — iteration order
+    /// is randomized per process and can scramble simulation results.
+    HashOrder,
+    /// D1: `Instant::now` / `SystemTime::now` — wall-clock reads make
+    /// runs irreproducible.
+    WallClock,
+    /// D1: `thread_rng` / `rand::random` — ambient OS-seeded randomness
+    /// bypasses the per-run seed discipline.
+    AmbientRng,
+    /// D2: a raw `as f64` / `as u64` cast applied to a unit-carrying
+    /// value (time/position/size) outside the `model` units layer.
+    UnitCast,
+    /// D2: a bare unit-conversion constant (`1e6`, `1024.0`, `3600.0`,
+    /// ...) in arithmetic outside the `model` units layer.
+    UnitConst,
+    /// D3: `unwrap`/`expect`/`panic!`-family/constant-index panics in
+    /// non-test library code without a documented invariant.
+    Panic,
+}
+
+impl Lint {
+    /// All lints, in catalog order.
+    pub const ALL: [Lint; 6] = [
+        Lint::HashOrder,
+        Lint::WallClock,
+        Lint::AmbientRng,
+        Lint::UnitCast,
+        Lint::UnitConst,
+        Lint::Panic,
+    ];
+
+    /// The stable lint id used in diagnostics and allow-annotations.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::HashOrder => "hash-order",
+            Lint::WallClock => "wall-clock",
+            Lint::AmbientRng => "ambient-rng",
+            Lint::UnitCast => "unit-cast",
+            Lint::UnitConst => "unit-const",
+            Lint::Panic => "panic",
+        }
+    }
+
+    /// The lint family (D1/D2/D3) for reporting.
+    pub fn family(self) -> &'static str {
+        match self {
+            Lint::HashOrder | Lint::WallClock | Lint::AmbientRng => "determinism",
+            Lint::UnitCast | Lint::UnitConst => "unit-safety",
+            Lint::Panic => "panic-hygiene",
+        }
+    }
+
+    /// Default severity. The unit-safety family is advisory by default
+    /// (the token-level heuristic can over-approximate) and is promoted
+    /// to deny by the `-D` flag, which CI passes.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Lint::UnitCast | Lint::UnitConst => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Looks a lint up by its annotation id.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.id() == id)
+    }
+
+    /// One-line help text appended to every diagnostic.
+    pub fn help(self) -> &'static str {
+        match self {
+            Lint::HashOrder => {
+                "use BTreeMap/BTreeSet (or prove order-insensitivity with \
+                 `// simlint: allow(hash-order, <reason>)`)"
+            }
+            Lint::WallClock => {
+                "derive all times from the simulation clock (SimTime/Micros); \
+                 wall-clock reads are forbidden in simulation code"
+            }
+            Lint::AmbientRng => {
+                "thread every RNG from the run seed (see model::substream); \
+                 ambient randomness breaks single-seed reproducibility"
+            }
+            Lint::UnitCast => {
+                "route the conversion through the model units layer \
+                 (Micros/SimTime/BlockSize APIs) or annotate \
+                 `// simlint: allow(unit-cast, <reason>)`"
+            }
+            Lint::UnitConst => {
+                "name the conversion via the units layer (e.g. \
+                 Micros::as_secs_f64) instead of an inline constant, or \
+                 annotate `// simlint: allow(unit-const, <reason>)`"
+            }
+            Lint::Panic => {
+                "propagate a typed error (e.g. SimError) or document the \
+                 invariant with `// simlint: allow(panic, <reason>)`"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub lint: Lint,
+    pub severity: Severity,
+    /// Path relative to the workspace root.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    /// The full source line, for the rustc-style snippet.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in rustc style:
+    ///
+    /// ```text
+    /// error[simlint::hash-order]: `HashMap` iteration order is nondeterministic
+    ///   --> crates/sim/src/engine.rs:177:22
+    ///    |
+    /// 177|     let mut faulted: HashMap<RequestId, TapeId> = HashMap::new();
+    ///    |
+    ///    = help: use BTreeMap/BTreeSet (...)
+    /// ```
+    pub fn render(&self) -> String {
+        let line_no = self.line.to_string();
+        let gutter = " ".repeat(line_no.len());
+        format!(
+            "{}[simlint::{}]: {}\n  --> {}:{}:{}\n  {}|\n  {}| {}\n  {}|\n  {}= help: {}\n",
+            self.severity.label(),
+            self.lint,
+            self.message,
+            self.file,
+            self.line,
+            self.col,
+            gutter,
+            line_no,
+            self.snippet.trim_end(),
+            gutter,
+            gutter,
+            self.lint.help(),
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a full run to the machine-readable JSON report.
+pub fn to_json(diags: &[Diagnostic], files_scanned: usize, root: &Path) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"root\": \"{}\",\n",
+        json_escape(&root.display().to_string())
+    ));
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    out.push_str(&format!(
+        "  \"summary\": {{ \"violations\": {}, \"errors\": {}, \"warnings\": {} }},\n",
+        diags.len(),
+        errors,
+        diags.len() - errors
+    ));
+    out.push_str("  \"violations\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"lint\": \"{}\", \"family\": \"{}\", \"severity\": \"{}\", \
+             \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\" }}{}\n",
+            d.lint,
+            d.lint.family(),
+            d.severity.label(),
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            lint: Lint::HashOrder,
+            severity: Severity::Error,
+            file: "crates/sim/src/engine.rs".into(),
+            line: 177,
+            col: 22,
+            message: "`HashMap` iteration order is nondeterministic".into(),
+            snippet: "    let mut faulted: HashMap<RequestId, TapeId> = HashMap::new();".into(),
+        }
+    }
+
+    #[test]
+    fn render_is_rustc_style() {
+        let r = sample().render();
+        assert!(r.starts_with("error[simlint::hash-order]:"));
+        assert!(r.contains("--> crates/sim/src/engine.rs:177:22"));
+        assert!(r.contains("177|"));
+        assert!(r.contains("= help:"));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let json = to_json(&[sample()], 42, &PathBuf::from("/w"));
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"files_scanned\": 42"));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"lint\": \"hash-order\""));
+        assert!(json.contains("\"family\": \"determinism\""));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn lint_ids_round_trip() {
+        for l in Lint::ALL {
+            assert_eq!(Lint::from_id(l.id()), Some(l));
+        }
+        assert_eq!(Lint::from_id("nope"), None);
+    }
+}

@@ -1,0 +1,446 @@
+//! A minimal Rust lexer, sufficient for token-level lint analysis.
+//!
+//! The container this project builds in has no access to crates.io, so
+//! `simlint` cannot use `syn`; instead it tokenizes source text itself.
+//! The lexer understands everything needed to avoid false positives from
+//! non-code text: line/block comments (nested), string literals (plain,
+//! raw, byte, C), char literals vs. lifetimes, and numeric literals. It
+//! does not build a syntax tree — the lint passes work on the token
+//! stream plus brace matching.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `as`, `fn`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// A numeric literal, with its exact source text (`1e6`, `0x1F`, ...).
+    Number(String),
+    /// A string, byte-string, raw-string, or char literal (content dropped).
+    StrLit,
+    /// A single punctuation character (`.`, `[`, `!`, ...).
+    Punct(char),
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A `// simlint: allow(...)`-bearing comment, or any plain comment line
+/// (recorded so annotation lookup can skip over interleaved comments).
+#[derive(Debug, Clone)]
+pub struct CommentLine {
+    pub line: u32,
+    /// Trimmed comment text without the leading `//`.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<CommentLine>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`, returning the token stream and the comment lines.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                // Line comment (includes doc comments); capture its text.
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                let text = src[start..cur.pos].trim_start_matches('/');
+                out.comments.push(CommentLine {
+                    line,
+                    text: text.trim().to_string(),
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                // Block comment, possibly nested.
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' | b'c' if starts_prefixed_string(&cur) => {
+                lex_prefixed_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) or char literal (`'x'`, `'\n'`).
+                if is_char_literal(&cur) {
+                    lex_char(&mut cur);
+                    out.tokens.push(Token {
+                        kind: TokenKind::StrLit,
+                        line,
+                        col,
+                    });
+                } else {
+                    cur.bump();
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                        col,
+                    });
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let start = cur.pos;
+                lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Number(src[start..cur.pos].to_string()),
+                    line,
+                    col,
+                });
+            }
+            b if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..cur.pos].to_string()),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True if the cursor sits on a prefixed string start: `r"`, `r#"`, `b"`,
+/// `br"`, `c"`, etc. (and not on an identifier like `result`).
+fn starts_prefixed_string(cur: &Cursor<'_>) -> bool {
+    let mut off = 0;
+    // Up to two prefix letters (`br`, `cr`...).
+    while off < 2 {
+        match cur.peek_at(off) {
+            Some(b'r' | b'b' | b'c') => off += 1,
+            _ => break,
+        }
+    }
+    if off == 0 {
+        return false;
+    }
+    // Then optional `#`s (raw strings) and a quote.
+    let mut k = off;
+    while cur.peek_at(k) == Some(b'#') {
+        k += 1;
+    }
+    cur.peek_at(k) == Some(b'"') && (k > off || cur.peek_at(off) == Some(b'"'))
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek() {
+        match b {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+fn lex_prefixed_string(cur: &mut Cursor<'_>) {
+    // Consume prefix letters.
+    while cur.peek().is_some_and(|b| matches!(b, b'r' | b'b' | b'c')) {
+        cur.bump();
+    }
+    // Raw string: count `#`s, then scan to `"` followed by that many `#`s.
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    if hashes == 0 {
+        // Non-raw prefixed string (`b"..."`): escapes apply.
+        while let Some(b) = cur.peek() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                    cur.bump();
+                }
+                b'"' => {
+                    cur.bump();
+                    return;
+                }
+                _ => {
+                    cur.bump();
+                }
+            }
+        }
+    } else {
+        while let Some(b) = cur.bump() {
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Distinguishes `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(cur: &Cursor<'_>) -> bool {
+    match cur.peek_at(1) {
+        Some(b'\\') => true,
+        Some(c) if is_ident_start(c) => cur.peek_at(2) == Some(b'\''),
+        Some(_) => true, // e.g. '(' or '0' — always a char literal
+        None => false,
+    }
+}
+
+fn lex_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    if cur.peek() == Some(b'\\') {
+        cur.bump();
+        cur.bump();
+    } else {
+        cur.bump();
+    }
+    // Consume up to the closing quote (unicode escapes span several bytes).
+    while cur.peek().is_some_and(|b| b != b'\'') {
+        cur.bump();
+    }
+    cur.bump();
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    // Integer part, including radix prefixes and `_` separators.
+    while cur
+        .peek()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+    {
+        cur.bump();
+    }
+    // Fractional part: a dot followed by a digit (not a method call `.fn`
+    // and not a range `..`).
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            cur.bump();
+        }
+    }
+    // Exponent sign (`1e-6`): the alnum loop above stops at `-`.
+    if cur.peek() == Some(b'-') || cur.peek() == Some(b'+') {
+        let prev = cur.src[cur.pos - 1];
+        if prev == b'e' || prev == b'E' {
+            cur.bump();
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"raw HashMap"#;
+            let c = 'H';
+        "##;
+        assert!(!idents(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn finds_code_identifiers() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u8, u8>;";
+        assert_eq!(idents(src).iter().filter(|s| *s == "HashMap").count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn numbers_keep_their_text() {
+        let lexed = lex("let x = 1e6 + 1_000_000.0 * 0xFF - 2.5e-3;");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Number(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1e6", "1_000_000.0", "0xFF", "2.5e-3"]);
+    }
+
+    #[test]
+    fn comment_text_is_captured_with_line_numbers() {
+        let lexed = lex("let a = 1;\n// simlint: allow(panic, reason)\nlet b = 2;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.starts_with("simlint:"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,56 @@
+//! `simlint` — workspace-local static analysis for the tape-jukebox
+//! reproduction.
+//!
+//! Three lint families protect the properties the experiment pipeline
+//! depends on (see README "Static analysis" for the catalog and the
+//! allow-annotation grammar):
+//!
+//! - **determinism** (`hash-order`, `wall-clock`, `ambient-rng`) — the
+//!   golden-trace and differential suites assume bit-for-bit identical
+//!   reruns, so hash-iteration order, wall-clock reads, and OS-seeded
+//!   RNGs are forbidden in result-affecting code;
+//! - **unit safety** (`unit-cast`, `unit-const`) — the §2.1 positioning
+//!   model mixes seconds, megabytes, and slot positions; conversions must
+//!   go through the `model` units layer, not raw `as` casts or inline
+//!   constants;
+//! - **panic hygiene** (`panic`) — library code propagates typed errors
+//!   or documents its invariants; it does not abort.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the pass is dependency-free: a hand-rolled lexer (`lexer`) feeds
+//! token-level checks (`lints`) — the same analyses a `syn` AST walk
+//! would do for these patterns, without the parse tree.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use diag::Diagnostic;
+use scan::FileCtx;
+
+/// Lints every source file in the workspace rooted at `root`. Returns
+/// the diagnostics (sorted by file, then line) and the number of files
+/// scanned.
+pub fn run_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+    let files = scan::collect_files(root)?;
+    let mut diags = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        let ctx = FileCtx::classify(&rel);
+        diags.extend(lints::check_file(&ctx, &src));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok((diags, files.len()))
+}

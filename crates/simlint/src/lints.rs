@@ -1,0 +1,471 @@
+//! The lint passes: token-stream checks for the three lint families.
+
+use crate::diag::{Diagnostic, Lint, Severity};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::scan::{in_test_span, test_spans, Annotations, FileCtx};
+
+/// Identifier words that mark a value as unit-carrying (time, position,
+/// or size). A cast operand whose final identifier contains one of these
+/// words (split on `_`) is a D2 unit-cast candidate.
+const UNIT_WORDS: [&str; 24] = [
+    "micros",
+    "micro",
+    "usec",
+    "msec",
+    "millis",
+    "secs",
+    "sec",
+    "seconds",
+    "minutes",
+    "hours",
+    "mb",
+    "kb",
+    "gb",
+    "bytes",
+    "byte",
+    "slot",
+    "slots",
+    "capacity",
+    "delay",
+    "delays",
+    "bandwidth",
+    "elapsed",
+    "duration",
+    "position",
+];
+
+/// Unit-conversion constants that must live behind the units layer.
+/// Matched against the literal text with `_` separators removed.
+const UNIT_CONSTS: [&str; 8] = [
+    "1e6",
+    "1000000.0",
+    "1e3",
+    "1000.0",
+    "1024.0",
+    "60.0",
+    "3600.0",
+    "1e9",
+];
+
+/// Macros whose expansion is a panic.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs every in-scope lint over one file.
+pub fn check_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let spans = test_spans(&lexed);
+    let ann = Annotations::parse(&lexed.comments);
+    let lines: Vec<&str> = src.lines().collect();
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+
+    let emit = |lint: Lint, tok: &Token, message: String, out: &mut Vec<Diagnostic>| {
+        if !ctx.lint_in_scope(lint) {
+            return;
+        }
+        // The determinism lints for wall-clock/RNG apply even in test
+        // code; the rest exempt `#[cfg(test)]` spans.
+        let test_exempt = !matches!(lint, Lint::WallClock | Lint::AmbientRng);
+        if test_exempt && in_test_span(&spans, tok.line) {
+            return;
+        }
+        if ann.allows(lint, tok.line) {
+            return;
+        }
+        let snippet = lines
+            .get(tok.line as usize - 1)
+            .copied()
+            .unwrap_or("")
+            .to_string();
+        out.push(Diagnostic {
+            lint,
+            severity: lint.default_severity(),
+            file: ctx.rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            snippet,
+        });
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokenKind::Ident(name) => match name.as_str() {
+                "HashMap" | "HashSet" => emit(
+                    Lint::HashOrder,
+                    t,
+                    format!("`{name}` iteration order is nondeterministic"),
+                    &mut out,
+                ),
+                "now" if path_prefix(toks, i, &["Instant", "SystemTime"]) => emit(
+                    Lint::WallClock,
+                    t,
+                    "wall-clock read makes simulation runs irreproducible".to_string(),
+                    &mut out,
+                ),
+                "thread_rng" => emit(
+                    Lint::AmbientRng,
+                    t,
+                    "`thread_rng` is seeded from the OS; use the run seed".to_string(),
+                    &mut out,
+                ),
+                "random" if path_prefix(toks, i, &["rand"]) => emit(
+                    Lint::AmbientRng,
+                    t,
+                    "`rand::random` is seeded from the OS; use the run seed".to_string(),
+                    &mut out,
+                ),
+                "as" if cast_target(toks, i).is_some() => {
+                    if let Some(word) = unit_cast_operand(toks, i) {
+                        let target = cast_target(toks, i).unwrap_or_default();
+                        emit(
+                            Lint::UnitCast,
+                            t,
+                            format!(
+                                "raw `as {target}` cast on unit-carrying value \
+                                 (`{word}`) outside the units layer"
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+                "unwrap" | "expect" if prev_is(toks, i, '.') && next_is(toks, i, '(') => {
+                    emit(
+                        Lint::Panic,
+                        t,
+                        format!("`.{name}()` can panic in library code"),
+                        &mut out,
+                    );
+                }
+                "unwrap" if path_call_position(toks, i) => emit(
+                    Lint::Panic,
+                    t,
+                    "`Option::unwrap`/`Result::unwrap` reference can panic".to_string(),
+                    &mut out,
+                ),
+                m if PANIC_MACROS.contains(&m) && next_is(toks, i, '!') => emit(
+                    Lint::Panic,
+                    t,
+                    format!("`{m}!` aborts instead of propagating a typed error"),
+                    &mut out,
+                ),
+                _ => {}
+            },
+            TokenKind::Number(text) => {
+                let normalized: String = text.chars().filter(|&c| c != '_').collect();
+                if UNIT_CONSTS.contains(&normalized.as_str())
+                    && (prev_is(toks, i, '*')
+                        || prev_is_div(toks, i)
+                        || next_is(toks, i, '*')
+                        || next_is(toks, i, '/'))
+                {
+                    emit(
+                        Lint::UnitConst,
+                        t,
+                        format!(
+                            "bare unit-conversion constant `{text}` in arithmetic; \
+                             name it via the units layer"
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+            TokenKind::Punct('[') if const_index(toks, i) => emit(
+                Lint::Panic,
+                t,
+                "constant-index slice access panics when out of bounds".to_string(),
+                &mut out,
+            ),
+            _ => {}
+        }
+    }
+
+    // Malformed annotations are errors: a typo'd allow must not silently
+    // fail to suppress (or silently over-suppress).
+    for (line, why) in &ann.malformed {
+        let snippet = lines
+            .get(*line as usize - 1)
+            .copied()
+            .unwrap_or("")
+            .to_string();
+        out.push(Diagnostic {
+            lint: Lint::Panic,
+            severity: Severity::Error,
+            file: ctx.rel.clone(),
+            line: *line,
+            col: 1,
+            message: format!("malformed simlint annotation: {why}"),
+            snippet,
+        });
+    }
+
+    out
+}
+
+/// True if token `i` is preceded by `::` which is itself preceded by one
+/// of `heads` (e.g. `Instant :: now`).
+fn path_prefix(toks: &[Token], i: usize, heads: &[&str]) -> bool {
+    i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].ident().is_some_and(|h| heads.contains(&h))
+}
+
+/// True if `unwrap` at `i` is a bare path reference (`Option::unwrap`)
+/// rather than a method call.
+fn path_call_position(toks: &[Token], i: usize) -> bool {
+    path_prefix(toks, i, &["Option", "Result"])
+}
+
+fn prev_is(toks: &[Token], i: usize, c: char) -> bool {
+    i > 0 && toks[i - 1].is_punct(c)
+}
+
+/// `/` needs care: `//` never reaches the token stream (comments), so a
+/// plain punct check suffices; kept separate for symmetry/clarity.
+fn prev_is_div(toks: &[Token], i: usize) -> bool {
+    prev_is(toks, i, '/')
+}
+
+fn next_is(toks: &[Token], i: usize, c: char) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(c))
+}
+
+/// If token `i` is an `as` cast to `f64`/`u64`, returns the target type.
+fn cast_target(toks: &[Token], i: usize) -> Option<&'static str> {
+    match toks.get(i + 1)?.ident()? {
+        "f64" => Some("f64"),
+        "u64" => Some("u64"),
+        _ => None,
+    }
+}
+
+/// Resolves the final identifier of the cast operand before `as` at `i`
+/// and returns the matched unit word, if any.
+///
+/// Handles the postfix shapes `ident as`, `call(...) as`, `index[...] as`
+/// one level deep — enough for real code, and an under-approximation by
+/// design (a heuristic lint must not drown the build in false positives).
+fn unit_cast_operand(toks: &[Token], i: usize) -> Option<&'static str> {
+    if i == 0 {
+        return None;
+    }
+    let j = i - 1;
+    let candidate = match &toks[j].kind {
+        TokenKind::Ident(s) => Some(s.clone()),
+        TokenKind::Punct(')') => ident_before_open(toks, j, '(', ')'),
+        TokenKind::Punct(']') => ident_before_open(toks, j, '[', ']'),
+        _ => None,
+    }?;
+    let lower = candidate.to_lowercase();
+    lower
+        .split('_')
+        .find_map(|w| UNIT_WORDS.iter().find(|u| **u == w))
+        .copied()
+}
+
+/// Walks back from a closing delimiter at `j` to its matching opener and
+/// returns the identifier immediately before it (a method/function name
+/// for `(...)`, the indexed binding for `[...]`).
+fn ident_before_open(toks: &[Token], j: usize, open: char, close: char) -> Option<String> {
+    let mut depth = 0i32;
+    let mut k = j;
+    loop {
+        if toks[k].is_punct(close) {
+            depth += 1;
+        } else if toks[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    if k == 0 {
+        return None;
+    }
+    toks[k - 1].ident().map(str::to_string)
+}
+
+/// True if `[` at `i` is a postfix index whose content is a single
+/// integer literal (`replicas[0]`). Array literals (`[0; 4]`), attributes
+/// (`#[...]`), and macro brackets (`vec![...]`) never match: their `[` is
+/// not preceded by an identifier/closing delimiter, or holds more tokens.
+fn const_index(toks: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let postfix = match &toks[i - 1].kind {
+        TokenKind::Ident(name) => {
+            // `let [a] = ...` / `if let [x] = ...`: a pattern, not an index.
+            name != "let"
+        }
+        TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+        _ => false,
+    };
+    if !postfix {
+        return false;
+    }
+    matches!(
+        (toks.get(i + 1).map(|t| &t.kind), toks.get(i + 2)),
+        (Some(TokenKind::Number(_)), Some(t2)) if t2.is_punct(']')
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::classify("crates/sim/src/engine.rs");
+        check_file(&ctx, src)
+    }
+
+    fn ids(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.lint.id()).collect()
+    }
+
+    #[test]
+    fn hash_map_flagged_in_lib_code() {
+        let d = lint_lib("use std::collections::HashMap;\n");
+        assert_eq!(ids(&d), vec!["hash-order"]);
+    }
+
+    #[test]
+    fn hash_map_allowed_with_annotation() {
+        let d = lint_lib(
+            "// simlint: allow(hash-order, membership-only, never iterated)\n\
+             use std::collections::HashMap;\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hash_map_in_cfg_test_is_exempt() {
+        let d = lint_lib("#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wall_clock_flagged_even_in_tests() {
+        let d = lint_lib("#[cfg(test)]\nmod tests {\n  fn f() { let t = Instant::now(); }\n}\n");
+        assert_eq!(ids(&d), vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn ambient_rng_flagged() {
+        let d = lint_lib("fn f() { let mut rng = thread_rng(); let x: u8 = rand::random(); }\n");
+        assert_eq!(ids(&d), vec!["ambient-rng", "ambient-rng"]);
+    }
+
+    #[test]
+    fn unit_cast_on_unit_word_flagged() {
+        let d = lint_lib("fn f(bytes: u64, c: M) -> f64 { bytes as f64 / c.as_secs_f64() }\n");
+        assert_eq!(ids(&d), vec!["unit-cast"]);
+    }
+
+    #[test]
+    fn unit_cast_method_operand_flagged() {
+        let d = lint_lib("fn f(p: M) -> f64 { p.as_micros() as f64 }\n");
+        assert_eq!(ids(&d), vec!["unit-cast"]);
+    }
+
+    #[test]
+    fn count_cast_not_flagged() {
+        let d = lint_lib("fn f(v: &[u8]) -> u64 { v.len() as u64 }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unit_const_flagged() {
+        let d = lint_lib("fn f(x: u64) -> f64 { g(x) / 1e6 }\n");
+        assert_eq!(ids(&d), vec!["unit-const"]);
+    }
+
+    #[test]
+    fn unit_const_not_flagged_without_arithmetic() {
+        let d = lint_lib("const N: f64 = 1e6;\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_flagged() {
+        let d = lint_lib(
+            "fn f(x: Option<u8>) -> u8 {\n\
+             let a = x.unwrap();\n\
+             let b = x.expect(\"msg\");\n\
+             if a > b { panic!(\"boom\"); }\n\
+             a\n}\n",
+        );
+        assert_eq!(ids(&d), vec!["panic", "panic", "panic"]);
+    }
+
+    #[test]
+    fn option_unwrap_path_reference_flagged() {
+        let d = lint_lib(
+            "fn f(v: Vec<Option<u8>>) -> Vec<u8> { v.into_iter().map(Option::unwrap).collect() }\n",
+        );
+        assert_eq!(ids(&d), vec!["panic"]);
+    }
+
+    #[test]
+    fn const_index_flagged_but_patterns_are_not() {
+        let d = lint_lib("fn f(v: &[u8]) -> u8 { v[0] }\n");
+        assert_eq!(ids(&d), vec!["panic"]);
+        let d = lint_lib("fn f(v: &[u8]) -> u8 { if let [a] = v { *a } else { 0 } }\n");
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint_lib("fn f() -> Vec<u8> { vec![0; 4] }\n");
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint_lib("#[derive(Debug)]\nstruct S;\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn variable_index_not_flagged() {
+        let d = lint_lib("fn f(v: &[u8], i: usize) -> u8 { v[i] }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_exempt_in_cfg_test() {
+        let d = lint_lib("#[cfg(test)]\nmod tests {\n  fn f(x: Option<u8>) { x.unwrap(); }\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bin_targets_exempt_from_panic_but_not_wall_clock() {
+        let ctx = FileCtx::classify("crates/bench/src/bin/fig1.rs");
+        let d = check_file(
+            &ctx,
+            "fn main() { foo().unwrap(); let t = Instant::now(); }\n",
+        );
+        assert_eq!(ids(&d), vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn units_layer_exempt_from_unit_casts() {
+        let ctx = FileCtx::classify("crates/model/src/time.rs");
+        let d = check_file(&ctx, "fn f(micros: u64) -> f64 { micros as f64 / 1e6 }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn malformed_annotation_is_an_error() {
+        let d = lint_lib("// simlint: allow(hash-order)\nuse std::collections::HashMap;\n");
+        assert!(d.iter().any(|x| x.message.contains("malformed")));
+        // And the HashMap itself is still reported.
+        assert!(d.iter().any(|x| x.lint == Lint::HashOrder));
+    }
+
+    #[test]
+    fn severity_defaults() {
+        let d = lint_lib("fn f(bytes: u64) -> f64 { bytes as f64 }\n");
+        assert_eq!(d.first().map(|x| x.severity), Some(Severity::Warning));
+        let d = lint_lib("use std::collections::HashSet;\n");
+        assert_eq!(d.first().map(|x| x.severity), Some(Severity::Error));
+    }
+}

@@ -1,0 +1,118 @@
+//! CLI entry point: `cargo run -p simlint [-- --json report.json -D]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::diag::{to_json, Severity};
+use simlint::scan::find_root;
+
+const USAGE: &str = "\
+simlint — determinism / unit-safety / panic-hygiene lints for this workspace
+
+USAGE:
+    cargo run -p simlint [-- OPTIONS]
+
+OPTIONS:
+    --root <path>    Workspace root (default: auto-detected)
+    --json <path>    Write the machine-readable report ('-' for stdout)
+    -D, --deny       Promote advisory (unit-safety) warnings to errors
+    -q, --quiet      Suppress per-violation diagnostics, print summary only
+    -h, --help       Show this help
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    deny: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: None,
+        deny: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = args.next().ok_or("--json requires a path")?;
+                opts.json = Some(PathBuf::from(v));
+            }
+            "-D" | "--deny" => opts.deny = true,
+            "-q" | "--quiet" => opts.quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simlint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = find_root(opts.root.as_deref()) else {
+        eprintln!("simlint: could not locate the workspace root (try --root)");
+        return ExitCode::from(2);
+    };
+    let (mut diags, files) = match simlint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.deny {
+        for d in &mut diags {
+            d.severity = Severity::Error;
+        }
+    }
+
+    if !opts.quiet {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    println!(
+        "simlint: scanned {files} files — {errors} error{}, {warnings} warning{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+
+    if let Some(path) = &opts.json {
+        let json = to_json(&diags, files, &root);
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("simlint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,430 @@
+//! Workspace walking, file-context classification, `#[cfg(test)]` span
+//! detection, and `// simlint: allow(...)` annotation parsing.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Lint;
+use crate::lexer::{CommentLine, Lexed, Token};
+
+/// What kind of compilation target a file belongs to. Lint scope depends
+/// on this: library code is held to the full catalog, harness code (bins,
+/// benches, test crates) only to the wall-clock/RNG determinism lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/<name>/src/**` excluding `src/bin/` — library code.
+    Lib,
+    /// `crates/<name>/src/bin/**` — binary targets (CLIs, figure runners).
+    Bin,
+    /// `crates/<name>/benches/**` — benchmark targets.
+    Bench,
+    /// `crates/<name>/tests/**` — per-crate integration tests.
+    TestTarget,
+    /// Top-level `examples/` and `tests/` workspace members.
+    Harness,
+}
+
+/// Per-file lint context.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// The crate directory name (`sim`, `sched`, ... or `examples`/`tests`).
+    pub crate_name: String,
+    pub kind: FileKind,
+    /// True for the blessed conversion layer (`model::units`,
+    /// `model::time`) where raw casts are the implementation.
+    pub units_layer: bool,
+}
+
+/// Crates whose arithmetic carries paper units (time/position/size) and is
+/// therefore in scope for the D2 unit-safety lints.
+const UNIT_CRATES: [&str; 7] = [
+    "model", "layout", "workload", "sched", "sim", "core", "analysis",
+];
+
+/// Files implementing the units layer itself.
+const UNITS_LAYER: [&str; 2] = ["crates/model/src/units.rs", "crates/model/src/time.rs"];
+
+impl FileCtx {
+    /// Classifies a workspace-relative path.
+    pub fn classify(rel: &str) -> FileCtx {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let (crate_name, kind) = match parts.as_slice() {
+            ["crates", name, "src", "bin", ..] => (*name, FileKind::Bin),
+            ["crates", name, "src", ..] => (*name, FileKind::Lib),
+            ["crates", name, "benches", ..] => (*name, FileKind::Bench),
+            ["crates", name, "tests", ..] => (*name, FileKind::TestTarget),
+            ["examples", ..] => ("examples", FileKind::Harness),
+            ["tests", ..] => ("tests", FileKind::Harness),
+            [name, ..] => (*name, FileKind::Harness),
+            [] => ("", FileKind::Harness),
+        };
+        FileCtx {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            units_layer: UNITS_LAYER.contains(&rel),
+        }
+    }
+
+    /// Whether a lint applies to this file (test spans are handled
+    /// separately by the caller via [`test_spans`]).
+    pub fn lint_in_scope(&self, lint: Lint) -> bool {
+        match lint {
+            // Wall-clock reads and ambient RNG poison reproducibility no
+            // matter where they run — tests and harnesses included.
+            Lint::WallClock | Lint::AmbientRng => true,
+            // Hash-iteration order and panic hygiene are library-code
+            // concerns across every crate.
+            Lint::HashOrder | Lint::Panic => self.kind == FileKind::Lib,
+            // Unit safety applies to the result-affecting crates, outside
+            // the units layer that implements the conversions.
+            Lint::UnitCast | Lint::UnitConst => {
+                self.kind == FileKind::Lib
+                    && UNIT_CRATES.contains(&self.crate_name.as_str())
+                    && !self.units_layer
+            }
+        }
+    }
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` or `#[test]` items.
+pub type TestSpans = Vec<(u32, u32)>;
+
+/// True if `line` falls inside any recorded test span.
+pub fn in_test_span(spans: &TestSpans, line: u32) -> bool {
+    spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// Computes the line spans of `#[cfg(test)]` / `#[test]` items by brace
+/// matching on the token stream.
+pub fn test_spans(lexed: &Lexed) -> TestSpans {
+    let toks = &lexed.tokens;
+    let mut spans = TestSpans::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(attr_end) = match_test_attr(toks, i) {
+            let start_line = toks[i].line;
+            if let Some(end_line) = item_end_line(toks, attr_end) {
+                spans.push((start_line, end_line));
+                // Continue scanning *after* the item so nested `#[test]`
+                // fns inside a `#[cfg(test)] mod` don't add noise.
+                i = attr_end;
+                while i < toks.len() && toks[i].line <= end_line {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// If tokens at `i` start `#[cfg(test)]` or `#[test]`, returns the index
+/// just past the closing `]`.
+fn match_test_attr(toks: &[Token], i: usize) -> Option<usize> {
+    if !toks.get(i)?.is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let inner = toks.get(i + 2)?;
+    if inner.is_ident("test") && toks.get(i + 3)?.is_punct(']') {
+        return Some(i + 4);
+    }
+    if inner.is_ident("cfg")
+        && toks.get(i + 3)?.is_punct('(')
+        && toks.get(i + 4)?.is_ident("test")
+        && toks.get(i + 5)?.is_punct(')')
+        && toks.get(i + 6)?.is_punct(']')
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// Finds the last line of the item starting at token `i` (skipping any
+/// further attributes): either the matching `}` of its first brace block,
+/// or the `;` that ends a braceless item.
+fn item_end_line(toks: &[Token], mut i: usize) -> Option<u32> {
+    // Skip stacked attributes (`#[cfg(test)] #[allow(...)] mod t {`).
+    while i < toks.len() && toks[i].is_punct('#') {
+        i += 1;
+        if i < toks.len() && toks[i].is_punct('[') {
+            let mut depth = 0i32;
+            while i < toks.len() {
+                if toks[i].is_punct('[') {
+                    depth += 1;
+                } else if toks[i].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    // Scan to the first `{` or a terminating `;`.
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct(';') {
+            return Some(t.line);
+        }
+        if t.is_punct('{') {
+            let mut depth = 0i32;
+            while i < toks.len() {
+                if toks[i].is_punct('{') {
+                    depth += 1;
+                } else if toks[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(toks[i].line);
+                    }
+                }
+                i += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parsed allow-annotations: line -> lints allowed on that line and the
+/// next. Grammar (reason mandatory):
+///
+/// ```text
+/// // simlint: allow(<lint-id>, <reason>)
+/// ```
+#[derive(Debug, Default)]
+pub struct Annotations {
+    by_line: BTreeMap<u32, Vec<Lint>>,
+    /// Malformed `simlint:` comments (bad lint id or missing reason); the
+    /// checker reports these so a typo cannot silently fail to suppress.
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl Annotations {
+    /// Parses annotations out of a file's comment lines.
+    pub fn parse(comments: &[CommentLine]) -> Annotations {
+        let mut out = Annotations::default();
+        for c in comments {
+            let Some(rest) = c.text.strip_prefix("simlint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let parsed = parse_allow(rest);
+            match parsed {
+                Ok(lint) => out.by_line.entry(c.line).or_default().push(lint),
+                Err(why) => out.malformed.push((c.line, why)),
+            }
+        }
+        out
+    }
+
+    /// True if `lint` is allowed at `line` — i.e. an annotation sits on
+    /// the same line (trailing comment) or on the line directly above.
+    pub fn allows(&self, lint: Lint, line: u32) -> bool {
+        let covered = |l: u32| self.by_line.get(&l).is_some_and(|v| v.contains(&lint));
+        covered(line) || (line > 0 && covered(line - 1))
+    }
+}
+
+fn parse_allow(rest: &str) -> Result<Lint, String> {
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return Err(format!(
+            "expected `allow(<lint>, <reason>)`, found `{rest}`"
+        ));
+    };
+    let Some((id, reason)) = args.split_once(',') else {
+        return Err(format!(
+            "missing reason: `allow({args})` — a justification is mandatory"
+        ));
+    };
+    let id = id.trim();
+    let Some(lint) = Lint::from_id(id) else {
+        return Err(format!("unknown lint id `{id}`"));
+    };
+    if reason.trim().is_empty() {
+        return Err(format!(
+            "missing reason: `allow({id},)` — a justification is mandatory"
+        ));
+    }
+    Ok(lint)
+}
+
+/// Recursively collects every `.rs` file under the workspace's source
+/// directories, skipping build output, VCS metadata, and simlint's own
+/// intentionally-bad lint fixtures.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | "golden") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: `$CARGO_MANIFEST_DIR/../..` when invoked
+/// via `cargo run -p simlint`, else the nearest ancestor of the current
+/// directory containing a `[workspace]` manifest.
+pub fn find_root(explicit: Option<&Path>) -> Option<PathBuf> {
+    if let Some(p) = explicit {
+        // An explicit root must actually be a workspace — a typo'd path
+        // scanning zero files must not read as a clean pass.
+        return is_workspace_root(p).then(|| p.to_path_buf());
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = Path::new(&manifest).join("../..");
+        if is_workspace_root(&candidate) {
+            return candidate.canonicalize().ok();
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|s| s.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn classification() {
+        let c = FileCtx::classify("crates/sim/src/engine.rs");
+        assert_eq!(c.crate_name, "sim");
+        assert_eq!(c.kind, FileKind::Lib);
+        assert!(!c.units_layer);
+
+        let c = FileCtx::classify("crates/bench/src/bin/fig9_skew.rs");
+        assert_eq!(c.kind, FileKind::Bin);
+
+        let c = FileCtx::classify("crates/bench/benches/simulation.rs");
+        assert_eq!(c.kind, FileKind::Bench);
+
+        let c = FileCtx::classify("tests/tests/golden.rs");
+        assert_eq!(c.kind, FileKind::Harness);
+
+        let c = FileCtx::classify("crates/model/src/units.rs");
+        assert!(c.units_layer);
+        assert!(!c.lint_in_scope(Lint::UnitCast));
+    }
+
+    #[test]
+    fn scope_matrix() {
+        let lib = FileCtx::classify("crates/sched/src/envelope.rs");
+        assert!(lib.lint_in_scope(Lint::HashOrder));
+        assert!(lib.lint_in_scope(Lint::Panic));
+        assert!(lib.lint_in_scope(Lint::UnitCast));
+        assert!(lib.lint_in_scope(Lint::WallClock));
+
+        let bin = FileCtx::classify("crates/bench/src/bin/all_figures.rs");
+        assert!(!bin.lint_in_scope(Lint::Panic));
+        assert!(!bin.lint_in_scope(Lint::HashOrder));
+        assert!(bin.lint_in_scope(Lint::WallClock));
+
+        let simlint_self = FileCtx::classify("crates/simlint/src/lexer.rs");
+        assert!(simlint_self.lint_in_scope(Lint::Panic));
+        assert!(!simlint_self.lint_in_scope(Lint::UnitCast));
+    }
+
+    #[test]
+    fn cfg_test_mod_span() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn more() {}";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans, vec![(2, 5)]);
+        assert!(in_test_span(&spans, 4));
+        assert!(!in_test_span(&spans, 1));
+        assert!(!in_test_span(&spans, 6));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn stacked_attributes_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n let x = 1;\n}";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn annotations_cover_same_and_next_line() {
+        let src = "\
+// simlint: allow(hash-order, membership-only set)
+let a = 1;
+let b = 2; // simlint: allow(panic, index proven in bounds)
+";
+        let lexed = lex(src);
+        let ann = Annotations::parse(&lexed.comments);
+        assert!(ann.allows(Lint::HashOrder, 2));
+        assert!(!ann.allows(Lint::HashOrder, 3));
+        assert!(ann.allows(Lint::Panic, 3));
+        assert!(!ann.allows(Lint::Panic, 2));
+        assert!(ann.malformed.is_empty());
+    }
+
+    #[test]
+    fn annotation_reason_is_mandatory() {
+        let lexed = lex("// simlint: allow(hash-order)\nlet x = 1;");
+        let ann = Annotations::parse(&lexed.comments);
+        assert!(!ann.allows(Lint::HashOrder, 2));
+        assert_eq!(ann.malformed.len(), 1);
+    }
+
+    #[test]
+    fn unknown_lint_id_is_malformed() {
+        let lexed = lex("// simlint: allow(hash-ordr, typo)");
+        let ann = Annotations::parse(&lexed.comments);
+        assert_eq!(ann.malformed.len(), 1);
+        assert!(ann
+            .malformed
+            .first()
+            .is_some_and(|(_, m)| m.contains("hash-ordr")));
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixture self-tests: every lint family must fire on its known-bad
+//! fixture and stay silent on the known-good ones.
+//!
+//! Fixtures live in `crates/simlint/fixtures/`, which the workspace
+//! walker skips, so the intentionally-bad code never pollutes the live
+//! scan. Each fixture is checked under a synthetic `FileCtx` that places
+//! it in library code of a unit-carrying crate (`crates/sim/src/`), the
+//! strictest scope.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use simlint::diag::Diagnostic;
+use simlint::lints::check_file;
+use simlint::scan::FileCtx;
+
+fn check_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let ctx = FileCtx::classify(&format!("crates/sim/src/{name}"));
+    check_file(&ctx, &src)
+}
+
+fn ids(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.lint.id()).collect()
+}
+
+#[test]
+fn hash_order_fires_on_hash_collections() {
+    let diags = check_fixture("bad_hash_order.rs");
+    assert_eq!(diags.len(), 5, "{:?}", ids(&diags));
+    assert!(diags.iter().all(|d| d.lint.id() == "hash-order"));
+}
+
+#[test]
+fn wall_clock_fires_everywhere_including_tests() {
+    let diags = check_fixture("bad_wall_clock.rs");
+    assert_eq!(diags.len(), 3, "{:?}", ids(&diags));
+    assert!(diags.iter().all(|d| d.lint.id() == "wall-clock"));
+    // One of the three sits inside #[cfg(test)] — wall-clock has no
+    // test exemption.
+    assert!(diags.iter().any(|d| d.line > 10));
+}
+
+#[test]
+fn ambient_rng_fires_on_thread_rng_and_random() {
+    let diags = check_fixture("bad_ambient_rng.rs");
+    assert_eq!(diags.len(), 2, "{:?}", ids(&diags));
+    assert!(diags.iter().all(|d| d.lint.id() == "ambient-rng"));
+}
+
+#[test]
+fn unit_cast_fires_on_unit_carrying_operands_only() {
+    let diags = check_fixture("bad_unit_cast.rs");
+    // `delay_micros as f64` and `size_mb as u64` are flagged; the
+    // unit-less `s as f64` is not.
+    assert_eq!(diags.len(), 2, "{:?}", ids(&diags));
+    assert!(diags.iter().all(|d| d.lint.id() == "unit-cast"));
+}
+
+#[test]
+fn unit_const_fires_on_inline_conversion_constants() {
+    let diags = check_fixture("bad_unit_const.rs");
+    assert_eq!(diags.len(), 2, "{:?}", ids(&diags));
+    assert!(diags.iter().all(|d| d.lint.id() == "unit-const"));
+}
+
+#[test]
+fn panic_fires_on_unwrap_expect_panic_and_const_index() {
+    let diags = check_fixture("bad_panic.rs");
+    assert_eq!(diags.len(), 4, "{:?}", ids(&diags));
+    assert!(diags.iter().all(|d| d.lint.id() == "panic"));
+}
+
+#[test]
+fn malformed_annotation_is_reported_and_does_not_allow() {
+    let diags = check_fixture("bad_malformed_annotation.rs");
+    // The reason-less annotation is itself an error, and it suppresses
+    // nothing: all three HashMap mentions still fire.
+    assert_eq!(
+        diags.iter().filter(|d| d.lint.id() == "hash-order").count(),
+        3,
+        "{:?}",
+        ids(&diags)
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("annotation") || d.snippet.contains("allow")),
+        "missing malformed-annotation diagnostic: {:?}",
+        ids(&diags)
+    );
+}
+
+#[test]
+fn annotated_fixture_is_clean() {
+    let diags = check_fixture("good_annotated.rs");
+    assert!(diags.is_empty(), "{:?}", ids(&diags));
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = check_fixture("good_clean.rs");
+    assert!(diags.is_empty(), "{:?}", ids(&diags));
+}
+
+#[test]
+fn bad_fixtures_are_silent_outside_lint_scope() {
+    // The same hash-using source is fine in a bench target: hash-order
+    // only guards result-affecting library code.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad_hash_order.rs");
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    let ctx = FileCtx::classify("crates/bench/benches/bad_hash_order.rs");
+    let diags = check_file(&ctx, &src);
+    assert!(diags.is_empty(), "{:?}", ids(&diags));
+}

@@ -1,0 +1,26 @@
+//! The gate the CI job enforces: the live workspace carries zero
+//! unannotated simlint violations, across all three lint families.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_no_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/simlint sits two levels below the workspace root");
+    let (diags, files) = simlint::run_workspace(root).expect("workspace scan succeeds");
+    assert!(
+        files > 90,
+        "scan looks truncated: only {files} files visited"
+    );
+    let rendered: Vec<String> = diags.iter().map(|d| d.render()).collect();
+    assert!(
+        diags.is_empty(),
+        "the workspace has simlint violations; fix them or add a reasoned \
+         `// simlint: allow(<lint>, <reason>)`:\n{}",
+        rendered.join("\n")
+    );
+}

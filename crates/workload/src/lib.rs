@@ -8,6 +8,7 @@
 //! All randomness flows through a seeded [`rand::rngs::StdRng`], so a
 //! `(configuration, seed)` pair always reproduces the same request stream.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clustered;

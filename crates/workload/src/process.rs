@@ -10,6 +10,7 @@
 //!   modeled as a Poisson arrival process. Workload intensity is set by
 //!   the mean interarrival time, and the arrival rate is independent of
 //!   the service rate.
+#![allow(clippy::cast_precision_loss)] // request counts stay far below 2^53
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -6,6 +6,7 @@
 //! the hot blocks uniformly at random; a cold request selects one of the
 //! cold blocks uniformly at random. Requested block numbers are
 //! independent of one another.
+#![allow(clippy::cast_precision_loss)] // request counts stay far below 2^53
 
 use rand::rngs::StdRng;
 use rand::Rng;

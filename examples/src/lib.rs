@@ -1,5 +1,7 @@
 //! Shared helpers for the tapesim example binaries.
 
+#![forbid(unsafe_code)]
+
 use tapesim::prelude::*;
 
 /// Prints a one-line summary of a metrics report.

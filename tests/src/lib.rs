@@ -1,1 +1,3 @@
 //! Integration test crate; see `tests/` for the tests themselves.
+
+#![forbid(unsafe_code)]
