@@ -14,6 +14,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use std::fs;
 use std::path::PathBuf;
 

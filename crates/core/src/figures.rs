@@ -6,7 +6,7 @@
 
 use tapesim_analysis::{piecewise_fit, LineFit};
 use tapesim_layout::{
-    expansion_factor, expansion_table, scaled_queue_length, ExpansionRow, LayoutKind,
+    expansion_factor, expansion_table, scaled_queue_length, ExpansionRow, LayoutKind, PlacedCatalog,
 };
 use tapesim_model::synth::{synthesize_locates, LocateSample, NoiseModel};
 use tapesim_model::units::mb_f64;
@@ -17,6 +17,7 @@ use tapesim_sim::MetricsReport;
 use tapesim_workload::ArrivalProcess;
 
 use crate::experiment::{run_with_catalog, ExperimentConfig, Scale};
+use crate::par::par_map_indexed;
 
 /// One point of a sweep: the intensity parameter (queue length for closed
 /// queuing, mean interarrival seconds for open) and the measured report.
@@ -89,19 +90,75 @@ pub fn sweep_intensity(
         .build_catalog()
         // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
         .expect("figure configurations are feasible by construction");
-    let points = (0..grid.len())
-        .map(|i| {
-            let (param, cfg) = grid.apply(base, i);
-            let (report, _) = run_with_catalog(&cfg, &placed)
-                // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
-                .expect("figure simulation configs are valid");
-            SweepPoint { param, report }
-        })
-        .collect();
+    // The points are independent simulations; fan them over the cores.
+    let points = par_map_indexed(grid.len(), |i| {
+        let (param, cfg) = grid.apply(base, i);
+        let (report, _) = run_with_catalog(&cfg, &placed)
+            // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+            .expect("figure simulation configs are valid");
+        SweepPoint { param, report }
+    });
     SweepSeries {
         label: label.into(),
         points,
     }
+}
+
+/// True when two configurations consume identical placement parameters,
+/// i.e. [`ExperimentConfig::build_catalog`] returns the same catalog for
+/// both (the build is deterministic in these fields). Lets series that
+/// vary only the workload or algorithm share one catalog build.
+fn same_placement(a: &ExperimentConfig, b: &ExperimentConfig) -> bool {
+    a.geometry == b.geometry
+        && a.block == b.block
+        && a.layout == b.layout
+        && a.replicas == b.replicas
+        && a.ph_percent.to_bits() == b.ph_percent.to_bits()
+        && a.sp.to_bits() == b.sp.to_bits()
+}
+
+/// Sweeps a family of labeled configurations across a shared intensity
+/// grid, flattening every (series, point) pair into one parallel map so
+/// `all_figures` saturates the cores even when a figure has more series
+/// than any series has points. Catalogs are built once per *distinct*
+/// placement (figures like 4 and 8 sweep eleven algorithms over one
+/// placement).
+fn sweep_grid(bases: Vec<(String, ExperimentConfig)>, grid: &IntensityGrid) -> Vec<SweepSeries> {
+    let mut catalog_of: Vec<usize> = Vec::with_capacity(bases.len());
+    let mut uniq: Vec<usize> = Vec::new();
+    for (s, (_, cfg)) in bases.iter().enumerate() {
+        match uniq.iter().position(|&u| same_placement(&bases[u].1, cfg)) {
+            Some(k) => catalog_of.push(k),
+            None => {
+                catalog_of.push(uniq.len());
+                uniq.push(s);
+            }
+        }
+    }
+    let placed: Vec<PlacedCatalog> = par_map_indexed(uniq.len(), |k| {
+        bases[uniq[k]]
+            .1
+            .build_catalog()
+            // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+            .expect("figure configurations are feasible by construction")
+    });
+    let pts = grid.len();
+    let reports = par_map_indexed(bases.len() * pts, |j| {
+        let (s, i) = (j / pts, j % pts);
+        let (param, cfg) = grid.apply(&bases[s].1, i);
+        let (report, _) = run_with_catalog(&cfg, &placed[catalog_of[s]])
+            // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+            .expect("figure simulation configs are valid");
+        SweepPoint { param, report }
+    });
+    let mut reports = reports.into_iter();
+    bases
+        .into_iter()
+        .map(|(label, _)| SweepSeries {
+            label,
+            points: reports.by_ref().take(pts).collect(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -167,9 +224,29 @@ pub fn model_validation() -> ValidationReport {
 pub fn fig3_transfer_size(scale: Scale, open: bool) -> Vec<SweepSeries> {
     let block_sizes: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
     let grid = IntensityGrid::default_for(scale, open);
-    // One series per intensity; the x axis is the block size, so build
+    let bases: Vec<ExperimentConfig> = block_sizes
+        .iter()
+        .map(|&mb| ExperimentConfig {
+            block: BlockSize::from_mb(mb),
+            ..base_fig3(scale)
+        })
+        .collect();
+    let placed: Vec<PlacedCatalog> = par_map_indexed(bases.len(), |b| {
+        // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+        bases[b].build_catalog().expect("feasible")
+    });
+    let pts = grid.len();
+    let reports = par_map_indexed(bases.len() * pts, |j| {
+        let (b, i) = (j / pts, j % pts);
+        let (_, cfg) = grid.apply(&bases[b], i);
+        let (report, _) = run_with_catalog(&cfg, &placed[b])
+            // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+            .expect("figure simulation configs are valid");
+        report
+    });
+    // One series per intensity; the x axis is the block size, so emit
     // the sweep transposed.
-    let mut series: Vec<SweepSeries> = (0..grid.len())
+    (0..pts)
         .map(|i| {
             let (param, _) = grid.apply(&base_fig3(scale), i);
             SweepSeries {
@@ -178,29 +255,17 @@ pub fn fig3_transfer_size(scale: Scale, open: bool) -> Vec<SweepSeries> {
                 } else {
                     format!("queue {param}")
                 },
-                points: Vec::new(),
+                points: block_sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &mb)| SweepPoint {
+                        param: f64::from(mb),
+                        report: reports[b * pts + i].clone(),
+                    })
+                    .collect(),
             }
         })
-        .collect();
-    for &mb in &block_sizes {
-        let base = ExperimentConfig {
-            block: BlockSize::from_mb(mb),
-            ..base_fig3(scale)
-        };
-        // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
-        let placed = base.build_catalog().expect("feasible");
-        for (i, s) in series.iter_mut().enumerate() {
-            let (_, cfg) = grid.apply(&base, i);
-            let (report, _) = run_with_catalog(&cfg, &placed)
-                // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
-                .expect("figure simulation configs are valid");
-            s.points.push(SweepPoint {
-                param: f64::from(mb),
-                report,
-            });
-        }
-    }
-    series
+        .collect()
 }
 
 fn base_fig3(scale: Scale) -> ExperimentConfig {
@@ -217,7 +282,7 @@ pub fn fig4_sched_algorithms(scale: Scale, open: bool) -> Vec<SweepSeries> {
     let mut algorithms = vec![AlgorithmId::Fifo];
     algorithms.extend(TapeSelectPolicy::ALL.into_iter().map(AlgorithmId::Static));
     algorithms.extend(TapeSelectPolicy::ALL.into_iter().map(AlgorithmId::Dynamic));
-    algorithms
+    let bases = algorithms
         .into_iter()
         .map(|alg| {
             let base = ExperimentConfig {
@@ -225,9 +290,10 @@ pub fn fig4_sched_algorithms(scale: Scale, open: bool) -> Vec<SweepSeries> {
                 scale,
                 ..ExperimentConfig::paper_baseline()
             };
-            sweep_intensity(alg.name(), &base, &grid)
+            (alg.name(), base)
         })
-        .collect()
+        .collect();
+    sweep_grid(bases, &grid)
 }
 
 /// Figure 5: hot-data placement with no replication — horizontal layouts
@@ -235,22 +301,24 @@ pub fn fig4_sched_algorithms(scale: Scale, open: bool) -> Vec<SweepSeries> {
 /// max-bandwidth.
 pub fn fig5_placement(scale: Scale, open: bool) -> Vec<SweepSeries> {
     let grid = IntensityGrid::default_for(scale, open);
-    let mut out = Vec::new();
-    for sp in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let base = ExperimentConfig {
-            sp,
-            scale,
-            ..ExperimentConfig::paper_baseline()
-        };
-        out.push(sweep_intensity(format!("horizontal SP-{sp}"), &base, &grid));
-    }
+    let mut bases: Vec<(String, ExperimentConfig)> = [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&sp| {
+            let base = ExperimentConfig {
+                sp,
+                scale,
+                ..ExperimentConfig::paper_baseline()
+            };
+            (format!("horizontal SP-{sp}"), base)
+        })
+        .collect();
     let vertical = ExperimentConfig {
         layout: LayoutKind::Vertical,
         scale,
         ..ExperimentConfig::paper_baseline()
     };
-    out.push(sweep_intensity("vertical", &vertical, &grid));
-    out
+    bases.push(("vertical".into(), vertical));
+    sweep_grid(bases, &grid)
 }
 
 /// Figure 6: number of replicas 0..9 (vertical layout, replicas at the
@@ -261,7 +329,8 @@ pub fn fig6_replicas(scale: Scale, open: bool) -> Vec<SweepSeries> {
         Scale::Quick => &[0, 2, 9],
         _ => &[0, 1, 2, 4, 6, 9],
     };
-    nrs.iter()
+    let bases = nrs
+        .iter()
         .map(|&nr| {
             let base = ExperimentConfig {
                 layout: LayoutKind::Vertical,
@@ -270,16 +339,17 @@ pub fn fig6_replicas(scale: Scale, open: bool) -> Vec<SweepSeries> {
                 scale,
                 ..ExperimentConfig::paper_baseline()
             };
-            sweep_intensity(format!("NR-{nr}"), &base, &grid)
+            (format!("NR-{nr}"), base)
         })
-        .collect()
+        .collect();
+    sweep_grid(bases, &grid)
 }
 
 /// Figure 7: placement of replicas with full replication — SP from the
 /// beginning to the end of tape. Dynamic max-bandwidth.
 pub fn fig7_replica_placement(scale: Scale, open: bool) -> Vec<SweepSeries> {
     let grid = IntensityGrid::default_for(scale, open);
-    [0.0, 0.25, 0.5, 0.75, 1.0]
+    let bases = [0.0, 0.25, 0.5, 0.75, 1.0]
         .iter()
         .map(|&sp| {
             let base = ExperimentConfig {
@@ -289,9 +359,10 @@ pub fn fig7_replica_placement(scale: Scale, open: bool) -> Vec<SweepSeries> {
                 scale,
                 ..ExperimentConfig::paper_baseline()
             };
-            sweep_intensity(format!("SP-{sp}"), &base, &grid)
+            (format!("SP-{sp}"), base)
         })
-        .collect()
+        .collect();
+    sweep_grid(bases, &grid)
 }
 
 /// Figure 8: scheduling algorithms with full replication at the tape
@@ -301,7 +372,7 @@ pub fn fig8_sched_replication(scale: Scale, open: bool) -> Vec<SweepSeries> {
     let mut algorithms = vec![AlgorithmId::Static(TapeSelectPolicy::MaxBandwidth)];
     algorithms.extend(TapeSelectPolicy::ALL.into_iter().map(AlgorithmId::Dynamic));
     algorithms.extend(EnvelopePolicy::ALL.into_iter().map(AlgorithmId::Envelope));
-    algorithms
+    let bases = algorithms
         .into_iter()
         .map(|alg| {
             let base = ExperimentConfig {
@@ -312,9 +383,10 @@ pub fn fig8_sched_replication(scale: Scale, open: bool) -> Vec<SweepSeries> {
                 scale,
                 ..ExperimentConfig::paper_baseline()
             };
-            sweep_intensity(alg.name(), &base, &grid)
+            (alg.name(), base)
         })
-        .collect()
+        .collect();
+    sweep_grid(bases, &grid)
 }
 
 /// Figure 9: the relationship between skew and performance. RH sweeps
@@ -323,7 +395,7 @@ pub fn fig8_sched_replication(scale: Scale, open: bool) -> Vec<SweepSeries> {
 /// algorithm (max-bandwidth envelope).
 pub fn fig9_skew(scale: Scale, open: bool) -> Vec<SweepSeries> {
     let grid = IntensityGrid::default_for(scale, open);
-    let mut out = Vec::new();
+    let mut bases: Vec<(String, ExperimentConfig)> = Vec::new();
     for &rh in &[20.0, 40.0, 60.0, 80.0] {
         for replicated in [false, true] {
             let base = ExperimentConfig {
@@ -343,10 +415,10 @@ pub fn fig9_skew(scale: Scale, open: bool) -> Vec<SweepSeries> {
                 "RH-{rh} {}",
                 if replicated { "replicated" } else { "no-repl" }
             );
-            out.push(sweep_intensity(label, &base, &grid));
+            bases.push((label, base));
         }
     }
-    out
+    sweep_grid(bases, &grid)
 }
 
 // ---------------------------------------------------------------------
@@ -394,50 +466,73 @@ pub fn fig10b_cost_performance(scale: Scale, base_queue: u32) -> Vec<CostPerfSer
         Scale::Quick => &[0, 2, 9],
         _ => &[0, 1, 2, 4, 6, 9],
     };
-    [40.0, 60.0, 80.0, 95.0]
+    let rhs = [40.0, 60.0, 80.0, 95.0];
+    // Flatten the (rh, nr) grid into one parallel map; the NR-0 baseline
+    // each ratio divides by is the first point of its rh chunk, so the
+    // ratios are computed after the map from the same measurements the
+    // sequential loop used.
+    let jobs: Vec<(f64, u32)> = rhs
         .iter()
-        .map(|&rh| {
-            let mut baseline_throughput = None;
-            let points = nrs
-                .iter()
-                .map(|&nr| {
-                    let e = expansion_factor(nr, 10.0);
-                    let queue = scaled_queue_length(base_queue, e);
-                    let cfg = ExperimentConfig {
-                        layout: LayoutKind::Vertical,
-                        replicas: nr,
-                        sp: 1.0,
-                        rh_percent: rh,
-                        algorithm: AlgorithmId::paper_recommended(),
-                        process: ArrivalProcess::Closed {
-                            queue_length: queue,
-                        },
-                        scale,
-                        ..ExperimentConfig::paper_baseline()
-                    };
-                    // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
-                    let placed = cfg.build_catalog().expect("feasible");
-                    let (report, _) = run_with_catalog(&cfg, &placed)
-                        // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
-                        .expect("figure simulation configs are valid");
-                    let throughput = report.throughput_kb_per_s;
-                    if nr == 0 {
-                        baseline_throughput = Some(throughput);
-                    }
-                    // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
-                    let base = baseline_throughput.expect("NR grid starts at 0");
-                    CostPerfPoint {
-                        nr,
-                        expansion: e,
-                        queue,
-                        throughput,
-                        ratio: if base > 0.0 { throughput / base } else { 0.0 },
-                    }
-                })
-                .collect();
+        .flat_map(|&rh| nrs.iter().map(move |&nr| (rh, nr)))
+        .collect();
+    // The placement depends only on NR, so one catalog per replica count
+    // serves every skew (`rh` only steers the workload).
+    let cfg_for = |rh: f64, nr: u32| {
+        let e = expansion_factor(nr, 10.0);
+        let queue = scaled_queue_length(base_queue, e);
+        ExperimentConfig {
+            layout: LayoutKind::Vertical,
+            replicas: nr,
+            sp: 1.0,
+            rh_percent: rh,
+            algorithm: AlgorithmId::paper_recommended(),
+            process: ArrivalProcess::Closed {
+                queue_length: queue,
+            },
+            scale,
+            ..ExperimentConfig::paper_baseline()
+        }
+    };
+    let placed: Vec<PlacedCatalog> = par_map_indexed(nrs.len(), |k| {
+        // simlint: allow(panic, rhs is a non-empty literal array)
+        cfg_for(rhs[0], nrs[k])
+            .build_catalog()
+            // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+            .expect("feasible")
+    });
+    let measured: Vec<CostPerfPoint> = par_map_indexed(jobs.len(), |j| {
+        let (rh, nr) = jobs[j];
+        let e = expansion_factor(nr, 10.0);
+        let queue = scaled_queue_length(base_queue, e);
+        let cfg = cfg_for(rh, nr);
+        let (report, _) = run_with_catalog(&cfg, &placed[j % nrs.len()])
+            // simlint: allow(panic, figure configs are static and exercised by the tier-1 tests)
+            .expect("figure simulation configs are valid");
+        CostPerfPoint {
+            nr,
+            expansion: e,
+            queue,
+            throughput: report.throughput_kb_per_s,
+            ratio: 0.0,
+        }
+    });
+    measured
+        .chunks(nrs.len())
+        .zip(rhs)
+        .map(|(chunk, rh)| {
+            // simlint: allow(panic, chunks(nrs.len()) over rhs.len()*nrs.len() jobs yields non-empty chunks)
+            debug_assert_eq!(chunk[0].nr, 0, "NR grid starts at 0");
+            // simlint: allow(panic, chunks(nrs.len()) over rhs.len()*nrs.len() jobs yields non-empty chunks)
+            let base = chunk[0].throughput;
             CostPerfSeries {
                 rh_percent: rh,
-                points,
+                points: chunk
+                    .iter()
+                    .map(|p| CostPerfPoint {
+                        ratio: if base > 0.0 { p.throughput / base } else { 0.0 },
+                        ..p.clone()
+                    })
+                    .collect(),
             }
         })
         .collect()

@@ -32,6 +32,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod par;
 
 /// Statistics, fitting, tables, and plots.
 pub use tapesim_analysis as analysis;
@@ -55,6 +56,7 @@ pub use figures::{
     fig7_replica_placement, fig8_sched_replication, fig9_skew, model_validation, sweep_intensity,
     CostPerfPoint, CostPerfSeries, Fig1Data, IntensityGrid, SweepPoint, SweepSeries,
 };
+pub use par::par_map_indexed;
 
 /// Convenient glob-import surface.
 pub mod prelude {

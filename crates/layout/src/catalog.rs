@@ -8,8 +8,6 @@
 #![allow(clippy::cast_possible_truncation)] // slot/copy counts are bounded by jukebox capacity (u32)
 #![allow(clippy::cast_precision_loss)] // copy counts stay far below 2^53
 
-use std::collections::BTreeSet;
-
 use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId};
 
 use crate::block::{BlockId, Heat};
@@ -102,7 +100,6 @@ impl Catalog {
                 vec![None; geometry.slots_per_tape(block_size) as usize];
                 geometry.tapes as usize
             ],
-            per_tape_copy: BTreeSet::new(),
         }
     }
 
@@ -221,7 +218,6 @@ pub struct CatalogBuilder {
     hot_count: u32,
     replicas: Vec<Vec<PhysicalAddr>>,
     slot_map: Vec<Vec<Option<BlockId>>>,
-    per_tape_copy: BTreeSet<(BlockId, TapeId)>,
 }
 
 impl CatalogBuilder {
@@ -235,7 +231,12 @@ impl CatalogBuilder {
         {
             return Err(CatalogError::OutOfBounds { addr });
         }
-        if self.per_tape_copy.contains(&(block, addr.tape)) {
+        // One copy per tape: a block has at most `tapes` replicas, so this
+        // scan is over a handful of entries and beats a side index.
+        if self.replicas[block.index()]
+            .iter()
+            .any(|a| a.tape == addr.tape)
+        {
             return Err(CatalogError::DuplicateCopyOnTape {
                 block,
                 tape: addr.tape,
@@ -250,7 +251,6 @@ impl CatalogBuilder {
             });
         }
         *cell = Some(block);
-        self.per_tape_copy.insert((block, addr.tape));
         self.replicas[block.index()].push(addr);
         Ok(())
     }

@@ -92,6 +92,44 @@ pub fn candidate_for_tape(
     })
 }
 
+/// Collects the candidate work for every tape in a single pass over the
+/// pending list. Entry `t` is what [`candidate_for_tape`] would return
+/// for tape `t` — a block has at most one copy per tape, so walking each
+/// request's replica list visits exactly the `(request, tape)` pairs the
+/// per-tape scans would, without rescanning the pending list per tape.
+pub fn candidates_for_all_tapes(
+    catalog: &Catalog,
+    pending: &PendingList,
+) -> Vec<Option<TapeCandidate>> {
+    let tapes = catalog.geometry().tapes as usize;
+    let mut slots: Vec<Vec<SlotIndex>> = vec![Vec::new(); tapes];
+    let mut counts: Vec<usize> = vec![0; tapes];
+    for r in pending.iter() {
+        for a in catalog.replicas(r.block) {
+            slots[a.tape.index()].push(a.slot);
+            counts[a.tape.index()] += 1;
+        }
+    }
+    catalog
+        .geometry()
+        .tape_ids()
+        .zip(slots)
+        .zip(counts)
+        .map(|((tape, mut slots), request_count)| {
+            if slots.is_empty() {
+                return None;
+            }
+            slots.sort_unstable();
+            slots.dedup();
+            Some(TapeCandidate {
+                tape,
+                slots,
+                request_count,
+            })
+        })
+        .collect()
+}
+
 /// Cost to prepare `tape` for service: zero when it is already mounted,
 /// otherwise rewind (if a tape is mounted) + eject + exchange + load.
 pub fn mount_cost(view: &JukeboxView<'_>, tape: TapeId) -> Micros {

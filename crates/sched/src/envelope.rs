@@ -235,7 +235,7 @@ impl Scheduler for EnvelopeScheduler {
 /// Cost of walking from the envelope boundary `start` through `slots`
 /// (ascending) and locating back to `start` — the incremental cost of an
 /// envelope extension, excluding any tape-switch charge.
-fn prefix_cost(view: &JukeboxView<'_>, start: SlotIndex, slots: &[SlotIndex]) -> Micros {
+pub fn prefix_cost(view: &JukeboxView<'_>, start: SlotIndex, slots: &[SlotIndex]) -> Micros {
     let block = view.catalog.block_size();
     let mut total = walk_cost(view.timing, block, start, slots.iter().copied());
     if let Some(&last) = slots.last() {
@@ -273,9 +273,187 @@ pub fn envelope_after_absorb(
     (env, assigned)
 }
 
+/// Per-call cache of the per-tape extension lists and their prefix cost
+/// sums.
+///
+/// Every iteration of the extension loop needs, for each available tape,
+/// the sorted list of slots holding copies of still-unassigned requests
+/// and the cumulative locate/read/locate-back cost of each prefix.
+/// Rebuilding those lists on every iteration costs O(tapes x requests)
+/// plus a sort per tape; the driver loop instead keeps this cache and
+/// invalidates only the tapes whose unassigned set or envelope boundary
+/// actually changed since the list was built.
+///
+/// All cached quantities are exact integer [`Micros`] sums produced by
+/// the same incremental walk the uncached code performs, so a cache hit
+/// is bit-identical to a fresh recomputation — the property suite in
+/// `tests/envelope_cache_props.rs` asserts cached prefix costs equal
+/// [`prefix_cost`] and that the cached and always-rebuild drivers agree.
+#[derive(Debug, Clone, Default)]
+pub struct ExtensionCache {
+    tapes: Vec<TapeExtension>,
+}
+
+/// One tape's cached extension list.
+#[derive(Debug, Clone, Default)]
+struct TapeExtension {
+    valid: bool,
+    /// `(slot, pending index)` for every unassigned request with a copy
+    /// on this tape, sorted by `(slot, index)`.
+    entries: Vec<(SlotIndex, usize)>,
+    /// Distinct slots, ascending — the extension list of Section 3.2.
+    slots: Vec<SlotIndex>,
+    /// Envelope boundary the cached walk started from.
+    start: SlotIndex,
+    /// Tape-switch charge applied to every prefix (nonzero only when the
+    /// envelope was empty and the tape is not the mounted one).
+    switch: Micros,
+    /// `costs[k]`: switch charge + walk through `slots[..=k]` + locate
+    /// back to `start`.
+    costs: Vec<Micros>,
+    /// `bws[k]`: `costs[k]` as bytes/second for a `(k + 1)`-block prefix.
+    bws: Vec<f64>,
+}
+
+impl ExtensionCache {
+    /// An empty (all-stale) cache for a jukebox with `tapes` tapes.
+    pub fn new(tapes: usize) -> ExtensionCache {
+        ExtensionCache {
+            tapes: vec![TapeExtension::default(); tapes],
+        }
+    }
+
+    /// Marks one tape's cached extension list stale.
+    pub fn invalidate(&mut self, tape: TapeId) {
+        self.tapes[tape.index()].valid = false;
+    }
+
+    /// Marks every tape stale (used by the fresh-recomputation reference
+    /// driver the property suite compares against).
+    pub fn invalidate_all(&mut self) {
+        for t in &mut self.tapes {
+            t.valid = false;
+        }
+    }
+
+    /// Distinct extension slots cached for `tape`, ascending.
+    pub fn slots(&self, tape: TapeId) -> &[SlotIndex] {
+        &self.tapes[tape.index()].slots
+    }
+
+    /// Cached per-prefix extension costs for `tape`: entry `k` equals the
+    /// tape-switch charge plus [`prefix_cost`] over `slots()[..=k]`.
+    pub fn prefix_costs(&self, tape: TapeId) -> &[Micros] {
+        &self.tapes[tape.index()].costs
+    }
+
+    /// The envelope boundary the cached walk for `tape` started from.
+    pub fn start(&self, tape: TapeId) -> SlotIndex {
+        self.tapes[tape.index()].start
+    }
+
+    /// The tape-switch charge folded into every cached prefix cost.
+    pub fn switch_charge(&self, tape: TapeId) -> Micros {
+        self.tapes[tape.index()].switch
+    }
+
+    /// Rebuilds `tape`'s extension list if it is stale.
+    pub fn refresh(
+        &mut self,
+        view: &JukeboxView<'_>,
+        pending: &[Request],
+        assigned: &[Option<TapeId>],
+        env: &Envelope,
+        tape: TapeId,
+    ) {
+        if !self.tapes[tape.index()].valid {
+            self.rebuild(view, pending, assigned, env, tape);
+        }
+    }
+
+    fn rebuild(
+        &mut self,
+        view: &JukeboxView<'_>,
+        pending: &[Request],
+        assigned: &[Option<TapeId>],
+        env: &Envelope,
+        tape: TapeId,
+    ) {
+        let catalog = view.catalog;
+        let ext = &mut self.tapes[tape.index()];
+        ext.entries.clear();
+        ext.slots.clear();
+        ext.costs.clear();
+        ext.bws.clear();
+        for (i, r) in pending.iter().enumerate() {
+            if assigned[i].is_some() {
+                continue;
+            }
+            if let Some(a) = catalog.copy_on_tape(r.block, tape) {
+                debug_assert!(a.slot.0 >= env[tape.index()], "unscheduled inside envelope");
+                ext.entries.push((a.slot, i));
+            }
+        }
+        ext.start = SlotIndex(env[tape.index()]);
+        ext.switch = if ext.start == SlotIndex::BOT && view.mounted != Some(tape) {
+            view.timing.switch_time()
+        } else {
+            Micros::ZERO
+        };
+        ext.valid = true;
+        if ext.entries.is_empty() {
+            return;
+        }
+        ext.entries.sort_unstable();
+
+        // Walk each prefix incrementally, exactly as `prefix_cost` would
+        // for the slots seen so far.
+        let block = catalog.block_size();
+        let start = ext.start;
+        let mut pos = start;
+        let mut out_time = Micros::ZERO;
+        for &(slot, _) in &ext.entries {
+            if ext.slots.last() == Some(&slot) {
+                continue; // several requests for the same block
+            }
+            ext.slots.push(slot);
+            let (lt, dir) = view.timing.drive.locate(pos, slot, block);
+            let ctx = match dir {
+                None => ReadContext::Streaming,
+                Some(tapesim_model::LocateDirection::Forward) => ReadContext::AfterForwardLocate,
+                Some(tapesim_model::LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
+            };
+            out_time += lt + view.timing.drive.read_block(block, ctx);
+            pos = slot.next();
+            let (back, _) = view.timing.drive.locate(pos, start, block);
+            let cost = ext.switch + out_time + back;
+            ext.costs.push(cost);
+            ext.bws
+                .push(cost.bytes_per_sec(ext.slots.len() as u64 * block.bytes()));
+        }
+    }
+}
+
 /// Computes the upper envelope over a snapshot of the pending list,
-/// following Section 3.2's six steps.
+/// following Section 3.2's six steps. Reuses cached extension lists
+/// across iterations of the extension loop.
 pub fn compute_upper_envelope(view: &JukeboxView<'_>, pending: &[Request]) -> UpperEnvelope {
+    compute_upper_envelope_impl(view, pending, false)
+}
+
+/// Reference variant of [`compute_upper_envelope`] that rebuilds every
+/// extension list on every iteration instead of reusing the cache. Only
+/// exists so tests can assert the cached and fresh computations agree;
+/// schedulers always use the cached driver.
+pub fn compute_upper_envelope_fresh(view: &JukeboxView<'_>, pending: &[Request]) -> UpperEnvelope {
+    compute_upper_envelope_impl(view, pending, true)
+}
+
+fn compute_upper_envelope_impl(
+    view: &JukeboxView<'_>,
+    pending: &[Request],
+    always_rebuild: bool,
+) -> UpperEnvelope {
     let catalog = view.catalog;
     let tapes = catalog.geometry().tapes as usize;
     let n = pending.len();
@@ -310,11 +488,38 @@ pub fn compute_upper_envelope(view: &JukeboxView<'_>, pending: &[Request]) -> Up
     // request satisfiable inside the current envelope.
     absorb(view, pending, &mut assigned, &mut counts, &env);
 
-    // Steps 3-6: extend along the best prefix, shrink, iterate.
+    // Steps 3-6: extend along the best prefix, shrink, iterate. The
+    // cached extension lists stay valid for any tape whose unassigned
+    // set and envelope boundary did not change; after each iteration the
+    // diff below invalidates exactly the tapes they did change for (a
+    // request's assignment flip dirties every tape holding a replica of
+    // its block; assignment *moves* during shrink keep the request
+    // assigned and so never touch the unassigned extension lists).
+    let mut cache = ExtensionCache::new(tapes);
+    let mut was_assigned: Vec<bool> = assigned.iter().map(Option::is_some).collect();
+    let mut prev_env = env.clone();
     while assigned.iter().any(Option::is_none) {
-        extend_once(view, pending, &mut assigned, &mut counts, &mut env);
+        if always_rebuild {
+            cache.invalidate_all();
+        }
+        extend_once(view, pending, &mut assigned, &mut counts, &mut env, &mut cache);
         shrink(view, pending, &mut assigned, &mut counts, &mut env);
         absorb(view, pending, &mut assigned, &mut counts, &env);
+        for (i, was) in was_assigned.iter_mut().enumerate() {
+            let now = assigned[i].is_some();
+            if now != *was {
+                *was = now;
+                for a in catalog.replicas(pending[i].block) {
+                    cache.invalidate(a.tape);
+                }
+            }
+        }
+        for (tape, prev) in catalog.geometry().tape_ids().zip(prev_env.iter_mut()) {
+            if env[tape.index()] != *prev {
+                *prev = env[tape.index()];
+                cache.invalidate(tape);
+            }
+        }
     }
 
     UpperEnvelope {
@@ -380,10 +585,9 @@ fn extend_once(
     assigned: &mut [Option<TapeId>],
     counts: &mut [u32],
     env: &mut Envelope,
+    cache: &mut ExtensionCache,
 ) {
-    let catalog = view.catalog;
-    let block = catalog.block_size();
-    let geometry = catalog.geometry();
+    let geometry = view.catalog.geometry();
 
     // Best = (bandwidth, scheduled-count on tape, tape, prefix length).
     struct Best {
@@ -393,57 +597,14 @@ fn extend_once(
         prefix: usize,
     }
     let mut best: Option<Best> = None;
-    // Per-tape extension lists: (slot, request indices) sorted by slot.
     for tape in geometry.tape_ids() {
         if !view.is_available(tape) {
             continue;
         }
-        let mut entries: Vec<(SlotIndex, Vec<usize>)> = Vec::new();
-        for (i, r) in pending.iter().enumerate() {
-            if assigned[i].is_some() {
-                continue;
-            }
-            if let Some(a) = catalog.copy_on_tape(r.block, tape) {
-                debug_assert!(a.slot.0 >= env[tape.index()], "unscheduled inside envelope");
-                entries.push((a.slot, vec![i]));
-            }
-        }
-        if entries.is_empty() {
-            continue;
-        }
-        entries.sort_by_key(|e| e.0);
-        // Merge duplicate slots (several requests for the same block).
-        let mut merged: Vec<(SlotIndex, Vec<usize>)> = Vec::with_capacity(entries.len());
-        for (slot, idxs) in entries {
-            match merged.last_mut() {
-                Some((s, v)) if *s == slot => v.extend(idxs),
-                _ => merged.push((slot, idxs)),
-            }
-        }
-
-        // Walk each prefix incrementally.
-        let start = SlotIndex(env[tape.index()]);
-        let switch = if start == SlotIndex::BOT && view.mounted != Some(tape) {
-            view.timing.switch_time()
-        } else {
-            Micros::ZERO
-        };
-        let mut pos = start;
-        let mut out_time = Micros::ZERO;
-        for (k, (slot, _)) in merged.iter().enumerate() {
-            let (lt, dir) = view.timing.drive.locate(pos, *slot, block);
-            let ctx = match dir {
-                None => ReadContext::Streaming,
-                Some(tapesim_model::LocateDirection::Forward) => ReadContext::AfterForwardLocate,
-                Some(tapesim_model::LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
-            };
-            out_time += lt + view.timing.drive.read_block(block, ctx);
-            pos = slot.next();
-            let (back, _) = view.timing.drive.locate(pos, start, block);
-            let cost = switch + out_time + back;
-            let bytes = (k + 1) as u64 * block.bytes();
-            let bw = cost.bytes_per_sec(bytes);
-            let count = counts[tape.index()];
+        cache.refresh(view, pending, assigned, env, tape);
+        let ext = &cache.tapes[tape.index()];
+        let count = counts[tape.index()];
+        for (k, &bw) in ext.bws.iter().enumerate() {
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -460,40 +621,24 @@ fn extend_once(
                 });
             }
         }
-        // Stash the merged list for the winner by recomputing below (the
-        // lists are cheap to rebuild and this keeps the loop allocation-
-        // light).
     }
 
     // simlint: allow(panic, the caller loops only while unscheduled requests remain, so some prefix was scored)
     let best = best.expect("extend_once called with unscheduled requests remaining");
-    // Rebuild the winning tape's merged extension list and apply the
-    // chosen prefix.
+    // Apply the chosen prefix from the winner's cached extension list:
+    // every unassigned request with a copy at or before the prefix's
+    // outermost slot joins the winner tape.
     let tape = best.tape;
-    let mut entries: Vec<(SlotIndex, usize)> = Vec::new();
-    for (i, r) in pending.iter().enumerate() {
-        if assigned[i].is_some() {
-            continue;
-        }
-        if let Some(a) = catalog.copy_on_tape(r.block, tape) {
-            entries.push((a.slot, i));
-        }
-    }
-    entries.sort_by_key(|e| e.0);
-    let mut distinct = 0usize;
-    let mut last: Option<SlotIndex> = None;
-    for (slot, i) in entries {
-        if last != Some(slot) {
-            distinct += 1;
-            last = Some(slot);
-        }
-        if distinct > best.prefix {
+    let ext = &cache.tapes[tape.index()];
+    let edge = ext.slots[best.prefix - 1];
+    for &(slot, i) in &ext.entries {
+        if slot > edge {
             break;
         }
         assigned[i] = Some(tape);
         counts[tape.index()] += 1;
-        env[tape.index()] = env[tape.index()].max(slot.0 + 1);
     }
+    env[tape.index()] = env[tape.index()].max(edge.0 + 1);
 }
 
 /// Step 5: shrink the envelope wherever the block scheduled at a tape's
@@ -640,6 +785,20 @@ fn select_envelope_tape(
         _ => None,
     };
 
+    // One pass over the pending list builds every tape's in-envelope
+    // candidate set (a replica appears at most once per tape, so this is
+    // exactly the per-tape scan it replaces).
+    let mut slots_by_tape: Vec<Vec<SlotIndex>> = vec![Vec::new(); geometry.tapes as usize];
+    let mut count_by_tape: Vec<usize> = vec![0; geometry.tapes as usize];
+    for r in pending {
+        for a in catalog.replicas(r.block) {
+            if a.slot.0 < env[a.tape.index()] {
+                slots_by_tape[a.tape.index()].push(a.slot);
+                count_by_tape[a.tape.index()] += 1;
+            }
+        }
+    }
+
     let mut best: Option<(f64, u16, TapeId)> = None;
     for tape in geometry.tape_ids() {
         if !view.is_available(tape) {
@@ -650,14 +809,8 @@ fn select_envelope_tape(
                 continue;
             }
         }
-        let mut slots: Vec<SlotIndex> = Vec::new();
-        let mut request_count = 0usize;
-        for r in pending {
-            if let Some(s) = in_env(r, tape) {
-                slots.push(s);
-                request_count += 1;
-            }
-        }
+        let slots = &mut slots_by_tape[tape.index()];
+        let request_count = count_by_tape[tape.index()];
         if slots.is_empty() {
             continue;
         }

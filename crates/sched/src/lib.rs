@@ -33,10 +33,13 @@ pub use api::{
     SweepPlan,
 };
 pub use cost::{
-    candidate_for_tape, effective_bandwidth, execution_cost, forward_list_for, mount_cost,
-    split_sweep, start_head, walk_cost, TapeCandidate,
+    candidate_for_tape, candidates_for_all_tapes, effective_bandwidth, execution_cost,
+    forward_list_for, mount_cost, split_sweep, start_head, walk_cost, TapeCandidate,
 };
-pub use envelope::{compute_upper_envelope, EnvelopePolicy, EnvelopeScheduler, UpperEnvelope};
+pub use envelope::{
+    compute_upper_envelope, compute_upper_envelope_fresh, prefix_cost, EnvelopePolicy,
+    EnvelopeScheduler, ExtensionCache, UpperEnvelope,
+};
 pub use families::{DynamicScheduler, StaticScheduler};
 pub use fifo::FifoScheduler;
 pub use registry::{make_scheduler, AlgorithmId};

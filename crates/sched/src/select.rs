@@ -18,7 +18,7 @@ use tapesim_model::TapeId;
 use tapesim_workload::Request;
 
 use crate::api::{JukeboxView, PendingList};
-use crate::cost::{candidate_for_tape, effective_bandwidth, TapeCandidate};
+use crate::cost::{candidates_for_all_tapes, effective_bandwidth, TapeCandidate};
 
 /// The five tape-selection policies of Section 3.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,10 +71,10 @@ impl TapeSelectPolicy {
             TapeSelectPolicy::RoundRobin => {
                 // Scan mounted+1, mounted+2, ..., wrapping, ending at the
                 // mounted tape itself.
+                let candidates = candidates_for_all_tapes(view.catalog, pending);
                 let t = geometry.tapes;
                 (1..=t).map(|i| TapeId((anchor.0 + i) % t)).find(|&tape| {
-                    view.is_available(tape)
-                        && candidate_for_tape(view.catalog, pending, tape).is_some()
+                    view.is_available(tape) && candidates[tape.index()].is_some()
                 })
             }
             TapeSelectPolicy::MaxRequests => {
@@ -142,6 +142,7 @@ fn best_by(
     score: impl Fn(&JukeboxView<'_>, &TapeCandidate) -> f64,
 ) -> Option<TapeId> {
     let geometry = view.catalog.geometry();
+    let candidates = candidates_for_all_tapes(view.catalog, pending);
     let mut best: Option<(f64, u16, TapeId)> = None;
     for tape in geometry.tape_ids() {
         if !view.is_available(tape) {
@@ -152,10 +153,10 @@ fn best_by(
                 continue;
             }
         }
-        let Some(cand) = candidate_for_tape(view.catalog, pending, tape) else {
+        let Some(cand) = &candidates[tape.index()] else {
             continue;
         };
-        let s = score(view, &cand);
+        let s = score(view, cand);
         let dist = geometry.circular_distance(anchor, tape);
         let better = match &best {
             None => true,

@@ -1,0 +1,208 @@
+//! Property suite for the envelope extension cache (`ExtensionCache`):
+//! the cached driver must be bit-identical to a fresh recomputation.
+//!
+//! Two properties on random catalogs and request queues:
+//!
+//! 1. `compute_upper_envelope` (cached extension lists, invalidation on
+//!    change) and `compute_upper_envelope_fresh` (rebuild everything on
+//!    every iteration) produce identical envelopes, assignments, and
+//!    per-tape counts.
+//! 2. Every cached per-prefix cost equals the tape-switch charge plus an
+//!    independent `prefix_cost` recomputation over the cached slot list —
+//!    exact `Micros` equality, no tolerance.
+
+use proptest::prelude::*;
+
+use tapesim_layout::{BlockId, Catalog};
+use tapesim_model::{
+    BlockSize, JukeboxGeometry, PhysicalAddr, SimTime, SlotIndex, TapeId, TimingModel,
+};
+use tapesim_sched::envelope::envelope_after_absorb;
+use tapesim_sched::{
+    compute_upper_envelope, compute_upper_envelope_fresh, prefix_cost, ExtensionCache, JukeboxView,
+};
+use tapesim_workload::{Request, RequestId};
+
+const TAPES: u16 = 3;
+const SLOTS: u32 = 500;
+
+/// Builds a random catalog on `TAPES` tapes x `SLOTS` slots (1 MB
+/// blocks), each block with the requested number of copies at random
+/// slots. Returns `None` when the placement stream runs dry.
+#[allow(clippy::cast_possible_truncation)] // at most 8 blocks per generated case
+fn random_catalog(
+    placements: &[(u16, u32)],
+    copies_per_block: &[usize],
+) -> Option<(Catalog, Vec<BlockId>)> {
+    let g = JukeboxGeometry::new(TAPES, u64::from(SLOTS));
+    let blocks = copies_per_block.len() as u32;
+    let mut builder = Catalog::builder(g, BlockSize::from_mb(1), blocks, 0);
+    let mut it = placements.iter();
+    let mut ids = Vec::new();
+    for (b, &copies) in copies_per_block.iter().enumerate() {
+        let id = BlockId(b as u32);
+        ids.push(id);
+        let mut placed_tapes = Vec::new();
+        let mut placed = 0;
+        while placed < copies {
+            let &(t, s) = it.next()?;
+            let tape = TapeId(t % TAPES);
+            if placed_tapes.contains(&tape) {
+                continue;
+            }
+            let addr = PhysicalAddr {
+                tape,
+                slot: SlotIndex(s % SLOTS),
+            };
+            if builder.place(id, addr).is_ok() {
+                placed_tapes.push(tape);
+                placed += 1;
+            }
+        }
+    }
+    builder.build().ok().map(|c| (c, ids))
+}
+
+fn one_request_per_block(ids: &[BlockId]) -> Vec<Request> {
+    ids.iter()
+        .enumerate()
+        .map(|(i, &b)| Request {
+            id: RequestId(i as u64),
+            block: b,
+            arrival: SimTime::ZERO,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cached_envelope_equals_fresh_recomputation(
+        placements in proptest::collection::vec((0u16..TAPES, 0u32..SLOTS), 60),
+        copies in proptest::collection::vec(1usize..=3, 2..=8),
+        mounted in proptest::option::of(0u16..TAPES),
+        head in 0u32..SLOTS,
+    ) {
+        let Some((catalog, ids)) = random_catalog(&placements, &copies) else {
+            return Ok(());
+        };
+        let timing = TimingModel::paper_default();
+        let view = JukeboxView {
+            catalog: &catalog,
+            timing: &timing,
+            mounted: mounted.map(TapeId),
+            head: SlotIndex(head),
+            now: SimTime::ZERO,
+            unavailable: &[],
+            offline: &[],
+        };
+        let pending = one_request_per_block(&ids);
+        let cached = compute_upper_envelope(&view, &pending);
+        let fresh = compute_upper_envelope_fresh(&view, &pending);
+        prop_assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn cached_prefix_costs_match_fresh_prefix_cost(
+        placements in proptest::collection::vec((0u16..TAPES, 0u32..SLOTS), 60),
+        copies in proptest::collection::vec(1usize..=3, 2..=8),
+        mounted in proptest::option::of(0u16..TAPES),
+    ) {
+        let Some((catalog, ids)) = random_catalog(&placements, &copies) else {
+            return Ok(());
+        };
+        let timing = TimingModel::paper_default();
+        let view = JukeboxView {
+            catalog: &catalog,
+            timing: &timing,
+            mounted: mounted.map(TapeId),
+            head: SlotIndex(0),
+            now: SimTime::ZERO,
+            unavailable: &[],
+            offline: &[],
+        };
+        let pending = one_request_per_block(&ids);
+        // Drive the cache exactly as the extension loop does: from the
+        // post-absorption envelope and assignment.
+        let (env, assigned) = envelope_after_absorb(&view, &pending);
+        let mut cache = ExtensionCache::new(TAPES as usize);
+        for t in 0..TAPES {
+            let tape = TapeId(t);
+            cache.refresh(&view, &pending, &assigned, &env, tape);
+            prop_assert_eq!(cache.start(tape), SlotIndex(env[tape.index()]));
+            let slots = cache.slots(tape).to_vec();
+            let costs = cache.prefix_costs(tape).to_vec();
+            prop_assert_eq!(slots.len(), costs.len());
+            for k in 0..slots.len() {
+                let expect =
+                    cache.switch_charge(tape) + prefix_cost(&view, cache.start(tape), &slots[..=k]);
+                prop_assert_eq!(
+                    costs[k],
+                    expect,
+                    "tape {} prefix {} diverges from fresh recomputation",
+                    t,
+                    k
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refresh_after_invalidate_reflects_new_assignments() {
+    // Two replicated blocks on tape 1; assigning one elsewhere and
+    // invalidating must shrink tape 1's extension list, while a refresh
+    // without invalidation keeps serving the cached (stale) list — the
+    // contract the extension loop relies on.
+    let g = JukeboxGeometry::new(TAPES, u64::from(SLOTS));
+    let mut b = Catalog::builder(g, BlockSize::from_mb(1), 2, 0);
+    let place = |b: &mut tapesim_layout::CatalogBuilder, blk: u32, t: u16, s: u32| {
+        b.place(
+            BlockId(blk),
+            PhysicalAddr {
+                tape: TapeId(t),
+                slot: SlotIndex(s),
+            },
+        )
+        .unwrap();
+    };
+    place(&mut b, 0, 0, 10);
+    place(&mut b, 0, 1, 50);
+    place(&mut b, 1, 0, 300);
+    place(&mut b, 1, 1, 70);
+    let catalog = b.build().unwrap();
+    let timing = TimingModel::paper_default();
+    let view = JukeboxView {
+        catalog: &catalog,
+        timing: &timing,
+        mounted: None,
+        head: SlotIndex(0),
+        now: SimTime::ZERO,
+        unavailable: &[],
+        offline: &[],
+    };
+    let pending = one_request_per_block(&[BlockId(0), BlockId(1)]);
+    let env = vec![0, 0, 0];
+    let mut assigned = vec![None, None];
+    let mut cache = ExtensionCache::new(TAPES as usize);
+    cache.refresh(&view, &pending, &assigned, &env, TapeId(1));
+    assert_eq!(cache.slots(TapeId(1)), &[SlotIndex(50), SlotIndex(70)]);
+
+    assigned[0] = Some(TapeId(0));
+    cache.refresh(&view, &pending, &assigned, &env, TapeId(1));
+    assert_eq!(
+        cache.slots(TapeId(1)),
+        &[SlotIndex(50), SlotIndex(70)],
+        "without invalidation the cached list is served as-is"
+    );
+
+    cache.invalidate(TapeId(1));
+    cache.refresh(&view, &pending, &assigned, &env, TapeId(1));
+    assert_eq!(cache.slots(TapeId(1)), &[SlotIndex(70)]);
+    assert_eq!(cache.prefix_costs(TapeId(1)).len(), 1);
+    assert_eq!(
+        cache.prefix_costs(TapeId(1))[0],
+        cache.switch_charge(TapeId(1)) + prefix_cost(&view, SlotIndex(0), &[SlotIndex(70)])
+    );
+}

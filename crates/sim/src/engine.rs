@@ -178,6 +178,10 @@ pub fn run_simulation_traced(
     // a different tape counts as a replica failover.
     let mut faulted: BTreeMap<RequestId, TapeId> = BTreeMap::new();
     let mut stranded_in_plan: u64 = 0;
+    // Scratch buffer for the offline-tape snapshot handed to scheduler
+    // views; refilled at each dispatch point instead of allocating per
+    // event.
+    let mut offline_buf: Vec<TapeId> = Vec::new();
 
     // Seed the workload.
     let mut next_arrival: Option<SimTime> = None;
@@ -280,7 +284,8 @@ pub fn run_simulation_traced(
                 }
             }
         }
-        let offline = injector.offline().to_vec();
+        offline_buf.clear();
+        offline_buf.extend_from_slice(injector.offline());
 
         // Step 1: major reschedule.
         let view = JukeboxView {
@@ -290,7 +295,7 @@ pub fn run_simulation_traced(
             head,
             now,
             unavailable: &[],
-            offline: &offline,
+            offline: &offline_buf,
         };
         let Some(mut plan) = scheduler.major_reschedule(&view, &mut pending) else {
             // Step 4: idle until the next arrival or fault event (a repair
@@ -416,7 +421,8 @@ pub fn run_simulation_traced(
         // Step 3: execute the service list.
         let mut cur_phase = None;
         loop {
-            let offline = injector.offline().to_vec();
+            offline_buf.clear();
+            offline_buf.extend_from_slice(injector.offline());
             // Hand arrivals that came due to the incremental scheduler.
             process_due_arrivals(
                 catalog,
@@ -427,7 +433,7 @@ pub fn run_simulation_traced(
                 now,
                 mounted,
                 head,
-                &offline,
+                &offline_buf,
                 &mut plan,
                 &mut pending,
                 &mut metrics,
@@ -579,7 +585,7 @@ pub fn run_simulation_traced(
                                 head,
                                 now,
                                 unavailable: &[],
-                                offline: &offline,
+                                offline: &offline_buf,
                             };
                             let req_id = req.id;
                             let outcome = scheduler.on_arrival(
@@ -674,7 +680,7 @@ pub fn run_simulation_traced(
                         head,
                         now,
                         unavailable: &[],
-                        offline: &offline,
+                        offline: &offline_buf,
                     };
                     let req_id = req.id;
                     let outcome =

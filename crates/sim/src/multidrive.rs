@@ -206,6 +206,11 @@ pub fn run_multi_drive_traced(
     }
 
     let mut now = SimTime::ZERO;
+    // Scratch buffers for the offline/held-tape snapshots handed to
+    // scheduler views; refilled per event instead of allocating each
+    // time.
+    let mut offline_buf: Vec<TapeId> = Vec::new();
+    let mut unavailable_buf: Vec<TapeId> = Vec::new();
     // Next drive to act: earliest free_at, lowest index on ties.
     'outer: while let Some(d) = (0..states.len()).min_by_key(|&i| (states[i].free_at, i)) {
         now = states[d].free_at.max(now);
@@ -284,7 +289,8 @@ pub fn run_multi_drive_traced(
                 continue 'outer;
             }
         }
-        let offline = injector.offline().to_vec();
+        offline_buf.clear();
+        offline_buf.extend_from_slice(injector.offline());
 
         // Deliver due arrivals (Poisson stream and queued closed-queue
         // regenerations, in time order). If drive `d` has an active sweep
@@ -322,7 +328,7 @@ pub fn run_multi_drive_traced(
             let Some(Reverse(q)) = queued.pop() else {
                 break;
             };
-            let unavailable = tapes_held_except(&states, d);
+            tapes_held_except_into(&states, d, &mut unavailable_buf);
             let (mounted, head) = (states[d].mounted, states[d].head);
             if let Some(plan) = states[d].plan.as_mut() {
                 let view = JukeboxView {
@@ -331,8 +337,8 @@ pub fn run_multi_drive_traced(
                     mounted,
                     head,
                     now,
-                    unavailable: &unavailable,
-                    offline: &offline,
+                    unavailable: &unavailable_buf,
+                    offline: &offline_buf,
                 };
                 let req_id = q.req.id;
                 let outcome =
@@ -546,15 +552,15 @@ pub fn run_multi_drive_traced(
             trace_event!(tracer, now, d as u16, TraceEvent::SweepEnd { tape: p.tape });
         }
         states[d].cur_phase = None;
-        let unavailable = tapes_held_except(&states, d);
+        tapes_held_except_into(&states, d, &mut unavailable_buf);
         let view = JukeboxView {
             catalog,
             timing,
             mounted: states[d].mounted,
             head: states[d].head,
             now,
-            unavailable: &unavailable,
-            offline: &offline,
+            unavailable: &unavailable_buf,
+            offline: &offline_buf,
         };
         match scheduler.major_reschedule(&view, &mut pending) {
             Some(plan) => {
@@ -728,14 +734,17 @@ pub fn run_multi_drive_traced(
     Ok(metrics.report(window, saturated))
 }
 
-/// Tapes mounted in (or reserved by) every drive other than `except`.
-fn tapes_held_except(states: &[DriveState], except: usize) -> Vec<TapeId> {
-    states
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != except)
-        .filter_map(|(_, s)| s.mounted)
-        .collect()
+/// Tapes mounted in (or reserved by) every drive other than `except`,
+/// collected into a reusable scratch buffer.
+fn tapes_held_except_into(states: &[DriveState], except: usize, out: &mut Vec<TapeId>) {
+    out.clear();
+    out.extend(
+        states
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != except)
+            .filter_map(|(_, s)| s.mounted),
+    );
 }
 
 #[cfg(test)]
