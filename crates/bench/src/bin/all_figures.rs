@@ -1,10 +1,15 @@
 //! Runs every figure and table binary's logic in sequence — the one-shot
 //! "regenerate the paper's evaluation" entry point.
+//!
+//! With `--checkpoint FILE` each figure's CSV is recorded as it finishes;
+//! a killed run restarted with `--resume FILE` replays the finished
+//! figures byte-for-byte and recomputes only the remainder.
 
-use tapesim_bench::{emit_figure, HarnessOpts};
+use tapesim_bench::{emit_figure_cached, FigureCache, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let mut cache = FigureCache::from_opts(&opts);
     println!("=== Reproducing Hillyer/Rastogi/Silberschatz, ICDE 1999 ===\n");
 
     println!("--- Figure 1 + Section 2.1 validation ---");
@@ -23,47 +28,84 @@ fn main() {
     );
 
     println!("--- Figure 3 ---");
-    let s3 = tapesim::fig3_transfer_size(opts.scale, opts.open);
-    emit_figure(&opts, "fig3_transfer_size", "Figure 3", "block_mb", &s3);
+    emit_figure_cached(
+        &opts,
+        &mut cache,
+        "fig3_transfer_size",
+        "Figure 3",
+        "block_mb",
+        || tapesim::fig3_transfer_size(opts.scale, opts.open),
+    );
 
     println!("--- Figure 4 ---");
-    let s4 = tapesim::fig4_sched_algorithms(opts.scale, opts.open);
-    emit_figure(&opts, "fig4_sched_norepl", "Figure 4", "intensity", &s4);
+    emit_figure_cached(
+        &opts,
+        &mut cache,
+        "fig4_sched_norepl",
+        "Figure 4",
+        "intensity",
+        || tapesim::fig4_sched_algorithms(opts.scale, opts.open),
+    );
 
     println!("--- Figure 5 ---");
-    let s5 = tapesim::fig5_placement(opts.scale, opts.open);
-    emit_figure(&opts, "fig5_placement", "Figure 5", "intensity", &s5);
+    emit_figure_cached(
+        &opts,
+        &mut cache,
+        "fig5_placement",
+        "Figure 5",
+        "intensity",
+        || tapesim::fig5_placement(opts.scale, opts.open),
+    );
 
     println!("--- Figure 6 ---");
-    let s6 = tapesim::fig6_replicas(opts.scale, opts.open);
-    emit_figure(&opts, "fig6_replicas", "Figure 6", "intensity", &s6);
+    emit_figure_cached(
+        &opts,
+        &mut cache,
+        "fig6_replicas",
+        "Figure 6",
+        "intensity",
+        || tapesim::fig6_replicas(opts.scale, opts.open),
+    );
 
     println!("--- Figure 7 ---");
-    let s7 = tapesim::fig7_replica_placement(opts.scale, opts.open);
-    emit_figure(
+    emit_figure_cached(
         &opts,
+        &mut cache,
         "fig7_replica_placement",
         "Figure 7",
         "intensity",
-        &s7,
+        || tapesim::fig7_replica_placement(opts.scale, opts.open),
     );
 
     println!("--- Figure 8 ---");
-    let s8 = tapesim::fig8_sched_replication(opts.scale, opts.open);
-    emit_figure(&opts, "fig8_sched_repl", "Figure 8", "intensity", &s8);
+    emit_figure_cached(
+        &opts,
+        &mut cache,
+        "fig8_sched_repl",
+        "Figure 8",
+        "intensity",
+        || tapesim::fig8_sched_replication(opts.scale, opts.open),
+    );
 
     println!("--- Figure 9 ---");
-    let s9 = tapesim::fig9_skew(opts.scale, opts.open);
-    emit_figure(&opts, "fig9_skew", "Figure 9", "intensity", &s9);
+    emit_figure_cached(
+        &opts,
+        &mut cache,
+        "fig9_skew",
+        "Figure 9",
+        "intensity",
+        || tapesim::fig9_skew(opts.scale, opts.open),
+    );
 
     println!("--- Figure 10 ---");
     let c = tapesim::fig10b_cost_performance(opts.scale, 60);
     for series in &c {
-        let last = series.points.last().unwrap();
-        println!(
-            "RH-{}: full-replication cost-performance ratio {:.3}",
-            series.rh_percent, last.ratio
-        );
+        if let Some(last) = series.points.last() {
+            println!(
+                "RH-{}: full-replication cost-performance ratio {:.3}",
+                series.rh_percent, last.ratio
+            );
+        }
     }
     println!("\ndone.");
 }

@@ -8,10 +8,11 @@
 //! Figure 4 must be preserved.
 
 use tapesim::prelude::*;
-use tapesim_bench::{write_csv, HarnessOpts};
+use tapesim_bench::{cached_csv, write_csv, FigureCache, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let mut cache = FigureCache::from_opts(&opts);
     let timing = TimingModel::paper_default();
     let sim = opts.scale.sim_config();
     let placed = build_placement(
@@ -27,43 +28,52 @@ fn main() {
         AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
         AlgorithmId::paper_recommended(),
     ];
-    let mut t = Table::new(["run_p", "mean run", "algorithm", "KB/s", "delay s"]);
     println!("Clustered-workload extension: PH-10 RH-40 NR-0 SP-0, closed queue 60\n");
-    for run_p in [0.0, 0.5, 0.8, 0.95] {
-        let mut ranking = Vec::new();
-        for alg in algorithms {
-            let mut reports = Vec::new();
-            for seed in opts.scale.seeds() {
-                let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
-                let mut factory = RequestFactory::new_clustered(
-                    sampler,
-                    ArrivalProcess::Closed { queue_length: 60 },
-                    run_p,
-                    seed,
-                );
-                let mut sched = make_scheduler(alg);
-                reports.push(
-                    run_simulation(&placed.catalog, &timing, sched.as_mut(), &mut factory, &sim)
+    let (csv, _) = cached_csv(&mut cache, "ext_clustered", || {
+        let mut t = Table::new(["run_p", "mean run", "algorithm", "KB/s", "delay s"]);
+        for run_p in [0.0, 0.5, 0.8, 0.95] {
+            let mut ranking = Vec::new();
+            for alg in algorithms {
+                let mut reports = Vec::new();
+                for seed in opts.scale.seeds() {
+                    let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+                    let mut factory = RequestFactory::new_clustered(
+                        sampler,
+                        ArrivalProcess::Closed { queue_length: 60 },
+                        run_p,
+                        seed,
+                    );
+                    let mut sched = make_scheduler(alg);
+                    reports.push(
+                        run_simulation(
+                            &placed.catalog,
+                            &timing,
+                            sched.as_mut(),
+                            &mut factory,
+                            &sim,
+                        )
                         .expect("clustered config is valid"),
-                );
+                    );
+                }
+                let r = MetricsReport::mean_of(&reports);
+                t.push([
+                    format!("{run_p}"),
+                    format!("{:.1}", 1.0 / (1.0 - run_p)),
+                    alg.name(),
+                    fnum(r.throughput_kb_per_s, 1),
+                    fnum(r.mean_delay_s, 0),
+                ]);
+                ranking.push((alg.name(), r.throughput_kb_per_s));
             }
-            let r = MetricsReport::mean_of(&reports);
-            t.push([
-                format!("{run_p}"),
-                format!("{:.1}", 1.0 / (1.0 - run_p)),
-                alg.name(),
-                fnum(r.throughput_kb_per_s, 1),
-                fnum(r.mean_delay_s, 0),
-            ]);
-            ranking.push((alg.name(), r.throughput_kb_per_s));
+            let best = ranking
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            println!("run_p {run_p}: best = {} ({:.1} KB/s)", best.0, best.1);
         }
-        let best = ranking
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty");
-        println!("run_p {run_p}: best = {} ({:.1} KB/s)", best.0, best.1);
-    }
-    println!("\n{}", t.to_aligned());
-    write_csv(&opts, "ext_clustered", &t.to_csv());
+        println!("\n{}", t.to_aligned());
+        t.to_csv()
+    });
+    write_csv(&opts, "ext_clustered", &csv);
     println!("(clustering raises absolute throughput; the paper's algorithm ranking persists)");
 }

@@ -12,7 +12,7 @@
 
 use tapesim::model::Micros;
 use tapesim::prelude::*;
-use tapesim_bench::{write_csv, HarnessOpts};
+use tapesim_bench::{cached_csv, write_csv, FigureCache, HarnessOpts};
 
 /// Fault intensities swept: (label, media error probability per read,
 /// whole-tape MTBF in seconds; `None` = no tape failures).
@@ -25,64 +25,68 @@ const LEVELS: [(&str, f64, Option<u64>); 4] = [
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let mut cache = FigureCache::from_opts(&opts);
 
-    let mut t = Table::new([
-        "NR",
-        "faults",
-        "KB/s",
-        "delay s",
-        "degraded %",
-        "failovers",
-        "failed",
-        "media errs",
-    ]);
     println!(
         "Fault injection: PH-10 RH-40, envelope max-bandwidth, {} queue\n",
         opts.variant()
     );
-    for nr in [0u32, 1, 3] {
-        let mut base = ExperimentConfig {
-            replicas: nr,
-            sp: 1.0,
-            layout: if nr == 0 {
-                LayoutKind::Horizontal
-            } else {
-                LayoutKind::Vertical
-            },
-            algorithm: AlgorithmId::paper_recommended(),
-            scale: opts.scale,
-            ..ExperimentConfig::paper_baseline()
-        };
-        if opts.open {
-            base = base.with_open(90);
-        }
-        let placed = base.build_catalog().expect("feasible placement");
-        for (label, media_p, mtbf_s) in LEVELS {
-            let cfg = ExperimentConfig {
-                faults: FaultConfig {
-                    media_error_per_read: media_p,
-                    media_retries: 0,
-                    tape_mtbf: mtbf_s.map(Micros::from_secs),
-                    tape_mttr: Some(Micros::from_secs(20_000)),
-                    ..FaultConfig::NONE
+    let (csv, _) = cached_csv(&mut cache, "ext_faults", || {
+        let mut t = Table::new([
+            "NR",
+            "faults",
+            "KB/s",
+            "delay s",
+            "degraded %",
+            "failovers",
+            "failed",
+            "media errs",
+        ]);
+        for nr in [0u32, 1, 3] {
+            let mut base = ExperimentConfig {
+                replicas: nr,
+                sp: 1.0,
+                layout: if nr == 0 {
+                    LayoutKind::Horizontal
+                } else {
+                    LayoutKind::Vertical
                 },
-                ..base.clone()
+                algorithm: AlgorithmId::paper_recommended(),
+                scale: opts.scale,
+                ..ExperimentConfig::paper_baseline()
             };
-            let (r, _) = run_with_catalog(&cfg, &placed).expect("fault sweep config is valid");
-            t.push([
-                nr.to_string(),
-                label.to_string(),
-                fnum(r.throughput_kb_per_s, 1),
-                fnum(r.mean_delay_s, 0),
-                fnum(100.0 * r.degraded_frac, 1),
-                r.replica_failovers.to_string(),
-                r.failed_requests.to_string(),
-                r.media_errors.to_string(),
-            ]);
+            if opts.open {
+                base = base.with_open(90);
+            }
+            let placed = base.build_catalog().expect("feasible placement");
+            for (label, media_p, mtbf_s) in LEVELS {
+                let cfg = ExperimentConfig {
+                    faults: FaultConfig {
+                        media_error_per_read: media_p,
+                        media_retries: 0,
+                        tape_mtbf: mtbf_s.map(Micros::from_secs),
+                        tape_mttr: Some(Micros::from_secs(20_000)),
+                        ..FaultConfig::NONE
+                    },
+                    ..base.clone()
+                };
+                let (r, _) = run_with_catalog(&cfg, &placed).expect("fault sweep config is valid");
+                t.push([
+                    nr.to_string(),
+                    label.to_string(),
+                    fnum(r.throughput_kb_per_s, 1),
+                    fnum(r.mean_delay_s, 0),
+                    fnum(100.0 * r.degraded_frac, 1),
+                    r.replica_failovers.to_string(),
+                    r.failed_requests.to_string(),
+                    r.media_errors.to_string(),
+                ]);
+            }
         }
-    }
-    println!("{}", t.to_aligned());
-    write_csv(&opts, "ext_faults", &t.to_csv());
+        println!("{}", t.to_aligned());
+        t.to_csv()
+    });
+    write_csv(&opts, "ext_faults", &csv);
     println!(
         "(failed = requests whose every copy was permanently lost; replication\n \
          cuts them to the cold-data share and converts the rest into failovers)"

@@ -9,10 +9,11 @@ use tapesim::prelude::*;
 use tapesim::sim::{
     run_with_writeback, run_with_writeback_traced, FlushPolicy, MemorySink, WriteBackConfig,
 };
-use tapesim_bench::{write_csv, write_trace, HarnessOpts};
+use tapesim_bench::{cached_csv, write_csv, write_trace, FigureCache, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let mut cache = FigureCache::from_opts(&opts);
     let timing = TimingModel::paper_default();
     let sim = opts.scale.sim_config();
     let placed = build_placement(
@@ -25,58 +26,61 @@ fn main() {
     println!(
         "Write-back extension: open reads (1 per 300 s), PH-10 RH-40, envelope max-bandwidth\n"
     );
-    let mut t = Table::new([
-        "write gap s",
-        "policy",
-        "read delay s",
-        "deltas flushed",
-        "delta age s",
-        "piggy",
-        "idle",
-    ]);
-    for write_gap in [1_000_000u64, 600, 300, 150] {
-        for policy in [FlushPolicy::IdleOnly, FlushPolicy::Piggyback] {
-            let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
-            let mut factory = RequestFactory::new(
-                sampler,
-                ArrivalProcess::OpenPoisson {
-                    mean_interarrival: Micros::from_secs(300),
-                },
-                7,
-            );
-            let mut sched = make_scheduler(AlgorithmId::paper_recommended());
-            let r = run_with_writeback(
-                &placed.catalog,
-                &timing,
-                sched.as_mut(),
-                &mut factory,
-                &sim,
-                &WriteBackConfig {
-                    write_mean_interarrival: Micros::from_secs(write_gap),
-                    flush_batch: 10,
-                    piggyback_min: 5,
-                    policy,
-                },
-                1234,
-            )
-            .expect("write-back config is valid");
-            t.push([
-                if write_gap >= 1_000_000 {
-                    "(none)".to_string()
-                } else {
-                    write_gap.to_string()
-                },
-                format!("{policy:?}"),
-                fnum(r.reads.mean_delay_s, 0),
-                r.deltas_flushed.to_string(),
-                fnum(r.mean_delta_age_s, 0),
-                r.piggyback_flushes.to_string(),
-                r.idle_flushes.to_string(),
-            ]);
+    let (csv, _) = cached_csv(&mut cache, "ext_writeback", || {
+        let mut t = Table::new([
+            "write gap s",
+            "policy",
+            "read delay s",
+            "deltas flushed",
+            "delta age s",
+            "piggy",
+            "idle",
+        ]);
+        for write_gap in [1_000_000u64, 600, 300, 150] {
+            for policy in [FlushPolicy::IdleOnly, FlushPolicy::Piggyback] {
+                let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+                let mut factory = RequestFactory::new(
+                    sampler,
+                    ArrivalProcess::OpenPoisson {
+                        mean_interarrival: Micros::from_secs(300),
+                    },
+                    7,
+                );
+                let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+                let r = run_with_writeback(
+                    &placed.catalog,
+                    &timing,
+                    sched.as_mut(),
+                    &mut factory,
+                    &sim,
+                    &WriteBackConfig {
+                        write_mean_interarrival: Micros::from_secs(write_gap),
+                        flush_batch: 10,
+                        piggyback_min: 5,
+                        policy,
+                    },
+                    1234,
+                )
+                .expect("write-back config is valid");
+                t.push([
+                    if write_gap >= 1_000_000 {
+                        "(none)".to_string()
+                    } else {
+                        write_gap.to_string()
+                    },
+                    format!("{policy:?}"),
+                    fnum(r.reads.mean_delay_s, 0),
+                    r.deltas_flushed.to_string(),
+                    fnum(r.mean_delta_age_s, 0),
+                    r.piggyback_flushes.to_string(),
+                    r.idle_flushes.to_string(),
+                ]);
+            }
         }
-    }
-    println!("{}", t.to_aligned());
-    write_csv(&opts, "ext_writeback", &t.to_csv());
+        println!("{}", t.to_aligned());
+        t.to_csv()
+    });
+    write_csv(&opts, "ext_writeback", &csv);
     if opts.trace.is_some() {
         // Record the representative piggyback run (write gap 300 s) with
         // the event-trace layer attached.

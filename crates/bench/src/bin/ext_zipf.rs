@@ -11,7 +11,7 @@
 use tapesim::prelude::*;
 use tapesim::sim::run_simulation;
 use tapesim::workload::ZipfSampler;
-use tapesim_bench::{write_csv, HarnessOpts};
+use tapesim_bench::{cached_csv, write_csv, FigureCache, HarnessOpts};
 
 fn run_zipf(
     placed: &tapesim::layout::PlacedCatalog,
@@ -40,6 +40,7 @@ fn run_zipf(
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let mut cache = FigureCache::from_opts(&opts);
     let sim = opts.scale.sim_config();
     let seeds = opts.scale.seeds();
 
@@ -57,42 +58,45 @@ fn main() {
     .expect("feasible");
 
     println!("Zipf-skew extension: closed queue 60; exponent fitted to the paper's (PH-10, RH)\n");
-    let mut t = Table::new([
-        "RH-equiv",
-        "theta",
-        "fifo KB/s",
-        "dyn max-bw KB/s",
-        "repl+envelope KB/s",
-        "repl gain",
-    ]);
-    for rh in [40.0, 60.0, 80.0] {
-        // Exponent whose top-10% mass matches RH; fitted on the
-        // non-replicated catalog, reused for the replicated one (same
-        // popularity law over a smaller block population).
-        let theta = ZipfSampler::matching_exponent(norepl.catalog.num_blocks(), 10.0, rh);
-        let fifo = run_zipf(&norepl, theta, AlgorithmId::Fifo, &seeds, &sim);
-        let dynamic = run_zipf(
-            &norepl,
-            theta,
-            AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
-            &seeds,
-            &sim,
-        );
-        let replicated = run_zipf(&repl, theta, AlgorithmId::paper_recommended(), &seeds, &sim);
-        t.push([
-            format!("RH-{rh}"),
-            fnum(theta, 3),
-            fnum(fifo.throughput_kb_per_s, 1),
-            fnum(dynamic.throughput_kb_per_s, 1),
-            fnum(replicated.throughput_kb_per_s, 1),
-            format!(
-                "{:+.1}%",
-                (replicated.throughput_kb_per_s / dynamic.throughput_kb_per_s - 1.0) * 100.0
-            ),
+    let (csv, _) = cached_csv(&mut cache, "ext_zipf", || {
+        let mut t = Table::new([
+            "RH-equiv",
+            "theta",
+            "fifo KB/s",
+            "dyn max-bw KB/s",
+            "repl+envelope KB/s",
+            "repl gain",
         ]);
-    }
-    println!("{}", t.to_aligned());
-    write_csv(&opts, "ext_zipf", &t.to_csv());
+        for rh in [40.0, 60.0, 80.0] {
+            // Exponent whose top-10% mass matches RH; fitted on the
+            // non-replicated catalog, reused for the replicated one (same
+            // popularity law over a smaller block population).
+            let theta = ZipfSampler::matching_exponent(norepl.catalog.num_blocks(), 10.0, rh);
+            let fifo = run_zipf(&norepl, theta, AlgorithmId::Fifo, &seeds, &sim);
+            let dynamic = run_zipf(
+                &norepl,
+                theta,
+                AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
+                &seeds,
+                &sim,
+            );
+            let replicated = run_zipf(&repl, theta, AlgorithmId::paper_recommended(), &seeds, &sim);
+            t.push([
+                format!("RH-{rh}"),
+                fnum(theta, 3),
+                fnum(fifo.throughput_kb_per_s, 1),
+                fnum(dynamic.throughput_kb_per_s, 1),
+                fnum(replicated.throughput_kb_per_s, 1),
+                format!(
+                    "{:+.1}%",
+                    (replicated.throughput_kb_per_s / dynamic.throughput_kb_per_s - 1.0) * 100.0
+                ),
+            ]);
+        }
+        println!("{}", t.to_aligned());
+        t.to_csv()
+    });
+    write_csv(&opts, "ext_zipf", &csv);
     println!(
         "(the paper's conclusions survive a smoother skew: scheduling dominates FIFO and\n\
          replicating the most popular blocks at the tape ends still pays — note that under\n\

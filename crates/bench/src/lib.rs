@@ -10,12 +10,20 @@
 //!   created on demand; pass `--out -` to skip writing);
 //! * `--trace FILE` — for trace-aware binaries (`trace_sample`,
 //!   `ext_writeback`), record the event trace of the representative run
-//!   as JSON Lines into `FILE` (see EXPERIMENTS.md for the schema).
+//!   as JSON Lines into `FILE` (see EXPERIMENTS.md for the schema);
+//! * `--checkpoint FILE` — record each completed figure/table into
+//!   `FILE` as it finishes, so a killed run can be resumed;
+//! * `--resume FILE` — restore completed figures/tables from `FILE`
+//!   instead of recomputing them (and keep checkpointing into the same
+//!   file unless `--checkpoint` names another one). Because every run
+//!   is deterministic, a resumed invocation writes exactly the CSVs the
+//!   uninterrupted one would have.
 
 #![forbid(unsafe_code)]
 
 pub mod perf;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
@@ -36,6 +44,10 @@ pub struct HarnessOpts {
     /// Destination for a JSONL event trace of the representative run
     /// (`None` = tracing disabled; only trace-aware binaries honor it).
     pub trace: Option<PathBuf>,
+    /// Figure-cache file written as figures complete (`--checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Figure-cache file restored before computing (`--resume`).
+    pub resume: Option<PathBuf>,
 }
 
 impl HarnessOpts {
@@ -46,6 +58,8 @@ impl HarnessOpts {
             open: false,
             out_dir: Some(PathBuf::from("results")),
             trace: None,
+            checkpoint: None,
+            resume: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -73,6 +87,20 @@ impl HarnessOpts {
                         Some(PathBuf::from(v))
                     };
                 }
+                "--checkpoint" => {
+                    let v = args.next().unwrap_or_default();
+                    if v.is_empty() {
+                        usage("--checkpoint needs a file path");
+                    }
+                    opts.checkpoint = Some(PathBuf::from(v));
+                }
+                "--resume" => {
+                    let v = args.next().unwrap_or_default();
+                    if v.is_empty() {
+                        usage("--resume needs a file path");
+                    }
+                    opts.resume = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -96,9 +124,165 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <figure-binary> [--scale quick|default|paper] [--open] [--out DIR|-] \
-         [--trace FILE]"
+         [--trace FILE] [--checkpoint FILE] [--resume FILE]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Figure-level checkpoint cache behind `--checkpoint` / `--resume`.
+///
+/// Figure binaries are deterministic, so a figure's CSV is a complete
+/// record of its computation: the cache stores finished CSVs keyed by
+/// figure name, flushed to disk after every figure. Resuming replays
+/// the cached figures byte-for-byte and recomputes only the rest. The
+/// file format is plain text — a `=meta` line pinning the scale and
+/// variant (a checkpoint from a different scale is refused), then one
+/// `=figure <name>` … `=endfigure` section per finished figure.
+#[derive(Debug)]
+pub struct FigureCache {
+    write_path: Option<PathBuf>,
+    meta: String,
+    done: BTreeMap<String, String>,
+}
+
+impl FigureCache {
+    /// Builds the cache from the harness options: loads `--resume` if
+    /// given (ignoring it with a warning when unreadable or taken at a
+    /// different scale/variant), and arranges to write to `--checkpoint`
+    /// (or back to the `--resume` file when only that was given).
+    pub fn from_opts(opts: &HarnessOpts) -> FigureCache {
+        let meta = format!("scale={:?} open={}", opts.scale, opts.open);
+        let mut done = BTreeMap::new();
+        if let Some(path) = &opts.resume {
+            match fs::read_to_string(path) {
+                Ok(text) => match parse_figure_cache(&text, &meta) {
+                    Ok(map) => {
+                        eprintln!(
+                            "resumed {} finished figure(s) from {}",
+                            map.len(),
+                            path.display()
+                        );
+                        done = map;
+                    }
+                    Err(e) => eprintln!(
+                        "warning: ignoring checkpoint {}: {e} (recomputing everything)",
+                        path.display()
+                    ),
+                },
+                Err(e) => eprintln!(
+                    "warning: cannot read checkpoint {}: {e} (recomputing everything)",
+                    path.display()
+                ),
+            }
+        }
+        FigureCache {
+            write_path: opts.checkpoint.clone().or_else(|| opts.resume.clone()),
+            meta,
+            done,
+        }
+    }
+
+    /// The cached CSV for `name`, if that figure already finished.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.done.get(name).map(String::as_str)
+    }
+
+    /// Records a finished figure and flushes the cache file (written to
+    /// a temp file and renamed, so the cache is never half-written).
+    pub fn record(&mut self, name: &str, csv: &str) {
+        self.done.insert(name.to_string(), csv.to_string());
+        let Some(path) = &self.write_path else { return };
+        let mut out = format!("=meta {}\n", self.meta);
+        for (k, v) in &self.done {
+            out.push_str(&format!("=figure {k}\n{v}=endfigure\n"));
+        }
+        let tmp = path.with_extension("ckpt.tmp");
+        let write = fs::write(&tmp, out).and_then(|()| fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("warning: cannot write checkpoint {}: {e}", path.display());
+        }
+    }
+}
+
+fn parse_figure_cache(text: &str, expect_meta: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut lines = text.lines();
+    let meta = lines
+        .next()
+        .and_then(|l| l.strip_prefix("=meta "))
+        .ok_or("missing =meta line")?;
+    if meta != expect_meta {
+        return Err(format!(
+            "checkpoint was taken with '{meta}' but this run is '{expect_meta}'"
+        ));
+    }
+    let mut done = BTreeMap::new();
+    let mut cur: Option<(String, String)> = None;
+    for line in lines {
+        if let Some(name) = line.strip_prefix("=figure ") {
+            if cur.is_some() {
+                return Err("nested =figure section".into());
+            }
+            cur = Some((name.to_string(), String::new()));
+        } else if line == "=endfigure" {
+            let (name, csv) = cur.take().ok_or("=endfigure without =figure")?;
+            done.insert(name, csv);
+        } else if let Some((_, csv)) = &mut cur {
+            csv.push_str(line);
+            csv.push('\n');
+        } else if !line.trim().is_empty() {
+            return Err(format!("unexpected line outside a section: '{line}'"));
+        }
+    }
+    if cur.is_some() {
+        return Err("unterminated =figure section (file truncated)".into());
+    }
+    Ok(done)
+}
+
+/// Runs `compute` unless the cache already holds `name`'s CSV, emits the
+/// figure either way, and records it. Cached figures skip the expensive
+/// sweep entirely; the CSV written is byte-identical because the
+/// underlying simulations are deterministic.
+pub fn emit_figure_cached(
+    opts: &HarnessOpts,
+    cache: &mut FigureCache,
+    name: &str,
+    title: &str,
+    param_name: &str,
+    compute: impl FnOnce() -> Vec<SweepSeries>,
+) {
+    let full = format!("{name}_{}", opts.variant());
+    if let Some(csv) = cache.get(&full).map(str::to_string) {
+        println!("{title}: restored from checkpoint (skipping recompute)\n");
+        write_csv(opts, &full, &csv);
+        cache.record(&full, &csv);
+        return;
+    }
+    let series = compute();
+    println!("{}", parametric_plot(title, &series));
+    println!("{}", series_to_table(&series, param_name));
+    let csv = series_to_csv(&series, param_name);
+    write_csv(opts, &full, &csv);
+    cache.record(&full, &csv);
+}
+
+/// The table-binary counterpart of [`emit_figure_cached`]: returns the
+/// cached CSV for `name` or runs `compute` (which prints its own output)
+/// and records its result. The boolean is true when the value came from
+/// the checkpoint.
+pub fn cached_csv(
+    cache: &mut FigureCache,
+    name: &str,
+    compute: impl FnOnce() -> String,
+) -> (String, bool) {
+    if let Some(csv) = cache.get(name).map(str::to_string) {
+        println!("{name}: restored from checkpoint (skipping recompute)");
+        cache.record(name, &csv);
+        return (csv, true);
+    }
+    let csv = compute();
+    cache.record(name, &csv);
+    (csv, false)
 }
 
 /// Writes a recorded event trace as JSON Lines to the `--trace` path.

@@ -105,6 +105,38 @@ impl ServiceList {
         ServiceList::default()
     }
 
+    /// Rebuilds a service list from explicit forward and reverse phases —
+    /// the checkpoint-restore counterpart of [`ServiceList::forward_stops`]
+    /// / [`ServiceList::reverse_stops`]. Errors (rather than panicking) if
+    /// the phases are not strictly ordered, since checkpoint data comes
+    /// from outside the process.
+    pub fn from_parts(
+        forward: Vec<ScheduledRead>,
+        reverse: Vec<ScheduledRead>,
+    ) -> Result<Self, &'static str> {
+        if !forward
+            .iter()
+            .zip(forward.iter().skip(1))
+            .all(|(a, b)| a.slot < b.slot)
+        {
+            return Err("forward stops must be strictly ascending");
+        }
+        if !reverse
+            .iter()
+            .zip(reverse.iter().skip(1))
+            .all(|(a, b)| a.slot > b.slot)
+        {
+            return Err("reverse stops must be strictly descending");
+        }
+        if forward.iter().chain(reverse.iter()).any(|s| s.requests.is_empty()) {
+            return Err("every stop must carry at least one request");
+        }
+        Ok(ServiceList {
+            forward: forward.into(),
+            reverse: reverse.into(),
+        })
+    }
+
     /// Builds a forward-only service list from stops sorted ascending by
     /// slot.
     ///
@@ -330,6 +362,24 @@ pub trait Scheduler {
     ) -> ArrivalOutcome {
         pending.push(request);
         ArrivalOutcome::Deferred
+    }
+
+    /// Serializes whatever internal state the incremental scheduler
+    /// carries across arrivals, for a checkpoint. Most algorithms are
+    /// stateless between calls (their plans are derived fresh from the
+    /// pending list) and return `None`, the default. The envelope
+    /// algorithm returns its per-tape envelope boundaries, which stay
+    /// live across a multi-drive sweep.
+    fn checkpoint_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state produced by [`Scheduler::checkpoint_state`] on a
+    /// freshly constructed scheduler of the same algorithm. The default
+    /// errors: a checkpoint carrying state for a stateless scheduler can
+    /// only mean the configurations disagree.
+    fn restore_state(&mut self, _state: &str) -> Result<(), &'static str> {
+        Err("this scheduler carries no checkpointable state")
     }
 }
 

@@ -46,6 +46,7 @@ use tapesim_model::{
 use tapesim_sched::{ArrivalOutcome, JukeboxView, PendingList, Scheduler, SweepPlan};
 use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
 
+use crate::checkpoint::{self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind};
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
 use crate::trace::{NullSink, TraceEvent, TraceSink, Tracer, SYSTEM_DRIVE};
@@ -156,11 +157,73 @@ pub fn run_simulation_traced(
     fault_seed: u64,
     sink: &mut dyn TraceSink,
 ) -> Result<MetricsReport, SimError> {
-    let mut tracer = Tracer::new(sink);
+    run_simulation_checkpointed(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        faults,
+        fault_seed,
+        sink,
+        &CheckpointOpts::none(),
+    )
+}
+
+/// [`run_simulation_traced`] with checkpoint/resume support (see
+/// [`crate::checkpoint`]). With [`CheckpointOpts::none`] this is exactly
+/// [`run_simulation_traced`]: the checkpoint path costs one `Option`
+/// check per outer-loop iteration. Checkpoints are taken at sweep
+/// boundaries (no service list in flight), the first one at or after
+/// each multiple of the configured interval. A resumed run continues the
+/// trace sequence and the metrics window exactly where the checkpoint
+/// left them, so its trace suffix and final report are identical to the
+/// uninterrupted run's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_checkpointed(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    faults: &FaultConfig,
+    fault_seed: u64,
+    sink: &mut dyn TraceSink,
+    opts: &CheckpointOpts,
+) -> Result<MetricsReport, SimError> {
     if cfg.warmup >= cfg.duration {
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
     faults.validate().map_err(SimError::InvalidConfig)?;
+    let fp = checkpoint::run_fingerprint(
+        EngineKind::Single,
+        catalog,
+        timing,
+        scheduler.name(),
+        &factory.config_tag(),
+        &format!("{cfg:?}"),
+        &format!("{faults:?}"),
+        fault_seed,
+        1,
+        "",
+    );
+    let resumed = match opts.resume() {
+        Some(path) => {
+            let ckpt = checkpoint::load(path)?;
+            if ckpt.fingerprint != fp {
+                return Err(SimError::CheckpointConfigMismatch {
+                    found: ckpt.fingerprint,
+                    expected: fp,
+                });
+            }
+            Some(ckpt)
+        }
+        None => None,
+    };
+    let mut tracer = match &resumed {
+        Some(ckpt) => Tracer::with_seq(sink, ckpt.trace_seq),
+        None => Tracer::new(sink),
+    };
     let mut injector = FaultInjector::new(*faults, &catalog.geometry(), 1, fault_seed);
     let block = catalog.block_size();
     let block_bytes = block.bytes();
@@ -183,34 +246,116 @@ pub fn run_simulation_traced(
     // event.
     let mut offline_buf: Vec<TapeId> = Vec::new();
 
-    // Seed the workload.
+    // Seed the workload — or, on resume, restore every piece of state
+    // from the checkpoint instead.
     let mut next_arrival: Option<SimTime> = None;
-    match factory.process() {
-        ArrivalProcess::Closed { queue_length } => {
-            for _ in 0..queue_length {
-                let req = factory.make(now);
-                trace_event!(
-                    tracer,
-                    now,
-                    SYSTEM_DRIVE,
-                    TraceEvent::Arrival {
-                        req: req.id,
-                        block: req.block,
-                    }
-                );
-                pending.push(req);
-                metrics.record_admission();
+    if let Some(ckpt) = &resumed {
+        factory
+            .replay(ckpt.factory_makes, ckpt.factory_gaps)
+            .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        if factory.stream_fingerprint() != ckpt.factory_fp {
+            return Err(SimError::CheckpointConfigMismatch {
+                found: ckpt.factory_fp,
+                expected: factory.stream_fingerprint(),
+            });
+        }
+        if let Some(snap) = &ckpt.faults {
+            injector
+                .restore(snap)
+                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        }
+        if let Some(state) = &ckpt.sched_state {
+            scheduler
+                .restore_state(state)
+                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        }
+        let drive = ckpt.drives.first().ok_or_else(|| {
+            SimError::CheckpointCorrupt("single-drive checkpoint has no drive line".into())
+        })?;
+        now = SimTime::from_micros(ckpt.now_us);
+        mounted = drive.mounted;
+        head = drive.head;
+        for req in ckpt.pending.iter() {
+            pending.push(req.clone());
+        }
+        metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
+        faulted = ckpt
+            .faulted
+            .iter()
+            .map(|&(r, t)| (RequestId(r), TapeId(t)))
+            .collect();
+        next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
+    } else {
+        match factory.process() {
+            ArrivalProcess::Closed { queue_length } => {
+                for _ in 0..queue_length {
+                    let req = factory.make(now);
+                    trace_event!(
+                        tracer,
+                        now,
+                        SYSTEM_DRIVE,
+                        TraceEvent::Arrival {
+                            req: req.id,
+                            block: req.block,
+                        }
+                    );
+                    pending.push(req);
+                    metrics.record_admission();
+                }
+            }
+            ArrivalProcess::OpenPoisson { .. } => {
+                let gap = factory
+                    .next_interarrival()
+                    .ok_or(SimError::ClosedArrivalStream)?;
+                next_arrival = Some(now + gap);
             }
         }
-        ArrivalProcess::OpenPoisson { .. } => {
-            let gap = factory
-                .next_interarrival()
-                .ok_or(SimError::ClosedArrivalStream)?;
-            next_arrival = Some(now + gap);
-        }
     }
+    // First periodic-checkpoint instant strictly after the current clock.
+    let mut next_ckpt_at = opts.write_every().map(|(every, _)| {
+        let mut at = SimTime::ZERO + every;
+        while at <= now {
+            at = at + every;
+        }
+        at
+    });
 
     'outer: while now < end {
+        if let (Some(at), Some((every, path))) = (next_ckpt_at, opts.write_every()) {
+            if now >= at {
+                let ckpt = Checkpoint {
+                    engine: EngineKind::Single,
+                    fingerprint: fp,
+                    now_us: now.as_micros(),
+                    trace_seq: tracer.next_seq(),
+                    next_arrival_us: next_arrival.map(|t| t.as_micros()),
+                    factory_makes: factory.minted(),
+                    factory_gaps: factory.gaps_drawn(),
+                    factory_fp: factory.stream_fingerprint(),
+                    pending: pending.iter().cloned().collect(),
+                    metrics: metrics.snapshot(),
+                    faulted: faulted.iter().map(|(r, t)| (r.0, t.0)).collect(),
+                    sched_state: scheduler.checkpoint_state(),
+                    faults: (*faults != FaultConfig::NONE).then(|| injector.snapshot()),
+                    drives: vec![DriveCheckpoint {
+                        mounted,
+                        head,
+                        plan: None,
+                        cur_phase: None,
+                        free_at_us: now.as_micros(),
+                        idle: false,
+                    }],
+                    multi: None,
+                    writeback: None,
+                };
+                checkpoint::save(&ckpt, path)?;
+                let mut at = at;
+                while at <= now {
+                    at = at + every;
+                }
+                next_ckpt_at = Some(at);
+            }
+        }
         // Deliver arrivals that came due between sweeps straight onto the
         // pending list (no sweep is running to insert into).
         while let Some(t) = next_arrival {

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -25,15 +26,23 @@ pub mod runner;
 pub mod trace;
 pub mod writeback;
 
-pub use engine::{run_simulation, run_simulation_traced, run_simulation_with_faults, SimConfig};
+pub use checkpoint::{Checkpoint, CheckpointOpts, EngineKind};
+pub use engine::{
+    run_simulation, run_simulation_checkpointed, run_simulation_traced,
+    run_simulation_with_faults, SimConfig,
+};
 pub use error::SimError;
 pub use metrics::{DelayPercentiles, MetricsCollector, MetricsReport};
-pub use multidrive::{run_multi_drive, run_multi_drive_traced, run_multi_drive_with_faults};
+pub use multidrive::{
+    run_multi_drive, run_multi_drive_checkpointed, run_multi_drive_traced,
+    run_multi_drive_with_faults,
+};
 pub use runner::{default_seeds, run_one, run_paired, run_seeds, run_seeds_pooled, RunSpec};
 pub use trace::{
     check_trace, JsonlSink, MemorySink, NullSink, RingSink, TraceEvent, TraceRecord, TraceSink,
     Tracer,
 };
 pub use writeback::{
-    run_with_writeback, run_with_writeback_traced, FlushPolicy, WriteBackConfig, WriteBackReport,
+    run_with_writeback, run_with_writeback_checkpointed, run_with_writeback_traced, FlushPolicy,
+    WriteBackConfig, WriteBackReport,
 };

@@ -134,6 +134,63 @@ impl MetricsCollector {
         self.replica_failovers += 1;
     }
 
+    /// Captures every accumulator for a checkpoint. Delay samples are
+    /// kept in insertion order (they are only sorted at report time), so
+    /// a restored collector is byte-for-byte the collector that was
+    /// snapshotted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            window_start_us: self.window_start.as_micros(),
+            completed: self.completed,
+            bytes_delivered: self.bytes_delivered,
+            physical_reads: self.physical_reads,
+            tape_switches: self.tape_switches,
+            total_delay_us: self.total_delay.as_micros(),
+            max_delay_us: self.max_delay.as_micros(),
+            delays_us: self.delays.iter().map(|d| d.as_micros()).collect(),
+            time_locating_us: self.time_locating.as_micros(),
+            time_reading_us: self.time_reading.as_micros(),
+            time_switching_us: self.time_switching.as_micros(),
+            time_idle_us: self.time_idle.as_micros(),
+            time_repairing_us: self.time_repairing.as_micros(),
+            admitted: self.admitted,
+            served: self.served,
+            failed_requests: self.failed_requests,
+            replica_failovers: self.replica_failovers,
+        }
+    }
+
+    /// Rebuilds a collector from a [`MetricsCollector::snapshot`]. The
+    /// end-of-run fault accounting (media errors, downtime, degraded
+    /// time, unserved count) is not part of the snapshot: it is installed
+    /// by the engine at report time via
+    /// [`MetricsCollector::set_fault_accounting`].
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Self {
+        MetricsCollector {
+            window_start: SimTime::from_micros(snap.window_start_us),
+            completed: snap.completed,
+            bytes_delivered: snap.bytes_delivered,
+            physical_reads: snap.physical_reads,
+            tape_switches: snap.tape_switches,
+            total_delay: Micros::from_micros(snap.total_delay_us),
+            max_delay: Micros::from_micros(snap.max_delay_us),
+            delays: snap.delays_us.iter().map(|&d| Micros::from_micros(d)).collect(),
+            time_locating: Micros::from_micros(snap.time_locating_us),
+            time_reading: Micros::from_micros(snap.time_reading_us),
+            time_switching: Micros::from_micros(snap.time_switching_us),
+            time_idle: Micros::from_micros(snap.time_idle_us),
+            time_repairing: Micros::from_micros(snap.time_repairing_us),
+            admitted: snap.admitted,
+            served: snap.served,
+            failed_requests: snap.failed_requests,
+            replica_failovers: snap.replica_failovers,
+            media_errors: 0,
+            unserved: 0,
+            tape_downtime: Vec::new(),
+            degraded: Micros::ZERO,
+        }
+    }
+
     /// Installs the end-of-run availability accounting produced by the
     /// fault injector: total media errors drawn, per-tape downtime,
     /// accumulated degraded-mode time, and requests still unserved (left
@@ -160,8 +217,7 @@ impl MetricsCollector {
             if self.delays.is_empty() {
                 return 0.0;
             }
-            let idx = ((self.delays.len() - 1) as f64 * p).round() as usize;
-            self.delays[idx].as_secs_f64()
+            self.delays[nearest_rank(self.delays.len(), p)].as_secs_f64()
         };
         MetricsReport {
             window_secs: secs,
@@ -217,6 +273,59 @@ fn frac(part: Micros, whole: Micros) -> f64 {
     } else {
         part.as_secs_f64() / whole.as_secs_f64()
     }
+}
+
+/// Nearest-rank percentile index over `n > 0` sorted samples:
+/// `ceil(p·n) − 1`, the smallest index such that at least a fraction `p`
+/// of the samples are at or below it. The previous `round((n−1)·p)`
+/// formula *underestimated* the tail for small `n` (e.g. the p99 of 70
+/// samples picked the 69th instead of the 70th), contradicting the
+/// documented "the delay 99% of all completed requests beat" semantics.
+fn nearest_rank(n: usize, p: f64) -> usize {
+    let rank = (p * n as f64).ceil() as usize;
+    rank.clamp(1, n) - 1
+}
+
+/// Serializable snapshot of a [`MetricsCollector`]'s accumulators, all in
+/// raw integer microseconds/counts so it round-trips exactly through a
+/// text checkpoint. Produced by [`MetricsCollector::snapshot`], consumed
+/// by [`MetricsCollector::from_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Start of the measurement window, in microseconds.
+    pub window_start_us: u64,
+    /// In-window completions so far.
+    pub completed: u64,
+    /// In-window bytes delivered.
+    pub bytes_delivered: u64,
+    /// In-window physical reads.
+    pub physical_reads: u64,
+    /// In-window tape switches.
+    pub tape_switches: u64,
+    /// Sum of in-window delays, in microseconds.
+    pub total_delay_us: u64,
+    /// Largest in-window delay, in microseconds.
+    pub max_delay_us: u64,
+    /// Every in-window delay sample, in insertion (completion) order.
+    pub delays_us: Vec<u64>,
+    /// Drive time attributed to locating, in microseconds.
+    pub time_locating_us: u64,
+    /// Drive time attributed to reading, in microseconds.
+    pub time_reading_us: u64,
+    /// Drive time attributed to rewind/switch, in microseconds.
+    pub time_switching_us: u64,
+    /// Idle time, in microseconds.
+    pub time_idle_us: u64,
+    /// Drive repair downtime, in microseconds.
+    pub time_repairing_us: u64,
+    /// Requests admitted over the whole run so far.
+    pub admitted: u64,
+    /// Requests served over the whole run so far.
+    pub served: u64,
+    /// Requests permanently failed so far.
+    pub failed_requests: u64,
+    /// Replica failovers so far.
+    pub replica_failovers: u64,
 }
 
 /// Summary statistics of one simulation run.
@@ -326,6 +435,12 @@ impl MetricsReport {
     /// a typical seed. For true pooled percentiles, `mean_of` also merges
     /// every delay sample into `delay_samples_us`; call
     /// [`MetricsReport::pooled_percentiles`] on the result.
+    ///
+    /// Every percentile field (per-seed and pooled) uses the nearest-rank
+    /// convention `idx = ceil(p * n) - 1`: the reported p99 is the
+    /// smallest sample at or below which at least 99% of requests fall.
+    /// (Earlier releases used `round((n - 1) * p)`, which understated the
+    /// tail for small sample counts.)
     pub fn mean_of(reports: &[MetricsReport]) -> MetricsReport {
         assert!(!reports.is_empty(), "cannot average zero reports");
         let n = reports.len() as f64;
@@ -389,7 +504,7 @@ impl MetricsReport {
     /// True percentiles of this report's pooled delay distribution (see
     /// [`MetricsReport::mean_of`] for why these differ from the averaged
     /// scalar fields). Uses the same nearest-rank convention as the
-    /// per-run percentiles: `idx = round((n - 1) * p)`.
+    /// per-run percentiles: `idx = ceil(p * n) - 1`.
     pub fn pooled_percentiles(&self) -> DelayPercentiles {
         let s = &self.delay_samples_us;
         // simlint: allow(panic, windows(2) yields exactly two elements)
@@ -398,8 +513,7 @@ impl MetricsReport {
             if s.is_empty() {
                 return 0.0;
             }
-            let idx = ((s.len() - 1) as f64 * p).round() as usize;
-            Micros::from_micros(s[idx]).as_secs_f64()
+            Micros::from_micros(s[nearest_rank(s.len(), p)]).as_secs_f64()
         };
         DelayPercentiles {
             p50: pct(0.50),
@@ -466,6 +580,54 @@ mod tests {
         assert!((r.median_delay_s - 51.0).abs() < 1.5);
         assert!((r.p95_delay_s - 95.0).abs() < 1.5);
         assert!((r.max_delay_s - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_not_round() {
+        // Regression for the `round((n - 1) * p)` rank formula. With 70
+        // samples the p99 must be the 70th (ceil(0.99 * 70) = 70); the
+        // old formula picked the 69th, understating the tail. With 10
+        // samples the median must be the 5th (ceil(0.5 * 10) = 5); the
+        // old formula rounded up to the 6th.
+        let mut m = MetricsCollector::new(SimTime::ZERO);
+        for i in 1..=70u64 {
+            m.record_completion(SimTime::ZERO, SimTime::from_secs(i), 1);
+        }
+        let r = m.report(Micros::from_secs(1000), false);
+        assert_eq!(r.p99_delay_s, 70.0, "p99 of 70 samples is the largest");
+        let mut m = MetricsCollector::new(SimTime::ZERO);
+        for i in 1..=10u64 {
+            m.record_completion(SimTime::ZERO, SimTime::from_secs(i), 1);
+        }
+        let r = m.report(Micros::from_secs(1000), false);
+        assert_eq!(r.median_delay_s, 5.0, "median of 10 samples is the 5th");
+        // The pooled path shares the helper and must agree.
+        let pooled = r.pooled_percentiles();
+        assert_eq!(pooled.p50, 5.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reproduces_the_exact_report() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(10));
+        for i in 0..50u64 {
+            m.record_admission();
+            m.record_completion(
+                SimTime::from_secs(i),
+                SimTime::from_secs(2 * i + 11),
+                1 << 20,
+            );
+            m.record_physical_read(SimTime::from_secs(2 * i + 11));
+        }
+        m.record_tape_switch(SimTime::from_secs(60));
+        m.add_locate_time(SimTime::from_secs(60), Micros::from_secs(3));
+        m.add_idle_time(SimTime::from_secs(70), Micros::from_secs(2));
+        m.record_replica_failover();
+        let snap = m.snapshot();
+        let restored = MetricsCollector::from_snapshot(&snap);
+        assert_eq!(restored.snapshot(), snap);
+        let a = m.report(Micros::from_secs(100), false);
+        let b = restored.report(Micros::from_secs(100), false);
+        assert_eq!(a, b);
     }
 
     #[test]

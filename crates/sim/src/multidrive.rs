@@ -30,6 +30,7 @@ use tapesim_model::{
 use tapesim_sched::{JukeboxView, PendingList, Scheduler};
 use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
 
+use crate::checkpoint::{self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind, MultiCheckpoint};
 use crate::engine::{abort_plan, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
@@ -139,7 +140,38 @@ pub fn run_multi_drive_traced(
     fault_seed: u64,
     sink: &mut dyn TraceSink,
 ) -> Result<MetricsReport, SimError> {
-    let mut tracer = Tracer::new(sink);
+    run_multi_drive_checkpointed(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        drives,
+        faults,
+        fault_seed,
+        sink,
+        &CheckpointOpts::none(),
+    )
+}
+
+/// [`run_multi_drive_traced`] with checkpoint/resume support (see
+/// [`crate::checkpoint`]). With [`CheckpointOpts::none`] this is exactly
+/// [`run_multi_drive_traced`]. Checkpoints are taken at drive-dispatch
+/// boundaries; in-flight sweep plans are part of the checkpoint, so a
+/// resumed run replays the interrupted sweeps stop for stop.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multi_drive_checkpointed(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    drives: u16,
+    faults: &FaultConfig,
+    fault_seed: u64,
+    sink: &mut dyn TraceSink,
+    opts: &CheckpointOpts,
+) -> Result<MetricsReport, SimError> {
     if drives < 1 {
         return Err(SimError::InvalidConfig("need at least one drive"));
     }
@@ -152,6 +184,35 @@ pub fn run_multi_drive_traced(
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
     faults.validate().map_err(SimError::InvalidConfig)?;
+    let fp = checkpoint::run_fingerprint(
+        EngineKind::Multi,
+        catalog,
+        timing,
+        scheduler.name(),
+        &factory.config_tag(),
+        &format!("{cfg:?}"),
+        &format!("{faults:?}"),
+        fault_seed,
+        drives,
+        "",
+    );
+    let resumed = match opts.resume() {
+        Some(path) => {
+            let ckpt = checkpoint::load(path)?;
+            if ckpt.fingerprint != fp {
+                return Err(SimError::CheckpointConfigMismatch {
+                    found: ckpt.fingerprint,
+                    expected: fp,
+                });
+            }
+            Some(ckpt)
+        }
+        None => None,
+    };
+    let mut tracer = match &resumed {
+        Some(ckpt) => Tracer::with_seq(sink, ckpt.trace_seq),
+        None => Tracer::new(sink),
+    };
     let mut injector =
         FaultInjector::new(*faults, &catalog.geometry(), drives as usize, fault_seed);
     let block = catalog.block_size();
@@ -178,34 +239,106 @@ pub fn run_multi_drive_traced(
         })
         .collect();
 
-    // Seed the workload.
+    // Seed the workload (skipped on resume: the factory is replayed to
+    // its checkpointed stream position below instead).
     let mut next_arrival: Option<SimTime> = None;
-    match factory.process() {
-        ArrivalProcess::Closed { queue_length } => {
-            for _ in 0..queue_length {
-                let req = factory.make(SimTime::ZERO);
-                trace_event!(
-                    tracer,
-                    SimTime::ZERO,
-                    SYSTEM_DRIVE,
-                    TraceEvent::Arrival {
-                        req: req.id,
-                        block: req.block,
-                    }
-                );
-                pending.push(req);
-                metrics.record_admission();
+    if resumed.is_none() {
+        match factory.process() {
+            ArrivalProcess::Closed { queue_length } => {
+                for _ in 0..queue_length {
+                    let req = factory.make(SimTime::ZERO);
+                    trace_event!(
+                        tracer,
+                        SimTime::ZERO,
+                        SYSTEM_DRIVE,
+                        TraceEvent::Arrival {
+                            req: req.id,
+                            block: req.block,
+                        }
+                    );
+                    pending.push(req);
+                    metrics.record_admission();
+                }
             }
-        }
-        ArrivalProcess::OpenPoisson { .. } => {
-            let gap = factory
-                .next_interarrival()
-                .ok_or(SimError::ClosedArrivalStream)?;
-            next_arrival = Some(SimTime::ZERO + gap);
+            ArrivalProcess::OpenPoisson { .. } => {
+                let gap = factory
+                    .next_interarrival()
+                    .ok_or(SimError::ClosedArrivalStream)?;
+                next_arrival = Some(SimTime::ZERO + gap);
+            }
         }
     }
 
     let mut now = SimTime::ZERO;
+    if let Some(ckpt) = &resumed {
+        factory
+            .replay(ckpt.factory_makes, ckpt.factory_gaps)
+            .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        if factory.stream_fingerprint() != ckpt.factory_fp {
+            return Err(SimError::CheckpointConfigMismatch {
+                found: ckpt.factory_fp,
+                expected: factory.stream_fingerprint(),
+            });
+        }
+        if let Some(snap) = &ckpt.faults {
+            injector
+                .restore(snap)
+                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        }
+        if let Some(state) = &ckpt.sched_state {
+            scheduler
+                .restore_state(state)
+                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        }
+        if ckpt.drives.len() != drives as usize {
+            return Err(SimError::CheckpointCorrupt(
+                "checkpoint drive count does not match the configuration".into(),
+            ));
+        }
+        let mc = ckpt.multi.as_ref().ok_or_else(|| {
+            SimError::CheckpointCorrupt("multi-drive checkpoint has no multi line".into())
+        })?;
+        now = SimTime::from_micros(ckpt.now_us);
+        next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
+        for req in ckpt.pending.iter() {
+            pending.push(req.clone());
+        }
+        metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
+        faulted = ckpt
+            .faulted
+            .iter()
+            .map(|&(r, t)| (RequestId(r), TapeId(t)))
+            .collect();
+        states = ckpt
+            .drives
+            .iter()
+            .map(|dc| DriveState {
+                mounted: dc.mounted,
+                head: dc.head,
+                plan: dc.plan.clone(),
+                cur_phase: dc.cur_phase,
+                free_at: SimTime::from_micros(dc.free_at_us),
+                idle: dc.idle,
+            })
+            .collect();
+        seq = mc.seq;
+        robot_free = SimTime::from_micros(mc.robot_free_us);
+        for &(at, qseq, req) in mc.queued.iter() {
+            queued.push(Reverse(QueuedArrival {
+                at: SimTime::from_micros(at),
+                seq: qseq,
+                req,
+            }));
+        }
+    }
+    // First periodic-checkpoint instant strictly after the current clock.
+    let mut next_ckpt_at = opts.write_every().map(|(every, _)| {
+        let mut at = SimTime::ZERO + every;
+        while at <= now {
+            at = at + every;
+        }
+        at
+    });
     // Scratch buffers for the offline/held-tape snapshots handed to
     // scheduler views; refilled per event instead of allocating each
     // time.
@@ -213,6 +346,56 @@ pub fn run_multi_drive_traced(
     let mut unavailable_buf: Vec<TapeId> = Vec::new();
     // Next drive to act: earliest free_at, lowest index on ties.
     'outer: while let Some(d) = (0..states.len()).min_by_key(|&i| (states[i].free_at, i)) {
+        // Checkpoint before this iteration mutates anything (the clock
+        // update below is re-derived identically on resume).
+        if let (Some(at), Some((every, path))) = (next_ckpt_at, opts.write_every()) {
+            if now >= at {
+                let mut arrivals: Vec<QueuedArrival> =
+                    queued.iter().map(|Reverse(q)| *q).collect();
+                arrivals.sort_unstable();
+                let ckpt = Checkpoint {
+                    engine: EngineKind::Multi,
+                    fingerprint: fp,
+                    now_us: now.as_micros(),
+                    trace_seq: tracer.next_seq(),
+                    next_arrival_us: next_arrival.map(|t| t.as_micros()),
+                    factory_makes: factory.minted(),
+                    factory_gaps: factory.gaps_drawn(),
+                    factory_fp: factory.stream_fingerprint(),
+                    pending: pending.iter().cloned().collect(),
+                    metrics: metrics.snapshot(),
+                    faulted: faulted.iter().map(|(r, t)| (r.0, t.0)).collect(),
+                    sched_state: scheduler.checkpoint_state(),
+                    faults: (*faults != FaultConfig::NONE).then(|| injector.snapshot()),
+                    drives: states
+                        .iter()
+                        .map(|s| DriveCheckpoint {
+                            mounted: s.mounted,
+                            head: s.head,
+                            plan: s.plan.clone(),
+                            cur_phase: s.cur_phase,
+                            free_at_us: s.free_at.as_micros(),
+                            idle: s.idle,
+                        })
+                        .collect(),
+                    multi: Some(MultiCheckpoint {
+                        seq,
+                        robot_free_us: robot_free.as_micros(),
+                        queued: arrivals
+                            .iter()
+                            .map(|q| (q.at.as_micros(), q.seq, q.req))
+                            .collect(),
+                    }),
+                    writeback: None,
+                };
+                checkpoint::save(&ckpt, path)?;
+                let mut at = at;
+                while at <= now {
+                    at = at + every;
+                }
+                next_ckpt_at = Some(at);
+            }
+        }
         now = states[d].free_at.max(now);
         states[d].idle = false;
         if now >= end {

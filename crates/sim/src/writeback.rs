@@ -31,6 +31,7 @@ use tapesim_model::{
 use tapesim_sched::{JukeboxView, PendingList, Scheduler};
 use tapesim_workload::RequestFactory;
 
+use crate::checkpoint::{self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind, WriteBackCheckpoint};
 use crate::engine::SimConfig;
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
@@ -134,12 +135,77 @@ pub fn run_with_writeback_traced(
     write_seed: u64,
     sink: &mut dyn TraceSink,
 ) -> Result<WriteBackReport, SimError> {
+    run_with_writeback_checkpointed(
+        catalog,
+        timing,
+        scheduler,
+        factory,
+        cfg,
+        wb,
+        write_seed,
+        sink,
+        &CheckpointOpts::none(),
+    )
+}
+
+/// [`run_with_writeback_traced`] with checkpoint/resume support (see
+/// [`crate::checkpoint`]). With [`CheckpointOpts::none`] this is exactly
+/// [`run_with_writeback_traced`]. The delta buffer and the write
+/// stream's RNG are part of the checkpoint, so a resumed run destages
+/// the same deltas at the same instants.
+///
+/// # Errors
+/// Same as [`run_with_writeback`], plus the checkpoint errors of
+/// [`crate::checkpoint::load`] and
+/// [`SimError::CheckpointConfigMismatch`] when resuming into a different
+/// configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_writeback_checkpointed(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    wb: &WriteBackConfig,
+    write_seed: u64,
+    sink: &mut dyn TraceSink,
+    opts: &CheckpointOpts,
+) -> Result<WriteBackReport, SimError> {
     if cfg.warmup >= cfg.duration {
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
+    let fp = checkpoint::run_fingerprint(
+        EngineKind::WriteBack,
+        catalog,
+        timing,
+        scheduler.name(),
+        &factory.config_tag(),
+        &format!("{cfg:?}"),
+        "",
+        write_seed,
+        1,
+        &format!("{wb:?}"),
+    );
+    let resumed = match opts.resume() {
+        Some(path) => {
+            let ckpt = checkpoint::load(path)?;
+            if ckpt.fingerprint != fp {
+                return Err(SimError::CheckpointConfigMismatch {
+                    found: ckpt.fingerprint,
+                    expected: fp,
+                });
+            }
+            Some(ckpt)
+        }
+        None => None,
+    };
     // Probe the arrival stream first (this consumes one interarrival draw,
-    // matching the stream position of earlier releases).
-    if factory.next_interarrival().is_none() && factory.process().initial_requests() != 0 {
+    // matching the stream position of earlier releases). On resume the
+    // factory is replayed past this draw instead.
+    if resumed.is_none()
+        && factory.next_interarrival().is_none()
+        && factory.process().initial_requests() != 0
+    {
         return Err(SimError::ClosedArrivalStream);
     }
     let block = catalog.block_size();
@@ -162,20 +228,29 @@ pub fn run_with_writeback_traced(
 
     // Deterministic write stream, independent of the read stream.
     let mut wrng = WriteStream::new(wb.write_mean_interarrival, tapes, write_seed);
-    let mut next_write = Some(SimTime::ZERO + wrng.next_gap());
+    let mut next_write = if resumed.is_none() {
+        Some(SimTime::ZERO + wrng.next_gap())
+    } else {
+        None
+    };
 
-    let mut tracer = Tracer::new(sink);
+    let mut tracer = match &resumed {
+        Some(ckpt) => Tracer::with_seq(sink, ckpt.trace_seq),
+        None => Tracer::new(sink),
+    };
     let mut now = SimTime::ZERO;
     let mut mounted: Option<TapeId> = None;
     let mut head = SlotIndex::BOT;
     let mut pending = PendingList::new();
     let mut metrics = MetricsCollector::new(warmup_end);
     let mut buffer: VecDeque<Delta> = VecDeque::new();
-    let mut next_arrival = {
+    let mut next_arrival = if resumed.is_none() {
         let gap = factory
             .next_interarrival()
             .ok_or(SimError::ClosedArrivalStream)?;
         Some(SimTime::ZERO + gap)
+    } else {
+        None
     };
 
     let mut deltas_flushed = 0u64;
@@ -184,6 +259,61 @@ pub fn run_with_writeback_traced(
     let mut piggyback_flushes = 0u64;
     let mut idle_flushes = 0u64;
     let mut stranded: u64 = 0;
+
+    if let Some(ckpt) = &resumed {
+        factory
+            .replay(ckpt.factory_makes, ckpt.factory_gaps)
+            .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        if factory.stream_fingerprint() != ckpt.factory_fp {
+            return Err(SimError::CheckpointConfigMismatch {
+                found: ckpt.factory_fp,
+                expected: factory.stream_fingerprint(),
+            });
+        }
+        if let Some(state) = &ckpt.sched_state {
+            scheduler
+                .restore_state(state)
+                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+        }
+        let drive = ckpt.drives.first().ok_or_else(|| {
+            SimError::CheckpointCorrupt("write-back checkpoint has no drive line".into())
+        })?;
+        let wbs = ckpt.writeback.as_ref().ok_or_else(|| {
+            SimError::CheckpointCorrupt("write-back checkpoint has no writeback line".into())
+        })?;
+        now = SimTime::from_micros(ckpt.now_us);
+        mounted = drive.mounted;
+        head = drive.head;
+        for req in ckpt.pending.iter() {
+            pending.push(req.clone());
+        }
+        metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
+        next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
+        next_write = wbs.next_write_us.map(SimTime::from_micros);
+        wrng.state = wbs.wrng_state;
+        wrng.counter = wbs.wrng_counter;
+        buffer = wbs
+            .buffer
+            .iter()
+            .map(|&(created, dest)| Delta {
+                created: SimTime::from_micros(created),
+                dest: TapeId(dest),
+            })
+            .collect();
+        deltas_flushed = wbs.deltas_flushed;
+        peak_buffer = wbs.peak_buffer;
+        total_age = Micros::from_micros(wbs.total_age_us);
+        piggyback_flushes = wbs.piggyback_flushes;
+        idle_flushes = wbs.idle_flushes;
+    }
+    // First periodic-checkpoint instant strictly after the current clock.
+    let mut next_ckpt_at = opts.write_every().map(|(every, _)| {
+        let mut at = SimTime::ZERO + every;
+        while at <= now {
+            at = at + every;
+        }
+        at
+    });
 
     // Pops every due read/write event at `now`.
     macro_rules! deliver {
@@ -224,6 +354,54 @@ pub fn run_with_writeback_traced(
     }
 
     'outer: while now < end {
+        if let (Some(at), Some((every, path))) = (next_ckpt_at, opts.write_every()) {
+            if now >= at {
+                let ckpt = Checkpoint {
+                    engine: EngineKind::WriteBack,
+                    fingerprint: fp,
+                    now_us: now.as_micros(),
+                    trace_seq: tracer.next_seq(),
+                    next_arrival_us: next_arrival.map(|t| t.as_micros()),
+                    factory_makes: factory.minted(),
+                    factory_gaps: factory.gaps_drawn(),
+                    factory_fp: factory.stream_fingerprint(),
+                    pending: pending.iter().cloned().collect(),
+                    metrics: metrics.snapshot(),
+                    faulted: Vec::new(),
+                    sched_state: scheduler.checkpoint_state(),
+                    faults: None,
+                    drives: vec![DriveCheckpoint {
+                        mounted,
+                        head,
+                        plan: None,
+                        cur_phase: None,
+                        free_at_us: now.as_micros(),
+                        idle: false,
+                    }],
+                    multi: None,
+                    writeback: Some(WriteBackCheckpoint {
+                        wrng_state: wrng.state,
+                        wrng_counter: wrng.counter,
+                        next_write_us: next_write.map(|t| t.as_micros()),
+                        buffer: buffer
+                            .iter()
+                            .map(|d| (d.created.as_micros(), d.dest.0))
+                            .collect(),
+                        deltas_flushed,
+                        peak_buffer,
+                        total_age_us: total_age.as_micros(),
+                        piggyback_flushes,
+                        idle_flushes,
+                    }),
+                };
+                checkpoint::save(&ckpt, path)?;
+                let mut at = at;
+                while at <= now {
+                    at = at + every;
+                }
+                next_ckpt_at = Some(at);
+            }
+        }
         deliver!(now);
         if pending.len() > cfg.max_pending {
             break 'outer;
