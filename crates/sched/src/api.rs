@@ -128,7 +128,11 @@ impl ServiceList {
         {
             return Err("reverse stops must be strictly descending");
         }
-        if forward.iter().chain(reverse.iter()).any(|s| s.requests.is_empty()) {
+        if forward
+            .iter()
+            .chain(reverse.iter())
+            .any(|s| s.requests.is_empty())
+        {
             return Err("every stop must carry at least one request");
         }
         Ok(ServiceList {

@@ -530,7 +530,14 @@ fn compute_upper_envelope_impl(
         if always_rebuild {
             cache.invalidate_all();
         }
-        extend_once(view, pending, &mut assigned, &mut counts, &mut env, &mut cache);
+        extend_once(
+            view,
+            pending,
+            &mut assigned,
+            &mut counts,
+            &mut env,
+            &mut cache,
+        );
         shrink(view, pending, &mut assigned, &mut counts, &mut env);
         absorb(view, pending, &mut assigned, &mut counts, &env);
         for (i, was) in was_assigned.iter_mut().enumerate() {

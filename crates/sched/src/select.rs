@@ -73,9 +73,9 @@ impl TapeSelectPolicy {
                 // mounted tape itself.
                 let candidates = candidates_for_all_tapes(view.catalog, pending);
                 let t = geometry.tapes;
-                (1..=t).map(|i| TapeId((anchor.0 + i) % t)).find(|&tape| {
-                    view.is_available(tape) && candidates[tape.index()].is_some()
-                })
+                (1..=t)
+                    .map(|i| TapeId((anchor.0 + i) % t))
+                    .find(|&tape| view.is_available(tape) && candidates[tape.index()].is_some())
             }
             TapeSelectPolicy::MaxRequests => {
                 best_by(view, pending, anchor, None, |_, c| c.request_count as f64)

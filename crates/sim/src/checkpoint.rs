@@ -138,6 +138,33 @@ impl CheckpointOpts {
     pub(crate) fn resume(&self) -> Option<&Path> {
         self.resume.as_deref()
     }
+
+    /// Rejects option sets the engines cannot honor. A zero periodic
+    /// interval has no next-checkpoint instant (the schedule would never
+    /// advance past the clock), so the engines refuse it up front
+    /// instead of spinning in the schedule computation.
+    pub(crate) fn validate(&self) -> Result<(), SimError> {
+        match self.write_every {
+            Some((every, _)) if every == Micros::ZERO => Err(SimError::InvalidConfig(
+                "checkpoint interval must be positive",
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// First whole multiple of `every` strictly after `now`: the periodic
+/// checkpoint schedule shared by the three engines, both for the initial
+/// instant (including when resume lands the clock mid-schedule) and for
+/// advancing past the instant just written.
+///
+/// `every` is rejected as [`SimError::InvalidConfig`] by
+/// [`CheckpointOpts::validate`] when zero; the `max(1)` below keeps this
+/// helper total regardless.
+pub(crate) fn next_checkpoint_after(now: SimTime, every: Micros) -> SimTime {
+    let every_us = every.as_micros().max(1);
+    let intervals_elapsed = now.as_micros() / every_us;
+    SimTime::from_micros((intervals_elapsed + 1).saturating_mul(every_us))
 }
 
 /// One drive's state at the checkpoint boundary.
@@ -383,7 +410,9 @@ fn decode_u64s(s: &str) -> Result<Vec<u64>, String> {
     if s.is_empty() {
         return Ok(Vec::new());
     }
-    s.split(';').map(|v| parse_u64(v, "vector element")).collect()
+    s.split(';')
+        .map(|v| parse_u64(v, "vector element"))
+        .collect()
 }
 
 /// Encodes `(u64, u64)` pairs as `a.b`, `;`-separated.
@@ -867,7 +896,10 @@ pub fn from_text(text: &str) -> Result<Checkpoint, SimError> {
                     c.faulted = decode_pairs(f.string("data")?)?
                         .into_iter()
                         .map(|(r, t)| {
-                            Ok((r, u16::try_from(t).map_err(|_| "faulted tape out of range")?))
+                            Ok((
+                                r,
+                                u16::try_from(t).map_err(|_| "faulted tape out of range")?,
+                            ))
                         })
                         .collect::<Result<Vec<_>, String>>()?;
                 }
@@ -1051,6 +1083,48 @@ pub fn load(path: &Path) -> Result<Checkpoint, SimError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn next_checkpoint_after_is_strictly_after_and_aligned() {
+        let every = Micros::from_micros(10);
+        // Fresh run: first instant is one full interval in.
+        assert_eq!(
+            next_checkpoint_after(SimTime::ZERO, every),
+            SimTime::from_micros(10)
+        );
+        // Mid-interval and exactly-on-boundary clocks both advance to the
+        // next aligned multiple, never returning `now` itself.
+        assert_eq!(
+            next_checkpoint_after(SimTime::from_micros(7), every),
+            SimTime::from_micros(10)
+        );
+        assert_eq!(
+            next_checkpoint_after(SimTime::from_micros(10), every),
+            SimTime::from_micros(20)
+        );
+        // A resume landing far into the schedule skips straight past the
+        // elapsed intervals (the old per-interval loop made this O(now)).
+        assert_eq!(
+            next_checkpoint_after(SimTime::from_micros(1_000_000_007), every),
+            SimTime::from_micros(1_000_000_010)
+        );
+    }
+
+    #[test]
+    fn zero_interval_is_rejected_by_validate() {
+        // Regression: a zero interval used to hang the engines' schedule
+        // advance; `validate` now refuses it before any loop runs.
+        let opts = CheckpointOpts::checkpoint_every(Micros::ZERO, "x.ckpt");
+        assert!(matches!(opts.validate(), Err(SimError::InvalidConfig(_))));
+        let opts = CheckpointOpts::resume_from("x.ckpt").and_checkpoint_every(Micros::ZERO, "y");
+        assert!(matches!(opts.validate(), Err(SimError::InvalidConfig(_))));
+        assert!(CheckpointOpts::none().validate().is_ok());
+        assert!(
+            CheckpointOpts::checkpoint_every(Micros::from_micros(1), "x.ckpt")
+                .validate()
+                .is_ok()
+        );
+    }
 
     fn sample() -> Checkpoint {
         Checkpoint {
@@ -1266,10 +1340,7 @@ mod tests {
             from_text("total nonsense"),
             Err(SimError::CheckpointCorrupt(_))
         ));
-        assert!(matches!(
-            from_text(""),
-            Err(SimError::CheckpointCorrupt(_))
-        ));
+        assert!(matches!(from_text(""), Err(SimError::CheckpointCorrupt(_))));
         // Valid framing, malformed payload.
         let bad = "{\"k\":\"header\",\"version\":1,\"engine\":\"single\",\"fingerprint\":1,\"now_us\":nope,\"trace_seq\":0}\n{\"k\":\"end\",\"lines\":1}\n";
         assert!(matches!(

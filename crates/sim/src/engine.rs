@@ -195,6 +195,7 @@ pub fn run_simulation_checkpointed(
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
     faults.validate().map_err(SimError::InvalidConfig)?;
+    opts.validate()?;
     let fp = checkpoint::run_fingerprint(
         EngineKind::Single,
         catalog,
@@ -276,7 +277,7 @@ pub fn run_simulation_checkpointed(
         mounted = drive.mounted;
         head = drive.head;
         for req in ckpt.pending.iter() {
-            pending.push(req.clone());
+            pending.push(*req);
         }
         metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
         faulted = ckpt
@@ -312,13 +313,9 @@ pub fn run_simulation_checkpointed(
         }
     }
     // First periodic-checkpoint instant strictly after the current clock.
-    let mut next_ckpt_at = opts.write_every().map(|(every, _)| {
-        let mut at = SimTime::ZERO + every;
-        while at <= now {
-            at = at + every;
-        }
-        at
-    });
+    let mut next_ckpt_at = opts
+        .write_every()
+        .map(|(every, _)| checkpoint::next_checkpoint_after(now, every));
 
     'outer: while now < end {
         if let (Some(at), Some((every, path))) = (next_ckpt_at, opts.write_every()) {
@@ -349,11 +346,7 @@ pub fn run_simulation_checkpointed(
                     writeback: None,
                 };
                 checkpoint::save(&ckpt, path)?;
-                let mut at = at;
-                while at <= now {
-                    at = at + every;
-                }
-                next_ckpt_at = Some(at);
+                next_ckpt_at = Some(checkpoint::next_checkpoint_after(now, every));
             }
         }
         // Deliver arrivals that came due between sweeps straight onto the

@@ -28,8 +28,8 @@ pub mod writeback;
 
 pub use checkpoint::{Checkpoint, CheckpointOpts, EngineKind};
 pub use engine::{
-    run_simulation, run_simulation_checkpointed, run_simulation_traced,
-    run_simulation_with_faults, SimConfig,
+    run_simulation, run_simulation_checkpointed, run_simulation_traced, run_simulation_with_faults,
+    SimConfig,
 };
 pub use error::SimError;
 pub use metrics::{DelayPercentiles, MetricsCollector, MetricsReport};

@@ -174,7 +174,11 @@ impl MetricsCollector {
             tape_switches: snap.tape_switches,
             total_delay: Micros::from_micros(snap.total_delay_us),
             max_delay: Micros::from_micros(snap.max_delay_us),
-            delays: snap.delays_us.iter().map(|&d| Micros::from_micros(d)).collect(),
+            delays: snap
+                .delays_us
+                .iter()
+                .map(|&d| Micros::from_micros(d))
+                .collect(),
             time_locating: Micros::from_micros(snap.time_locating_us),
             time_reading: Micros::from_micros(snap.time_reading_us),
             time_switching: Micros::from_micros(snap.time_switching_us),

@@ -30,7 +30,9 @@ use tapesim_model::{
 use tapesim_sched::{JukeboxView, PendingList, Scheduler};
 use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
 
-use crate::checkpoint::{self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind, MultiCheckpoint};
+use crate::checkpoint::{
+    self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind, MultiCheckpoint,
+};
 use crate::engine::{abort_plan, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
@@ -184,6 +186,7 @@ pub fn run_multi_drive_checkpointed(
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
     faults.validate().map_err(SimError::InvalidConfig)?;
+    opts.validate()?;
     let fp = checkpoint::run_fingerprint(
         EngineKind::Multi,
         catalog,
@@ -301,7 +304,7 @@ pub fn run_multi_drive_checkpointed(
         now = SimTime::from_micros(ckpt.now_us);
         next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
         for req in ckpt.pending.iter() {
-            pending.push(req.clone());
+            pending.push(*req);
         }
         metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
         faulted = ckpt
@@ -332,13 +335,9 @@ pub fn run_multi_drive_checkpointed(
         }
     }
     // First periodic-checkpoint instant strictly after the current clock.
-    let mut next_ckpt_at = opts.write_every().map(|(every, _)| {
-        let mut at = SimTime::ZERO + every;
-        while at <= now {
-            at = at + every;
-        }
-        at
-    });
+    let mut next_ckpt_at = opts
+        .write_every()
+        .map(|(every, _)| checkpoint::next_checkpoint_after(now, every));
     // Scratch buffers for the offline/held-tape snapshots handed to
     // scheduler views; refilled per event instead of allocating each
     // time.
@@ -350,8 +349,7 @@ pub fn run_multi_drive_checkpointed(
         // update below is re-derived identically on resume).
         if let (Some(at), Some((every, path))) = (next_ckpt_at, opts.write_every()) {
             if now >= at {
-                let mut arrivals: Vec<QueuedArrival> =
-                    queued.iter().map(|Reverse(q)| *q).collect();
+                let mut arrivals: Vec<QueuedArrival> = queued.iter().map(|Reverse(q)| *q).collect();
                 arrivals.sort_unstable();
                 let ckpt = Checkpoint {
                     engine: EngineKind::Multi,
@@ -389,11 +387,7 @@ pub fn run_multi_drive_checkpointed(
                     writeback: None,
                 };
                 checkpoint::save(&ckpt, path)?;
-                let mut at = at;
-                while at <= now {
-                    at = at + every;
-                }
-                next_ckpt_at = Some(at);
+                next_ckpt_at = Some(checkpoint::next_checkpoint_after(now, every));
             }
         }
         now = states[d].free_at.max(now);

@@ -31,7 +31,9 @@ use tapesim_model::{
 use tapesim_sched::{JukeboxView, PendingList, Scheduler};
 use tapesim_workload::RequestFactory;
 
-use crate::checkpoint::{self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind, WriteBackCheckpoint};
+use crate::checkpoint::{
+    self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind, WriteBackCheckpoint,
+};
 use crate::engine::SimConfig;
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
@@ -174,6 +176,7 @@ pub fn run_with_writeback_checkpointed(
     if cfg.warmup >= cfg.duration {
         return Err(SimError::InvalidConfig("warmup must precede the horizon"));
     }
+    opts.validate()?;
     let fp = checkpoint::run_fingerprint(
         EngineKind::WriteBack,
         catalog,
@@ -285,7 +288,7 @@ pub fn run_with_writeback_checkpointed(
         mounted = drive.mounted;
         head = drive.head;
         for req in ckpt.pending.iter() {
-            pending.push(req.clone());
+            pending.push(*req);
         }
         metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
         next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
@@ -307,13 +310,9 @@ pub fn run_with_writeback_checkpointed(
         idle_flushes = wbs.idle_flushes;
     }
     // First periodic-checkpoint instant strictly after the current clock.
-    let mut next_ckpt_at = opts.write_every().map(|(every, _)| {
-        let mut at = SimTime::ZERO + every;
-        while at <= now {
-            at = at + every;
-        }
-        at
-    });
+    let mut next_ckpt_at = opts
+        .write_every()
+        .map(|(every, _)| checkpoint::next_checkpoint_after(now, every));
 
     // Pops every due read/write event at `now`.
     macro_rules! deliver {
@@ -395,11 +394,7 @@ pub fn run_with_writeback_checkpointed(
                     }),
                 };
                 checkpoint::save(&ckpt, path)?;
-                let mut at = at;
-                while at <= now {
-                    at = at + every;
-                }
-                next_ckpt_at = Some(at);
+                next_ckpt_at = Some(checkpoint::next_checkpoint_after(now, every));
             }
         }
         deliver!(now);

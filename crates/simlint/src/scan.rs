@@ -24,6 +24,12 @@ pub enum FileKind {
     TestTarget,
     /// Top-level `examples/` and `tests/` workspace members.
     Harness,
+    /// `crates/vendor/<name>/**` — the in-tree shims for registry crates
+    /// (README "Vendored dependencies"). Held to the determinism lints
+    /// like every other file, but exempt from the library-hygiene and
+    /// unit-safety catalog: they mirror a foreign API surface (panicking
+    /// assertion macros, raw integer casts in samplers) by design.
+    Vendor,
 }
 
 /// Per-file lint context.
@@ -53,6 +59,7 @@ impl FileCtx {
     pub fn classify(rel: &str) -> FileCtx {
         let parts: Vec<&str> = rel.split('/').collect();
         let (crate_name, kind) = match parts.as_slice() {
+            ["crates", "vendor", name, ..] => (*name, FileKind::Vendor),
             ["crates", name, "src", "bin", ..] => (*name, FileKind::Bin),
             ["crates", name, "src", ..] => (*name, FileKind::Lib),
             ["crates", name, "benches", ..] => (*name, FileKind::Bench),
@@ -349,6 +356,10 @@ mod tests {
         let c = FileCtx::classify("crates/model/src/units.rs");
         assert!(c.units_layer);
         assert!(!c.lint_in_scope(Lint::UnitCast));
+
+        let c = FileCtx::classify("crates/vendor/rand/src/lib.rs");
+        assert_eq!(c.crate_name, "rand");
+        assert_eq!(c.kind, FileKind::Vendor);
     }
 
     #[test]
@@ -367,6 +378,14 @@ mod tests {
         let simlint_self = FileCtx::classify("crates/simlint/src/lexer.rs");
         assert!(simlint_self.lint_in_scope(Lint::Panic));
         assert!(!simlint_self.lint_in_scope(Lint::UnitCast));
+
+        // Vendored shims: determinism lints apply, library hygiene and
+        // unit safety do not (foreign API surface by design).
+        let vendor = FileCtx::classify("crates/vendor/proptest/src/lib.rs");
+        assert!(vendor.lint_in_scope(Lint::WallClock));
+        assert!(vendor.lint_in_scope(Lint::AmbientRng));
+        assert!(!vendor.lint_in_scope(Lint::Panic));
+        assert!(!vendor.lint_in_scope(Lint::UnitCast));
     }
 
     #[test]

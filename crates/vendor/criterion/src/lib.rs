@@ -1,0 +1,108 @@
+//! In-tree single-pass bench runner with a `criterion`-compatible API:
+//! compiles the workspace benches and runs each closure once, with no
+//! statistics. The benches under `crates/bench/benches/` double as
+//! compile-and-smoke coverage of the hot paths; the measured regression
+//! gate is the dependency-free `perf` binary (README "Performance"),
+//! not this crate. Kept in-tree so `cargo bench` works with zero
+//! registry dependencies; see README "Vendored dependencies".
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<D: std::fmt::Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+    pub fn new<D: std::fmt::Display>(name: &str, p: D) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        eprintln!("bench {name}: single pass (offline stub)");
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        eprintln!("bench {}/{}: single pass (offline stub)", self.name, id.0);
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

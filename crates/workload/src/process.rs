@@ -33,6 +33,13 @@ pub enum ArrivalProcess {
         queue_length: u32,
     },
     /// Poisson arrivals.
+    ///
+    /// Gaps are quantized to the 1 µs clock and clamped to ≥ 1 µs (see
+    /// [`RequestFactory::next_interarrival`]), which biases the realized
+    /// rate when `mean_interarrival` approaches the clock tick. Keep the
+    /// mean ≥ ~100 µs for a faithful Poisson process; the paper's
+    /// figures use means in seconds-to-minutes, where the bias is
+    /// unmeasurable.
     OpenPoisson {
         /// Mean interarrival time between requests.
         mean_interarrival: Micros,
@@ -161,6 +168,20 @@ impl RequestFactory {
     /// rounds sub-0.5 µs draws to zero, and a zero gap would stamp two
     /// requests with the same arrival time, leaving their completion
     /// order to queue-insertion incidentals.
+    ///
+    /// The clamp (and the 1 µs quantization generally) trades a small
+    /// rate bias for strictly increasing arrival times, and the trade is
+    /// only visible when the mean is within a couple of orders of
+    /// magnitude of the clock tick: an Exp(1/m) draw falls below the
+    /// 0.5 µs rounding threshold with probability `1 − exp(−0.5µs/m)` —
+    /// ≈ 39% at m = 1 µs, ≈ 2.5% at m = 20 µs, ≈ 0.5% at m = 100 µs —
+    /// and each affected draw is stretched by less than 1 µs, so the
+    /// realized mean exceeds the configured one by well under 1% once
+    /// m ≥ ~100 µs (`poisson_rate_bias_is_negligible_at_documented_means`
+    /// pins this down). Every figure configuration uses means in the
+    /// seconds-to-minutes range, where the bias is unmeasurable; for
+    /// sub-100 µs means the process is deliberately *not* a faithful
+    /// Poisson source — determinism wins over rate fidelity there.
     pub fn next_interarrival(&mut self) -> Option<Micros> {
         match self.process {
             ArrivalProcess::Closed { .. } => None,
@@ -365,6 +386,39 @@ mod tests {
                 at = next;
             }
         }
+    }
+
+    #[test]
+    fn poisson_rate_bias_is_negligible_at_documented_means() {
+        // The 1 µs clamp/quantization biases the realized rate only when
+        // the mean approaches the clock tick (see `next_interarrival`).
+        // At the documented ≥ ~100 µs boundary the realized mean matches
+        // the configured one to well under 1%; at a 1 µs mean the
+        // distortion is gross — the documented "not a faithful Poisson
+        // source" regime.
+        let realized_mean_us = |mean_us: u64, n: u32| {
+            let mut f = RequestFactory::new(
+                sampler(),
+                ArrivalProcess::OpenPoisson {
+                    mean_interarrival: Micros::from_micros(mean_us),
+                },
+                77,
+            );
+            let total_s: f64 = (0..n)
+                .map(|_| f.next_interarrival().unwrap().as_secs_f64())
+                .sum();
+            total_s * 1e6 / f64::from(n)
+        };
+        let at_100us = realized_mean_us(100, 200_000);
+        assert!(
+            (at_100us - 100.0).abs() / 100.0 < 0.01,
+            "realized mean {at_100us} µs drifted more than 1% from the configured 100 µs"
+        );
+        let at_1us = realized_mean_us(1, 50_000);
+        assert!(
+            at_1us > 1.2,
+            "expected gross clamp bias at a 1 µs mean, got {at_1us} µs"
+        );
     }
 
     #[test]

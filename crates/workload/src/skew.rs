@@ -76,7 +76,10 @@ impl BlockSampler {
 
     /// Canonical configuration description for checkpoint fingerprints.
     pub fn config_tag(&self) -> String {
-        format!("skew:{}:{}:{}", self.total, self.hot_count, self.rh_fraction)
+        format!(
+            "skew:{}:{}:{}",
+            self.total, self.hot_count, self.rh_fraction
+        )
     }
 
     /// The total number of blocks.

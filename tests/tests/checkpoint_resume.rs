@@ -236,10 +236,19 @@ fn writeback_resume_is_bit_identical() {
         let _ = std::fs::remove_file(&path);
 
         let (full_trace, full_report) = run_writeback(policy, seed, &CheckpointOpts::none());
-        let (ckpt_trace, ckpt_report) =
-            run_writeback(policy, seed, &CheckpointOpts::checkpoint_every(every, &path));
-        assert_eq!(ckpt_trace, full_trace, "{policy:?}: checkpointing changed the trace");
-        assert_eq!(ckpt_report, full_report, "{policy:?}: checkpointing changed the report");
+        let (ckpt_trace, ckpt_report) = run_writeback(
+            policy,
+            seed,
+            &CheckpointOpts::checkpoint_every(every, &path),
+        );
+        assert_eq!(
+            ckpt_trace, full_trace,
+            "{policy:?}: checkpointing changed the trace"
+        );
+        assert_eq!(
+            ckpt_report, full_report,
+            "{policy:?}: checkpointing changed the report"
+        );
 
         let ckpt = checkpoint::load(&path).expect("write-back checkpoint must parse");
         let (resumed_trace, resumed_report) =
@@ -327,7 +336,10 @@ fn valid_checkpoint(tag: &str) -> (Scenario, PathBuf) {
         &sc,
         &CheckpointOpts::checkpoint_every(Micros::from_secs(30_000), &path),
     );
-    assert!(path.exists(), "expected a periodic checkpoint to be written");
+    assert!(
+        path.exists(),
+        "expected a periodic checkpoint to be written"
+    );
     (sc, path)
 }
 
@@ -404,6 +416,90 @@ fn version_mismatch_is_a_typed_error() {
         other => panic!("expected CheckpointVersion, got {other:?}"),
     }
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn zero_checkpoint_interval_is_a_typed_error() {
+    // Regression: a zero periodic interval has no next-checkpoint
+    // instant; all three engines must refuse it up front instead of
+    // spinning in the schedule computation.
+    let placed = catalog();
+    let timing = TimingModel::paper_default();
+    let cfg = SimConfig::quick();
+    let bad = CheckpointOpts::checkpoint_every(Micros::ZERO, tmp_path("zero"));
+    let process = ArrivalProcess::Closed { queue_length: 25 };
+
+    let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+    let mut factory = RequestFactory::new(sampler, process, 7);
+    let mut sched = make_scheduler(AlgorithmId::Fifo);
+    let mut sink = MemorySink::new();
+    let err = run_simulation_checkpointed(
+        &placed.catalog,
+        &timing,
+        sched.as_mut(),
+        &mut factory,
+        &cfg,
+        &FaultConfig::NONE,
+        7,
+        &mut sink,
+        &bad,
+    );
+    assert!(
+        matches!(err, Err(SimError::InvalidConfig(_))),
+        "single-drive engine must refuse a zero interval"
+    );
+
+    let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+    let mut factory = RequestFactory::new(sampler, process, 7);
+    let mut sched = make_scheduler(AlgorithmId::Fifo);
+    let mut sink = MemorySink::new();
+    let err = run_multi_drive_checkpointed(
+        &placed.catalog,
+        &timing,
+        sched.as_mut(),
+        &mut factory,
+        &cfg,
+        4,
+        &FaultConfig::NONE,
+        7,
+        &mut sink,
+        &bad,
+    );
+    assert!(
+        matches!(err, Err(SimError::InvalidConfig(_))),
+        "multi-drive engine must refuse a zero interval"
+    );
+
+    let sampler = BlockSampler::from_catalog(&placed.catalog, 40.0);
+    let mut factory = RequestFactory::new(
+        sampler,
+        ArrivalProcess::OpenPoisson {
+            mean_interarrival: Micros::from_secs(300),
+        },
+        7,
+    );
+    let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+    let mut sink = MemorySink::new();
+    let err = run_with_writeback_checkpointed(
+        &placed.catalog,
+        &timing,
+        sched.as_mut(),
+        &mut factory,
+        &cfg,
+        &WriteBackConfig {
+            write_mean_interarrival: Micros::from_secs(200),
+            flush_batch: 5,
+            piggyback_min: 2,
+            policy: FlushPolicy::Piggyback,
+        },
+        7,
+        &mut sink,
+        &bad,
+    );
+    assert!(
+        matches!(err, Err(SimError::InvalidConfig(_))),
+        "write-back engine must refuse a zero interval"
+    );
 }
 
 #[test]
