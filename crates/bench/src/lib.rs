@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod perf;
 
 use std::collections::BTreeMap;

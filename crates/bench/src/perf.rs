@@ -4,7 +4,7 @@
 //!
 //! ## Scenario matrix
 //!
-//! Five scenarios cover the exposed hot paths:
+//! Six scenarios cover the exposed hot paths:
 //!
 //! | name              | exercises                                          |
 //! |-------------------|----------------------------------------------------|
@@ -13,6 +13,8 @@
 //! | `multi-drive`     | the 4-drive engine, dynamic max-bandwidth          |
 //! | `faulted`         | fault injection + replica failover, NR-2           |
 //! | `traced-null-sink`| the traced entry point with a disabled sink        |
+//! | `stepped-service` | the service layer over the stepped core: external  |
+//! |                   | submissions, deadlines, retries, transient faults  |
 //!
 //! Each scenario runs `warmup_reps` untimed repetitions followed by
 //! `reps` timed ones, all with the same seed; the report carries the
@@ -54,9 +56,13 @@
 
 use std::time::Instant;
 
+use tapesim::layout::BlockId;
 use tapesim::model::FaultConfig;
-use tapesim::model::Micros;
-use tapesim::sim::{run_simulation_traced, NullSink, RunSpec, SimConfig, SimError};
+use tapesim::model::{Micros, SimTime};
+use tapesim::sim::{
+    run_simulation_traced, AdmissionPolicy, JukeboxService, NullSink, RunSpec, ServiceConfig,
+    SimConfig, SimError, SteppedMultiDrive,
+};
 use tapesim::workload::{ArrivalProcess, BlockSampler, RequestFactory};
 use tapesim::{
     layout::LayoutKind, sched::make_scheduler, sched::AlgorithmId, sched::TapeSelectPolicy,
@@ -72,6 +78,20 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// hot-path regression of any consequence.
 pub const DEFAULT_TOLERANCE: f64 = 0.30;
 
+/// Which entry point a scenario is timed through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioRoute {
+    /// The plain runner ([`tapesim::sim::run_one`]).
+    Runner,
+    /// [`run_simulation_traced`] with a [`NullSink`] (times the traced
+    /// entry point; a disabled sink must cost nothing).
+    TracedNullSink,
+    /// The [`JukeboxService`] layer over the stepped multi-drive core:
+    /// a deterministic external submission schedule with deadlines and
+    /// capped-backoff retries.
+    SteppedService,
+}
+
 /// One benchmark scenario: a named experiment configuration plus the
 /// entry point it is timed through.
 pub struct ScenarioSpec {
@@ -79,10 +99,8 @@ pub struct ScenarioSpec {
     pub name: &'static str,
     /// The experiment point to run.
     pub cfg: ExperimentConfig,
-    /// Route through [`run_simulation_traced`] with a [`NullSink`]
-    /// instead of the plain runner (times the traced entry point; a
-    /// disabled sink must cost nothing).
-    pub traced: bool,
+    /// The entry point this scenario times.
+    pub route: ScenarioRoute,
 }
 
 /// The fixed scenario matrix at the given scale.
@@ -99,7 +117,7 @@ pub fn scenario_matrix(scale: Scale) -> Vec<ScenarioSpec> {
                 process: ArrivalProcess::Closed { queue_length: 60 },
                 ..baseline.clone()
             },
-            traced: false,
+            route: ScenarioRoute::Runner,
         },
         ScenarioSpec {
             name: "envelope-heavy",
@@ -108,7 +126,7 @@ pub fn scenario_matrix(scale: Scale) -> Vec<ScenarioSpec> {
                 scale,
                 ..ExperimentConfig::paper_full_replication()
             },
-            traced: false,
+            route: ScenarioRoute::Runner,
         },
         ScenarioSpec {
             name: "multi-drive",
@@ -118,7 +136,7 @@ pub fn scenario_matrix(scale: Scale) -> Vec<ScenarioSpec> {
                 process: ArrivalProcess::Closed { queue_length: 140 },
                 ..baseline.clone()
             },
-            traced: false,
+            route: ScenarioRoute::Runner,
         },
         ScenarioSpec {
             name: "faulted",
@@ -137,18 +155,109 @@ pub fn scenario_matrix(scale: Scale) -> Vec<ScenarioSpec> {
                 },
                 ..baseline.clone()
             },
-            traced: false,
+            route: ScenarioRoute::Runner,
         },
         ScenarioSpec {
             name: "traced-null-sink",
             cfg: ExperimentConfig {
                 algorithm: AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth),
                 process: ArrivalProcess::Closed { queue_length: 140 },
+                ..baseline.clone()
+            },
+            route: ScenarioRoute::TracedNullSink,
+        },
+        ScenarioSpec {
+            name: "stepped-service",
+            cfg: ExperimentConfig {
+                drives: 2,
+                replicas: 1,
+                sp: 1.0,
+                algorithm: AlgorithmId::paper_recommended(),
+                // Transient copy losses make retries worth their while:
+                // a failed read heals, so a backed-off resubmission can
+                // succeed where the first attempt failed.
+                faults: FaultConfig {
+                    media_error_per_read: 0.02,
+                    copy_heal_mttr: Some(Micros::from_secs(2_000)),
+                    ..FaultConfig::NONE
+                },
                 ..baseline
             },
-            traced: true,
+            route: ScenarioRoute::SteppedService,
         },
     ]
+}
+
+/// Drives one repetition of the `stepped-service` scenario: a seeded
+/// bursty submission schedule pushed through [`JukeboxService`] over the
+/// external-arrival stepped multi-drive core.
+fn run_service_scenario(
+    cfg: &ExperimentConfig,
+    placed: &tapesim::layout::PlacedCatalog,
+    sim: &SimConfig,
+    seed: u64,
+) -> Result<(u64, u64), SimError> {
+    let sampler = BlockSampler::from_catalog(&placed.catalog, cfg.rh_percent);
+    let mut factory = RequestFactory::new_clustered(sampler, cfg.process, cfg.cluster_run_p, seed);
+    let mut scheduler = make_scheduler(cfg.algorithm);
+    let mut sink = NullSink;
+    let engine = SteppedMultiDrive::new_external(
+        &placed.catalog,
+        &cfg.timing,
+        scheduler.as_mut(),
+        &mut factory,
+        sim,
+        cfg.drives,
+        &cfg.faults,
+        seed,
+        &mut sink,
+    )?;
+    let mut svc = JukeboxService::new(
+        engine,
+        ServiceConfig {
+            queue_capacity: 64,
+            admission: AdmissionPolicy::ShedOldest,
+            deadline: Some(Micros::from_secs(40_000)),
+            max_retries: 2,
+            backoff_base: Micros::from_secs(60),
+            backoff_cap: Micros::from_secs(960),
+        },
+    )?;
+    // Deterministic bursty schedule: 8 submissions every 2000 simulated
+    // seconds over the first 90% of the horizon, blocks drawn from a
+    // seeded SplitMix64 stream (same generator as the write-back write
+    // stream; no ambient randomness).
+    let blocks = placed.catalog.num_blocks().max(1);
+    let mut state = seed | 1;
+    let mut next_u64 = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let horizon_s = sim.duration.as_micros() / 1_000_000;
+    let mut at_s = 0u64;
+    while at_s < horizon_s * 9 / 10 {
+        for j in 0..8u64 {
+            // Counters stay far below 2^32, so the cast is lossless.
+            #[allow(clippy::cast_possible_truncation)]
+            let block = BlockId((next_u64() % u64::from(blocks)) as u32);
+            let at = SimTime::ZERO + Micros::from_secs(at_s) + Micros::from_micros(j);
+            match svc.submit(block, at) {
+                Ok(_) | Err(SimError::Overloaded) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        at_s += 2_000;
+    }
+    let (report, stats) = svc.drain()?;
+    if !stats.check_conservation() {
+        return Err(SimError::InvalidConfig(
+            "service conservation violated in perf scenario",
+        ));
+    }
+    Ok((report.completed, report.physical_reads))
 }
 
 /// Runs one scenario repetition and returns its simulated-work counters
@@ -160,36 +269,42 @@ pub fn run_scenario(
     seed: u64,
 ) -> Result<(u64, u64), SimError> {
     let cfg = &spec.cfg;
-    let report = if spec.traced {
-        // Mirror the plain runner but through the traced entry point.
-        // The scenario injects no faults, so the fault seed is unused.
-        let sampler = BlockSampler::from_catalog(&placed.catalog, cfg.rh_percent);
-        let mut factory =
-            RequestFactory::new_clustered(sampler, cfg.process, cfg.cluster_run_p, seed);
-        let mut scheduler = make_scheduler(cfg.algorithm);
-        run_simulation_traced(
-            &placed.catalog,
-            &cfg.timing,
-            scheduler.as_mut(),
-            &mut factory,
-            sim,
-            &cfg.faults,
-            seed,
-            &mut NullSink,
-        )?
-    } else {
-        let spec = RunSpec {
-            catalog: &placed.catalog,
-            timing: &cfg.timing,
-            algorithm: cfg.algorithm,
-            process: cfg.process,
-            rh_percent: cfg.rh_percent,
-            cluster_run_p: cfg.cluster_run_p,
-            drives: cfg.drives,
-            config: *sim,
-            faults: cfg.faults,
-        };
-        tapesim::sim::run_one(&spec, seed)?
+    let report = match spec.route {
+        ScenarioRoute::TracedNullSink => {
+            // Mirror the plain runner but through the traced entry point.
+            // The scenario injects no faults, so the fault seed is unused.
+            let sampler = BlockSampler::from_catalog(&placed.catalog, cfg.rh_percent);
+            let mut factory =
+                RequestFactory::new_clustered(sampler, cfg.process, cfg.cluster_run_p, seed);
+            let mut scheduler = make_scheduler(cfg.algorithm);
+            run_simulation_traced(
+                &placed.catalog,
+                &cfg.timing,
+                scheduler.as_mut(),
+                &mut factory,
+                sim,
+                &cfg.faults,
+                seed,
+                &mut NullSink,
+            )?
+        }
+        ScenarioRoute::SteppedService => {
+            return run_service_scenario(cfg, placed, sim, seed);
+        }
+        ScenarioRoute::Runner => {
+            let spec = RunSpec {
+                catalog: &placed.catalog,
+                timing: &cfg.timing,
+                algorithm: cfg.algorithm,
+                process: cfg.process,
+                rh_percent: cfg.rh_percent,
+                cluster_run_p: cfg.cluster_run_p,
+                drives: cfg.drives,
+                config: *sim,
+                faults: cfg.faults,
+            };
+            tapesim::sim::run_one(&spec, seed)?
+        }
     };
     Ok((report.completed, report.physical_reads))
 }
@@ -830,13 +945,16 @@ mod tests {
             max_pending: 5_000,
         };
         let matrix = scenario_matrix(Scale::Quick);
-        let traced = matrix.iter().find(|s| s.traced).unwrap();
+        let traced = matrix
+            .iter()
+            .find(|s| s.route == ScenarioRoute::TracedNullSink)
+            .unwrap();
         let placed = traced.cfg.build_catalog().unwrap();
         let via_trace = run_scenario(traced, &placed, &sim, 11).unwrap();
         let plain = ScenarioSpec {
             name: "plain",
             cfg: traced.cfg.clone(),
-            traced: false,
+            route: ScenarioRoute::Runner,
         };
         let via_runner = run_scenario(&plain, &placed, &sim, 11).unwrap();
         assert_eq!(via_trace, via_runner);

@@ -30,7 +30,7 @@
 #![allow(clippy::cast_precision_loss)] // SplitMix64 bit tricks use the top 53 bits, exact by construction
 #![allow(clippy::cast_possible_truncation)] // tape indices fit u16 by geometry construction
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::time::{Micros, SimTime};
 use crate::units::{JukeboxGeometry, PhysicalAddr, TapeId};
@@ -53,6 +53,7 @@ pub const fn substream(seed: u64, offset: u64) -> u64 {
 mod stream {
     pub const MEDIA: u64 = 0x101;
     pub const LOAD: u64 = 0x102;
+    pub const HEAL: u64 = 0x103;
     pub const TAPE_BASE: u64 = 0x1000;
     pub const DRIVE_BASE: u64 = 0x2000;
 }
@@ -87,6 +88,14 @@ pub struct FaultConfig {
     pub drive_mtbf: Option<Micros>,
     /// Fixed repair interval for a failed drive.
     pub drive_mttr: Micros,
+    /// Mean time for a copy lost to media errors to *heal* (exponentially
+    /// distributed per loss): the loss is transient — dirt on the tape
+    /// path, a recoverable servo fault — rather than permanent damage.
+    /// While a copy is healing its requests wait (or fail over to a
+    /// replica) instead of failing permanently. `None` (the default)
+    /// keeps the original semantics: a lost copy is lost for the rest of
+    /// the run.
+    pub copy_heal_mttr: Option<Micros>,
 }
 
 impl FaultConfig {
@@ -100,6 +109,7 @@ impl FaultConfig {
         tape_mttr: None,
         drive_mtbf: None,
         drive_mttr: Micros::ZERO,
+        copy_heal_mttr: None,
     };
 
     /// True if this configuration injects no faults at all. An inert
@@ -130,6 +140,9 @@ impl FaultConfig {
         }
         if matches!(self.drive_mtbf, Some(m) if m.is_zero()) {
             return Err("drive_mtbf must be positive");
+        }
+        if matches!(self.copy_heal_mttr, Some(m) if m.is_zero()) {
+            return Err("copy_heal_mttr must be positive");
         }
         Ok(())
     }
@@ -228,6 +241,10 @@ pub struct FaultInjector {
     degraded_since: Option<SimTime>,
     degraded: Micros,
     bad_copies: BTreeSet<(TapeId, u32)>,
+    /// Copies transiently lost to media errors, with their heal instants
+    /// (only populated when [`FaultConfig::copy_heal_mttr`] is set).
+    healing: BTreeMap<(TapeId, u32), SimTime>,
+    heal_rng: FaultRng,
     media_errors: u64,
     permanent_damage: bool,
 }
@@ -278,6 +295,8 @@ impl FaultInjector {
             degraded_since: None,
             degraded: Micros::ZERO,
             bad_copies: BTreeSet::new(),
+            healing: BTreeMap::new(),
+            heal_rng: FaultRng::new(substream(seed, stream::HEAL)),
             media_errors: 0,
             permanent_damage: false,
         }
@@ -317,6 +336,13 @@ impl FaultInjector {
                 .min();
             let Some((at, idx)) = due else { break };
             self.toggle_tape(idx, at);
+        }
+        // Tie-break: a copy whose heal instant equals the current event
+        // time is already healed — heals are processed *inclusively*, so
+        // a mount or read at exactly the heal boundary sees the copy
+        // alive again.
+        if !self.healing.is_empty() {
+            self.healing.retain(|_, &mut heal_at| heal_at > now);
         }
         if now > self.now {
             self.now = now;
@@ -384,19 +410,43 @@ impl FaultInjector {
         self.offline.binary_search(&tape).is_ok()
     }
 
-    /// True if the copy at `addr` can never be read again: either the
-    /// copy itself was declared bad after repeated media errors, or its
-    /// tape failed permanently.
+    /// True if the copy at `addr` is unreadable right now: its tape
+    /// failed permanently, it was declared bad for the rest of the run,
+    /// or it is transiently lost and still healing (as of the last
+    /// [`FaultInjector::advance`]).
     pub fn copy_dead(&self, addr: PhysicalAddr) -> bool {
+        self.tapes[addr.tape.index()].permanent
+            || self.bad_copies.contains(&(addr.tape, addr.slot.0))
+            || self.healing.contains_key(&(addr.tape, addr.slot.0))
+    }
+
+    /// True if the copy at `addr` can *never* be read again: its tape
+    /// failed permanently or the copy was irrecoverably lost. A healing
+    /// copy is dead now but not lost forever — its requests should wait
+    /// (or fail over) rather than fail. Identical to
+    /// [`FaultInjector::copy_dead`] when healing is disabled.
+    pub fn copy_lost_forever(&self, addr: PhysicalAddr) -> bool {
         self.tapes[addr.tape.index()].permanent
             || self.bad_copies.contains(&(addr.tape, addr.slot.0))
     }
 
-    /// Declares the copy at `addr` bad (unreadable for the rest of the
-    /// run) after its media-error retries were exhausted.
-    pub fn mark_bad_copy(&mut self, addr: PhysicalAddr) {
-        self.bad_copies.insert((addr.tape, addr.slot.0));
-        self.permanent_damage = true;
+    /// Declares the copy at `addr` lost at instant `at` after its
+    /// media-error retries were exhausted. With
+    /// [`FaultConfig::copy_heal_mttr`] set the loss is transient: a heal
+    /// instant is drawn from the heal substream and the copy revives when
+    /// [`FaultInjector::advance`] passes it. Otherwise the copy is bad
+    /// for the rest of the run and counts as permanent damage.
+    pub fn mark_bad_copy(&mut self, addr: PhysicalAddr, at: SimTime) {
+        match self.cfg.copy_heal_mttr {
+            Some(mttr) => {
+                let heal_at = at + self.heal_rng.exp(mttr);
+                self.healing.insert((addr.tape, addr.slot.0), heal_at);
+            }
+            None => {
+                self.bad_copies.insert((addr.tape, addr.slot.0));
+                self.permanent_damage = true;
+            }
+        }
     }
 
     /// True once any copy or tape has been permanently lost. While false,
@@ -448,15 +498,22 @@ impl FaultInjector {
         Some(self.cfg.drive_mttr)
     }
 
-    /// The next scheduled tape failure or repair event after `now`, if
-    /// any. Engines use this to bound idle waits so that a repaired tape
-    /// (with pending requests) wakes the simulation.
+    /// The next scheduled tape failure/repair or copy-heal event after
+    /// `now`, if any. Engines use this to bound idle waits so that a
+    /// repaired tape or healed copy (with pending requests) wakes the
+    /// simulation.
     pub fn next_event(&self, now: SimTime) -> Option<SimTime> {
-        self.tapes
+        let tape = self
+            .tapes
             .iter()
             .filter_map(|s| s.next_change)
             .filter(|&t| t > now)
-            .min()
+            .min();
+        let heal = self.healing.values().copied().filter(|&t| t > now).min();
+        match (tape, heal) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Total downtime per tape up to `end`, including outages still open
@@ -525,6 +582,12 @@ impl FaultInjector {
                 .iter()
                 .map(|&(tape, slot)| (tape.0, slot))
                 .collect(),
+            heal_rng: self.heal_rng.state,
+            healing: self
+                .healing
+                .iter()
+                .map(|(&(tape, slot), &at)| (tape.0, slot, at.as_micros()))
+                .collect(),
         }
     }
 
@@ -569,6 +632,12 @@ impl FaultInjector {
             .bad_copies
             .iter()
             .map(|&(tape, slot)| (TapeId(tape), slot))
+            .collect();
+        self.heal_rng.state = snap.heal_rng;
+        self.healing = snap
+            .healing
+            .iter()
+            .map(|&(tape, slot, at_us)| ((TapeId(tape), slot), SimTime::from_micros(at_us)))
             .collect();
         Ok(())
     }
@@ -626,6 +695,11 @@ pub struct FaultSnapshot {
     pub drives: Vec<DriveFaultSnapshot>,
     /// Copies declared bad, as `(tape, slot)` pairs in sorted order.
     pub bad_copies: Vec<(u16, u32)>,
+    /// SplitMix64 state of the copy-heal stream.
+    pub heal_rng: u64,
+    /// Copies still healing, as `(tape, slot, heal_at_us)` triples in
+    /// sorted order.
+    pub healing: Vec<(u16, u32, u64)>,
 }
 
 #[cfg(test)]
@@ -734,8 +808,9 @@ mod tests {
             slot: SlotIndex(7),
         };
         assert!(!inj.copy_dead(addr));
-        inj.mark_bad_copy(addr);
+        inj.mark_bad_copy(addr, SimTime::from_secs(5));
         assert!(inj.copy_dead(addr));
+        assert!(inj.copy_lost_forever(addr));
         assert!(inj.has_permanent_damage());
         assert!(!inj.copy_dead(PhysicalAddr {
             tape: TapeId(1),
@@ -809,10 +884,13 @@ mod tests {
             let _ = live.load_fails();
             let _ = live.drive_outage(step as usize % 2, t);
         }
-        live.mark_bad_copy(PhysicalAddr {
-            tape: TapeId(1),
-            slot: SlotIndex(4),
-        });
+        live.mark_bad_copy(
+            PhysicalAddr {
+                tape: TapeId(1),
+                slot: SlotIndex(4),
+            },
+            SimTime::from_secs(99 * 37),
+        );
         let snap = live.snapshot();
         let mut resumed = FaultInjector::new(cfg, &geom(), 2, 99);
         resumed.restore(&snap).unwrap();
@@ -848,6 +926,67 @@ mod tests {
     }
 
     #[test]
+    fn transient_copy_loss_heals_and_is_not_permanent() {
+        let cfg = FaultConfig {
+            media_error_per_read: 0.01,
+            copy_heal_mttr: Some(Micros::from_secs(100)),
+            ..FaultConfig::NONE
+        };
+        let mut inj = FaultInjector::new(cfg, &geom(), 1, 11);
+        let addr = PhysicalAddr {
+            tape: TapeId(1),
+            slot: SlotIndex(7),
+        };
+        let t0 = SimTime::from_secs(10);
+        inj.mark_bad_copy(addr, t0);
+        assert!(inj.copy_dead(addr), "dead while healing");
+        assert!(!inj.copy_lost_forever(addr), "but not lost forever");
+        assert!(!inj.has_permanent_damage(), "healing is not damage");
+        let heal_at = inj.next_event(t0).expect("heal scheduled");
+        assert!(heal_at > t0);
+        // Advance to just before the heal instant: still dead.
+        inj.advance(SimTime::from_micros(heal_at.as_micros() - 1));
+        assert!(inj.copy_dead(addr));
+        // Advance to *exactly* the heal instant: the tie-break is
+        // inclusive, so a mount boundary at the heal time already sees
+        // the copy alive.
+        inj.advance(heal_at);
+        assert!(!inj.copy_dead(addr), "healed at exactly the boundary");
+        assert!(inj.next_event(heal_at).is_none());
+    }
+
+    #[test]
+    fn healing_state_round_trips_through_snapshot() {
+        let cfg = FaultConfig {
+            media_error_per_read: 0.05,
+            copy_heal_mttr: Some(Micros::from_secs(500)),
+            ..FaultConfig::NONE
+        };
+        let mut live = FaultInjector::new(cfg, &geom(), 1, 23);
+        let addr = PhysicalAddr {
+            tape: TapeId(2),
+            slot: SlotIndex(9),
+        };
+        live.mark_bad_copy(addr, SimTime::from_secs(50));
+        let snap = live.snapshot();
+        assert_eq!(snap.healing.len(), 1);
+        let mut resumed = FaultInjector::new(cfg, &geom(), 1, 23);
+        resumed.restore(&snap).unwrap();
+        assert!(resumed.copy_dead(addr));
+        assert_eq!(resumed.snapshot(), snap);
+        assert_eq!(
+            live.next_event(SimTime::from_secs(50)),
+            resumed.next_event(SimTime::from_secs(50))
+        );
+        // Both heal identically.
+        let heal_at = live.next_event(SimTime::from_secs(50)).unwrap();
+        live.advance(heal_at);
+        resumed.advance(heal_at);
+        assert!(!live.copy_dead(addr));
+        assert!(!resumed.copy_dead(addr));
+    }
+
+    #[test]
     fn validate_rejects_bad_probabilities() {
         let mut cfg = FaultConfig::NONE;
         assert!(cfg.validate().is_ok());
@@ -858,6 +997,9 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.load_failure_p = 0.0;
         cfg.tape_mtbf = Some(Micros::ZERO);
+        assert!(cfg.validate().is_err());
+        cfg.tape_mtbf = None;
+        cfg.copy_heal_mttr = Some(Micros::ZERO);
         assert!(cfg.validate().is_err());
     }
 }

@@ -53,8 +53,9 @@ use crate::error::SimError;
 use crate::metrics::MetricsSnapshot;
 
 /// Current checkpoint schema version. Bumped whenever the line grammar or
-/// the state captured changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+/// the state captured changes incompatibly. Version 2 added the transient
+/// copy-heal state (`heal_rng`, `healing`) to the faults line.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Which engine wrote a checkpoint. Resuming a checkpoint into a
 /// different engine is a configuration mismatch.
@@ -535,9 +536,17 @@ pub fn to_text(c: &Checkpoint) -> String {
         w.line("sched", &[("state", js(state))]);
     }
     if let Some(f) = &c.faults {
+        let mut healing = String::new();
+        for (i, &(t, s, us)) in f.healing.iter().enumerate() {
+            if i > 0 {
+                healing.push(';');
+            }
+            let _ = write!(healing, "{t}.{s}.{us}");
+        }
         let mut fields = vec![
             ("media_rng", f.media_rng.to_string()),
             ("load_rng", f.load_rng.to_string()),
+            ("heal_rng", f.heal_rng.to_string()),
             ("now_us", f.now_us.to_string()),
             ("degraded_us", f.degraded_us.to_string()),
             ("media_errors", f.media_errors.to_string()),
@@ -550,6 +559,7 @@ pub fn to_text(c: &Checkpoint) -> String {
                         .map(|&(t, s)| (u64::from(t), u64::from(s))),
                 )),
             ),
+            ("healing", js(&healing)),
         ];
         if let Some(t) = f.degraded_since_us {
             fields.push(("degraded_since_us", t.to_string()));
@@ -653,16 +663,43 @@ pub fn to_text(c: &Checkpoint) -> String {
     w.out
 }
 
-/// Writes a checkpoint to `path` atomically: the text goes to
-/// `<path>.tmp` first and is renamed into place, so `path` always holds
-/// a complete checkpoint even if the process dies mid-write.
+/// Writes a checkpoint to `path` atomically and durably: the text goes
+/// to `<path>.tmp` first, is fsynced, and is renamed into place — then
+/// the parent directory is fsynced (on Unix) so the rename itself
+/// survives a power loss. `path` therefore always holds a complete
+/// checkpoint even if the process dies mid-write; a torn temp file is
+/// simply overwritten by the next save.
 pub fn save(c: &Checkpoint, path: &Path) -> Result<(), SimError> {
+    use std::io::Write as _;
     let text = to_text(c);
     let tmp = path.with_extension("ckpt.tmp");
-    std::fs::write(&tmp, text)
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| SimError::CheckpointIo(format!("creating {}: {e}", tmp.display())))?;
+    file.write_all(text.as_bytes())
         .map_err(|e| SimError::CheckpointIo(format!("writing {}: {e}", tmp.display())))?;
+    // Flush file contents to stable storage before the rename: a rename
+    // is atomic in the namespace but says nothing about the data blocks,
+    // so without this barrier a crash could leave `path` pointing at a
+    // complete-looking name with torn contents.
+    file.sync_all()
+        .map_err(|e| SimError::CheckpointIo(format!("syncing {}: {e}", tmp.display())))?;
+    drop(file);
     std::fs::rename(&tmp, path)
-        .map_err(|e| SimError::CheckpointIo(format!("renaming into {}: {e}", path.display())))
+        .map_err(|e| SimError::CheckpointIo(format!("renaming into {}: {e}", path.display())))?;
+    #[cfg(unix)]
+    {
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        let dh = std::fs::File::open(dir).map_err(|e| {
+            SimError::CheckpointIo(format!("opening directory {}: {e}", dir.display()))
+        })?;
+        dh.sync_all().map_err(|e| {
+            SimError::CheckpointIo(format!("syncing directory {}: {e}", dir.display()))
+        })?;
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -910,6 +947,7 @@ pub fn from_text(text: &str) -> Result<Checkpoint, SimError> {
                     c.faults = Some(FaultSnapshot {
                         media_rng: f.u64("media_rng")?,
                         load_rng: f.u64("load_rng")?,
+                        heal_rng: f.u64("heal_rng")?,
                         now_us: f.u64("now_us")?,
                         degraded_since_us: f.opt_u64("degraded_since_us")?,
                         degraded_us: f.u64("degraded_us")?,
@@ -926,6 +964,29 @@ pub fn from_text(text: &str) -> Result<Checkpoint, SimError> {
                                 ))
                             })
                             .collect::<Result<Vec<_>, String>>()?,
+                        healing: {
+                            let enc = f.string("healing")?;
+                            let mut v = Vec::new();
+                            if !enc.is_empty() {
+                                for part in enc.split(';') {
+                                    let mut it = part.split('.');
+                                    let t = parse_u64(it.next().unwrap_or(""), "healing tape")?;
+                                    let s = parse_u64(it.next().unwrap_or(""), "healing slot")?;
+                                    let us = parse_u64(it.next().unwrap_or(""), "healing instant")?;
+                                    if it.next().is_some() {
+                                        return Err("healing entry has extra fields".into());
+                                    }
+                                    v.push((
+                                        u16::try_from(t)
+                                            .map_err(|_| "healing tape out of range")?,
+                                        u32::try_from(s)
+                                            .map_err(|_| "healing slot out of range")?,
+                                        us,
+                                    ));
+                                }
+                            }
+                            v
+                        },
                     });
                 }
                 "fault_tape" => {
@@ -1172,6 +1233,7 @@ mod tests {
             faults: Some(FaultSnapshot {
                 media_rng: 1,
                 load_rng: 2,
+                heal_rng: 3,
                 now_us: 42_000_000,
                 degraded_since_us: None,
                 degraded_us: 500,
@@ -1200,6 +1262,7 @@ mod tests {
                     next_fail_us: Some(60_000_000),
                 }],
                 bad_copies: vec![(1, 42)],
+                healing: vec![(2, 7, 55_000_000)],
             }),
             drives: vec![DriveCheckpoint {
                 mounted: Some(TapeId(3)),
@@ -1299,6 +1362,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file I/O is unsupported under Miri isolation")]
     fn truncated_file_is_detected() {
         let text = to_text(&sample());
         // Drop the footer entirely.
@@ -1324,7 +1388,7 @@ mod tests {
     #[test]
     fn version_mismatch_is_typed() {
         let text = to_text(&sample());
-        let bumped = text.replace("\"version\":1", "\"version\":999");
+        let bumped = text.replace(&format!("\"version\":{SCHEMA_VERSION}"), "\"version\":999");
         assert_eq!(
             from_text(&bumped),
             Err(SimError::CheckpointVersion {
@@ -1342,7 +1406,11 @@ mod tests {
         ));
         assert!(matches!(from_text(""), Err(SimError::CheckpointCorrupt(_))));
         // Valid framing, malformed payload.
-        let bad = "{\"k\":\"header\",\"version\":1,\"engine\":\"single\",\"fingerprint\":1,\"now_us\":nope,\"trace_seq\":0}\n{\"k\":\"end\",\"lines\":1}\n";
+        let bad = format!(
+            "{{\"k\":\"header\",\"version\":{SCHEMA_VERSION},\"engine\":\"single\",\
+             \"fingerprint\":1,\"now_us\":nope,\"trace_seq\":0}}\n{{\"k\":\"end\",\"lines\":1}}\n"
+        );
+        let bad = bad.as_str();
         assert!(matches!(
             from_text(bad),
             Err(SimError::CheckpointCorrupt(_))
@@ -1350,6 +1418,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file I/O is unsupported under Miri isolation")]
     fn save_and_load_round_trip_on_disk() {
         let c = sample();
         let dir = std::env::temp_dir();
@@ -1361,8 +1430,44 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file I/O is unsupported under Miri isolation")]
     fn missing_file_is_an_io_error() {
         let err = load(Path::new("/nonexistent/definitely/not/here.ckpt"));
         assert!(matches!(err, Err(SimError::CheckpointIo(_))));
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "file I/O is unsupported under Miri isolation")]
+    fn truncation_mid_record_is_corrupt_not_a_panic() {
+        // A file cut off in the *middle of a line* — the torn-write shape
+        // the fsync-before-rename in `save` prevents, and the shape a
+        // reader must survive if it ever meets one (e.g. a checkpoint
+        // copied off a dying disk). Every prefix that ends mid-record
+        // must parse as CheckpointCorrupt, never panic or half-load.
+        let text = to_text(&sample());
+        // Cut inside the third line, two-thirds of the way through it.
+        let third_line_start = text
+            .match_indices('\n')
+            .nth(1)
+            .map(|(i, _)| i + 1)
+            .expect("at least three lines");
+        let third_line_end = text[third_line_start..]
+            .find('\n')
+            .map(|i| third_line_start + i)
+            .expect("line terminator");
+        let cut = third_line_start + (third_line_end - third_line_start) * 2 / 3;
+        let torn = &text[..cut];
+        assert!(
+            matches!(from_text(torn), Err(SimError::CheckpointCorrupt(_))),
+            "mid-record truncation must be typed corruption"
+        );
+
+        // Same shape through the on-disk path.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tapesim-ckpt-torn-{}.ckpt", std::process::id()));
+        std::fs::write(&path, torn).expect("write torn file");
+        let err = load(&path);
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, Err(SimError::CheckpointCorrupt(_))));
     }
 }

@@ -14,6 +14,17 @@
 //! request completes (keeping the queue length constant); open-queuing
 //! workloads draw Poisson arrivals independent of the service rate.
 //!
+//! # Stepped core
+//!
+//! The loop lives in [`SteppedEngine`], a poll-driven state machine that
+//! executes exactly one event per [`SteppedEngine::step`] call — a
+//! scheduling boundary (arrival delivery, fault clock, reschedule, tape
+//! switch) or one stop of the active sweep — and whose queue/drive/tape
+//! state is inspectable between steps. [`run_simulation`] and friends are
+//! thin drivers that step the core to completion, so a batch run and a
+//! manually stepped run of the same configuration produce byte-identical
+//! traces and exactly equal reports.
+//!
 //! # Fault injection
 //!
 //! [`run_simulation_with_faults`] layers the fault model of
@@ -25,7 +36,8 @@
 //!   surviving tapes or wait for the repair;
 //! * media errors cost extra read passes and, after the configured
 //!   retries, lose the copy — requests fall back to a replica, or fail
-//!   permanently when no copy survives anywhere;
+//!   permanently when no copy survives anywhere (a transiently lost copy,
+//!   [`FaultConfig::copy_heal_mttr`], keeps its requests waiting instead);
 //! * load failures cost extra robot exchanges and, after the configured
 //!   retries, fail the whole tape;
 //! * drive failures halt service for the configured repair time.
@@ -36,19 +48,20 @@
 #![allow(clippy::cast_possible_truncation)] // slot counts are bounded by jukebox geometry
 #![allow(clippy::cast_precision_loss)] // event counters stay far below 2^53
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
-use tapesim_layout::Catalog;
+use tapesim_layout::{BlockId, Catalog};
 use tapesim_model::{
-    FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext, SimTime,
-    SlotIndex, TapeId, TimingModel,
+    BlockSize, FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext,
+    SimTime, SlotIndex, TapeId, TimingModel,
 };
-use tapesim_sched::{ArrivalOutcome, JukeboxView, PendingList, Scheduler, SweepPlan};
-use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
+use tapesim_sched::{ArrivalOutcome, JukeboxView, PendingList, Scheduler, SweepPhase, SweepPlan};
+use tapesim_workload::{ArrivalProcess, Request, RequestFactory, RequestId};
 
 use crate::checkpoint::{self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind};
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::stepped::{EngineEvent, StepOutcome};
 use crate::trace::{NullSink, TraceEvent, TraceSink, Tracer, SYSTEM_DRIVE};
 use crate::trace_event;
 
@@ -179,6 +192,9 @@ pub fn run_simulation_traced(
 /// trace sequence and the metrics window exactly where the checkpoint
 /// left them, so its trace suffix and final report are identical to the
 /// uninterrupted run's.
+///
+/// This is a thin driver over [`SteppedEngine`]: construct, step to
+/// completion, report.
 #[allow(clippy::too_many_arguments)]
 pub fn run_simulation_checkpointed(
     catalog: &Catalog,
@@ -191,173 +207,475 @@ pub fn run_simulation_checkpointed(
     sink: &mut dyn TraceSink,
     opts: &CheckpointOpts,
 ) -> Result<MetricsReport, SimError> {
-    if cfg.warmup >= cfg.duration {
-        return Err(SimError::InvalidConfig("warmup must precede the horizon"));
-    }
-    faults.validate().map_err(SimError::InvalidConfig)?;
-    opts.validate()?;
-    let fp = checkpoint::run_fingerprint(
-        EngineKind::Single,
-        catalog,
-        timing,
-        scheduler.name(),
-        &factory.config_tag(),
-        &format!("{cfg:?}"),
-        &format!("{faults:?}"),
-        fault_seed,
-        1,
-        "",
-    );
-    let resumed = match opts.resume() {
-        Some(path) => {
-            let ckpt = checkpoint::load(path)?;
-            if ckpt.fingerprint != fp {
-                return Err(SimError::CheckpointConfigMismatch {
-                    found: ckpt.fingerprint,
-                    expected: fp,
-                });
-            }
-            Some(ckpt)
-        }
-        None => None,
-    };
-    let mut tracer = match &resumed {
-        Some(ckpt) => Tracer::with_seq(sink, ckpt.trace_seq),
-        None => Tracer::new(sink),
-    };
-    let mut injector = FaultInjector::new(*faults, &catalog.geometry(), 1, fault_seed);
-    let block = catalog.block_size();
-    let block_bytes = block.bytes();
-    let end = SimTime::ZERO + cfg.duration;
-    let warmup_end = SimTime::ZERO + cfg.warmup;
-    let closed = matches!(factory.process(), ArrivalProcess::Closed { .. });
+    let mut engine = SteppedEngine::new(
+        catalog, timing, scheduler, factory, cfg, faults, fault_seed, sink, opts,
+    )?;
+    while engine.step()? == StepOutcome::Running {}
+    Ok(engine.finish())
+}
 
-    let mut now = SimTime::ZERO;
-    let mut mounted: Option<TapeId> = None;
-    let mut head = SlotIndex::BOT;
-    let mut pending = PendingList::new();
-    let mut metrics = MetricsCollector::new(warmup_end);
-    let mut saturated = false;
+/// Where a stepped single-drive engine is between steps.
+enum SinglePhase {
+    /// At a scheduling boundary: the next step writes any due checkpoint,
+    /// delivers arrivals, runs the fault clock, and either starts a sweep
+    /// (mounting if needed), idles, or finishes.
+    Boundary,
+    /// Mid-sweep: the next step services one stop of the plan (or ends
+    /// the sweep).
+    InSweep {
+        plan: SweepPlan,
+        cur_phase: Option<SweepPhase>,
+    },
+    /// The horizon was reached (or the run saturated); only
+    /// [`SteppedEngine::finish`] remains.
+    Done,
+}
+
+/// The poll-driven single-drive engine core.
+///
+/// A batch run is `SteppedEngine::new` + `step()` until
+/// [`StepOutcome::Done`] + [`finish`](SteppedEngine::finish) — exactly
+/// what [`run_simulation_checkpointed`] does. Between steps the engine's
+/// clock, pending queue, and drive/tape state are inspectable, and in
+/// external-arrival mode ([`SteppedEngine::new_external`]) requests are
+/// injected with [`submit_at`](SteppedEngine::submit_at) and observed
+/// with [`drain_events`](SteppedEngine::drain_events).
+pub struct SteppedEngine<'a> {
+    catalog: &'a Catalog,
+    timing: &'a TimingModel,
+    scheduler: &'a mut dyn Scheduler,
+    factory: &'a mut RequestFactory,
+    cfg: SimConfig,
+    faults: FaultConfig,
+    opts: CheckpointOpts,
+    fp: u64,
+    tracer: Tracer<'a>,
+    injector: FaultInjector,
+    block: BlockSize,
+    block_bytes: u64,
+    end: SimTime,
+    warmup_end: SimTime,
+    closed: bool,
+    external: bool,
+    now: SimTime,
+    mounted: Option<TapeId>,
+    head: SlotIndex,
+    pending: PendingList,
+    metrics: MetricsCollector,
+    saturated: bool,
     // Requests disrupted by a fault on the given tape; completing one from
     // a different tape counts as a replica failover.
-    let mut faulted: BTreeMap<RequestId, TapeId> = BTreeMap::new();
-    let mut stranded_in_plan: u64 = 0;
+    faulted: BTreeMap<RequestId, TapeId>,
+    stranded_in_plan: u64,
     // Scratch buffer for the offline-tape snapshot handed to scheduler
     // views; refilled at each dispatch point instead of allocating per
     // event.
-    let mut offline_buf: Vec<TapeId> = Vec::new();
+    offline_buf: Vec<TapeId>,
+    next_arrival: Option<SimTime>,
+    next_ckpt_at: Option<SimTime>,
+    phase: SinglePhase,
+    /// How far an idle engine may advance when nothing is schedulable.
+    /// Batch drivers leave this at the horizon (reproducing the monolithic
+    /// loop exactly); [`SteppedEngine::step_until`] lowers it so an
+    /// externally driven engine parks instead of idling to the end.
+    park: SimTime,
+    /// Externally submitted requests not yet delivered (external mode).
+    submitted: VecDeque<Request>,
+    next_ext_id: u64,
+    last_submit_at: SimTime,
+    events: Vec<EngineEvent>,
+}
 
-    // Seed the workload — or, on resume, restore every piece of state
-    // from the checkpoint instead.
-    let mut next_arrival: Option<SimTime> = None;
-    if let Some(ckpt) = &resumed {
-        factory
-            .replay(ckpt.factory_makes, ckpt.factory_gaps)
-            .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
-        if factory.stream_fingerprint() != ckpt.factory_fp {
-            return Err(SimError::CheckpointConfigMismatch {
-                found: ckpt.factory_fp,
-                expected: factory.stream_fingerprint(),
-            });
+impl<'a> SteppedEngine<'a> {
+    /// Builds a stepped engine whose generated workload, fault schedule,
+    /// tracing, and checkpointing exactly match
+    /// [`run_simulation_checkpointed`] with the same arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+        opts: &CheckpointOpts,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            catalog, timing, scheduler, factory, cfg, faults, fault_seed, sink, opts, false,
+        )
+    }
+
+    /// Builds a stepped engine in external-arrival mode: no workload is
+    /// generated (the factory is only fingerprinted), requests enter via
+    /// [`submit_at`](SteppedEngine::submit_at), and completions/failures
+    /// surface as [`EngineEvent`]s. Checkpointing is not supported in
+    /// this mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_external(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            catalog,
+            timing,
+            scheduler,
+            factory,
+            cfg,
+            faults,
+            fault_seed,
+            sink,
+            &CheckpointOpts::none(),
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+        opts: &CheckpointOpts,
+        external: bool,
+    ) -> Result<Self, SimError> {
+        if cfg.warmup >= cfg.duration {
+            return Err(SimError::InvalidConfig("warmup must precede the horizon"));
         }
-        if let Some(snap) = &ckpt.faults {
-            injector
-                .restore(snap)
+        faults.validate().map_err(SimError::InvalidConfig)?;
+        opts.validate()?;
+        if external && (opts.resume().is_some() || opts.write_every().is_some()) {
+            return Err(SimError::InvalidConfig(
+                "checkpointing requires generated arrivals",
+            ));
+        }
+        let fp = checkpoint::run_fingerprint(
+            EngineKind::Single,
+            catalog,
+            timing,
+            scheduler.name(),
+            &factory.config_tag(),
+            &format!("{cfg:?}"),
+            &format!("{faults:?}"),
+            fault_seed,
+            1,
+            if external { "external" } else { "" },
+        );
+        let resumed = match opts.resume() {
+            Some(path) => {
+                let ckpt = checkpoint::load(path)?;
+                if ckpt.fingerprint != fp {
+                    return Err(SimError::CheckpointConfigMismatch {
+                        found: ckpt.fingerprint,
+                        expected: fp,
+                    });
+                }
+                Some(ckpt)
+            }
+            None => None,
+        };
+        let tracer = match &resumed {
+            Some(ckpt) => Tracer::with_seq(sink, ckpt.trace_seq),
+            None => Tracer::new(sink),
+        };
+        let mut injector = FaultInjector::new(*faults, &catalog.geometry(), 1, fault_seed);
+        let block = catalog.block_size();
+        let block_bytes = block.bytes();
+        let end = SimTime::ZERO + cfg.duration;
+        let warmup_end = SimTime::ZERO + cfg.warmup;
+        let closed = !external && matches!(factory.process(), ArrivalProcess::Closed { .. });
+
+        let mut engine = SteppedEngine {
+            catalog,
+            timing,
+            scheduler,
+            factory,
+            cfg: *cfg,
+            faults: *faults,
+            opts: opts.clone(),
+            fp,
+            tracer,
+            injector: FaultInjector::new(*faults, &catalog.geometry(), 1, fault_seed),
+            block,
+            block_bytes,
+            end,
+            warmup_end,
+            closed,
+            external,
+            now: SimTime::ZERO,
+            mounted: None,
+            head: SlotIndex::BOT,
+            pending: PendingList::new(),
+            metrics: MetricsCollector::new(warmup_end),
+            saturated: false,
+            faulted: BTreeMap::new(),
+            stranded_in_plan: 0,
+            offline_buf: Vec::new(),
+            next_arrival: None,
+            next_ckpt_at: None,
+            phase: SinglePhase::Boundary,
+            park: end,
+            submitted: VecDeque::new(),
+            next_ext_id: 0,
+            last_submit_at: SimTime::ZERO,
+            events: Vec::new(),
+        };
+
+        // Seed the workload — or, on resume, restore every piece of state
+        // from the checkpoint instead.
+        if let Some(ckpt) = &resumed {
+            engine
+                .factory
+                .replay(ckpt.factory_makes, ckpt.factory_gaps)
                 .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
-        }
-        if let Some(state) = &ckpt.sched_state {
-            scheduler
-                .restore_state(state)
-                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
-        }
-        let drive = ckpt.drives.first().ok_or_else(|| {
-            SimError::CheckpointCorrupt("single-drive checkpoint has no drive line".into())
-        })?;
-        now = SimTime::from_micros(ckpt.now_us);
-        mounted = drive.mounted;
-        head = drive.head;
-        for req in ckpt.pending.iter() {
-            pending.push(*req);
-        }
-        metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
-        faulted = ckpt
-            .faulted
-            .iter()
-            .map(|&(r, t)| (RequestId(r), TapeId(t)))
-            .collect();
-        next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
-    } else {
-        match factory.process() {
-            ArrivalProcess::Closed { queue_length } => {
-                for _ in 0..queue_length {
-                    let req = factory.make(now);
-                    trace_event!(
-                        tracer,
-                        now,
-                        SYSTEM_DRIVE,
-                        TraceEvent::Arrival {
-                            req: req.id,
-                            block: req.block,
-                        }
-                    );
-                    pending.push(req);
-                    metrics.record_admission();
+            if engine.factory.stream_fingerprint() != ckpt.factory_fp {
+                return Err(SimError::CheckpointConfigMismatch {
+                    found: ckpt.factory_fp,
+                    expected: engine.factory.stream_fingerprint(),
+                });
+            }
+            if let Some(snap) = &ckpt.faults {
+                injector
+                    .restore(snap)
+                    .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+            }
+            engine.injector = injector;
+            if let Some(state) = &ckpt.sched_state {
+                engine
+                    .scheduler
+                    .restore_state(state)
+                    .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+            }
+            let drive = ckpt.drives.first().ok_or_else(|| {
+                SimError::CheckpointCorrupt("single-drive checkpoint has no drive line".into())
+            })?;
+            engine.now = SimTime::from_micros(ckpt.now_us);
+            engine.mounted = drive.mounted;
+            engine.head = drive.head;
+            for req in ckpt.pending.iter() {
+                engine.pending.push(*req);
+            }
+            engine.metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
+            engine.faulted = ckpt
+                .faulted
+                .iter()
+                .map(|&(r, t)| (RequestId(r), TapeId(t)))
+                .collect();
+            engine.next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
+        } else if !external {
+            match engine.factory.process() {
+                ArrivalProcess::Closed { queue_length } => {
+                    for _ in 0..queue_length {
+                        let req = engine.factory.make(engine.now);
+                        trace_event!(
+                            engine.tracer,
+                            engine.now,
+                            SYSTEM_DRIVE,
+                            TraceEvent::Arrival {
+                                req: req.id,
+                                block: req.block,
+                            }
+                        );
+                        engine.pending.push(req);
+                        engine.metrics.record_admission();
+                    }
+                }
+                ArrivalProcess::OpenPoisson { .. } => {
+                    let gap = engine
+                        .factory
+                        .next_interarrival()
+                        .ok_or(SimError::ClosedArrivalStream)?;
+                    engine.next_arrival = Some(engine.now + gap);
                 }
             }
-            ArrivalProcess::OpenPoisson { .. } => {
-                let gap = factory
-                    .next_interarrival()
-                    .ok_or(SimError::ClosedArrivalStream)?;
-                next_arrival = Some(now + gap);
-            }
+        }
+        // First periodic-checkpoint instant strictly after the current
+        // clock.
+        engine.next_ckpt_at = engine
+            .opts
+            .write_every()
+            .map(|(every, _)| checkpoint::next_checkpoint_after(engine.now, every));
+        Ok(engine)
+    }
+
+    /// The engine clock: the instant of the last executed event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// True once the horizon was reached or the run saturated.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, SinglePhase::Done)
+    }
+
+    /// Requests waiting on the pending list (not yet in a sweep).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Externally submitted requests not yet delivered to the scheduler.
+    pub fn undelivered_len(&self) -> usize {
+        self.submitted.len()
+    }
+
+    /// Requests scheduled in the in-flight sweep, if one is active.
+    pub fn in_sweep_len(&self) -> usize {
+        match &self.phase {
+            SinglePhase::InSweep { plan, .. } => plan.list.requests(),
+            _ => 0,
         }
     }
-    // First periodic-checkpoint instant strictly after the current clock.
-    let mut next_ckpt_at = opts
-        .write_every()
-        .map(|(every, _)| checkpoint::next_checkpoint_after(now, every));
 
-    'outer: while now < end {
-        if let (Some(at), Some((every, path))) = (next_ckpt_at, opts.write_every()) {
-            if now >= at {
+    /// The tape currently in the drive.
+    pub fn mounted(&self) -> Option<TapeId> {
+        self.mounted
+    }
+
+    /// The drive's head position.
+    pub fn head(&self) -> SlotIndex {
+        self.head
+    }
+
+    /// True once the pending queue overflowed `max_pending`.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Takes the request outcomes produced since the last drain
+    /// (external-arrival mode; always empty for generated workloads).
+    pub fn drain_events(&mut self) -> Vec<EngineEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Submits one read request at instant `at` (external-arrival mode
+    /// only). `at` is clamped to be monotone and not before the engine
+    /// clock; the admission is traced and counted immediately, and the
+    /// request becomes schedulable at the first event boundary at or
+    /// after `at`. Returns the request's id.
+    pub fn submit_at(&mut self, block: BlockId, at: SimTime) -> Result<RequestId, SimError> {
+        if !self.external {
+            return Err(SimError::InvalidConfig(
+                "submit_at requires external-arrival mode",
+            ));
+        }
+        let at = at.max(self.now).max(self.last_submit_at);
+        self.last_submit_at = at;
+        let req = Request {
+            id: RequestId(self.next_ext_id),
+            block,
+            arrival: at,
+        };
+        self.next_ext_id += 1;
+        trace_event!(
+            self.tracer,
+            at,
+            SYSTEM_DRIVE,
+            TraceEvent::Arrival {
+                req: req.id,
+                block: req.block,
+            }
+        );
+        self.metrics.record_admission();
+        self.submitted.push_back(req);
+        Ok(req.id)
+    }
+
+    /// Executes one event: a scheduling boundary or one stop of the
+    /// active sweep. Returns whether more work remains.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        match &self.phase {
+            SinglePhase::Done => return Ok(StepOutcome::Done),
+            SinglePhase::Boundary => self.step_boundary()?,
+            SinglePhase::InSweep { .. } => self.step_sweep()?,
+        }
+        Ok(if self.is_done() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        })
+    }
+
+    /// Steps until the clock reaches `until` (clamped to the horizon) or
+    /// the run finishes. When nothing is schedulable the engine parks at
+    /// `until` instead of idling to the horizon, so an external driver
+    /// can keep submitting.
+    pub fn step_until(&mut self, until: SimTime) -> Result<(), SimError> {
+        self.park = until.min(self.end);
+        while !self.is_done() && self.now < self.park {
+            self.step()?;
+        }
+        self.park = self.end;
+        Ok(())
+    }
+
+    /// One scheduling-boundary event (steps 1, 2 and 4 of the paper's
+    /// loop, plus checkpoint/arrival/fault bookkeeping).
+    fn step_boundary(&mut self) -> Result<(), SimError> {
+        if self.now >= self.end {
+            self.phase = SinglePhase::Done;
+            return Ok(());
+        }
+        if let (Some(at), Some((every, path))) = (self.next_ckpt_at, self.opts.write_every()) {
+            if self.now >= at {
                 let ckpt = Checkpoint {
                     engine: EngineKind::Single,
-                    fingerprint: fp,
-                    now_us: now.as_micros(),
-                    trace_seq: tracer.next_seq(),
-                    next_arrival_us: next_arrival.map(|t| t.as_micros()),
-                    factory_makes: factory.minted(),
-                    factory_gaps: factory.gaps_drawn(),
-                    factory_fp: factory.stream_fingerprint(),
-                    pending: pending.iter().cloned().collect(),
-                    metrics: metrics.snapshot(),
-                    faulted: faulted.iter().map(|(r, t)| (r.0, t.0)).collect(),
-                    sched_state: scheduler.checkpoint_state(),
-                    faults: (*faults != FaultConfig::NONE).then(|| injector.snapshot()),
+                    fingerprint: self.fp,
+                    now_us: self.now.as_micros(),
+                    trace_seq: self.tracer.next_seq(),
+                    next_arrival_us: self.next_arrival.map(|t| t.as_micros()),
+                    factory_makes: self.factory.minted(),
+                    factory_gaps: self.factory.gaps_drawn(),
+                    factory_fp: self.factory.stream_fingerprint(),
+                    pending: self.pending.iter().cloned().collect(),
+                    metrics: self.metrics.snapshot(),
+                    faulted: self.faulted.iter().map(|(r, t)| (r.0, t.0)).collect(),
+                    sched_state: self.scheduler.checkpoint_state(),
+                    faults: (self.faults != FaultConfig::NONE).then(|| self.injector.snapshot()),
                     drives: vec![DriveCheckpoint {
-                        mounted,
-                        head,
+                        mounted: self.mounted,
+                        head: self.head,
                         plan: None,
                         cur_phase: None,
-                        free_at_us: now.as_micros(),
+                        free_at_us: self.now.as_micros(),
                         idle: false,
                     }],
                     multi: None,
                     writeback: None,
                 };
                 checkpoint::save(&ckpt, path)?;
-                next_ckpt_at = Some(checkpoint::next_checkpoint_after(now, every));
+                self.next_ckpt_at = Some(checkpoint::next_checkpoint_after(self.now, every));
             }
         }
         // Deliver arrivals that came due between sweeps straight onto the
         // pending list (no sweep is running to insert into).
-        while let Some(t) = next_arrival {
-            if t > now {
+        while self
+            .submitted
+            .front()
+            .is_some_and(|r| r.arrival <= self.now)
+        {
+            let Some(req) = self.submitted.pop_front() else {
+                break;
+            };
+            self.pending.push(req);
+        }
+        while let Some(t) = self.next_arrival {
+            if t > self.now {
                 break;
             }
-            let req = factory.make(t);
+            let req = self.factory.make(t);
             trace_event!(
-                tracer,
+                self.tracer,
                 t,
                 SYSTEM_DRIVE,
                 TraceEvent::Arrival {
@@ -365,110 +683,140 @@ pub fn run_simulation_checkpointed(
                     block: req.block,
                 }
             );
-            pending.push(req);
-            metrics.record_admission();
-            let gap = factory
+            self.pending.push(req);
+            self.metrics.record_admission();
+            let gap = self
+                .factory
                 .next_interarrival()
                 .ok_or(SimError::ClosedArrivalStream)?;
-            next_arrival = Some(t + gap);
+            self.next_arrival = Some(t + gap);
         }
-        if pending.len() > cfg.max_pending {
-            saturated = true;
-            break 'outer;
+        if self.pending.len() > self.cfg.max_pending {
+            self.saturated = true;
+            self.phase = SinglePhase::Done;
+            return Ok(());
         }
 
-        if injector.is_active() {
-            injector.advance(now);
+        if self.injector.is_active() {
+            self.injector.advance(self.now);
             // A drive failure halts service for the repair interval, then
             // the loop restarts (delivering arrivals that came due).
-            if let Some(repair) = injector.drive_outage(0, now) {
-                now += repair;
-                metrics.add_repair_time(now, repair);
-                trace_event!(tracer, now, DRIVE0, TraceEvent::DriveRepair { dur: repair });
-                continue 'outer;
+            if let Some(repair) = self.injector.drive_outage(0, self.now) {
+                self.now += repair;
+                self.metrics.add_repair_time(self.now, repair);
+                trace_event!(
+                    self.tracer,
+                    self.now,
+                    DRIVE0,
+                    TraceEvent::DriveRepair { dur: repair }
+                );
+                return Ok(());
             }
             // Once copies have been permanently lost, fail out the pending
-            // requests that no surviving copy can serve.
-            if injector.has_permanent_damage() {
-                let dead = pending.extract(|r| {
-                    catalog
-                        .replicas(r.block)
-                        .iter()
-                        .all(|a| injector.copy_dead(*a))
-                });
+            // requests that no surviving copy can serve (transiently lost
+            // copies heal, so their requests keep waiting).
+            if self.injector.has_permanent_damage() {
+                let dead = {
+                    let injector = &self.injector;
+                    let catalog = self.catalog;
+                    self.pending.extract(|r| {
+                        catalog
+                            .replicas(r.block)
+                            .iter()
+                            .all(|a| injector.copy_lost_forever(*a))
+                    })
+                };
                 for r in dead {
-                    faulted.remove(&r.id);
-                    metrics.record_permanent_failure();
+                    self.faulted.remove(&r.id);
+                    self.metrics.record_permanent_failure();
                     trace_event!(
-                        tracer,
-                        now,
+                        self.tracer,
+                        self.now,
                         SYSTEM_DRIVE,
                         TraceEvent::RequestFailed { req: r.id }
                     );
-                    if closed {
-                        let req = factory.make(now);
+                    if self.external {
+                        self.events.push(EngineEvent::Failed {
+                            req: r.id,
+                            at: self.now,
+                        });
+                    }
+                    if self.closed {
+                        let req = self.factory.make(self.now);
                         trace_event!(
-                            tracer,
-                            now,
+                            self.tracer,
+                            self.now,
                             SYSTEM_DRIVE,
                             TraceEvent::Arrival {
                                 req: req.id,
                                 block: req.block,
                             }
                         );
-                        pending.push(req);
-                        metrics.record_admission();
+                        self.pending.push(req);
+                        self.metrics.record_admission();
                     }
                 }
             }
         }
-        offline_buf.clear();
-        offline_buf.extend_from_slice(injector.offline());
+        self.offline_buf.clear();
+        self.offline_buf.extend_from_slice(self.injector.offline());
 
         // Step 1: major reschedule.
         let view = JukeboxView {
-            catalog,
-            timing,
-            mounted,
-            head,
-            now,
+            catalog: self.catalog,
+            timing: self.timing,
+            mounted: self.mounted,
+            head: self.head,
+            now: self.now,
             unavailable: &[],
-            offline: &offline_buf,
+            offline: &self.offline_buf,
         };
-        let Some(mut plan) = scheduler.major_reschedule(&view, &mut pending) else {
+        let Some(plan) = self.scheduler.major_reschedule(&view, &mut self.pending) else {
             // Step 4: idle until the next arrival or fault event (a repair
             // can make a stranded request schedulable again).
-            let mut wake = end;
+            let park = self.park;
+            let mut wake = park;
             let mut have_event = false;
-            if let Some(t) = next_arrival {
+            if let Some(t) = self.next_arrival {
                 if t < wake {
                     wake = t;
                     have_event = true;
                 }
             }
-            if let Some(t) = injector.next_event(now) {
+            if let Some(r) = self.submitted.front() {
+                if r.arrival < wake {
+                    wake = r.arrival;
+                    have_event = true;
+                }
+            }
+            if let Some(t) = self.injector.next_event(self.now) {
                 if t < wake {
                     wake = t;
                     have_event = true;
                 }
             }
             if have_event {
-                let dur = wake.duration_since(now);
-                metrics.add_idle_time(wake, dur);
-                trace_event!(tracer, wake, DRIVE0, TraceEvent::Idle { dur });
-                now = wake;
-                continue;
+                let dur = wake.duration_since(self.now);
+                self.metrics.add_idle_time(wake, dur);
+                trace_event!(self.tracer, wake, DRIVE0, TraceEvent::Idle { dur });
+                self.now = wake;
+                return Ok(());
             }
-            let dur = end.duration_since(now);
-            metrics.add_idle_time(end, dur);
-            trace_event!(tracer, end, DRIVE0, TraceEvent::Idle { dur });
-            now = end;
-            break 'outer;
+            let dur = park.duration_since(self.now);
+            if dur > Micros::ZERO {
+                self.metrics.add_idle_time(park, dur);
+                trace_event!(self.tracer, park, DRIVE0, TraceEvent::Idle { dur });
+                self.now = park;
+            }
+            if park >= self.end {
+                self.phase = SinglePhase::Done;
+            }
+            return Ok(());
         };
 
         trace_event!(
-            tracer,
-            now,
+            self.tracer,
+            self.now,
             DRIVE0,
             TraceEvent::SweepStart {
                 tape: plan.tape,
@@ -478,54 +826,54 @@ pub fn run_simulation_checkpointed(
         );
 
         // Step 2: switch tapes if needed.
-        if mounted != Some(plan.tape) {
+        if self.mounted != Some(plan.tape) {
             let mut switch = Micros::ZERO;
             let mut rewind = Micros::ZERO;
-            if let Some(old) = mounted {
-                rewind = timing.drive.rewind(head, block);
-                switch += rewind + timing.drive.eject();
+            if let Some(old) = self.mounted {
+                rewind = self.timing.drive.rewind(self.head, self.block);
+                switch += rewind + self.timing.drive.eject();
                 // The rewind ends `rewind` in; the tape is then ejected
                 // (its time is part of the mount segment below).
                 trace_event!(
-                    tracer,
-                    now + rewind,
+                    self.tracer,
+                    self.now + rewind,
                     DRIVE0,
                     TraceEvent::Rewind {
                         tape: old,
-                        from: head,
+                        from: self.head,
                         dur: rewind,
                     }
                 );
                 trace_event!(
-                    tracer,
-                    now + rewind,
+                    self.tracer,
+                    self.now + rewind,
                     DRIVE0,
                     TraceEvent::Unmount { tape: old }
                 );
             }
-            switch += timing.robot.exchange() + timing.drive.load();
+            switch += self.timing.robot.exchange() + self.timing.drive.load();
             // Fault: each failed load attempt costs another exchange +
             // load; exhausting the retries fails the tape itself.
             let mut tape_failed_on_load = false;
-            if injector.is_active() {
+            if self.injector.is_active() {
                 let mut tries = 0u32;
-                while injector.load_fails() {
-                    if tries >= faults.load_retries {
+                while self.injector.load_fails() {
+                    if tries >= self.faults.load_retries {
                         tape_failed_on_load = true;
                         break;
                     }
                     tries += 1;
-                    switch += timing.robot.exchange() + timing.drive.load();
+                    switch += self.timing.robot.exchange() + self.timing.drive.load();
                 }
             }
-            now += switch;
-            metrics.add_switch_time(now, switch);
-            metrics.record_tape_switch(now);
+            self.now += switch;
+            self.metrics.add_switch_time(self.now, switch);
+            self.metrics.record_tape_switch(self.now);
             if tape_failed_on_load {
-                injector.force_tape_failure(plan.tape, now);
+                self.injector.force_tape_failure(plan.tape, self.now);
                 trace_event!(
-                    tracer,
-                    now,
+                    self.tracer,
+                    self.now,
                     DRIVE0,
                     TraceEvent::LoadFailed {
                         tape: plan.tape,
@@ -533,338 +881,431 @@ pub fn run_simulation_checkpointed(
                     }
                 );
                 trace_event!(
-                    tracer,
-                    now,
+                    self.tracer,
+                    self.now,
                     DRIVE0,
                     TraceEvent::TapeOffline { tape: plan.tape }
                 );
-                mounted = None;
-                head = SlotIndex::BOT;
-                abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
-                continue 'outer;
+                self.mounted = None;
+                self.head = SlotIndex::BOT;
+                abort_plan(&plan, plan.tape, &mut self.pending, &mut self.faulted);
+                return Ok(());
             }
             trace_event!(
-                tracer,
-                now,
+                self.tracer,
+                self.now,
                 DRIVE0,
                 TraceEvent::Mount {
                     tape: plan.tape,
                     dur: switch - rewind,
                 }
             );
-            mounted = Some(plan.tape);
-            head = SlotIndex::BOT;
+            self.mounted = Some(plan.tape);
+            self.head = SlotIndex::BOT;
         }
+        self.phase = SinglePhase::InSweep {
+            plan,
+            cur_phase: None,
+        };
+        Ok(())
+    }
 
-        // Step 3: execute the service list.
-        let mut cur_phase = None;
-        loop {
-            offline_buf.clear();
-            offline_buf.extend_from_slice(injector.offline());
-            // Hand arrivals that came due to the incremental scheduler.
-            process_due_arrivals(
-                catalog,
-                timing,
-                scheduler,
-                factory,
-                &mut next_arrival,
-                now,
-                mounted,
-                head,
-                &offline_buf,
-                &mut plan,
-                &mut pending,
-                &mut metrics,
-                &mut tracer,
-            )?;
-            if pending.len() > cfg.max_pending {
-                saturated = true;
-                stranded_in_plan = plan.list.requests() as u64;
-                break 'outer;
-            }
-            if now >= end {
-                stranded_in_plan = plan.list.requests() as u64;
-                break 'outer;
-            }
-            if injector.is_active() {
-                injector.advance(now);
-                if let Some(repair) = injector.drive_outage(0, now) {
-                    // The drive is repaired in place; the sweep resumes.
-                    now += repair;
-                    metrics.add_repair_time(now, repair);
-                    trace_event!(tracer, now, DRIVE0, TraceEvent::DriveRepair { dur: repair });
-                    continue;
-                }
-                if injector.is_offline(plan.tape) {
-                    // The mounted tape failed mid-sweep: the remaining
-                    // requests fail over to replicas or wait for repair.
-                    trace_event!(
-                        tracer,
-                        now,
-                        DRIVE0,
-                        TraceEvent::TapeOffline { tape: plan.tape }
-                    );
-                    mounted = None;
-                    head = SlotIndex::BOT;
-                    abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
-                    continue 'outer;
-                }
-            }
-            let Some((stop, phase)) = plan.list.pop() else {
+    /// One sweep-execution event: services the next stop of the active
+    /// plan (step 3 of the paper's loop), or ends the sweep.
+    fn step_sweep(&mut self) -> Result<(), SimError> {
+        let SinglePhase::InSweep {
+            mut plan,
+            mut cur_phase,
+        } = std::mem::replace(&mut self.phase, SinglePhase::Boundary)
+        else {
+            return Ok(());
+        };
+        self.offline_buf.clear();
+        self.offline_buf.extend_from_slice(self.injector.offline());
+        // Hand arrivals that came due to the incremental scheduler.
+        self.deliver_submitted_into_sweep(&mut plan);
+        process_due_arrivals(
+            self.catalog,
+            self.timing,
+            self.scheduler,
+            self.factory,
+            &mut self.next_arrival,
+            self.now,
+            self.mounted,
+            self.head,
+            &self.offline_buf,
+            &mut plan,
+            &mut self.pending,
+            &mut self.metrics,
+            &mut self.tracer,
+        )?;
+        if self.pending.len() > self.cfg.max_pending {
+            self.saturated = true;
+            self.stranded_in_plan = plan.list.requests() as u64;
+            self.phase = SinglePhase::Done;
+            return Ok(());
+        }
+        if self.now >= self.end {
+            self.stranded_in_plan = plan.list.requests() as u64;
+            self.phase = SinglePhase::Done;
+            return Ok(());
+        }
+        if self.injector.is_active() {
+            self.injector.advance(self.now);
+            if let Some(repair) = self.injector.drive_outage(0, self.now) {
+                // The drive is repaired in place; the sweep resumes.
+                self.now += repair;
+                self.metrics.add_repair_time(self.now, repair);
                 trace_event!(
-                    tracer,
-                    now,
+                    self.tracer,
+                    self.now,
                     DRIVE0,
-                    TraceEvent::SweepEnd { tape: plan.tape }
+                    TraceEvent::DriveRepair { dur: repair }
                 );
-                break; // sweep complete; head stays put
-            };
-            if tracer.on && cur_phase != Some(phase) {
-                cur_phase = Some(phase);
-                tracer.push(
-                    now,
-                    DRIVE0,
-                    TraceEvent::PhaseStart {
-                        tape: plan.tape,
-                        phase,
-                    },
-                );
+                self.phase = SinglePhase::InSweep { plan, cur_phase };
+                return Ok(());
             }
-            // Locate + read.
-            let (lt, dir) = timing.drive.locate(head, stop.slot, block);
-            let ctx = match dir {
-                None => ReadContext::Streaming,
-                Some(LocateDirection::Forward) => ReadContext::AfterForwardLocate,
-                Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
-            };
-            let rt = timing.drive.read_block(block, ctx);
-            let locate_from = head;
-            now += lt;
-            metrics.add_locate_time(now, lt);
+            if self.injector.is_offline(plan.tape) {
+                // The mounted tape failed mid-sweep: the remaining
+                // requests fail over to replicas or wait for repair.
+                trace_event!(
+                    self.tracer,
+                    self.now,
+                    DRIVE0,
+                    TraceEvent::TapeOffline { tape: plan.tape }
+                );
+                self.mounted = None;
+                self.head = SlotIndex::BOT;
+                abort_plan(&plan, plan.tape, &mut self.pending, &mut self.faulted);
+                return Ok(());
+            }
+        }
+        let Some((stop, phase)) = plan.list.pop() else {
             trace_event!(
-                tracer,
-                now,
+                self.tracer,
+                self.now,
                 DRIVE0,
-                TraceEvent::Locate {
-                    tape: plan.tape,
-                    from: locate_from,
-                    to: stop.slot,
-                    dur: lt,
-                }
+                TraceEvent::SweepEnd { tape: plan.tape }
             );
-            // Fault: every failed read attempt costs another pass over the
-            // block; exhausting the retries loses the copy.
-            let mut read_ok = true;
-            if injector.is_active() {
-                let mut tries = 0u32;
-                while injector.media_error() {
-                    now += rt;
-                    metrics.add_read_time(now, rt);
-                    trace_event!(
-                        tracer,
-                        now,
-                        DRIVE0,
-                        TraceEvent::MediaError {
-                            tape: plan.tape,
-                            slot: stop.slot,
-                        }
-                    );
-                    if tries >= faults.media_retries {
-                        read_ok = false;
-                        break;
-                    }
-                    tries += 1;
-                }
-            }
-            if !read_ok {
-                head = stop.slot.next();
-                let addr = PhysicalAddr {
+            return Ok(()); // sweep complete; head stays put
+        };
+        if self.tracer.on && cur_phase != Some(phase) {
+            cur_phase = Some(phase);
+            self.tracer.push(
+                self.now,
+                DRIVE0,
+                TraceEvent::PhaseStart {
                     tape: plan.tape,
-                    slot: stop.slot,
-                };
-                injector.mark_bad_copy(addr);
+                    phase,
+                },
+            );
+        }
+        // Locate + read.
+        let (lt, dir) = self.timing.drive.locate(self.head, stop.slot, self.block);
+        let ctx = match dir {
+            None => ReadContext::Streaming,
+            Some(LocateDirection::Forward) => ReadContext::AfterForwardLocate,
+            Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
+        };
+        let rt = self.timing.drive.read_block(self.block, ctx);
+        let locate_from = self.head;
+        self.now += lt;
+        self.metrics.add_locate_time(self.now, lt);
+        trace_event!(
+            self.tracer,
+            self.now,
+            DRIVE0,
+            TraceEvent::Locate {
+                tape: plan.tape,
+                from: locate_from,
+                to: stop.slot,
+                dur: lt,
+            }
+        );
+        // Fault: every failed read attempt costs another pass over the
+        // block; exhausting the retries loses the copy.
+        let mut read_ok = true;
+        if self.injector.is_active() {
+            let mut tries = 0u32;
+            while self.injector.media_error() {
+                self.now += rt;
+                self.metrics.add_read_time(self.now, rt);
                 trace_event!(
-                    tracer,
-                    now,
+                    self.tracer,
+                    self.now,
                     DRIVE0,
-                    TraceEvent::CopyLost {
+                    TraceEvent::MediaError {
                         tape: plan.tape,
                         slot: stop.slot,
                     }
                 );
-                for r in &stop.requests {
-                    let survives = catalog
-                        .replicas(r.block)
-                        .iter()
-                        .any(|a| !injector.copy_dead(*a));
-                    if survives {
-                        faulted.insert(r.id, plan.tape);
-                        pending.push(*r);
-                    } else {
-                        faulted.remove(&r.id);
-                        metrics.record_permanent_failure();
-                        trace_event!(tracer, now, DRIVE0, TraceEvent::RequestFailed { req: r.id });
-                        if closed {
-                            let req = factory.make(now);
-                            trace_event!(
-                                tracer,
-                                now,
-                                SYSTEM_DRIVE,
-                                TraceEvent::Arrival {
-                                    req: req.id,
-                                    block: req.block,
-                                }
-                            );
-                            metrics.record_admission();
-                            let view = JukeboxView {
-                                catalog,
-                                timing,
-                                mounted,
-                                head,
-                                now,
-                                unavailable: &[],
-                                offline: &offline_buf,
-                            };
-                            let req_id = req.id;
-                            let outcome = scheduler.on_arrival(
-                                &view,
-                                plan.tape,
-                                &mut plan.list,
-                                req,
-                                &mut pending,
-                            );
-                            trace_event!(
-                                tracer,
-                                now,
-                                DRIVE0,
-                                TraceEvent::Incremental {
-                                    req: req_id,
-                                    tape: plan.tape,
-                                    inserted: outcome == ArrivalOutcome::Inserted,
-                                }
-                            );
-                        }
-                    }
+                if tries >= self.faults.media_retries {
+                    read_ok = false;
+                    break;
                 }
-                continue;
+                tries += 1;
             }
-            now += rt;
-            metrics.add_read_time(now, rt);
-            head = stop.slot.next();
-            metrics.record_physical_read(now);
+        }
+        if !read_ok {
+            self.head = stop.slot.next();
+            let addr = PhysicalAddr {
+                tape: plan.tape,
+                slot: stop.slot,
+            };
+            self.injector.mark_bad_copy(addr, self.now);
             trace_event!(
-                tracer,
-                now,
+                self.tracer,
+                self.now,
                 DRIVE0,
-                TraceEvent::Read {
+                TraceEvent::CopyLost {
                     tape: plan.tape,
                     slot: stop.slot,
-                    phase,
-                    dur: rt,
                 }
             );
-
-            // Complete the requests; closed queuing regenerates one new
-            // request per completion, at the completion instant, routed
-            // through the incremental scheduler.
-            let completions = stop.requests.len();
             for r in &stop.requests {
-                metrics.record_completion(r.arrival, now, block_bytes);
-                if !faulted.is_empty() {
-                    if let Some(failed_tape) = faulted.remove(&r.id) {
-                        if failed_tape != plan.tape {
-                            metrics.record_replica_failover();
-                            trace_event!(
-                                tracer,
-                                now,
-                                DRIVE0,
-                                TraceEvent::Failover {
-                                    req: r.id,
-                                    from: failed_tape,
-                                    to: plan.tape,
-                                }
-                            );
-                        }
+                // A request survives while any replica is alive *or* only
+                // transiently lost (it waits for the heal); it fails only
+                // when every copy is gone forever.
+                let recoverable = self
+                    .catalog
+                    .replicas(r.block)
+                    .iter()
+                    .any(|a| !self.injector.copy_lost_forever(*a));
+                if recoverable {
+                    self.faulted.insert(r.id, plan.tape);
+                    self.pending.push(*r);
+                } else {
+                    self.faulted.remove(&r.id);
+                    self.metrics.record_permanent_failure();
+                    trace_event!(
+                        self.tracer,
+                        self.now,
+                        DRIVE0,
+                        TraceEvent::RequestFailed { req: r.id }
+                    );
+                    if self.external {
+                        self.events.push(EngineEvent::Failed {
+                            req: r.id,
+                            at: self.now,
+                        });
+                    }
+                    if self.closed {
+                        let req = self.factory.make(self.now);
+                        trace_event!(
+                            self.tracer,
+                            self.now,
+                            SYSTEM_DRIVE,
+                            TraceEvent::Arrival {
+                                req: req.id,
+                                block: req.block,
+                            }
+                        );
+                        self.metrics.record_admission();
+                        let view = JukeboxView {
+                            catalog: self.catalog,
+                            timing: self.timing,
+                            mounted: self.mounted,
+                            head: self.head,
+                            now: self.now,
+                            unavailable: &[],
+                            offline: &self.offline_buf,
+                        };
+                        let req_id = req.id;
+                        let outcome = self.scheduler.on_arrival(
+                            &view,
+                            plan.tape,
+                            &mut plan.list,
+                            req,
+                            &mut self.pending,
+                        );
+                        trace_event!(
+                            self.tracer,
+                            self.now,
+                            DRIVE0,
+                            TraceEvent::Incremental {
+                                req: req_id,
+                                tape: plan.tape,
+                                inserted: outcome == ArrivalOutcome::Inserted,
+                            }
+                        );
                     }
                 }
+            }
+            self.phase = SinglePhase::InSweep { plan, cur_phase };
+            return Ok(());
+        }
+        self.now += rt;
+        self.metrics.add_read_time(self.now, rt);
+        self.head = stop.slot.next();
+        self.metrics.record_physical_read(self.now);
+        trace_event!(
+            self.tracer,
+            self.now,
+            DRIVE0,
+            TraceEvent::Read {
+                tape: plan.tape,
+                slot: stop.slot,
+                phase,
+                dur: rt,
+            }
+        );
+
+        // Complete the requests; closed queuing regenerates one new
+        // request per completion, at the completion instant, routed
+        // through the incremental scheduler.
+        let completions = stop.requests.len();
+        for r in &stop.requests {
+            self.metrics
+                .record_completion(r.arrival, self.now, self.block_bytes);
+            if !self.faulted.is_empty() {
+                if let Some(failed_tape) = self.faulted.remove(&r.id) {
+                    if failed_tape != plan.tape {
+                        self.metrics.record_replica_failover();
+                        trace_event!(
+                            self.tracer,
+                            self.now,
+                            DRIVE0,
+                            TraceEvent::Failover {
+                                req: r.id,
+                                from: failed_tape,
+                                to: plan.tape,
+                            }
+                        );
+                    }
+                }
+            }
+            trace_event!(
+                self.tracer,
+                self.now,
+                DRIVE0,
+                TraceEvent::Complete {
+                    req: r.id,
+                    tape: plan.tape,
+                    delay: self.now.duration_since(r.arrival),
+                }
+            );
+            if self.external {
+                self.events.push(EngineEvent::Completed {
+                    req: r.id,
+                    at: self.now,
+                });
+            }
+        }
+        if self.closed {
+            for _ in 0..completions {
+                let req = self.factory.make(self.now);
                 trace_event!(
-                    tracer,
-                    now,
+                    self.tracer,
+                    self.now,
+                    SYSTEM_DRIVE,
+                    TraceEvent::Arrival {
+                        req: req.id,
+                        block: req.block,
+                    }
+                );
+                self.metrics.record_admission();
+                let view = JukeboxView {
+                    catalog: self.catalog,
+                    timing: self.timing,
+                    mounted: self.mounted,
+                    head: self.head,
+                    now: self.now,
+                    unavailable: &[],
+                    offline: &self.offline_buf,
+                };
+                let req_id = req.id;
+                let outcome = self.scheduler.on_arrival(
+                    &view,
+                    plan.tape,
+                    &mut plan.list,
+                    req,
+                    &mut self.pending,
+                );
+                trace_event!(
+                    self.tracer,
+                    self.now,
                     DRIVE0,
-                    TraceEvent::Complete {
-                        req: r.id,
+                    TraceEvent::Incremental {
+                        req: req_id,
                         tape: plan.tape,
-                        delay: now.duration_since(r.arrival),
+                        inserted: outcome == ArrivalOutcome::Inserted,
                     }
                 );
             }
-            if closed {
-                for _ in 0..completions {
-                    let req = factory.make(now);
-                    trace_event!(
-                        tracer,
-                        now,
-                        SYSTEM_DRIVE,
-                        TraceEvent::Arrival {
-                            req: req.id,
-                            block: req.block,
-                        }
-                    );
-                    metrics.record_admission();
-                    let view = JukeboxView {
-                        catalog,
-                        timing,
-                        mounted,
-                        head,
-                        now,
-                        unavailable: &[],
-                        offline: &offline_buf,
-                    };
-                    let req_id = req.id;
-                    let outcome =
-                        scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, &mut pending);
-                    trace_event!(
-                        tracer,
-                        now,
-                        DRIVE0,
-                        TraceEvent::Incremental {
-                            req: req_id,
-                            tape: plan.tape,
-                            inserted: outcome == ArrivalOutcome::Inserted,
-                        }
-                    );
+        }
+        self.phase = SinglePhase::InSweep { plan, cur_phase };
+        Ok(())
+    }
+
+    /// Routes externally submitted arrivals that came due through the
+    /// incremental scheduler (external-arrival mode during a sweep).
+    fn deliver_submitted_into_sweep(&mut self, plan: &mut SweepPlan) {
+        while self
+            .submitted
+            .front()
+            .is_some_and(|r| r.arrival <= self.now)
+        {
+            let Some(req) = self.submitted.pop_front() else {
+                break;
+            };
+            let view = JukeboxView {
+                catalog: self.catalog,
+                timing: self.timing,
+                mounted: self.mounted,
+                head: self.head,
+                now: self.now,
+                unavailable: &[],
+                offline: &self.offline_buf,
+            };
+            let req_id = req.id;
+            let outcome =
+                self.scheduler
+                    .on_arrival(&view, plan.tape, &mut plan.list, req, &mut self.pending);
+            trace_event!(
+                self.tracer,
+                self.now,
+                DRIVE0,
+                TraceEvent::Incremental {
+                    req: req_id,
+                    tape: plan.tape,
+                    inserted: outcome == ArrivalOutcome::Inserted,
                 }
-            }
+            );
         }
     }
 
-    let window = if saturated || now < end {
-        // Run ended early: measure up to where we actually got.
-        if now > warmup_end {
-            now.duration_since(warmup_end)
-        } else {
-            Micros::from_micros(1)
+    /// Closes the run and produces its metrics report. Callable at any
+    /// point; requests still queued or mid-sweep count as unserved.
+    pub fn finish(mut self) -> MetricsReport {
+        if let SinglePhase::InSweep { plan, .. } = &self.phase {
+            self.stranded_in_plan += plan.list.requests() as u64;
         }
-    } else {
-        cfg.duration - cfg.warmup
-    };
-    if injector.is_active() {
-        injector.advance(now);
-        metrics.set_fault_accounting(
-            injector.media_errors(),
-            injector.tape_downtime(now),
-            injector.degraded_time(now),
-            pending.len() as u64 + stranded_in_plan,
-        );
-    } else {
-        metrics.set_fault_accounting(
-            0,
-            Vec::new(),
-            Micros::ZERO,
-            pending.len() as u64 + stranded_in_plan,
-        );
+        let window = if self.saturated || self.now < self.end {
+            // Run ended early: measure up to where we actually got.
+            if self.now > self.warmup_end {
+                self.now.duration_since(self.warmup_end)
+            } else {
+                Micros::from_micros(1)
+            }
+        } else {
+            self.cfg.duration - self.cfg.warmup
+        };
+        let unserved =
+            self.pending.len() as u64 + self.stranded_in_plan + self.submitted.len() as u64;
+        if self.injector.is_active() {
+            self.injector.advance(self.now);
+            self.metrics.set_fault_accounting(
+                self.injector.media_errors(),
+                self.injector.tape_downtime(self.now),
+                self.injector.degraded_time(self.now),
+                unserved,
+            );
+        } else {
+            self.metrics
+                .set_fault_accounting(0, Vec::new(), Micros::ZERO, unserved);
+        }
+        self.metrics.report(window, self.saturated)
     }
-    Ok(metrics.report(window, saturated))
 }
 
 /// Requeues every request still scheduled in `plan` after its tape
@@ -1004,6 +1445,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn closed_queue_fifo_makes_progress() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let r = run(
@@ -1022,6 +1464,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn dynamic_max_bandwidth_beats_fifo() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let cfg = SimConfig::quick();
@@ -1044,6 +1487,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn same_seed_is_deterministic() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let cfg = SimConfig::quick();
@@ -1057,6 +1501,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn envelope_runs_with_full_replication() {
         let catalog = paper_catalog(9, 1.0, LayoutKind::Vertical);
         let r = run(
@@ -1071,6 +1516,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn open_queue_low_load_is_mostly_idle() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let r = run(
@@ -1088,6 +1534,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn open_queue_overload_saturates() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let cfg = SimConfig {
@@ -1109,6 +1556,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn time_accounting_covers_the_window() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let r = run(
@@ -1124,6 +1572,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn higher_queue_length_gives_higher_throughput_and_delay() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let cfg = SimConfig::quick();
@@ -1178,6 +1627,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn inert_faults_match_the_plain_entry_point() {
         let catalog = paper_catalog(1, 0.5, LayoutKind::Vertical);
         let cfg = SimConfig::quick();
@@ -1192,6 +1642,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn same_seed_same_faults_is_deterministic() {
         let catalog = paper_catalog(1, 0.5, LayoutKind::Vertical);
         let cfg = SimConfig::quick();
@@ -1205,6 +1656,7 @@ mod tests {
             tape_mttr: Some(Micros::from_secs(20_000)),
             drive_mtbf: Some(Micros::from_secs(300_000)),
             drive_mttr: Micros::from_secs(5_000),
+            ..FaultConfig::NONE
         };
         let alg = AlgorithmId::paper_recommended();
         let a = run_with_faults(&catalog, alg, proc, 13, &cfg, &faults);
@@ -1213,6 +1665,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn request_conservation_holds_under_faults() {
         let catalog = paper_catalog(1, 0.5, LayoutKind::Vertical);
         let faults = FaultConfig {
@@ -1245,6 +1698,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn repairable_tape_failures_degrade_but_do_not_lose_requests() {
         let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
         let faults = FaultConfig {
@@ -1270,6 +1724,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn replication_reduces_permanent_failures() {
         // Permanent (unrepaired) tape failures: without replication every
         // request stranded on a dead tape is lost; with full replication
@@ -1299,6 +1754,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn media_errors_fail_over_to_replicas() {
         let catalog = paper_catalog(1, 1.0, LayoutKind::Vertical);
         let faults = FaultConfig {
@@ -1321,5 +1777,113 @@ mod tests {
             r.replica_failovers,
             r.media_errors
         );
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
+    fn transient_copy_loss_heals_instead_of_failing() {
+        // No replicas: a permanently lost copy kills its requests, but a
+        // healing copy keeps them waiting — with healing enabled the same
+        // fault schedule must lose strictly fewer (here: zero) requests.
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let permanent = FaultConfig {
+            media_error_per_read: 0.05,
+            media_retries: 0,
+            ..FaultConfig::NONE
+        };
+        let healing = FaultConfig {
+            copy_heal_mttr: Some(Micros::from_secs(5_000)),
+            ..permanent
+        };
+        let alg = AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth);
+        let proc = ArrivalProcess::Closed { queue_length: 40 };
+        let lossy = run_with_faults(&catalog, alg, proc, 41, &SimConfig::quick(), &permanent);
+        let healed = run_with_faults(&catalog, alg, proc, 41, &SimConfig::quick(), &healing);
+        assert!(lossy.failed_requests > 0, "expected permanent losses");
+        assert_eq!(healed.failed_requests, 0, "healing copies lose nothing");
+        assert_eq!(
+            healed.admitted,
+            healed.served + healed.failed_requests + healed.unserved,
+            "conservation under transient faults"
+        );
+        assert!(healed.completed > 50);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
+    fn stepped_engine_is_inspectable_and_matches_batch() {
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let timing = TimingModel::paper_default();
+        let cfg = SimConfig::quick();
+        let proc = ArrivalProcess::Closed { queue_length: 40 };
+        let alg = AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth);
+        let batch = run(&catalog, alg, proc, 7, &cfg);
+
+        let sampler = BlockSampler::from_catalog(&catalog, 40.0);
+        let mut factory = RequestFactory::new(sampler, proc, 7);
+        let mut sched = make_scheduler(alg);
+        let mut sink = NullSink;
+        let mut engine = SteppedEngine::new(
+            &catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            &FaultConfig::NONE,
+            7,
+            &mut sink,
+            &CheckpointOpts::none(),
+        )
+        .unwrap();
+        // Inspect at an intermediate boundary, then step to completion.
+        engine
+            .step_until(SimTime::ZERO + Micros::from_secs(50_000))
+            .unwrap();
+        assert!(engine.now() >= SimTime::ZERO + Micros::from_secs(50_000));
+        assert!(!engine.is_done());
+        assert!(engine.pending_len() + engine.in_sweep_len() > 0);
+        while engine.step().unwrap() == StepOutcome::Running {}
+        assert_eq!(engine.finish(), batch);
+    }
+
+    #[test]
+    fn external_mode_serves_submissions_and_conserves() {
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let timing = TimingModel::paper_default();
+        let cfg = SimConfig::quick();
+        let sampler = BlockSampler::from_catalog(&catalog, 40.0);
+        let blocks: Vec<BlockId> = (0..30).map(|i| BlockId(i * 37)).collect();
+        let mut factory =
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 1 }, 1);
+        let mut sched = make_scheduler(AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth));
+        let mut sink = NullSink;
+        let mut engine = SteppedEngine::new_external(
+            &catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            &FaultConfig::NONE,
+            1,
+            &mut sink,
+        )
+        .unwrap();
+        for (i, b) in blocks.iter().enumerate() {
+            let at = SimTime::ZERO + Micros::from_secs(i as u64 * 100);
+            engine.submit_at(*b, at).unwrap();
+        }
+        engine.step_until(SimTime::ZERO + cfg.duration).unwrap();
+        let mut completed = 0u64;
+        for ev in engine.drain_events() {
+            match ev {
+                EngineEvent::Completed { .. } => completed += 1,
+                EngineEvent::Failed { .. } => {}
+            }
+        }
+        assert_eq!(completed, blocks.len() as u64, "all submissions served");
+        let report = engine.finish();
+        assert_eq!(report.admitted, blocks.len() as u64);
+        assert_eq!(report.served, completed);
+        assert_eq!(report.unserved, 0);
     }
 }

@@ -36,6 +36,11 @@ pub enum SimError {
     /// missing or line count short), a malformed line, or a field out of
     /// range. The payload describes what was wrong.
     CheckpointCorrupt(String),
+    /// The service admission queue is full and the admission policy
+    /// rejects new work ([`crate::service::AdmissionPolicy::RejectNew`],
+    /// or shed-oldest with nothing cancellable to shed). Typed
+    /// backpressure: the caller should retry later or slow down.
+    Overloaded,
     /// A checkpoint was taken under a different simulation configuration
     /// (engine, scheduler, workload, timing, geometry, fault plan, or
     /// seed) than the one it is being resumed into. Resuming would not
@@ -61,6 +66,9 @@ impl fmt::Display for SimError {
                 f,
                 "checkpoint schema version {found} is not the supported version {expected}"
             ),
+            SimError::Overloaded => {
+                write!(f, "admission queue full: request rejected (backpressure)")
+            }
             SimError::CheckpointCorrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
             SimError::CheckpointConfigMismatch { found, expected } => write!(
                 f,

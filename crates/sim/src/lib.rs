@@ -23,26 +23,32 @@ pub mod error;
 pub mod metrics;
 pub mod multidrive;
 pub mod runner;
+pub mod service;
+pub mod stepped;
 pub mod trace;
 pub mod writeback;
 
 pub use checkpoint::{Checkpoint, CheckpointOpts, EngineKind};
 pub use engine::{
     run_simulation, run_simulation_checkpointed, run_simulation_traced, run_simulation_with_faults,
-    SimConfig,
+    SimConfig, SteppedEngine,
 };
 pub use error::SimError;
 pub use metrics::{DelayPercentiles, MetricsCollector, MetricsReport};
 pub use multidrive::{
     run_multi_drive, run_multi_drive_checkpointed, run_multi_drive_traced,
-    run_multi_drive_with_faults,
+    run_multi_drive_with_faults, SteppedMultiDrive,
 };
 pub use runner::{default_seeds, run_one, run_paired, run_seeds, run_seeds_pooled, RunSpec};
+pub use service::{
+    AdmissionPolicy, JukeboxService, ServiceConfig, ServiceStats, Ticket, TicketState,
+};
+pub use stepped::{EngineEvent, StepOutcome};
 pub use trace::{
     check_trace, JsonlSink, MemorySink, NullSink, RingSink, TraceEvent, TraceRecord, TraceSink,
     Tracer,
 };
 pub use writeback::{
     run_with_writeback, run_with_writeback_checkpointed, run_with_writeback_traced, FlushPolicy,
-    WriteBackConfig, WriteBackReport,
+    SteppedWriteBack, WriteBackConfig, WriteBackReport,
 };

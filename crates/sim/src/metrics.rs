@@ -33,6 +33,7 @@ pub struct MetricsCollector {
     replica_failovers: u64,
     media_errors: u64,
     unserved: u64,
+    cancelled: u64,
     tape_downtime: Vec<Micros>,
     degraded: Micros,
 }
@@ -134,6 +135,14 @@ impl MetricsCollector {
         self.replica_failovers += 1;
     }
 
+    /// Records an admitted request withdrawn before service (external-
+    /// arrival mode: a deadline expiry or a shed-oldest eviction). Counted
+    /// over the whole run; always zero for generated workloads, and never
+    /// part of a checkpoint (external mode cannot checkpoint).
+    pub fn record_cancellation(&mut self) {
+        self.cancelled += 1;
+    }
+
     /// Captures every accumulator for a checkpoint. Delay samples are
     /// kept in insertion order (they are only sorted at report time), so
     /// a restored collector is byte-for-byte the collector that was
@@ -190,6 +199,9 @@ impl MetricsCollector {
             replica_failovers: snap.replica_failovers,
             media_errors: 0,
             unserved: 0,
+            // Cancellations only happen in external-arrival mode, which
+            // cannot checkpoint, so a snapshot never carries any.
+            cancelled: 0,
             tape_downtime: Vec::new(),
             degraded: Micros::ZERO,
         }
@@ -265,6 +277,9 @@ impl MetricsCollector {
             replica_failovers: self.replica_failovers,
             media_errors: self.media_errors,
             unserved: self.unserved,
+            cancelled: self.cancelled,
+            rejected: 0,
+            expired: 0,
             tape_downtime_s: self.tape_downtime.iter().map(|d| d.as_secs_f64()).collect(),
             saturated,
         }
@@ -395,8 +410,21 @@ pub struct MetricsReport {
     pub media_errors: u64,
     /// Requests still unserved when the run ended (pending, or stranded
     /// in an aborted sweep). `admitted == served + failed_requests +
-    /// unserved` holds for every run.
+    /// unserved + cancelled` holds for every run (`cancelled` is always
+    /// zero outside external-arrival mode).
     pub unserved: u64,
+    /// Admitted requests withdrawn before service (deadline expiries and
+    /// shed-oldest evictions). Always zero for generated workloads.
+    pub cancelled: u64,
+    /// Requests refused admission by the service layer's backpressure
+    /// policy (never admitted to the engine, so outside the engine's
+    /// conservation sum). Installed by
+    /// [`crate::service::JukeboxService`]; always zero for batch runs.
+    pub rejected: u64,
+    /// Requests that left the service expired: their deadline passed
+    /// while waiting, or no retry could complete them in time. Installed
+    /// by [`crate::service::JukeboxService`]; always zero for batch runs.
+    pub expired: u64,
     /// Per-tape downtime in seconds over the whole run. Empty when fault
     /// injection is off.
     pub tape_downtime_s: Vec<f64>,
@@ -485,6 +513,9 @@ impl MetricsReport {
             replica_failovers: avg_count(reports, |r| r.replica_failovers),
             media_errors: avg_count(reports, |r| r.media_errors),
             unserved: avg_count(reports, |r| r.unserved),
+            cancelled: avg_count(reports, |r| r.cancelled),
+            rejected: avg_count(reports, |r| r.rejected),
+            expired: avg_count(reports, |r| r.expired),
             tape_downtime_s: {
                 let tapes = reports
                     .iter()

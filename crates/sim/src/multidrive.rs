@@ -17,18 +17,26 @@
 //! [`run_multi_drive_with_faults`] additionally injects the fault model of
 //! [`tapesim_model::faults`], per drive and per tape, exactly as
 //! [`crate::engine::run_simulation_with_faults`] does for one drive.
+//!
+//! The event loop itself lives in [`SteppedMultiDrive`], a poll-driven
+//! stepped core: each [`SteppedMultiDrive::step`] dispatches the drive
+//! with the earliest `free_at` and executes exactly one of its events.
+//! The batch entry points drive it to completion; the
+//! [`crate::service::JukeboxService`] layer drives it in external-arrival
+//! mode with [`SteppedMultiDrive::submit_at`], per-request cancellation,
+//! and administrative drive on/offlining.
 #![allow(clippy::cast_possible_truncation)] // drive and tape indices fit u16 by geometry construction
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use tapesim_layout::Catalog;
+use tapesim_layout::{BlockId, Catalog};
 use tapesim_model::{
-    FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext, SimTime,
-    SlotIndex, TapeId, TimingModel,
+    BlockSize, FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext,
+    SimTime, SlotIndex, TapeId, TimingModel,
 };
 use tapesim_sched::{JukeboxView, PendingList, Scheduler};
-use tapesim_workload::{ArrivalProcess, RequestFactory, RequestId};
+use tapesim_workload::{ArrivalProcess, Request, RequestFactory, RequestId};
 
 use crate::checkpoint::{
     self, Checkpoint, CheckpointOpts, DriveCheckpoint, EngineKind, MultiCheckpoint,
@@ -36,6 +44,7 @@ use crate::checkpoint::{
 use crate::engine::{abort_plan, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::stepped::{EngineEvent, StepOutcome};
 use crate::trace::{NullSink, TraceEvent, TraceSink, Tracer, SYSTEM_DRIVE};
 use crate::trace_event;
 
@@ -161,6 +170,9 @@ pub fn run_multi_drive_traced(
 /// [`run_multi_drive_traced`]. Checkpoints are taken at drive-dispatch
 /// boundaries; in-flight sweep plans are part of the checkpoint, so a
 /// resumed run replays the interrupted sweeps stop for stop.
+///
+/// This is a thin driver over [`SteppedMultiDrive`]: construct, step to
+/// completion, report.
 #[allow(clippy::too_many_arguments)]
 pub fn run_multi_drive_checkpointed(
     catalog: &Catalog,
@@ -174,198 +186,598 @@ pub fn run_multi_drive_checkpointed(
     sink: &mut dyn TraceSink,
     opts: &CheckpointOpts,
 ) -> Result<MetricsReport, SimError> {
-    if drives < 1 {
-        return Err(SimError::InvalidConfig("need at least one drive"));
-    }
-    if drives > catalog.geometry().tapes {
-        return Err(SimError::InvalidConfig(
-            "more drives than tapes is pointless",
-        ));
-    }
-    if cfg.warmup >= cfg.duration {
-        return Err(SimError::InvalidConfig("warmup must precede the horizon"));
-    }
-    faults.validate().map_err(SimError::InvalidConfig)?;
-    opts.validate()?;
-    let fp = checkpoint::run_fingerprint(
-        EngineKind::Multi,
-        catalog,
-        timing,
-        scheduler.name(),
-        &factory.config_tag(),
-        &format!("{cfg:?}"),
-        &format!("{faults:?}"),
-        fault_seed,
-        drives,
-        "",
-    );
-    let resumed = match opts.resume() {
-        Some(path) => {
-            let ckpt = checkpoint::load(path)?;
-            if ckpt.fingerprint != fp {
-                return Err(SimError::CheckpointConfigMismatch {
-                    found: ckpt.fingerprint,
-                    expected: fp,
-                });
-            }
-            Some(ckpt)
-        }
-        None => None,
-    };
-    let mut tracer = match &resumed {
-        Some(ckpt) => Tracer::with_seq(sink, ckpt.trace_seq),
-        None => Tracer::new(sink),
-    };
-    let mut injector =
-        FaultInjector::new(*faults, &catalog.geometry(), drives as usize, fault_seed);
-    let block = catalog.block_size();
-    let block_bytes = block.bytes();
-    let end = SimTime::ZERO + cfg.duration;
-    let warmup_end = SimTime::ZERO + cfg.warmup;
-    let closed = matches!(factory.process(), ArrivalProcess::Closed { .. });
+    let mut engine = SteppedMultiDrive::new(
+        catalog, timing, scheduler, factory, cfg, drives, faults, fault_seed, sink, opts,
+    )?;
+    while engine.step()? == StepOutcome::Running {}
+    Ok(engine.finish())
+}
 
-    let mut pending = PendingList::new();
-    let mut queued: BinaryHeap<Reverse<QueuedArrival>> = BinaryHeap::new();
-    let mut seq: u64 = 0;
-    let mut metrics = MetricsCollector::new(warmup_end);
-    let mut saturated = false;
-    let mut robot_free = SimTime::ZERO;
-    let mut faulted: BTreeMap<RequestId, TapeId> = BTreeMap::new();
-    let mut states: Vec<DriveState> = (0..drives)
-        .map(|_| DriveState {
-            mounted: None,
-            head: SlotIndex::BOT,
-            plan: None,
-            cur_phase: None,
-            free_at: SimTime::ZERO,
-            idle: false,
-        })
-        .collect();
-
-    // Seed the workload (skipped on resume: the factory is replayed to
-    // its checkpointed stream position below instead).
-    let mut next_arrival: Option<SimTime> = None;
-    if resumed.is_none() {
-        match factory.process() {
-            ArrivalProcess::Closed { queue_length } => {
-                for _ in 0..queue_length {
-                    let req = factory.make(SimTime::ZERO);
-                    trace_event!(
-                        tracer,
-                        SimTime::ZERO,
-                        SYSTEM_DRIVE,
-                        TraceEvent::Arrival {
-                            req: req.id,
-                            block: req.block,
-                        }
-                    );
-                    pending.push(req);
-                    metrics.record_admission();
-                }
-            }
-            ArrivalProcess::OpenPoisson { .. } => {
-                let gap = factory
-                    .next_interarrival()
-                    .ok_or(SimError::ClosedArrivalStream)?;
-                next_arrival = Some(SimTime::ZERO + gap);
-            }
-        }
-    }
-
-    let mut now = SimTime::ZERO;
-    if let Some(ckpt) = &resumed {
-        factory
-            .replay(ckpt.factory_makes, ckpt.factory_gaps)
-            .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
-        if factory.stream_fingerprint() != ckpt.factory_fp {
-            return Err(SimError::CheckpointConfigMismatch {
-                found: ckpt.factory_fp,
-                expected: factory.stream_fingerprint(),
-            });
-        }
-        if let Some(snap) = &ckpt.faults {
-            injector
-                .restore(snap)
-                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
-        }
-        if let Some(state) = &ckpt.sched_state {
-            scheduler
-                .restore_state(state)
-                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
-        }
-        if ckpt.drives.len() != drives as usize {
-            return Err(SimError::CheckpointCorrupt(
-                "checkpoint drive count does not match the configuration".into(),
-            ));
-        }
-        let mc = ckpt.multi.as_ref().ok_or_else(|| {
-            SimError::CheckpointCorrupt("multi-drive checkpoint has no multi line".into())
-        })?;
-        now = SimTime::from_micros(ckpt.now_us);
-        next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
-        for req in ckpt.pending.iter() {
-            pending.push(*req);
-        }
-        metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
-        faulted = ckpt
-            .faulted
-            .iter()
-            .map(|&(r, t)| (RequestId(r), TapeId(t)))
-            .collect();
-        states = ckpt
-            .drives
-            .iter()
-            .map(|dc| DriveState {
-                mounted: dc.mounted,
-                head: dc.head,
-                plan: dc.plan.clone(),
-                cur_phase: dc.cur_phase,
-                free_at: SimTime::from_micros(dc.free_at_us),
-                idle: dc.idle,
-            })
-            .collect();
-        seq = mc.seq;
-        robot_free = SimTime::from_micros(mc.robot_free_us);
-        for &(at, qseq, req) in mc.queued.iter() {
-            queued.push(Reverse(QueuedArrival {
-                at: SimTime::from_micros(at),
-                seq: qseq,
-                req,
-            }));
-        }
-    }
-    // First periodic-checkpoint instant strictly after the current clock.
-    let mut next_ckpt_at = opts
-        .write_every()
-        .map(|(every, _)| checkpoint::next_checkpoint_after(now, every));
+/// The poll-driven multi-drive engine core. See the module docs; batch
+/// runs use [`run_multi_drive`] and friends, service runs construct this
+/// directly in external-arrival mode
+/// ([`SteppedMultiDrive::new_external`]).
+pub struct SteppedMultiDrive<'a> {
+    catalog: &'a Catalog,
+    timing: &'a TimingModel,
+    scheduler: &'a mut dyn Scheduler,
+    factory: &'a mut RequestFactory,
+    cfg: SimConfig,
+    faults: FaultConfig,
+    opts: CheckpointOpts,
+    fp: u64,
+    tracer: Tracer<'a>,
+    injector: FaultInjector,
+    block: BlockSize,
+    block_bytes: u64,
+    end: SimTime,
+    warmup_end: SimTime,
+    closed: bool,
+    external: bool,
+    pending: PendingList,
+    queued: BinaryHeap<Reverse<QueuedArrival>>,
+    seq: u64,
+    metrics: MetricsCollector,
+    saturated: bool,
+    robot_free: SimTime,
+    faulted: BTreeMap<RequestId, TapeId>,
+    states: Vec<DriveState>,
+    now: SimTime,
+    next_arrival: Option<SimTime>,
+    next_ckpt_at: Option<SimTime>,
     // Scratch buffers for the offline/held-tape snapshots handed to
     // scheduler views; refilled per event instead of allocating each
     // time.
-    let mut offline_buf: Vec<TapeId> = Vec::new();
-    let mut unavailable_buf: Vec<TapeId> = Vec::new();
-    // Next drive to act: earliest free_at, lowest index on ties.
-    'outer: while let Some(d) = (0..states.len()).min_by_key(|&i| (states[i].free_at, i)) {
+    offline_buf: Vec<TapeId>,
+    unavailable_buf: Vec<TapeId>,
+    /// How far an idle drive may advance when nothing is schedulable;
+    /// the horizon for batch runs, lowered by
+    /// [`SteppedMultiDrive::step_until`] for external drivers.
+    park: SimTime,
+    done: bool,
+    /// Drives taken out of service administratively (not by the fault
+    /// model); they are skipped by dispatch until brought back.
+    admin_offline: Vec<bool>,
+    next_ext_id: u64,
+    last_submit_at: SimTime,
+    events: Vec<EngineEvent>,
+}
+
+impl<'a> SteppedMultiDrive<'a> {
+    /// Builds a stepped multi-drive engine whose generated workload,
+    /// fault schedule, tracing, and checkpointing exactly match
+    /// [`run_multi_drive_checkpointed`] with the same arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        drives: u16,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+        opts: &CheckpointOpts,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            catalog, timing, scheduler, factory, cfg, drives, faults, fault_seed, sink, opts, false,
+        )
+    }
+
+    /// Builds a stepped multi-drive engine in external-arrival mode: no
+    /// workload is generated (the factory is only fingerprinted),
+    /// requests enter via [`submit_at`](SteppedMultiDrive::submit_at),
+    /// and completions/failures surface as [`EngineEvent`]s.
+    /// Checkpointing is not supported in this mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_external(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        drives: u16,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            catalog,
+            timing,
+            scheduler,
+            factory,
+            cfg,
+            drives,
+            faults,
+            fault_seed,
+            sink,
+            &CheckpointOpts::none(),
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        drives: u16,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+        opts: &CheckpointOpts,
+        external: bool,
+    ) -> Result<Self, SimError> {
+        if drives < 1 {
+            return Err(SimError::InvalidConfig("need at least one drive"));
+        }
+        if drives > catalog.geometry().tapes {
+            return Err(SimError::InvalidConfig(
+                "more drives than tapes is pointless",
+            ));
+        }
+        if cfg.warmup >= cfg.duration {
+            return Err(SimError::InvalidConfig("warmup must precede the horizon"));
+        }
+        faults.validate().map_err(SimError::InvalidConfig)?;
+        opts.validate()?;
+        if external && (opts.resume().is_some() || opts.write_every().is_some()) {
+            return Err(SimError::InvalidConfig(
+                "checkpointing requires generated arrivals",
+            ));
+        }
+        let fp = checkpoint::run_fingerprint(
+            EngineKind::Multi,
+            catalog,
+            timing,
+            scheduler.name(),
+            &factory.config_tag(),
+            &format!("{cfg:?}"),
+            &format!("{faults:?}"),
+            fault_seed,
+            drives,
+            if external { "external" } else { "" },
+        );
+        let resumed = match opts.resume() {
+            Some(path) => {
+                let ckpt = checkpoint::load(path)?;
+                if ckpt.fingerprint != fp {
+                    return Err(SimError::CheckpointConfigMismatch {
+                        found: ckpt.fingerprint,
+                        expected: fp,
+                    });
+                }
+                Some(ckpt)
+            }
+            None => None,
+        };
+        let tracer = match &resumed {
+            Some(ckpt) => Tracer::with_seq(sink, ckpt.trace_seq),
+            None => Tracer::new(sink),
+        };
+        let mut injector =
+            FaultInjector::new(*faults, &catalog.geometry(), drives as usize, fault_seed);
+        let block = catalog.block_size();
+        let block_bytes = block.bytes();
+        let end = SimTime::ZERO + cfg.duration;
+        let warmup_end = SimTime::ZERO + cfg.warmup;
+        let closed = !external && matches!(factory.process(), ArrivalProcess::Closed { .. });
+
+        let states: Vec<DriveState> = (0..drives)
+            .map(|_| DriveState {
+                mounted: None,
+                head: SlotIndex::BOT,
+                plan: None,
+                cur_phase: None,
+                free_at: SimTime::ZERO,
+                idle: false,
+            })
+            .collect();
+
+        let mut engine = SteppedMultiDrive {
+            catalog,
+            timing,
+            scheduler,
+            factory,
+            cfg: *cfg,
+            faults: *faults,
+            opts: opts.clone(),
+            fp,
+            tracer,
+            injector: FaultInjector::new(*faults, &catalog.geometry(), drives as usize, fault_seed),
+            block,
+            block_bytes,
+            end,
+            warmup_end,
+            closed,
+            external,
+            pending: PendingList::new(),
+            queued: BinaryHeap::new(),
+            seq: 0,
+            metrics: MetricsCollector::new(warmup_end),
+            saturated: false,
+            robot_free: SimTime::ZERO,
+            faulted: BTreeMap::new(),
+            states,
+            now: SimTime::ZERO,
+            next_arrival: None,
+            next_ckpt_at: None,
+            offline_buf: Vec::new(),
+            unavailable_buf: Vec::new(),
+            park: end,
+            done: false,
+            admin_offline: vec![false; drives as usize],
+            next_ext_id: 0,
+            last_submit_at: SimTime::ZERO,
+            events: Vec::new(),
+        };
+
+        // Seed the workload (skipped on resume: the factory is replayed
+        // to its checkpointed stream position below instead).
+        if resumed.is_none() && !external {
+            match engine.factory.process() {
+                ArrivalProcess::Closed { queue_length } => {
+                    for _ in 0..queue_length {
+                        let req = engine.factory.make(SimTime::ZERO);
+                        trace_event!(
+                            engine.tracer,
+                            SimTime::ZERO,
+                            SYSTEM_DRIVE,
+                            TraceEvent::Arrival {
+                                req: req.id,
+                                block: req.block,
+                            }
+                        );
+                        engine.pending.push(req);
+                        engine.metrics.record_admission();
+                    }
+                }
+                ArrivalProcess::OpenPoisson { .. } => {
+                    let gap = engine
+                        .factory
+                        .next_interarrival()
+                        .ok_or(SimError::ClosedArrivalStream)?;
+                    engine.next_arrival = Some(SimTime::ZERO + gap);
+                }
+            }
+        }
+
+        if let Some(ckpt) = &resumed {
+            engine
+                .factory
+                .replay(ckpt.factory_makes, ckpt.factory_gaps)
+                .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+            if engine.factory.stream_fingerprint() != ckpt.factory_fp {
+                return Err(SimError::CheckpointConfigMismatch {
+                    found: ckpt.factory_fp,
+                    expected: engine.factory.stream_fingerprint(),
+                });
+            }
+            if let Some(snap) = &ckpt.faults {
+                injector
+                    .restore(snap)
+                    .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+            }
+            engine.injector = injector;
+            if let Some(state) = &ckpt.sched_state {
+                engine
+                    .scheduler
+                    .restore_state(state)
+                    .map_err(|m| SimError::CheckpointCorrupt(m.to_string()))?;
+            }
+            if ckpt.drives.len() != drives as usize {
+                return Err(SimError::CheckpointCorrupt(
+                    "checkpoint drive count does not match the configuration".into(),
+                ));
+            }
+            let mc = ckpt.multi.as_ref().ok_or_else(|| {
+                SimError::CheckpointCorrupt("multi-drive checkpoint has no multi line".into())
+            })?;
+            engine.now = SimTime::from_micros(ckpt.now_us);
+            engine.next_arrival = ckpt.next_arrival_us.map(SimTime::from_micros);
+            for req in ckpt.pending.iter() {
+                engine.pending.push(*req);
+            }
+            engine.metrics = MetricsCollector::from_snapshot(&ckpt.metrics);
+            engine.faulted = ckpt
+                .faulted
+                .iter()
+                .map(|&(r, t)| (RequestId(r), TapeId(t)))
+                .collect();
+            engine.states = ckpt
+                .drives
+                .iter()
+                .map(|dc| DriveState {
+                    mounted: dc.mounted,
+                    head: dc.head,
+                    plan: dc.plan.clone(),
+                    cur_phase: dc.cur_phase,
+                    free_at: SimTime::from_micros(dc.free_at_us),
+                    idle: dc.idle,
+                })
+                .collect();
+            engine.seq = mc.seq;
+            engine.robot_free = SimTime::from_micros(mc.robot_free_us);
+            for &(at, qseq, req) in mc.queued.iter() {
+                engine.queued.push(Reverse(QueuedArrival {
+                    at: SimTime::from_micros(at),
+                    seq: qseq,
+                    req,
+                }));
+            }
+        }
+        // First periodic-checkpoint instant strictly after the current
+        // clock.
+        engine.next_ckpt_at = engine
+            .opts
+            .write_every()
+            .map(|(every, _)| checkpoint::next_checkpoint_after(engine.now, every));
+        Ok(engine)
+    }
+
+    /// The engine clock: the instant of the last executed event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// True once the horizon was reached or the run saturated.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// True when the engine was built in external-arrival mode
+    /// ([`SteppedMultiDrive::new_external`]).
+    pub fn is_external(&self) -> bool {
+        self.external
+    }
+
+    /// The simulation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.end
+    }
+
+    /// The number of drives (including administratively offline ones).
+    pub fn drive_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The tape currently mounted in drive `d`, if any.
+    pub fn drive_mounted(&self, d: usize) -> Option<TapeId> {
+        self.states.get(d).and_then(|s| s.mounted)
+    }
+
+    /// True if drive `d` is administratively offline.
+    pub fn drive_offline(&self, d: usize) -> bool {
+        self.admin_offline.get(d).copied().unwrap_or(false)
+    }
+
+    /// The number of drives currently available for dispatch.
+    pub fn drives_online(&self) -> usize {
+        self.admin_offline.iter().filter(|&&off| !off).count()
+    }
+
+    /// Requests on the pending list (schedulable, not in any sweep).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests admitted but not yet visible to the schedulers (their
+    /// arrival instant is still in the future, or they await delivery at
+    /// the next operation boundary).
+    pub fn queued_len(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Requests waiting anywhere outside an active sweep: the admission
+    /// backlog a service layer meters against its queue capacity.
+    pub fn waiting(&self) -> usize {
+        self.pending.len() + self.queued.len()
+    }
+
+    /// True once the pending queue overflowed `max_pending`.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Takes the request outcomes produced since the last drain
+    /// (external-arrival mode; always empty for generated workloads).
+    pub fn drain_events(&mut self) -> Vec<EngineEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Submits one read request at instant `at` (external-arrival mode
+    /// only). `at` is clamped to be monotone and not before the engine
+    /// clock; the admission is traced and counted immediately, and the
+    /// request becomes schedulable at the first operation boundary at or
+    /// after `at`. Returns the request's id.
+    pub fn submit_at(&mut self, block: BlockId, at: SimTime) -> Result<RequestId, SimError> {
+        if !self.external {
+            return Err(SimError::InvalidConfig(
+                "submit_at requires external-arrival mode",
+            ));
+        }
+        let at = at.max(self.now).max(self.last_submit_at);
+        self.last_submit_at = at;
+        let req = Request {
+            id: RequestId(self.next_ext_id),
+            block,
+            arrival: at,
+        };
+        self.next_ext_id += 1;
+        trace_event!(
+            self.tracer,
+            at,
+            SYSTEM_DRIVE,
+            TraceEvent::Arrival {
+                req: req.id,
+                block: req.block,
+            }
+        );
+        self.metrics.record_admission();
+        self.queued.push(Reverse(QueuedArrival {
+            at,
+            seq: self.seq,
+            req,
+        }));
+        self.seq += 1;
+        Ok(req.id)
+    }
+
+    /// Cancels a waiting request (external-arrival mode): removes it from
+    /// the pending list or the arrival queue. Returns `false` when the
+    /// request is not waiting — already completed or failed, or currently
+    /// scheduled in an active sweep (in-flight work is never preempted;
+    /// the deterministic tie-break is that service, once scheduled, runs
+    /// to completion).
+    pub fn cancel(&mut self, req: RequestId) -> bool {
+        let removed = self.pending.extract(|r| r.id == req);
+        if !removed.is_empty() {
+            self.faulted.remove(&req);
+            self.metrics.record_cancellation();
+            return true;
+        }
+        if self.queued.iter().any(|Reverse(q)| q.req.id == req) {
+            let kept: Vec<Reverse<QueuedArrival>> = std::mem::take(&mut self.queued)
+                .into_iter()
+                .filter(|Reverse(q)| q.req.id != req)
+                .collect();
+            self.queued = kept.into();
+            self.faulted.remove(&req);
+            self.metrics.record_cancellation();
+            return true;
+        }
+        false
+    }
+
+    /// Takes drive `d` out of service (administratively, not via the
+    /// fault model) or brings it back. Going offline aborts the drive's
+    /// sweep — its requests return to the pending list for the surviving
+    /// drives — and releases its mounted tape. Coming back online makes
+    /// the drive dispatchable from the current clock onward. Returns an
+    /// error for an out-of-range drive index.
+    pub fn set_drive_offline(&mut self, d: usize, offline: bool) -> Result<(), SimError> {
+        if d >= self.states.len() {
+            return Err(SimError::InvalidConfig("no such drive"));
+        }
+        if offline == self.admin_offline[d] {
+            return Ok(());
+        }
+        self.admin_offline[d] = offline;
+        if offline {
+            // The drive's in-flight operation finishes before the
+            // offline takes effect, so the abort records are stamped at
+            // the drive's own frontier (which may be ahead of the
+            // dispatch clock), keeping its trace timeline monotone.
+            let at = self.states[d].free_at.max(self.now);
+            if let Some(plan) = self.states[d].plan.take() {
+                for stop in plan.list.forward_stops().chain(plan.list.reverse_stops()) {
+                    for r in &stop.requests {
+                        self.pending.push(*r);
+                    }
+                }
+                // The abort closes the open sweep in the trace; without
+                // this the drive's next sweep would violate the §2.2
+                // one-open-sweep-per-drive invariant.
+                trace_event!(
+                    self.tracer,
+                    at,
+                    d as u16,
+                    TraceEvent::SweepEnd { tape: plan.tape }
+                );
+            }
+            if let Some(tape) = self.states[d].mounted.take() {
+                trace_event!(self.tracer, at, d as u16, TraceEvent::Unmount { tape });
+            }
+            self.states[d].head = SlotIndex::BOT;
+            self.states[d].cur_phase = None;
+        } else {
+            self.states[d].free_at = self.states[d].free_at.max(self.now);
+            self.states[d].idle = false;
+        }
+        Ok(())
+    }
+
+    /// The drive the next step will dispatch: earliest `free_at`, lowest
+    /// index on ties, skipping administratively offline drives.
+    fn next_drive(&self) -> Option<usize> {
+        (0..self.states.len())
+            .filter(|&i| !self.admin_offline[i])
+            .min_by_key(|&i| (self.states[i].free_at, i))
+    }
+
+    /// Executes one drive event: the dispatched drive services one stop,
+    /// reschedules, mounts, or idles. Returns whether more work remains.
+    /// With every drive administratively offline the clock parks (nothing
+    /// can move) until a drive returns or the horizon is reached.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        if self.done {
+            return Ok(StepOutcome::Done);
+        }
+        let Some(d) = self.next_drive() else {
+            self.now = self.park.max(self.now);
+            if self.park >= self.end {
+                self.now = self.end;
+                self.done = true;
+                return Ok(StepOutcome::Done);
+            }
+            return Ok(StepOutcome::Running);
+        };
+        self.step_drive(d)?;
+        Ok(if self.done {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        })
+    }
+
+    /// Steps until the clock reaches `until` (clamped to the horizon) or
+    /// the run finishes. When nothing is schedulable the engine parks at
+    /// `until` instead of idling to the horizon, so an external driver
+    /// can keep submitting.
+    pub fn step_until(&mut self, until: SimTime) -> Result<(), SimError> {
+        self.park = until.min(self.end);
+        while !self.done && self.now < self.park {
+            if let Some(d) = self.next_drive() {
+                if self.states[d].free_at.max(self.now) > self.park {
+                    break;
+                }
+            }
+            self.step()?;
+        }
+        self.park = self.end;
+        Ok(())
+    }
+
+    /// One full drive-dispatch event, translated statement for statement
+    /// from the monolithic `'outer` loop this engine used to be.
+    #[allow(clippy::too_many_lines)]
+    fn step_drive(&mut self, d: usize) -> Result<(), SimError> {
         // Checkpoint before this iteration mutates anything (the clock
         // update below is re-derived identically on resume).
-        if let (Some(at), Some((every, path))) = (next_ckpt_at, opts.write_every()) {
-            if now >= at {
-                let mut arrivals: Vec<QueuedArrival> = queued.iter().map(|Reverse(q)| *q).collect();
+        if let (Some(at), Some((every, path))) = (self.next_ckpt_at, self.opts.write_every()) {
+            if self.now >= at {
+                let mut arrivals: Vec<QueuedArrival> =
+                    self.queued.iter().map(|Reverse(q)| *q).collect();
                 arrivals.sort_unstable();
                 let ckpt = Checkpoint {
                     engine: EngineKind::Multi,
-                    fingerprint: fp,
-                    now_us: now.as_micros(),
-                    trace_seq: tracer.next_seq(),
-                    next_arrival_us: next_arrival.map(|t| t.as_micros()),
-                    factory_makes: factory.minted(),
-                    factory_gaps: factory.gaps_drawn(),
-                    factory_fp: factory.stream_fingerprint(),
-                    pending: pending.iter().cloned().collect(),
-                    metrics: metrics.snapshot(),
-                    faulted: faulted.iter().map(|(r, t)| (r.0, t.0)).collect(),
-                    sched_state: scheduler.checkpoint_state(),
-                    faults: (*faults != FaultConfig::NONE).then(|| injector.snapshot()),
-                    drives: states
+                    fingerprint: self.fp,
+                    now_us: self.now.as_micros(),
+                    trace_seq: self.tracer.next_seq(),
+                    next_arrival_us: self.next_arrival.map(|t| t.as_micros()),
+                    factory_makes: self.factory.minted(),
+                    factory_gaps: self.factory.gaps_drawn(),
+                    factory_fp: self.factory.stream_fingerprint(),
+                    pending: self.pending.iter().cloned().collect(),
+                    metrics: self.metrics.snapshot(),
+                    faulted: self.faulted.iter().map(|(r, t)| (r.0, t.0)).collect(),
+                    sched_state: self.scheduler.checkpoint_state(),
+                    faults: (self.faults != FaultConfig::NONE).then(|| self.injector.snapshot()),
+                    drives: self
+                        .states
                         .iter()
                         .map(|s| DriveCheckpoint {
                             mounted: s.mounted,
@@ -377,8 +789,8 @@ pub fn run_multi_drive_checkpointed(
                         })
                         .collect(),
                     multi: Some(MultiCheckpoint {
-                        seq,
-                        robot_free_us: robot_free.as_micros(),
+                        seq: self.seq,
+                        robot_free_us: self.robot_free.as_micros(),
                         queued: arrivals
                             .iter()
                             .map(|q| (q.at.as_micros(), q.seq, q.req))
@@ -387,87 +799,104 @@ pub fn run_multi_drive_checkpointed(
                     writeback: None,
                 };
                 checkpoint::save(&ckpt, path)?;
-                next_ckpt_at = Some(checkpoint::next_checkpoint_after(now, every));
+                self.next_ckpt_at = Some(checkpoint::next_checkpoint_after(self.now, every));
             }
         }
-        now = states[d].free_at.max(now);
-        states[d].idle = false;
-        if now >= end {
-            break;
+        self.now = self.states[d].free_at.max(self.now);
+        self.states[d].idle = false;
+        if self.now >= self.end {
+            self.done = true;
+            return Ok(());
         }
 
-        if injector.is_active() {
-            injector.advance(now);
+        if self.injector.is_active() {
+            self.injector.advance(self.now);
             // A failed drive sits out its repair; the other drives keep
             // serving.
-            if let Some(repair) = injector.drive_outage(d, now) {
-                states[d].free_at = now + repair;
-                metrics.add_repair_time(now + repair, repair);
+            if let Some(repair) = self.injector.drive_outage(d, self.now) {
+                self.states[d].free_at = self.now + repair;
+                self.metrics.add_repair_time(self.now + repair, repair);
                 trace_event!(
-                    tracer,
-                    now + repair,
+                    self.tracer,
+                    self.now + repair,
                     d as u16,
                     TraceEvent::DriveRepair { dur: repair }
                 );
-                continue 'outer;
+                return Ok(());
             }
-            // Fail out requests no surviving copy can serve any more.
-            if injector.has_permanent_damage() {
-                let dead = pending.extract(|r| {
-                    catalog
-                        .replicas(r.block)
-                        .iter()
-                        .all(|a| injector.copy_dead(*a))
-                });
+            // Fail out requests no surviving copy can serve any more
+            // (transiently lost copies heal, so their requests keep
+            // waiting).
+            if self.injector.has_permanent_damage() {
+                let dead = {
+                    let injector = &self.injector;
+                    let catalog = self.catalog;
+                    self.pending.extract(|r| {
+                        catalog
+                            .replicas(r.block)
+                            .iter()
+                            .all(|a| injector.copy_lost_forever(*a))
+                    })
+                };
                 for r in dead {
-                    faulted.remove(&r.id);
-                    metrics.record_permanent_failure();
+                    self.faulted.remove(&r.id);
+                    self.metrics.record_permanent_failure();
                     trace_event!(
-                        tracer,
-                        now,
+                        self.tracer,
+                        self.now,
                         SYSTEM_DRIVE,
                         TraceEvent::RequestFailed { req: r.id }
                     );
-                    if closed {
-                        let req = factory.make(now);
+                    if self.external {
+                        self.events.push(EngineEvent::Failed {
+                            req: r.id,
+                            at: self.now,
+                        });
+                    }
+                    if self.closed {
+                        let req = self.factory.make(self.now);
                         trace_event!(
-                            tracer,
-                            now,
+                            self.tracer,
+                            self.now,
                             SYSTEM_DRIVE,
                             TraceEvent::Arrival {
                                 req: req.id,
                                 block: req.block,
                             }
                         );
-                        queued.push(Reverse(QueuedArrival { at: now, seq, req }));
-                        seq += 1;
-                        metrics.record_admission();
+                        self.queued.push(Reverse(QueuedArrival {
+                            at: self.now,
+                            seq: self.seq,
+                            req,
+                        }));
+                        self.seq += 1;
+                        self.metrics.record_admission();
                     }
                 }
             }
             // The tape under this drive failed: abort the sweep and let
             // the requests fail over or wait for the repair.
-            let tape_dead = states[d]
+            let tape_dead = self.states[d]
                 .plan
                 .as_ref()
-                .is_some_and(|p| injector.is_offline(p.tape));
+                .is_some_and(|p| self.injector.is_offline(p.tape));
             if tape_dead {
-                if let Some(plan) = states[d].plan.take() {
+                if let Some(plan) = self.states[d].plan.take() {
                     trace_event!(
-                        tracer,
-                        now,
+                        self.tracer,
+                        self.now,
                         d as u16,
                         TraceEvent::TapeOffline { tape: plan.tape }
                     );
-                    abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
+                    abort_plan(&plan, plan.tape, &mut self.pending, &mut self.faulted);
                 }
-                states[d].mounted = None;
-                states[d].head = SlotIndex::BOT;
-                continue 'outer;
+                self.states[d].mounted = None;
+                self.states[d].head = SlotIndex::BOT;
+                return Ok(());
             }
         }
-        offline_buf.clear();
-        offline_buf.extend_from_slice(injector.offline());
+        self.offline_buf.clear();
+        self.offline_buf.extend_from_slice(self.injector.offline());
 
         // Deliver due arrivals (Poisson stream and queued closed-queue
         // regenerations, in time order). If drive `d` has an active sweep
@@ -475,12 +904,12 @@ pub fn run_multi_drive_checkpointed(
         // the pending list.
         loop {
             // Materialize the Poisson arrival if it is the earliest event.
-            if let Some(t) = next_arrival {
-                let heap_first = queued.peek().map(|Reverse(q)| q.at);
-                if t <= now && heap_first.is_none_or(|h| t <= h) {
-                    let req = factory.make(t);
+            if let Some(t) = self.next_arrival {
+                let heap_first = self.queued.peek().map(|Reverse(q)| q.at);
+                if t <= self.now && heap_first.is_none_or(|h| t <= h) {
+                    let req = self.factory.make(t);
                     trace_event!(
-                        tracer,
+                        self.tracer,
                         t,
                         SYSTEM_DRIVE,
                         TraceEvent::Arrival {
@@ -488,41 +917,54 @@ pub fn run_multi_drive_checkpointed(
                             block: req.block,
                         }
                     );
-                    queued.push(Reverse(QueuedArrival { at: t, seq, req }));
-                    seq += 1;
-                    metrics.record_admission();
-                    let gap = factory
+                    self.queued.push(Reverse(QueuedArrival {
+                        at: t,
+                        seq: self.seq,
+                        req,
+                    }));
+                    self.seq += 1;
+                    self.metrics.record_admission();
+                    let gap = self
+                        .factory
                         .next_interarrival()
                         .ok_or(SimError::ClosedArrivalStream)?;
-                    next_arrival = Some(t + gap);
+                    self.next_arrival = Some(t + gap);
                     continue;
                 }
             }
-            let due = queued.peek().is_some_and(|Reverse(q)| q.at <= now);
+            let due = self
+                .queued
+                .peek()
+                .is_some_and(|Reverse(q)| q.at <= self.now);
             if !due {
                 break;
             }
-            let Some(Reverse(q)) = queued.pop() else {
+            let Some(Reverse(q)) = self.queued.pop() else {
                 break;
             };
-            tapes_held_except_into(&states, d, &mut unavailable_buf);
-            let (mounted, head) = (states[d].mounted, states[d].head);
-            if let Some(plan) = states[d].plan.as_mut() {
+            tapes_held_except_into(&self.states, d, &mut self.unavailable_buf);
+            let (mounted, head) = (self.states[d].mounted, self.states[d].head);
+            if let Some(plan) = self.states[d].plan.as_mut() {
                 let view = JukeboxView {
-                    catalog,
-                    timing,
+                    catalog: self.catalog,
+                    timing: self.timing,
                     mounted,
                     head,
-                    now,
-                    unavailable: &unavailable_buf,
-                    offline: &offline_buf,
+                    now: self.now,
+                    unavailable: &self.unavailable_buf,
+                    offline: &self.offline_buf,
                 };
                 let req_id = q.req.id;
-                let outcome =
-                    scheduler.on_arrival(&view, plan.tape, &mut plan.list, q.req, &mut pending);
+                let outcome = self.scheduler.on_arrival(
+                    &view,
+                    plan.tape,
+                    &mut plan.list,
+                    q.req,
+                    &mut self.pending,
+                );
                 trace_event!(
-                    tracer,
-                    now,
+                    self.tracer,
+                    self.now,
                     d as u16,
                     TraceEvent::Incremental {
                         req: req_id,
@@ -531,50 +973,58 @@ pub fn run_multi_drive_checkpointed(
                     }
                 );
             } else {
-                pending.push(q.req);
+                self.pending.push(q.req);
             }
         }
-        if pending.len() > cfg.max_pending {
-            saturated = true;
-            break 'outer;
+        if self.pending.len() > self.cfg.max_pending {
+            self.saturated = true;
+            self.done = true;
+            return Ok(());
         }
 
-        let has_stops = states[d].plan.as_ref().is_some_and(|p| !p.list.is_empty());
+        let has_stops = self.states[d]
+            .plan
+            .as_ref()
+            .is_some_and(|p| !p.list.is_empty());
         if has_stops {
             // Execute the next stop of this drive's sweep.
             let (stop, phase, tape) = {
-                let Some(plan) = states[d].plan.as_mut() else {
-                    continue;
+                let Some(plan) = self.states[d].plan.as_mut() else {
+                    return Ok(());
                 };
                 match plan.list.pop() {
                     Some((stop, phase)) => (stop, phase, plan.tape),
-                    None => continue,
+                    None => return Ok(()),
                 }
             };
-            if tracer.on && states[d].cur_phase != Some(phase) {
-                states[d].cur_phase = Some(phase);
-                tracer.push(now, d as u16, TraceEvent::PhaseStart { tape, phase });
+            if self.tracer.on && self.states[d].cur_phase != Some(phase) {
+                self.states[d].cur_phase = Some(phase);
+                self.tracer
+                    .push(self.now, d as u16, TraceEvent::PhaseStart { tape, phase });
             }
-            let (lt, dir) = timing.drive.locate(states[d].head, stop.slot, block);
+            let (lt, dir) = self
+                .timing
+                .drive
+                .locate(self.states[d].head, stop.slot, self.block);
             let ctx = match dir {
                 None => ReadContext::Streaming,
                 Some(LocateDirection::Forward) => ReadContext::AfterForwardLocate,
                 Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
             };
-            let rt = timing.drive.read_block(block, ctx);
+            let rt = self.timing.drive.read_block(self.block, ctx);
             // Drive time is attributed at the end of each segment (not
             // lumped at the stop's end) so a stop straddling the warmup
             // boundary is split exactly as the single-drive engine splits
             // it — keeping the 1-drive differential exact.
-            let mut t = now + lt;
-            metrics.add_locate_time(t, lt);
+            let mut t = self.now + lt;
+            self.metrics.add_locate_time(t, lt);
             trace_event!(
-                tracer,
+                self.tracer,
                 t,
                 d as u16,
                 TraceEvent::Locate {
                     tape,
-                    from: states[d].head,
+                    from: self.states[d].head,
                     to: stop.slot,
                     dur: lt,
                 }
@@ -582,13 +1032,13 @@ pub fn run_multi_drive_checkpointed(
             // Fault: every failed read attempt costs another pass over the
             // block; exhausting the retries loses the copy.
             let mut read_ok = true;
-            if injector.is_active() {
+            if self.injector.is_active() {
                 let mut tries = 0u32;
-                while injector.media_error() {
+                while self.injector.media_error() {
                     t += rt;
-                    metrics.add_read_time(t, rt);
+                    self.metrics.add_read_time(t, rt);
                     trace_event!(
-                        tracer,
+                        self.tracer,
                         t,
                         d as u16,
                         TraceEvent::MediaError {
@@ -596,7 +1046,7 @@ pub fn run_multi_drive_checkpointed(
                             slot: stop.slot,
                         }
                     );
-                    if tries >= faults.media_retries {
+                    if tries >= self.faults.media_retries {
                         read_ok = false;
                         break;
                     }
@@ -605,14 +1055,17 @@ pub fn run_multi_drive_checkpointed(
             }
             if !read_ok {
                 let done = t;
-                states[d].head = stop.slot.next();
-                states[d].free_at = done;
-                injector.mark_bad_copy(PhysicalAddr {
-                    tape,
-                    slot: stop.slot,
-                });
+                self.states[d].head = stop.slot.next();
+                self.states[d].free_at = done;
+                self.injector.mark_bad_copy(
+                    PhysicalAddr {
+                        tape,
+                        slot: stop.slot,
+                    },
+                    done,
+                );
                 trace_event!(
-                    tracer,
+                    self.tracer,
                     done,
                     d as u16,
                     TraceEvent::CopyLost {
@@ -621,26 +1074,36 @@ pub fn run_multi_drive_checkpointed(
                     }
                 );
                 for r in &stop.requests {
-                    let survives = catalog
+                    // A request survives while any replica is alive *or*
+                    // only transiently lost (it waits for the heal); it
+                    // fails only when every copy is gone forever.
+                    let survives = self
+                        .catalog
                         .replicas(r.block)
                         .iter()
-                        .any(|a| !injector.copy_dead(*a));
+                        .any(|a| !self.injector.copy_lost_forever(*a));
                     if survives {
-                        faulted.insert(r.id, tape);
-                        pending.push(*r);
+                        self.faulted.insert(r.id, tape);
+                        self.pending.push(*r);
                     } else {
-                        faulted.remove(&r.id);
-                        metrics.record_permanent_failure();
+                        self.faulted.remove(&r.id);
+                        self.metrics.record_permanent_failure();
                         trace_event!(
-                            tracer,
+                            self.tracer,
                             done,
                             d as u16,
                             TraceEvent::RequestFailed { req: r.id }
                         );
-                        if closed {
-                            let req = factory.make(done);
+                        if self.external {
+                            self.events.push(EngineEvent::Failed {
+                                req: r.id,
+                                at: done,
+                            });
+                        }
+                        if self.closed {
+                            let req = self.factory.make(done);
                             trace_event!(
-                                tracer,
+                                self.tracer,
                                 done,
                                 SYSTEM_DRIVE,
                                 TraceEvent::Arrival {
@@ -648,22 +1111,26 @@ pub fn run_multi_drive_checkpointed(
                                     block: req.block,
                                 }
                             );
-                            queued.push(Reverse(QueuedArrival { at: done, seq, req }));
-                            seq += 1;
-                            metrics.record_admission();
+                            self.queued.push(Reverse(QueuedArrival {
+                                at: done,
+                                seq: self.seq,
+                                req,
+                            }));
+                            self.seq += 1;
+                            self.metrics.record_admission();
                         }
                     }
                 }
-                continue;
+                return Ok(());
             }
             t += rt;
             let done = t;
-            metrics.add_read_time(done, rt);
-            metrics.record_physical_read(done);
-            states[d].head = stop.slot.next();
-            states[d].free_at = done;
+            self.metrics.add_read_time(done, rt);
+            self.metrics.record_physical_read(done);
+            self.states[d].head = stop.slot.next();
+            self.states[d].free_at = done;
             trace_event!(
-                tracer,
+                self.tracer,
                 done,
                 d as u16,
                 TraceEvent::Read {
@@ -675,13 +1142,14 @@ pub fn run_multi_drive_checkpointed(
             );
             let completions = stop.requests.len();
             for r in &stop.requests {
-                metrics.record_completion(r.arrival, done, block_bytes);
-                if !faulted.is_empty() {
-                    if let Some(failed_tape) = faulted.remove(&r.id) {
+                self.metrics
+                    .record_completion(r.arrival, done, self.block_bytes);
+                if !self.faulted.is_empty() {
+                    if let Some(failed_tape) = self.faulted.remove(&r.id) {
                         if failed_tape != tape {
-                            metrics.record_replica_failover();
+                            self.metrics.record_replica_failover();
                             trace_event!(
-                                tracer,
+                                self.tracer,
                                 done,
                                 d as u16,
                                 TraceEvent::Failover {
@@ -694,7 +1162,7 @@ pub fn run_multi_drive_checkpointed(
                     }
                 }
                 trace_event!(
-                    tracer,
+                    self.tracer,
                     done,
                     d as u16,
                     TraceEvent::Complete {
@@ -703,12 +1171,18 @@ pub fn run_multi_drive_checkpointed(
                         delay: done.duration_since(r.arrival),
                     }
                 );
+                if self.external {
+                    self.events.push(EngineEvent::Completed {
+                        req: r.id,
+                        at: done,
+                    });
+                }
             }
-            if closed {
+            if self.closed {
                 for _ in 0..completions {
-                    let req = factory.make(done);
+                    let req = self.factory.make(done);
                     trace_event!(
-                        tracer,
+                        self.tracer,
                         done,
                         SYSTEM_DRIVE,
                         TraceEvent::Arrival {
@@ -716,34 +1190,43 @@ pub fn run_multi_drive_checkpointed(
                             block: req.block,
                         }
                     );
-                    queued.push(Reverse(QueuedArrival { at: done, seq, req }));
-                    seq += 1;
-                    metrics.record_admission();
+                    self.queued.push(Reverse(QueuedArrival {
+                        at: done,
+                        seq: self.seq,
+                        req,
+                    }));
+                    self.seq += 1;
+                    self.metrics.record_admission();
                 }
             }
-            continue;
+            return Ok(());
         }
 
         // Sweep finished (or never started): clear it and reschedule.
-        if let Some(p) = states[d].plan.take() {
-            trace_event!(tracer, now, d as u16, TraceEvent::SweepEnd { tape: p.tape });
+        if let Some(p) = self.states[d].plan.take() {
+            trace_event!(
+                self.tracer,
+                self.now,
+                d as u16,
+                TraceEvent::SweepEnd { tape: p.tape }
+            );
         }
-        states[d].cur_phase = None;
-        tapes_held_except_into(&states, d, &mut unavailable_buf);
+        self.states[d].cur_phase = None;
+        tapes_held_except_into(&self.states, d, &mut self.unavailable_buf);
         let view = JukeboxView {
-            catalog,
-            timing,
-            mounted: states[d].mounted,
-            head: states[d].head,
-            now,
-            unavailable: &unavailable_buf,
-            offline: &offline_buf,
+            catalog: self.catalog,
+            timing: self.timing,
+            mounted: self.states[d].mounted,
+            head: self.states[d].head,
+            now: self.now,
+            unavailable: &self.unavailable_buf,
+            offline: &self.offline_buf,
         };
-        match scheduler.major_reschedule(&view, &mut pending) {
+        match self.scheduler.major_reschedule(&view, &mut self.pending) {
             Some(plan) => {
                 trace_event!(
-                    tracer,
-                    now,
+                    self.tracer,
+                    self.now,
                     d as u16,
                     TraceEvent::SweepStart {
                         tape: plan.tape,
@@ -751,164 +1234,188 @@ pub fn run_multi_drive_checkpointed(
                         requests: plan.list.requests() as u32,
                     }
                 );
-                if states[d].mounted != Some(plan.tape) {
+                if self.states[d].mounted != Some(plan.tape) {
                     // Rewind + eject locally, then the (shared) robot
                     // exchange, then load. Each failed load attempt costs
                     // another robot exchange + load; exhausting the
                     // retries fails the tape itself.
-                    let mut t = now;
+                    let mut t = self.now;
                     let mut rewind = Micros::ZERO;
-                    if let Some(old) = states[d].mounted {
-                        rewind = timing.drive.rewind(states[d].head, block);
+                    if let Some(old) = self.states[d].mounted {
+                        rewind = self.timing.drive.rewind(self.states[d].head, self.block);
                         trace_event!(
-                            tracer,
-                            now + rewind,
+                            self.tracer,
+                            self.now + rewind,
                             d as u16,
                             TraceEvent::Rewind {
                                 tape: old,
-                                from: states[d].head,
+                                from: self.states[d].head,
                                 dur: rewind,
                             }
                         );
                         trace_event!(
-                            tracer,
-                            now + rewind,
+                            self.tracer,
+                            self.now + rewind,
                             d as u16,
                             TraceEvent::Unmount { tape: old }
                         );
-                        t = t + rewind + timing.drive.eject();
+                        t = t + rewind + self.timing.drive.eject();
                     }
-                    robot_free = t.max(robot_free) + timing.robot.exchange();
-                    let mut ready = robot_free + timing.drive.load();
+                    self.robot_free = t.max(self.robot_free) + self.timing.robot.exchange();
+                    let mut ready = self.robot_free + self.timing.drive.load();
                     let mut tape_failed_on_load = false;
-                    if injector.is_active() {
+                    if self.injector.is_active() {
                         let mut tries = 0u32;
-                        while injector.load_fails() {
-                            if tries >= faults.load_retries {
+                        while self.injector.load_fails() {
+                            if tries >= self.faults.load_retries {
                                 tape_failed_on_load = true;
                                 break;
                             }
                             tries += 1;
-                            robot_free = ready.max(robot_free) + timing.robot.exchange();
-                            ready = robot_free + timing.drive.load();
+                            self.robot_free =
+                                ready.max(self.robot_free) + self.timing.robot.exchange();
+                            ready = self.robot_free + self.timing.drive.load();
                         }
                     }
-                    metrics.add_switch_time(ready, ready.duration_since(now));
-                    metrics.record_tape_switch(ready);
+                    self.metrics
+                        .add_switch_time(ready, ready.duration_since(self.now));
+                    self.metrics.record_tape_switch(ready);
                     if tape_failed_on_load {
-                        injector.force_tape_failure(plan.tape, ready);
+                        self.injector.force_tape_failure(plan.tape, ready);
                         trace_event!(
-                            tracer,
+                            self.tracer,
                             ready,
                             d as u16,
                             TraceEvent::LoadFailed {
                                 tape: plan.tape,
-                                dur: ready.duration_since(now) - rewind,
+                                dur: ready.duration_since(self.now) - rewind,
                             }
                         );
                         trace_event!(
-                            tracer,
+                            self.tracer,
                             ready,
                             d as u16,
                             TraceEvent::TapeOffline { tape: plan.tape }
                         );
-                        abort_plan(&plan, plan.tape, &mut pending, &mut faulted);
-                        states[d].mounted = None;
-                        states[d].head = SlotIndex::BOT;
-                        states[d].free_at = ready;
-                        continue 'outer;
+                        abort_plan(&plan, plan.tape, &mut self.pending, &mut self.faulted);
+                        self.states[d].mounted = None;
+                        self.states[d].head = SlotIndex::BOT;
+                        self.states[d].free_at = ready;
+                        return Ok(());
                     }
                     trace_event!(
-                        tracer,
+                        self.tracer,
                         ready,
                         d as u16,
                         TraceEvent::Mount {
                             tape: plan.tape,
-                            dur: ready.duration_since(now) - rewind,
+                            dur: ready.duration_since(self.now) - rewind,
                         }
                     );
-                    states[d].mounted = Some(plan.tape);
-                    states[d].head = SlotIndex::BOT;
-                    states[d].free_at = ready;
+                    self.states[d].mounted = Some(plan.tape);
+                    self.states[d].head = SlotIndex::BOT;
+                    self.states[d].free_at = ready;
                 } // else: already mounted, can start immediately
-                states[d].plan = Some(plan);
+                self.states[d].plan = Some(plan);
             }
             None => {
                 // Nothing this drive can do: wait for the next system
                 // event (another drive's action, an arrival, or a fault
-                // repair that brings a tape back).
-                let mut next = end;
-                for (i, s) in states.iter().enumerate() {
-                    if i != d && !s.idle && s.free_at > now && s.free_at < next {
+                // repair that brings a tape back). External drivers lower
+                // `park` below the horizon so an idle engine waits for
+                // them instead of idling the run away.
+                let park = self.park;
+                let mut next = park;
+                for (i, s) in self.states.iter().enumerate() {
+                    if i != d
+                        && !s.idle
+                        && !self.admin_offline[i]
+                        && s.free_at > self.now
+                        && s.free_at < next
+                    {
                         next = s.free_at;
                     }
                 }
-                if let Some(t) = next_arrival {
-                    if t > now && t < next {
+                if let Some(t) = self.next_arrival {
+                    if t > self.now && t < next {
                         next = t;
                     }
                 }
-                if let Some(Reverse(q)) = queued.peek() {
-                    if q.at > now && q.at < next {
+                if let Some(Reverse(q)) = self.queued.peek() {
+                    if q.at > self.now && q.at < next {
                         next = q.at;
                     }
                 }
-                if let Some(t) = injector.next_event(now) {
+                if let Some(t) = self.injector.next_event(self.now) {
                     if t < next {
                         next = t;
                     }
                 }
-                if next >= end {
-                    // Check whether *any* drive still has queued work.
-                    let someone_busy = states
-                        .iter()
-                        .any(|s| s.plan.as_ref().is_some_and(|p| !p.list.is_empty()))
-                        || !queued.is_empty();
-                    if !someone_busy {
-                        let dur = end.duration_since(now);
-                        metrics.add_idle_time(end, dur);
-                        trace_event!(tracer, end, d as u16, TraceEvent::Idle { dur });
-                        now = end;
-                        break 'outer;
+                if next >= park {
+                    if park >= self.end {
+                        // Check whether *any* drive still has queued work.
+                        let someone_busy = self
+                            .states
+                            .iter()
+                            .any(|s| s.plan.as_ref().is_some_and(|p| !p.list.is_empty()))
+                            || !self.queued.is_empty();
+                        if !someone_busy {
+                            let dur = self.end.duration_since(self.now);
+                            self.metrics.add_idle_time(self.end, dur);
+                            trace_event!(self.tracer, self.end, d as u16, TraceEvent::Idle { dur });
+                            self.now = self.end;
+                            self.done = true;
+                            return Ok(());
+                        }
                     }
-                    next = end;
+                    next = park;
                 }
-                let dur = next.duration_since(now);
-                metrics.add_idle_time(next, dur);
-                trace_event!(tracer, next, d as u16, TraceEvent::Idle { dur });
-                states[d].free_at = next + Micros::from_micros(1);
-                states[d].idle = true;
+                let dur = next.duration_since(self.now);
+                if dur > Micros::ZERO || !self.external {
+                    self.metrics.add_idle_time(next, dur);
+                    trace_event!(self.tracer, next, d as u16, TraceEvent::Idle { dur });
+                }
+                self.states[d].free_at = next + Micros::from_micros(1);
+                self.states[d].idle = true;
             }
         }
+        Ok(())
     }
 
-    let window = if saturated || now < end {
-        if now > warmup_end {
-            now.duration_since(warmup_end)
+    /// Closes the run and produces its metrics report. Callable at any
+    /// point; requests still queued, pending, or mid-sweep count as
+    /// unserved.
+    pub fn finish(mut self) -> MetricsReport {
+        let window = if self.saturated || self.now < self.end {
+            if self.now > self.warmup_end {
+                self.now.duration_since(self.warmup_end)
+            } else {
+                Micros::from_micros(1)
+            }
         } else {
-            Micros::from_micros(1)
+            self.cfg.duration - self.cfg.warmup
+        };
+        let stranded: u64 = self
+            .states
+            .iter()
+            .map(|s| s.plan.as_ref().map_or(0, |p| p.list.requests() as u64))
+            .sum::<u64>()
+            + self.queued.len() as u64
+            + self.pending.len() as u64;
+        if self.injector.is_active() {
+            self.injector.advance(self.now);
+            self.metrics.set_fault_accounting(
+                self.injector.media_errors(),
+                self.injector.tape_downtime(self.now),
+                self.injector.degraded_time(self.now),
+                stranded,
+            );
+        } else {
+            self.metrics
+                .set_fault_accounting(0, Vec::new(), Micros::ZERO, stranded);
         }
-    } else {
-        cfg.duration - cfg.warmup
-    };
-    let stranded: u64 = states
-        .iter()
-        .map(|s| s.plan.as_ref().map_or(0, |p| p.list.requests() as u64))
-        .sum::<u64>()
-        + queued.len() as u64
-        + pending.len() as u64;
-    if injector.is_active() {
-        injector.advance(now);
-        metrics.set_fault_accounting(
-            injector.media_errors(),
-            injector.tape_downtime(now),
-            injector.degraded_time(now),
-            stranded,
-        );
-    } else {
-        metrics.set_fault_accounting(0, Vec::new(), Micros::ZERO, stranded);
+        self.metrics.report(window, self.saturated)
     }
-    Ok(metrics.report(window, saturated))
 }
 
 /// Tapes mounted in (or reserved by) every drive other than `except`,
@@ -987,6 +1494,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn single_drive_matches_scale_of_engine() {
         let r = run(
             1,
@@ -999,6 +1507,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn more_drives_give_more_throughput() {
         let alg = AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth);
         let one = run(1, alg, 120, 2);
@@ -1021,6 +1530,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn drives_never_share_a_tape() {
         // Indirectly validated by the envelope/selection availability
         // filters; here we run every algorithm family briefly to shake
@@ -1038,6 +1548,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn multi_drive_is_deterministic() {
         let alg = AlgorithmId::paper_recommended();
         let a = run(3, alg, 60, 9);
@@ -1084,6 +1595,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn multi_drive_conserves_requests_under_faults() {
         let faults = FaultConfig {
             media_error_per_read: 0.05,
@@ -1094,6 +1606,7 @@ mod tests {
             tape_mttr: Some(Micros::from_secs(15_000)),
             drive_mtbf: Some(Micros::from_secs(250_000)),
             drive_mttr: Micros::from_secs(4_000),
+            ..FaultConfig::NONE
         };
         for drives in [1, 3] {
             let r = run_faulty(drives, AlgorithmId::paper_recommended(), 60, 31, &faults);
@@ -1107,6 +1620,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn multi_drive_faults_are_deterministic() {
         let faults = FaultConfig {
             media_error_per_read: 0.02,
@@ -1118,5 +1632,138 @@ mod tests {
         let a = run_faulty(2, AlgorithmId::paper_recommended(), 60, 37, &faults);
         let b = run_faulty(2, AlgorithmId::paper_recommended(), 60, 37, &faults);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
+    fn stepped_multi_drive_matches_batch() {
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let timing = TimingModel::paper_default();
+        let cfg = SimConfig::quick();
+        let alg = AlgorithmId::paper_recommended();
+        let batch = run(3, alg, 60, 9);
+
+        let sampler = BlockSampler::from_catalog(&catalog, 40.0);
+        let mut factory =
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 60 }, 9);
+        let mut sched = make_scheduler(alg);
+        let mut sink = NullSink;
+        let mut engine = SteppedMultiDrive::new(
+            &catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            3,
+            &FaultConfig::NONE,
+            9,
+            &mut sink,
+            &CheckpointOpts::none(),
+        )
+        .unwrap();
+        engine
+            .step_until(SimTime::ZERO + Micros::from_secs(40_000))
+            .unwrap();
+        assert!(!engine.is_done());
+        assert_eq!(engine.drive_count(), 3);
+        while engine.step().unwrap() == StepOutcome::Running {}
+        assert_eq!(engine.finish(), batch);
+    }
+
+    #[test]
+    fn external_multi_serves_submissions_and_survives_drive_loss() {
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let timing = TimingModel::paper_default();
+        let cfg = SimConfig::quick();
+        let sampler = BlockSampler::from_catalog(&catalog, 40.0);
+        let mut factory =
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 1 }, 1);
+        let mut sched = make_scheduler(AlgorithmId::Dynamic(TapeSelectPolicy::MaxBandwidth));
+        let mut sink = NullSink;
+        let mut engine = SteppedMultiDrive::new_external(
+            &catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            2,
+            &FaultConfig::NONE,
+            1,
+            &mut sink,
+        )
+        .unwrap();
+        let blocks: Vec<BlockId> = (0..20).map(|i| BlockId(i * 53)).collect();
+        for (i, b) in blocks.iter().enumerate() {
+            engine
+                .submit_at(*b, SimTime::ZERO + Micros::from_secs(i as u64 * 50))
+                .unwrap();
+        }
+        // Take a drive away mid-run: the survivor keeps serving.
+        engine
+            .step_until(SimTime::ZERO + Micros::from_secs(500))
+            .unwrap();
+        engine.set_drive_offline(1, true).unwrap();
+        assert_eq!(engine.drives_online(), 1);
+        engine.step_until(SimTime::ZERO + cfg.duration).unwrap();
+        let completed = engine
+            .drain_events()
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::Completed { .. }))
+            .count() as u64;
+        assert_eq!(completed, blocks.len() as u64, "all submissions served");
+        let report = engine.finish();
+        assert_eq!(report.served, completed);
+        assert_eq!(report.unserved, 0);
+    }
+
+    #[test]
+    fn cancel_removes_waiting_requests_only() {
+        let catalog = paper_catalog(0, 0.0, LayoutKind::Horizontal);
+        let timing = TimingModel::paper_default();
+        let cfg = SimConfig::quick();
+        let sampler = BlockSampler::from_catalog(&catalog, 40.0);
+        let mut factory =
+            RequestFactory::new(sampler, ArrivalProcess::Closed { queue_length: 1 }, 1);
+        let mut sched = make_scheduler(AlgorithmId::Fifo);
+        let mut sink = NullSink;
+        let mut engine = SteppedMultiDrive::new_external(
+            &catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &cfg,
+            1,
+            &FaultConfig::NONE,
+            1,
+            &mut sink,
+        )
+        .unwrap();
+        let a = engine.submit_at(BlockId(0), SimTime::ZERO).unwrap();
+        let b = engine
+            .submit_at(BlockId(999), SimTime::ZERO + Micros::from_secs(90_000))
+            .unwrap();
+        assert_eq!(engine.waiting(), 2);
+        // `b` is still queued (future arrival): cancellable.
+        assert!(engine.cancel(b));
+        assert!(!engine.cancel(b), "double cancel is a no-op");
+        assert_eq!(engine.waiting(), 1);
+        engine.step_until(SimTime::ZERO + cfg.duration).unwrap();
+        // `a` completed long ago: no longer cancellable.
+        assert!(!engine.cancel(a));
+        let completed = engine
+            .drain_events()
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::Completed { .. }))
+            .count();
+        assert_eq!(completed, 1);
+        let report = engine.finish();
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.served, 1);
+        assert_eq!(report.cancelled, 1);
+        assert_eq!(report.unserved, 0);
+        assert_eq!(
+            report.admitted,
+            report.served + report.failed_requests + report.unserved + report.cancelled
+        );
     }
 }

@@ -183,6 +183,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn run_seeds_averages_and_preserves_order() {
         let placed = catalog();
         let timing = TimingModel::paper_default();
@@ -230,6 +231,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn multi_drive_specs_route_to_the_multidrive_engine() {
         let placed = catalog();
         let timing = TimingModel::paper_default();
@@ -250,6 +252,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn paired_runs_share_the_exact_trace() {
         let placed = catalog();
         let timing = TimingModel::paper_default();
@@ -280,6 +283,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full-horizon simulation is too slow under Miri")]
     fn faulty_specs_report_availability_metrics() {
         let placed = catalog();
         let timing = TimingModel::paper_default();

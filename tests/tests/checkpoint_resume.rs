@@ -387,6 +387,35 @@ fn truncated_checkpoint_is_a_typed_error() {
 }
 
 #[test]
+fn checkpoint_truncated_mid_record_is_a_typed_error() {
+    // The crash window the fsync'd temp-file + atomic-rename protocol
+    // closes is a checkpoint cut *inside* a record — not merely missing
+    // whole lines. Simulate exactly that tear: chop the file mid-line and
+    // require a typed CheckpointCorrupt, not a panic or a silent
+    // misparse.
+    let (sc, path) = valid_checkpoint("trunc-mid");
+    let bytes = std::fs::read(&path).unwrap();
+    // Cut in the middle of the last non-empty line: half the final
+    // record survives, with no trailing newline.
+    let last_line_start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("checkpoint has multiple lines")
+        + 1;
+    let cut = last_line_start + (bytes.len() - last_line_start) / 2;
+    assert!(
+        cut > last_line_start,
+        "mid-record cut must keep a partial record"
+    );
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+    assert!(
+        matches!(resume_error(&sc, &path), SimError::CheckpointCorrupt(_)),
+        "mid-record truncation must be CheckpointCorrupt"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn corrupted_checkpoint_is_a_typed_error() {
     let (sc, path) = valid_checkpoint("corrupt");
     let text = std::fs::read_to_string(&path).unwrap();
@@ -405,7 +434,11 @@ fn corrupted_checkpoint_is_a_typed_error() {
 fn version_mismatch_is_a_typed_error() {
     let (sc, path) = valid_checkpoint("version");
     let text = std::fs::read_to_string(&path).unwrap();
-    let bumped = text.replacen("\"version\":1", "\"version\":999", 1);
+    let bumped = text.replacen(
+        &format!("\"version\":{}", checkpoint::SCHEMA_VERSION),
+        "\"version\":999",
+        1,
+    );
     assert_ne!(bumped, text);
     std::fs::write(&path, bumped).unwrap();
     match resume_error(&sc, &path) {

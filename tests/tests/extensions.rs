@@ -186,6 +186,7 @@ fn faulty_experiments_are_reproducible_from_one_seed() {
         tape_mttr: Some(Micros::from_secs(15_000)),
         drive_mtbf: Some(Micros::from_secs(300_000)),
         drive_mttr: Micros::from_secs(5_000),
+        copy_heal_mttr: None,
     };
     for drives in [1u16, 2] {
         let spec = RunSpec {

@@ -422,6 +422,7 @@ mod fault_properties {
             tape_mttr: Some(Micros::from_secs(10_000)),
             drive_mtbf: Some(Micros::from_secs(200_000)),
             drive_mttr: Micros::from_secs(3_000),
+            copy_heal_mttr: None,
         };
         for alg in [
             AlgorithmId::Fifo,
