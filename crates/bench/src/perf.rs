@@ -4,17 +4,21 @@
 //!
 //! ## Scenario matrix
 //!
-//! Six scenarios cover the exposed hot paths:
+//! Eight scenarios cover the exposed hot paths:
 //!
-//! | name              | exercises                                          |
-//! |-------------------|----------------------------------------------------|
-//! | `engine-fifo`     | single-drive engine, trivial scheduling            |
-//! | `envelope-heavy`  | envelope extension under full replication, NR-9    |
-//! | `multi-drive`     | the 4-drive engine, dynamic max-bandwidth          |
-//! | `faulted`         | fault injection + replica failover, NR-2           |
-//! | `traced-null-sink`| the traced entry point with a disabled sink        |
-//! | `stepped-service` | the service layer over the stepped core: external  |
-//! |                   | submissions, deadlines, retries, transient faults  |
+//! | name                | exercises                                          |
+//! |---------------------|----------------------------------------------------|
+//! | `engine-fifo`       | single-drive engine, trivial scheduling            |
+//! | `envelope-heavy`    | envelope extension under full replication, NR-9    |
+//! | `multi-drive`       | the 4-drive engine, dynamic max-bandwidth          |
+//! | `faulted`           | fault injection + replica failover, NR-2           |
+//! | `traced-null-sink`  | the traced entry point with a disabled sink        |
+//! | `stepped-service`   | the service layer over the stepped core: external  |
+//! |                     | submissions, deadlines, retries, transient faults  |
+//! | `fleet-scale-serial`| 200 tapes x 8 drives, external burst storm through |
+//! |                     | the calendar queue, serial stepping                |
+//! | `fleet-scale-8w`    | the same storm with 8 window workers — the         |
+//! |                     | parallel-over-serial speedup readout               |
 //!
 //! Each scenario runs `warmup_reps` untimed repetitions followed by
 //! `reps` timed ones, all with the same seed; the report carries the
@@ -23,19 +27,25 @@
 //! `physical_reads`) are identical across repetitions and fails loudly
 //! if they are not — a free determinism tripwire on every benchmark run.
 //!
-//! ## `BENCH_PERF.json` schema (version 1)
+//! ## `BENCH_PERF.json` schema (version 2)
 //!
-//! Keys are emitted in a fixed, documented order so diffs are stable:
+//! Version 2 adds the per-scenario `workers` key (window worker threads;
+//! `1` = serial stepping) and the top-level `host_parallelism` key (the
+//! measuring host's hardware threads — worker counts above it time-slice
+//! rather than run in parallel). Keys are emitted in a fixed, documented
+//! order so diffs are stable:
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "scale": "quick",
 //!   "warmup_reps": 1,
 //!   "reps": 5,
+//!   "host_parallelism": 8,
 //!   "scenarios": [
 //!     {
 //!       "name": "engine-fifo",
+//!       "workers": 1,
 //!       "median_ms": 1.5,
 //!       "min_ms": 1.4,
 //!       "sim_seconds": 100000,
@@ -58,7 +68,7 @@ use std::time::Instant;
 
 use tapesim::layout::BlockId;
 use tapesim::model::FaultConfig;
-use tapesim::model::{Micros, SimTime};
+use tapesim::model::{JukeboxGeometry, Micros, SimTime};
 use tapesim::sim::{
     run_simulation_traced, AdmissionPolicy, JukeboxService, NullSink, RunSpec, ServiceConfig,
     SimConfig, SimError, SteppedMultiDrive,
@@ -69,8 +79,9 @@ use tapesim::{
     ExperimentConfig, Scale,
 };
 
-/// Version of the emitted JSON schema.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version of the emitted JSON schema. Version 2 added the per-scenario
+/// `workers` key.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Default regression tolerance: a scenario fails the check when its
 /// median is more than 30% slower than the baseline. Wide enough to
@@ -90,6 +101,24 @@ pub enum ScenarioRoute {
     /// a deterministic external submission schedule with deadlines and
     /// capped-backoff retries.
     SteppedService,
+    /// The external-mode stepped multi-drive core under a fleet-scale
+    /// burst storm (hundreds of tapes, 8 drives), stepped with the given
+    /// number of window worker threads (`1` = serial stepping).
+    FleetScale {
+        /// Window worker threads to run with.
+        workers: usize,
+    },
+}
+
+impl ScenarioRoute {
+    /// Window worker threads this route steps with (`1` for every serial
+    /// route).
+    pub fn workers(self) -> u64 {
+        match self {
+            ScenarioRoute::FleetScale { workers } => workers.max(1) as u64,
+            _ => 1,
+        }
+    }
 }
 
 /// One benchmark scenario: a named experiment configuration plus the
@@ -181,11 +210,119 @@ pub fn scenario_matrix(scale: Scale) -> Vec<ScenarioSpec> {
                     copy_heal_mttr: Some(Micros::from_secs(2_000)),
                     ..FaultConfig::NONE
                 },
-                ..baseline
+                ..baseline.clone()
             },
             route: ScenarioRoute::SteppedService,
         },
+        ScenarioSpec {
+            name: "fleet-scale-serial",
+            cfg: fleet_scale_config(&baseline),
+            route: ScenarioRoute::FleetScale { workers: 1 },
+        },
+        ScenarioSpec {
+            name: "fleet-scale-8w",
+            cfg: fleet_scale_config(&baseline),
+            route: ScenarioRoute::FleetScale { workers: 8 },
+        },
     ]
+}
+
+/// The fleet-scale experiment point: 200 tapes, 8 drives, no
+/// replication. The workload is an external burst storm (see
+/// [`run_fleet_scenario`]), so the arrival process here only seeds the
+/// factory.
+fn fleet_scale_config(baseline: &ExperimentConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        geometry: JukeboxGeometry::new(200, 3_500),
+        drives: 8,
+        replicas: 1,
+        sp: 1.0,
+        // A sweeping scheduler: FIFO serves one request per tape visit,
+        // which can never drain a fleet-scale burst before the engine's
+        // saturation cutoff ends the run.
+        algorithm: AlgorithmId::Static(TapeSelectPolicy::MaxRequests),
+        process: ArrivalProcess::Closed { queue_length: 1 },
+        ..baseline.clone()
+    }
+}
+
+/// Drives one repetition of a `fleet-scale` scenario: bursts of external
+/// submissions at distinct microsecond ticks (feeding the calendar
+/// queue), drained by 8 drives between bursts, stepped with `workers`
+/// window worker threads.
+fn run_fleet_scenario(
+    cfg: &ExperimentConfig,
+    placed: &tapesim::layout::PlacedCatalog,
+    sim: &SimConfig,
+    seed: u64,
+    workers: usize,
+) -> Result<(u64, u64), SimError> {
+    let sampler = BlockSampler::from_catalog(&placed.catalog, cfg.rh_percent);
+    let mut factory = RequestFactory::new_clustered(sampler, cfg.process, cfg.cluster_run_p, seed);
+    let mut scheduler = make_scheduler(cfg.algorithm);
+    let mut sink = NullSink;
+    let mut engine = SteppedMultiDrive::new_external(
+        &placed.catalog,
+        &cfg.timing,
+        scheduler.as_mut(),
+        &mut factory,
+        sim,
+        cfg.drives,
+        &cfg.faults,
+        seed,
+        &mut sink,
+    )?;
+    engine.set_parallel(workers);
+    // Seeded SplitMix64 draws concentrated on a small hot tape cluster;
+    // every submission lands on its own microsecond tick so
+    // calendar-queue buckets stay spread out. Cold blocks are striped
+    // round-robin across tapes (ids one tape-count apart share a tape at
+    // adjacent slots), so drawing `base + stride * q + r` with a few
+    // residues `r` builds long sweeps on a handful of tapes — the shape
+    // where partitioned-horizon windows carry the most stops.
+    let blocks = u64::from(placed.catalog.num_blocks().max(1));
+    let stride = u64::from(placed.catalog.geometry().tapes).max(1);
+    // Skip the replicated hot set (~ph% of blocks) so each draw has
+    // exactly one copy and sweeps stay single-tape.
+    let base = blocks / 10;
+    let span = ((blocks - base) / stride).max(1);
+    let mut state = seed | 1;
+    let mut next_u64 = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let horizon_s = sim.duration.as_micros() / 1_000_000;
+    // One 1800-request burst per ~16.7 ks of sim time: 8 drives at
+    // roughly one stop per 72 s drain ~1850 requests per gap, so each
+    // burst is gone just before the next lands and the pending set never
+    // reaches the engine's saturation cutoff.
+    let burst_gap_s = 16_666u64.clamp(1, horizon_s.max(1));
+    let mut at_s = 0u64;
+    while at_s < horizon_s * 9 / 10 {
+        let t0 = SimTime::ZERO + Micros::from_secs(at_s);
+        for i in 0..1_800u64 {
+            let x = next_u64();
+            let q = (x >> 8) % span;
+            let r = x % 8;
+            // Block ids stay far below 2^32, so the cast is lossless.
+            #[allow(clippy::cast_possible_truncation)]
+            let block = BlockId(((base + stride * q + r) % blocks) as u32);
+            match engine.submit_at(block, t0 + Micros::from_micros(i + 1)) {
+                Ok(_) | Err(SimError::Overloaded) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        engine.step_until(t0 + Micros::from_secs(burst_gap_s))?;
+        let _ = engine.drain_events();
+        at_s += burst_gap_s;
+    }
+    engine.step_until(engine.horizon())?;
+    let _ = engine.drain_events();
+    let report = engine.finish();
+    Ok((report.completed, report.physical_reads))
 }
 
 /// Drives one repetition of the `stepped-service` scenario: a seeded
@@ -291,6 +428,9 @@ pub fn run_scenario(
         ScenarioRoute::SteppedService => {
             return run_service_scenario(cfg, placed, sim, seed);
         }
+        ScenarioRoute::FleetScale { workers } => {
+            return run_fleet_scenario(cfg, placed, sim, seed, workers);
+        }
         ScenarioRoute::Runner => {
             let spec = RunSpec {
                 catalog: &placed.catalog,
@@ -314,6 +454,8 @@ pub fn run_scenario(
 pub struct ScenarioResult {
     /// Scenario name.
     pub name: String,
+    /// Window worker threads the scenario stepped with (1 = serial).
+    pub workers: u64,
     /// Median wall time over the timed repetitions, in milliseconds.
     pub median_ms: f64,
     /// Minimum wall time, in milliseconds.
@@ -339,6 +481,11 @@ pub struct PerfReport {
     pub warmup_reps: u64,
     /// Timed repetitions per scenario.
     pub reps: u64,
+    /// Hardware threads available on the measuring host. Worker counts
+    /// above this (e.g. `fleet-scale-8w` on a single-core runner)
+    /// time-slice instead of running in parallel, so their timings are
+    /// not comparable across hosts with different parallelism.
+    pub host_parallelism: u64,
     /// Per-scenario results, in matrix order.
     pub scenarios: Vec<ScenarioResult>,
 }
@@ -409,6 +556,7 @@ pub fn run_matrix(scale: Scale, warmup_reps: u64, reps: u64) -> Result<PerfRepor
         let (completed, physical_reads) = counters.unwrap_or((0, 0));
         scenarios.push(ScenarioResult {
             name: spec.name.to_owned(),
+            workers: spec.route.workers(),
             median_ms,
             min_ms,
             sim_seconds,
@@ -418,11 +566,28 @@ pub fn run_matrix(scale: Scale, warmup_reps: u64, reps: u64) -> Result<PerfRepor
             physical_reads,
         });
     }
+    // The two fleet-scale scenarios run the identical config and
+    // submission schedule at different worker counts: their counters
+    // must agree exactly, or the parallel core broke determinism.
+    let fleet: Vec<&ScenarioResult> = scenarios
+        .iter()
+        .filter(|s| s.name.starts_with("fleet-scale"))
+        .collect();
+    for pair in fleet.windows(2) {
+        let &[a, b] = pair else { continue };
+        if (a.completed, a.physical_reads) != (b.completed, b.physical_reads) {
+            return Err(format!(
+                "{} vs {}: worker count changed results: ({}, {}) vs ({}, {})",
+                a.name, b.name, a.completed, a.physical_reads, b.completed, b.physical_reads
+            ));
+        }
+    }
     Ok(PerfReport {
         schema_version: SCHEMA_VERSION,
         scale: scale_name(scale).to_owned(),
         warmup_reps,
         reps,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
         scenarios,
     })
 }
@@ -468,10 +633,15 @@ impl PerfReport {
         out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(&self.scale)));
         out.push_str(&format!("  \"warmup_reps\": {},\n", self.warmup_reps));
         out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
         out.push_str("  \"scenarios\": [\n");
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&s.name)));
+            out.push_str(&format!("      \"workers\": {},\n", s.workers));
             out.push_str(&format!(
                 "      \"median_ms\": {},\n",
                 json_num(s.median_ms)
@@ -511,6 +681,7 @@ impl PerfReport {
         let scale = get_str(obj, "scale")?.to_owned();
         let warmup_reps = get_u64(obj, "warmup_reps")?;
         let reps = get_u64(obj, "reps")?;
+        let host_parallelism = get_u64(obj, "host_parallelism")?;
         let scenarios = get(obj, "scenarios")?
             .as_array("scenarios")?
             .iter()
@@ -518,6 +689,7 @@ impl PerfReport {
                 let o = s.as_object("scenario")?;
                 Ok(ScenarioResult {
                     name: get_str(o, "name")?.to_owned(),
+                    workers: get_u64(o, "workers")?,
                     median_ms: get_f64(o, "median_ms")?,
                     min_ms: get_f64(o, "min_ms")?,
                     sim_seconds: get_f64(o, "sim_seconds")?,
@@ -532,6 +704,7 @@ impl PerfReport {
             scale,
             warmup_reps,
             reps,
+            host_parallelism,
             scenarios,
         })
     }
@@ -540,6 +713,7 @@ impl PerfReport {
     pub fn to_table(&self) -> tapesim::analysis::Table {
         let mut t = tapesim::analysis::Table::new([
             "scenario",
+            "workers",
             "median_ms",
             "min_ms",
             "sim_s/wall_s",
@@ -549,6 +723,7 @@ impl PerfReport {
         for s in &self.scenarios {
             t.push([
                 s.name.clone(),
+                s.workers.to_string(),
                 tapesim::analysis::fnum(s.median_ms, 3),
                 tapesim::analysis::fnum(s.min_ms, 3),
                 tapesim::analysis::fnum(s.sim_secs_per_wall_sec, 0),
@@ -860,9 +1035,11 @@ mod tests {
             scale: "quick".to_owned(),
             warmup_reps: 1,
             reps: 5,
+            host_parallelism: 8,
             scenarios: vec![
                 ScenarioResult {
                     name: "engine-fifo".to_owned(),
+                    workers: 1,
                     median_ms: 1.537,
                     min_ms: 1.101,
                     sim_seconds: 100_000.0,
@@ -872,6 +1049,7 @@ mod tests {
                 },
                 ScenarioResult {
                     name: "envelope-heavy".to_owned(),
+                    workers: 1,
                     median_ms: 2.25,
                     min_ms: 2.0,
                     sim_seconds: 100_000.0,
@@ -900,9 +1078,11 @@ mod tests {
         assert!(pos("schema_version") < pos("scale"));
         assert!(pos("scale") < pos("warmup_reps"));
         assert!(pos("warmup_reps") < pos("reps"));
-        assert!(pos("reps") < pos("scenarios"));
+        assert!(pos("reps") < pos("host_parallelism"));
+        assert!(pos("host_parallelism") < pos("scenarios"));
         // Scenario keys in schema order.
-        assert!(pos("name") < pos("median_ms"));
+        assert!(pos("name") < pos("workers"));
+        assert!(pos("workers") < pos("median_ms"));
         assert!(pos("median_ms") < pos("min_ms"));
         assert!(pos("min_ms") < pos("sim_seconds"));
         assert!(pos("sim_seconds") < pos("sim_secs_per_wall_sec"));
@@ -913,13 +1093,13 @@ mod tests {
     #[test]
     fn from_json_rejects_other_schema_versions_and_garbage() {
         let mut r = sample_report();
-        r.schema_version = 2;
+        r.schema_version = 3;
         assert!(PerfReport::from_json(&r.to_json())
             .unwrap_err()
             .contains("schema_version"));
         assert!(PerfReport::from_json("not json").is_err());
         assert!(PerfReport::from_json("{}").is_err());
-        assert!(PerfReport::from_json("{\"schema_version\": 1} trailing").is_err());
+        assert!(PerfReport::from_json("{\"schema_version\": 2} trailing").is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use tapesim_layout::Catalog;
 use tapesim_model::{BlockSize, Micros, ReadContext, SlotIndex, TapeId, TimingModel};
 use tapesim_workload::Request;
 
-use crate::api::{JukeboxView, PendingList, ServiceList};
+use crate::api::{JukeboxView, PendingList, ScheduledRead, ServiceList};
 
 /// Time to execute a sequence of stops in the given order starting with
 /// the head at `head`. Each stop is one locate (in whichever direction the
@@ -130,6 +130,20 @@ pub fn candidates_for_all_tapes(
         .collect()
 }
 
+/// Per-tape pending-request counts in a single pass — entry `t` equals
+/// the `request_count` of [`candidates_for_all_tapes`]'s entry `t` (0
+/// where that entry is `None`). The count-scored selection policies and
+/// availability probes need only this, not the sorted slot lists.
+pub fn counts_for_all_tapes(catalog: &Catalog, pending: &PendingList) -> Vec<usize> {
+    let mut counts: Vec<usize> = vec![0; catalog.geometry().tapes as usize];
+    for r in pending.iter() {
+        for a in catalog.replicas(r.block) {
+            counts[a.tape.index()] += 1;
+        }
+    }
+    counts
+}
+
 /// Cost to prepare `tape` for service: zero when it is already mounted,
 /// otherwise rewind (if a tape is mounted) + eject + exchange + load.
 pub fn mount_cost(view: &JukeboxView<'_>, tape: TapeId) -> Micros {
@@ -192,19 +206,42 @@ pub fn split_sweep(
     head: SlotIndex,
     requests: Vec<Request>,
 ) -> ServiceList {
-    let mut list = ServiceList::new();
+    // Resolve each slot once, split around the head, then build each
+    // phase by a stable sort and a linear group-by-slot: repeated
+    // ordered inserts into a `VecDeque` are quadratic in sweep length.
+    // The stable sort keeps requests at the same slot in input order,
+    // exactly like appending to an existing stop did.
+    let mut forward: Vec<(SlotIndex, Request)> = Vec::new();
+    let mut reverse: Vec<(SlotIndex, Request)> = Vec::new();
     for r in requests {
         let addr = catalog
             .copy_on_tape(r.block, tape)
             // simlint: allow(panic, scheduler contract; the caller routed this request to a tape holding a copy)
             .expect("request scheduled on a tape without a copy");
         if addr.slot >= head {
-            list.insert_forward(addr.slot, r);
+            forward.push((addr.slot, r));
         } else {
-            list.insert_reverse(addr.slot, r);
+            reverse.push((addr.slot, r));
         }
     }
-    list
+    forward.sort_by_key(|&(slot, _)| slot);
+    reverse.sort_by_key(|&(slot, _)| core::cmp::Reverse(slot));
+    let group = |items: Vec<(SlotIndex, Request)>| -> Vec<ScheduledRead> {
+        let mut out: Vec<ScheduledRead> = Vec::new();
+        for (slot, r) in items {
+            match out.last_mut() {
+                Some(stop) if stop.slot == slot => stop.requests.push(r),
+                _ => out.push(ScheduledRead {
+                    slot,
+                    requests: vec![r],
+                }),
+            }
+        }
+        out
+    };
+    ServiceList::from_parts(group(forward), group(reverse))
+        // simlint: allow(panic, the grouped phases are strictly ordered by construction)
+        .expect("grouped sweep phases are strictly ordered")
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@
 //! against a brute-force oracle in `optimal.rs`).
 #![allow(clippy::cast_precision_loss)] // request counts used for ranking stay far below 2^53
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use tapesim_layout::Catalog;
 use tapesim_model::{Micros, ReadContext, SlotIndex, TapeId};
 use tapesim_workload::Request;
 
@@ -88,6 +91,10 @@ pub struct EnvelopeScheduler {
     /// Envelope from the most recent major reschedule, consulted and
     /// extended by the incremental scheduler during the sweep.
     env: Envelope,
+    /// Persistent index of the pending snapshot, delta-updated across
+    /// major reschedules so the upper-envelope computation never rescans
+    /// the whole pending list per tape.
+    index: EnvelopeIndex,
 }
 
 impl EnvelopeScheduler {
@@ -97,6 +104,7 @@ impl EnvelopeScheduler {
             policy,
             name: format!("envelope {}", policy.name()),
             env: Vec::new(),
+            index: EnvelopeIndex::default(),
         }
     }
 
@@ -109,6 +117,13 @@ impl EnvelopeScheduler {
     /// diagnostics).
     pub fn current_envelope(&self) -> &Envelope {
         &self.env
+    }
+
+    /// The persistent pending-set index (for tests and diagnostics).
+    /// Empty until a reschedule sees a snapshot large enough to cross
+    /// the indexed-driver threshold.
+    pub fn envelope_index(&self) -> &EnvelopeIndex {
+        &self.index
     }
 }
 
@@ -140,7 +155,21 @@ impl Scheduler for EnvelopeScheduler {
         if snapshot.is_empty() {
             return None;
         }
-        let upper = compute_upper_envelope(view, &snapshot);
+        // The persistent index pays off once the snapshot is large enough
+        // to amortize its per-reschedule sync; below that the plain scan
+        // is faster. Both drivers produce the identical envelope (the
+        // property suite pins this), so the switch is purely a speed
+        // choice — and deterministic, since it depends only on the
+        // snapshot size.
+        let upper = if snapshot.len() >= INDEXED_ENVELOPE_THRESHOLD {
+            self.index.sync(view.catalog, &snapshot);
+            compute_upper_envelope_indexed(view, &snapshot, &self.index)
+        } else {
+            if !self.index.is_empty() {
+                self.index = EnvelopeIndex::default();
+            }
+            compute_upper_envelope(view, &snapshot)
+        };
         let tape = select_envelope_tape(self.policy, view, &snapshot, &upper.env)?;
         let env_t = upper.env[tape.index()];
         let taken = pending.extract(|r| {
@@ -244,6 +273,9 @@ impl Scheduler for EnvelopeScheduler {
     }
 
     fn restore_state(&mut self, state: &str) -> Result<(), &'static str> {
+        // The index is derivable from the pending list; drop it and let
+        // the first post-restore sync rebuild it from scratch.
+        self.index = EnvelopeIndex::default();
         if state.is_empty() {
             self.env = Vec::new();
             return Ok(());
@@ -299,6 +331,147 @@ pub fn envelope_after_absorb(
     let mut counts: Vec<u32> = vec![0; tapes];
     absorb(view, pending, &mut assigned, &mut counts, &env);
     (env, assigned)
+}
+
+/// Snapshot size at which [`EnvelopeScheduler`] switches from the plain
+/// per-reschedule scan to the persistent [`EnvelopeIndex`]. Maintaining
+/// the index costs an ordered diff pass per reschedule; with the small
+/// pending sets of closed-queue paper runs that overhead exceeds the
+/// scan it replaces, so the index only engages for large backlogs.
+const INDEXED_ENVELOPE_THRESHOLD: usize = 512;
+
+/// Persistent index of the pending snapshot for incremental envelope
+/// recomputation.
+///
+/// A major reschedule recomputes the upper envelope from scratch; with a
+/// plain scan that costs O(tapes x pending) per extension-list rebuild
+/// plus a full pass to find the non-replicated pins. The index keeps
+/// three derived views of the pending set alive across reschedules:
+///
+/// * `members` — the requests indexed, keyed by id, so the next sync can
+///   diff instead of rescan;
+/// * `by_tape` — per tape, the sorted `(slot, request id)` pairs of every
+///   replica copy, so an extension-list rebuild walks exactly the
+///   entries on that tape;
+/// * `pins` — per tape, the slots pinned by non-replicated requests with
+///   a reference count, so the step-1 initial envelope is the last pin
+///   key per tape instead of a scan.
+///
+/// [`EnvelopeIndex::sync`] delta-updates all three from the snapshot:
+/// arrivals, completions, cancellations and availability changes all
+/// manifest as membership diffs, so the entry-maintenance cost is
+/// proportional to the churn since the previous reschedule, not to the
+/// pending-list length (the diff itself is one ordered pass over the
+/// snapshot).
+/// The indexed driver produces bit-identical envelopes, assignments and
+/// [`Micros`] costs to the scan-based one (asserted in debug builds and
+/// by the property suite in `tests/envelope_cache_props.rs`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnvelopeIndex {
+    /// Indexed requests by id, for diffing against the next snapshot.
+    members: BTreeMap<u64, Request>,
+    /// Per tape: `(slot, request id)` for the canonical copy of every
+    /// member's block with a replica on that tape, sorted ascending.
+    by_tape: Vec<BTreeSet<(u32, u64)>>,
+    /// Per tape: slot -> number of non-replicated members pinning it.
+    pins: Vec<BTreeMap<u32, u32>>,
+}
+
+impl EnvelopeIndex {
+    /// Number of requests currently indexed.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the index holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Delta-updates the index to match `snapshot` (the availability-
+    /// filtered pending list a major reschedule operates on). Requests
+    /// that left the snapshot are removed, new ones are added; a request
+    /// re-appearing with different fields under a reused id is treated as
+    /// remove + add.
+    pub fn sync(&mut self, catalog: &Catalog, snapshot: &[Request]) {
+        self.ensure_tapes(catalog.geometry().tapes as usize);
+        let mut current: BTreeMap<u64, Request> = BTreeMap::new();
+        for r in snapshot {
+            current.insert(r.id.0, *r);
+        }
+        let departed: Vec<Request> = self
+            .members
+            .values()
+            .filter(|r| current.get(&r.id.0).is_none_or(|c| c != *r))
+            .copied()
+            .collect();
+        for r in &departed {
+            self.members.remove(&r.id.0);
+            self.remove_entries(catalog, r);
+        }
+        for r in snapshot {
+            if let std::collections::btree_map::Entry::Vacant(slot) = self.members.entry(r.id.0) {
+                slot.insert(*r);
+                self.add_entries(catalog, r);
+            }
+        }
+    }
+
+    fn ensure_tapes(&mut self, tapes: usize) {
+        if self.by_tape.len() != tapes {
+            self.members.clear();
+            self.by_tape = vec![BTreeSet::new(); tapes];
+            self.pins = vec![BTreeMap::new(); tapes];
+        }
+    }
+
+    fn add_entries(&mut self, catalog: &Catalog, r: &Request) {
+        let replicas = catalog.replicas(r.block);
+        for a in replicas {
+            // Canonical copy per tape, matching `copy_on_tape` so the
+            // indexed extension lists equal the scan-based ones.
+            if let Some(c) = catalog.copy_on_tape(r.block, a.tape) {
+                self.by_tape[a.tape.index()].insert((c.slot.0, r.id.0));
+            }
+        }
+        if let [a] = replicas {
+            *self.pins[a.tape.index()].entry(a.slot.0).or_insert(0) += 1;
+        }
+    }
+
+    fn remove_entries(&mut self, catalog: &Catalog, r: &Request) {
+        let replicas = catalog.replicas(r.block);
+        for a in replicas {
+            if let Some(c) = catalog.copy_on_tape(r.block, a.tape) {
+                self.by_tape[a.tape.index()].remove(&(c.slot.0, r.id.0));
+            }
+        }
+        if let [a] = replicas {
+            let pins = &mut self.pins[a.tape.index()];
+            if let Some(count) = pins.get_mut(&a.slot.0) {
+                *count -= 1;
+                if *count == 0 {
+                    pins.remove(&a.slot.0);
+                }
+            } else {
+                debug_assert!(false, "pin missing on removal");
+            }
+        }
+    }
+
+    /// The step-1 initial envelope (non-replicated pins only; the caller
+    /// applies the mounted-head pin): per tape, one past the outermost
+    /// pinned slot.
+    fn initial_envelope(&self, tapes: usize) -> Envelope {
+        (0..tapes)
+            .map(|t| self.pins[t].keys().next_back().map_or(0, |&s| s + 1))
+            .collect()
+    }
+
+    /// The indexed `(slot, request id)` entries on `tape`, ascending.
+    fn tape_entries(&self, tape: TapeId) -> &BTreeSet<(u32, u64)> {
+        &self.by_tape[tape.index()]
+    }
 }
 
 /// Per-call cache of the per-tape extension lists and their prefix cost
@@ -399,6 +572,28 @@ impl ExtensionCache {
         }
     }
 
+    /// Rebuilds `tape`'s extension list if it is stale, sourcing the
+    /// unassigned entries from `source` (pending-list scan or persistent
+    /// index).
+    fn refresh_from(
+        &mut self,
+        view: &JukeboxView<'_>,
+        source: &ExtensionSource<'_>,
+        assigned: &[Option<TapeId>],
+        env: &Envelope,
+        tape: TapeId,
+    ) {
+        if self.tapes[tape.index()].valid {
+            return;
+        }
+        match source {
+            ExtensionSource::Scan { pending } => self.rebuild(view, pending, assigned, env, tape),
+            ExtensionSource::Index { index, by_id } => {
+                self.rebuild_indexed(view, index, by_id, assigned, env, tape);
+            }
+        }
+    }
+
     fn rebuild(
         &mut self,
         view: &JukeboxView<'_>,
@@ -410,9 +605,6 @@ impl ExtensionCache {
         let catalog = view.catalog;
         let ext = &mut self.tapes[tape.index()];
         ext.entries.clear();
-        ext.slots.clear();
-        ext.costs.clear();
-        ext.bws.clear();
         for (i, r) in pending.iter().enumerate() {
             if assigned[i].is_some() {
                 continue;
@@ -422,6 +614,50 @@ impl ExtensionCache {
                 ext.entries.push((a.slot, i));
             }
         }
+        Self::finish_rebuild(ext, view, env, tape);
+    }
+
+    /// Index-fed rebuild: walks only the `(slot, id)` entries recorded
+    /// for `tape` instead of the whole pending list. After the sort the
+    /// entry list is identical to [`ExtensionCache::rebuild`]'s, so all
+    /// downstream costs are bit-identical.
+    fn rebuild_indexed(
+        &mut self,
+        view: &JukeboxView<'_>,
+        index: &EnvelopeIndex,
+        by_id: &BTreeMap<u64, usize>,
+        assigned: &[Option<TapeId>],
+        env: &Envelope,
+        tape: TapeId,
+    ) {
+        let ext = &mut self.tapes[tape.index()];
+        ext.entries.clear();
+        for &(slot, id) in index.tape_entries(tape) {
+            let Some(&i) = by_id.get(&id) else {
+                debug_assert!(false, "index member {id} missing from snapshot");
+                continue;
+            };
+            if assigned[i].is_some() {
+                continue;
+            }
+            debug_assert!(slot >= env[tape.index()], "unscheduled inside envelope");
+            ext.entries.push((SlotIndex(slot), i));
+        }
+        Self::finish_rebuild(ext, view, env, tape);
+    }
+
+    /// Shared tail of a rebuild: sorts the collected entries and walks
+    /// each prefix incrementally, exactly as `prefix_cost` would for the
+    /// slots seen so far.
+    fn finish_rebuild(
+        ext: &mut TapeExtension,
+        view: &JukeboxView<'_>,
+        env: &Envelope,
+        tape: TapeId,
+    ) {
+        ext.slots.clear();
+        ext.costs.clear();
+        ext.bws.clear();
         ext.start = SlotIndex(env[tape.index()]);
         ext.switch = if ext.start == SlotIndex::BOT && view.mounted != Some(tape) {
             view.timing.switch_time()
@@ -433,10 +669,7 @@ impl ExtensionCache {
             return;
         }
         ext.entries.sort_unstable();
-
-        // Walk each prefix incrementally, exactly as `prefix_cost` would
-        // for the slots seen so far.
-        let block = catalog.block_size();
+        let block = view.catalog.block_size();
         let start = ext.start;
         let mut pos = start;
         let mut out_time = Micros::ZERO;
@@ -462,36 +695,69 @@ impl ExtensionCache {
     }
 }
 
+/// How the upper-envelope driver sources its extension lists.
+#[derive(Debug, Clone, Copy)]
+enum RebuildMode<'a> {
+    /// Scan the pending snapshot, reusing cached lists across iterations.
+    Cached,
+    /// Scan and rebuild every list on every iteration (reference driver).
+    Fresh,
+    /// Feed the cache from a persistent, delta-updated [`EnvelopeIndex`].
+    Indexed(&'a EnvelopeIndex),
+}
+
+/// Where an extension-list rebuild finds the unassigned requests.
+enum ExtensionSource<'a> {
+    /// Full scan of the pending snapshot.
+    Scan {
+        /// The pending snapshot.
+        pending: &'a [Request],
+    },
+    /// Walk of the per-tape index entries.
+    Index {
+        /// The persistent index (already synced to the snapshot).
+        index: &'a EnvelopeIndex,
+        /// Request id -> snapshot position.
+        by_id: &'a BTreeMap<u64, usize>,
+    },
+}
+
 /// Computes the upper envelope over a snapshot of the pending list,
 /// following Section 3.2's six steps. Reuses cached extension lists
 /// across iterations of the extension loop.
 pub fn compute_upper_envelope(view: &JukeboxView<'_>, pending: &[Request]) -> UpperEnvelope {
-    compute_upper_envelope_impl(view, pending, false)
+    compute_upper_envelope_impl(view, pending, RebuildMode::Cached)
 }
 
 /// Reference variant of [`compute_upper_envelope`] that rebuilds every
 /// extension list on every iteration instead of reusing the cache. Only
 /// exists so tests can assert the cached and fresh computations agree;
-/// schedulers always use the cached driver.
+/// schedulers always use a cached driver.
 pub fn compute_upper_envelope_fresh(view: &JukeboxView<'_>, pending: &[Request]) -> UpperEnvelope {
-    compute_upper_envelope_impl(view, pending, true)
+    compute_upper_envelope_impl(view, pending, RebuildMode::Fresh)
 }
 
-fn compute_upper_envelope_impl(
+/// Incremental variant of [`compute_upper_envelope`]: sources the initial
+/// envelope and every extension-list rebuild from `index`, which must
+/// have been [`EnvelopeIndex::sync`]ed against `pending`. Produces
+/// bit-identical output to the scan-based drivers (asserted in debug
+/// builds); the work per rebuild is proportional to the entries on the
+/// tape rather than the pending-list length.
+pub fn compute_upper_envelope_indexed(
     view: &JukeboxView<'_>,
     pending: &[Request],
-    always_rebuild: bool,
+    index: &EnvelopeIndex,
 ) -> UpperEnvelope {
-    let catalog = view.catalog;
-    let tapes = catalog.geometry().tapes as usize;
-    let n = pending.len();
-    let mut env: Envelope = vec![0; tapes];
+    compute_upper_envelope_impl(view, pending, RebuildMode::Indexed(index))
+}
 
-    // Step 1: initial envelope from non-replicated requests; include the
-    // current head position on the mounted tape. In the multi-drive
-    // extension, every request in `pending` must have a copy on an
-    // available tape (the caller filters), and unavailable tapes are
-    // never part of the envelope.
+/// Step 1: initial envelope from non-replicated requests (the mounted-
+/// head pin is applied by the caller). In the multi-drive extension,
+/// every request in `pending` must have a copy on an available tape (the
+/// caller filters), and unavailable tapes are never part of the envelope.
+fn scan_initial_envelope(view: &JukeboxView<'_>, pending: &[Request], tapes: usize) -> Envelope {
+    let catalog = view.catalog;
+    let mut env: Envelope = vec![0; tapes];
     for r in pending {
         debug_assert!(
             catalog
@@ -505,9 +771,49 @@ fn compute_upper_envelope_impl(
             *boundary = (*boundary).max(a.slot.0 + 1);
         }
     }
+    env
+}
+
+fn compute_upper_envelope_impl(
+    view: &JukeboxView<'_>,
+    pending: &[Request],
+    mode: RebuildMode<'_>,
+) -> UpperEnvelope {
+    let catalog = view.catalog;
+    let tapes = catalog.geometry().tapes as usize;
+    let n = pending.len();
+
+    let mut env: Envelope = match mode {
+        RebuildMode::Indexed(index) => {
+            let env = index.initial_envelope(tapes);
+            debug_assert_eq!(
+                env,
+                scan_initial_envelope(view, pending, tapes),
+                "index pins diverge from the snapshot scan"
+            );
+            env
+        }
+        RebuildMode::Cached | RebuildMode::Fresh => scan_initial_envelope(view, pending, tapes),
+    };
     if let Some(m) = view.mounted {
         env[m.index()] = env[m.index()].max(view.head.0);
     }
+
+    let by_id: BTreeMap<u64, usize> = match mode {
+        RebuildMode::Indexed(_) => pending
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id.0, i))
+            .collect(),
+        RebuildMode::Cached | RebuildMode::Fresh => BTreeMap::new(),
+    };
+    let source = match mode {
+        RebuildMode::Indexed(index) => ExtensionSource::Index {
+            index,
+            by_id: &by_id,
+        },
+        RebuildMode::Cached | RebuildMode::Fresh => ExtensionSource::Scan { pending },
+    };
 
     let mut assigned: Vec<Option<TapeId>> = vec![None; n];
     let mut counts: Vec<u32> = vec![0; tapes];
@@ -527,12 +833,12 @@ fn compute_upper_envelope_impl(
     let mut was_assigned: Vec<bool> = assigned.iter().map(Option::is_some).collect();
     let mut prev_env = env.clone();
     while assigned.iter().any(Option::is_none) {
-        if always_rebuild {
+        if matches!(mode, RebuildMode::Fresh) {
             cache.invalidate_all();
         }
         extend_once(
             view,
-            pending,
+            &source,
             &mut assigned,
             &mut counts,
             &mut env,
@@ -616,7 +922,7 @@ fn absorb(
 /// requests.
 fn extend_once(
     view: &JukeboxView<'_>,
-    pending: &[Request],
+    source: &ExtensionSource<'_>,
     assigned: &mut [Option<TapeId>],
     counts: &mut [u32],
     env: &mut Envelope,
@@ -636,7 +942,7 @@ fn extend_once(
         if !view.is_available(tape) {
             continue;
         }
-        cache.refresh(view, pending, assigned, env, tape);
+        cache.refresh_from(view, source, assigned, env, tape);
         let ext = &cache.tapes[tape.index()];
         let count = counts[tape.index()];
         for (k, &bw) in ext.bws.iter().enumerate() {

@@ -37,8 +37,8 @@ pub use cost::{
     forward_list_for, mount_cost, split_sweep, start_head, walk_cost, TapeCandidate,
 };
 pub use envelope::{
-    compute_upper_envelope, compute_upper_envelope_fresh, prefix_cost, EnvelopePolicy,
-    EnvelopeScheduler, ExtensionCache, UpperEnvelope,
+    compute_upper_envelope, compute_upper_envelope_fresh, compute_upper_envelope_indexed,
+    prefix_cost, EnvelopeIndex, EnvelopePolicy, EnvelopeScheduler, ExtensionCache, UpperEnvelope,
 };
 pub use families::{DynamicScheduler, StaticScheduler};
 pub use fifo::FifoScheduler;

@@ -18,7 +18,9 @@ use tapesim_model::TapeId;
 use tapesim_workload::Request;
 
 use crate::api::{JukeboxView, PendingList};
-use crate::cost::{candidates_for_all_tapes, effective_bandwidth, TapeCandidate};
+use crate::cost::{
+    candidates_for_all_tapes, counts_for_all_tapes, effective_bandwidth, TapeCandidate,
+};
 
 /// The five tape-selection policies of Section 3.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,24 +72,21 @@ impl TapeSelectPolicy {
         match self {
             TapeSelectPolicy::RoundRobin => {
                 // Scan mounted+1, mounted+2, ..., wrapping, ending at the
-                // mounted tape itself.
-                let candidates = candidates_for_all_tapes(view.catalog, pending);
+                // mounted tape itself. Only "has a pending request" is
+                // needed, so skip the sorted candidate slot lists.
+                let counts = counts_for_all_tapes(view.catalog, pending);
                 let t = geometry.tapes;
                 (1..=t)
                     .map(|i| TapeId((anchor.0 + i) % t))
-                    .find(|&tape| view.is_available(tape) && candidates[tape.index()].is_some())
+                    .find(|&tape| view.is_available(tape) && counts[tape.index()] > 0)
             }
-            TapeSelectPolicy::MaxRequests => {
-                best_by(view, pending, anchor, None, |_, c| c.request_count as f64)
-            }
+            TapeSelectPolicy::MaxRequests => best_by_count(view, pending, anchor, None),
             TapeSelectPolicy::MaxBandwidth => best_by(view, pending, anchor, None, |v, c| {
                 effective_bandwidth(v, c)
             }),
             TapeSelectPolicy::OldestMaxRequests => {
                 let eligible = oldest_eligible(view, pending)?;
-                best_by(view, pending, anchor, Some(&eligible), |_, c| {
-                    c.request_count as f64
-                })
+                best_by_count(view, pending, anchor, Some(&eligible))
             }
             TapeSelectPolicy::OldestMaxBandwidth => {
                 let eligible = oldest_eligible(view, pending)?;
@@ -134,6 +133,44 @@ fn oldest_eligible(view: &JukeboxView<'_>, pending: &PendingList) -> Option<Vec<
 /// Picks the tape maximizing `score`, breaking ties by the first tape in
 /// jukebox order starting at `anchor`. Restricting to `eligible` tapes
 /// when given.
+/// [`best_by`] specialized to the count-scored policies: the score is the
+/// pending-request count, so the per-tape sorted slot lists are never
+/// built. Selection and tie-breaking are identical to scoring a full
+/// candidate with `request_count as f64`.
+fn best_by_count(
+    view: &JukeboxView<'_>,
+    pending: &PendingList,
+    anchor: TapeId,
+    eligible: Option<&[TapeId]>,
+) -> Option<TapeId> {
+    let geometry = view.catalog.geometry();
+    let counts = counts_for_all_tapes(view.catalog, pending);
+    let mut best: Option<(f64, u16, TapeId)> = None;
+    for tape in geometry.tape_ids() {
+        if !view.is_available(tape) {
+            continue;
+        }
+        if let Some(list) = eligible {
+            if !list.contains(&tape) {
+                continue;
+            }
+        }
+        if counts[tape.index()] == 0 {
+            continue;
+        }
+        let s = counts[tape.index()] as f64;
+        let dist = geometry.circular_distance(anchor, tape);
+        let better = match &best {
+            None => true,
+            Some((bs, bd, _)) => s > *bs || (s == *bs && dist < *bd),
+        };
+        if better {
+            best = Some((s, dist, tape));
+        }
+    }
+    best.map(|(_, _, t)| t)
+}
+
 fn best_by(
     view: &JukeboxView<'_>,
     pending: &PendingList,

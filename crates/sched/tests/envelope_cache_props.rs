@@ -10,6 +10,11 @@
 //! 2. Every cached per-prefix cost equals the tape-switch charge plus an
 //!    independent `prefix_cost` recomputation over the cached slot list —
 //!    exact `Micros` equality, no tolerance.
+//! 3. The persistent `EnvelopeIndex`, delta-updated through a random
+//!    sequence of arrivals, completions, cancellations and tape
+//!    availability flips, drives `compute_upper_envelope_indexed` to the
+//!    same envelope/assignment/counts as both scan-based drivers at
+//!    every step — exact equality, no tolerance.
 
 use proptest::prelude::*;
 
@@ -19,7 +24,8 @@ use tapesim_model::{
 };
 use tapesim_sched::envelope::envelope_after_absorb;
 use tapesim_sched::{
-    compute_upper_envelope, compute_upper_envelope_fresh, prefix_cost, ExtensionCache, JukeboxView,
+    compute_upper_envelope, compute_upper_envelope_fresh, compute_upper_envelope_indexed,
+    prefix_cost, EnvelopeIndex, ExtensionCache, JukeboxView,
 };
 use tapesim_workload::{Request, RequestId};
 
@@ -147,6 +153,207 @@ proptest! {
             }
         }
     }
+
+    /// Property 3: a persistent index delta-updated through membership
+    /// churn (arrivals, completions/cancels, fault/fail-back availability
+    /// flips) matches a from-scratch computation at every step.
+    #[test]
+    fn indexed_envelope_equals_fresh_across_membership_churn(
+        placements in proptest::collection::vec((0u16..TAPES, 0u32..SLOTS), 80),
+        copies in proptest::collection::vec(1usize..=3, 3..=8),
+        mounted in proptest::option::of(0u16..TAPES),
+        head in 0u32..SLOTS,
+        ops in proptest::collection::vec((0u16..4, 0u32..1000), 1..40),
+    ) {
+        let Some((catalog, ids)) = random_catalog(&placements, &copies) else {
+            return Ok(());
+        };
+        let timing = TimingModel::paper_default();
+        let mounted = mounted.map(TapeId);
+        let mut live: Vec<Request> = Vec::new();
+        let mut next_id: u64 = 0;
+        let mut unavailable: Vec<TapeId> = Vec::new();
+        let mut index = EnvelopeIndex::default();
+        for &(kind, payload) in &ops {
+            match kind {
+                // Arrival (twice as likely as the other events).
+                0 | 3 => {
+                    let block = ids[payload as usize % ids.len()];
+                    live.push(Request {
+                        id: RequestId(next_id),
+                        block,
+                        arrival: SimTime::ZERO,
+                    });
+                    next_id += 1;
+                }
+                // Completion or cancellation: one request leaves.
+                1 => {
+                    if !live.is_empty() {
+                        live.remove(payload as usize % live.len());
+                    }
+                }
+                // Fault or fail-back: flip one tape's availability (the
+                // mounted tape stays available, as in the simulator).
+                2 => {
+                    let tape =
+                        TapeId(u16::try_from(payload % u32::from(TAPES)).expect("reduced mod TAPES"));
+                    if mounted != Some(tape) {
+                        if let Some(p) = unavailable.iter().position(|&t| t == tape) {
+                            unavailable.remove(p);
+                        } else {
+                            unavailable.push(tape);
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            let view = JukeboxView {
+                catalog: &catalog,
+                timing: &timing,
+                mounted,
+                head: SlotIndex(head),
+                now: SimTime::ZERO,
+                unavailable: &unavailable,
+                offline: &[],
+            };
+            // The same availability filter a major reschedule applies.
+            let snapshot: Vec<Request> = live
+                .iter()
+                .filter(|r| {
+                    catalog
+                        .replicas(r.block)
+                        .iter()
+                        .any(|a| view.is_available(a.tape))
+                })
+                .copied()
+                .collect();
+            index.sync(&catalog, &snapshot);
+            prop_assert_eq!(index.len(), snapshot.len());
+            if snapshot.is_empty() {
+                continue;
+            }
+            let indexed = compute_upper_envelope_indexed(&view, &snapshot, &index);
+            let fresh = compute_upper_envelope_fresh(&view, &snapshot);
+            let cached = compute_upper_envelope(&view, &snapshot);
+            prop_assert_eq!(&indexed, &fresh);
+            prop_assert_eq!(&indexed, &cached);
+        }
+    }
+}
+
+#[test]
+fn index_pin_refcounts_survive_duplicate_requests() {
+    // Two requests for the same non-replicated block: removing one must
+    // keep the pin, removing both must drop it. Asserted through the
+    // computed envelope against the fresh driver.
+    let g = JukeboxGeometry::new(TAPES, u64::from(SLOTS));
+    let mut b = Catalog::builder(g, BlockSize::from_mb(1), 2, 0);
+    b.place(
+        BlockId(0),
+        PhysicalAddr {
+            tape: TapeId(0),
+            slot: SlotIndex(40),
+        },
+    )
+    .unwrap();
+    b.place(
+        BlockId(1),
+        PhysicalAddr {
+            tape: TapeId(1),
+            slot: SlotIndex(7),
+        },
+    )
+    .unwrap();
+    let catalog = b.build().unwrap();
+    let timing = TimingModel::paper_default();
+    let view = JukeboxView {
+        catalog: &catalog,
+        timing: &timing,
+        mounted: None,
+        head: SlotIndex(0),
+        now: SimTime::ZERO,
+        unavailable: &[],
+        offline: &[],
+    };
+    let req = |id: u64, blk: u32| Request {
+        id: RequestId(id),
+        block: BlockId(blk),
+        arrival: SimTime::ZERO,
+    };
+    let mut index = EnvelopeIndex::default();
+
+    let both = vec![req(0, 0), req(1, 0), req(2, 1)];
+    index.sync(&catalog, &both);
+    let upper = compute_upper_envelope_indexed(&view, &both, &index);
+    assert_eq!(upper.env, vec![41, 8, 0]);
+
+    let one = vec![req(1, 0), req(2, 1)];
+    index.sync(&catalog, &one);
+    assert_eq!(index.len(), 2);
+    let upper = compute_upper_envelope_indexed(&view, &one, &index);
+    assert_eq!(upper.env, vec![41, 8, 0]);
+
+    let none = vec![req(2, 1)];
+    index.sync(&catalog, &none);
+    let upper = compute_upper_envelope_indexed(&view, &none, &index);
+    assert_eq!(upper.env, vec![0, 8, 0]);
+    assert_eq!(upper, compute_upper_envelope_fresh(&view, &none));
+}
+
+#[test]
+fn index_sync_treats_id_reuse_with_new_fields_as_remove_plus_add() {
+    // A recycled request id pointing at a different block must not leave
+    // stale entries behind: the equality diff treats it as departure +
+    // arrival.
+    let g = JukeboxGeometry::new(TAPES, u64::from(SLOTS));
+    let mut b = Catalog::builder(g, BlockSize::from_mb(1), 2, 0);
+    b.place(
+        BlockId(0),
+        PhysicalAddr {
+            tape: TapeId(0),
+            slot: SlotIndex(100),
+        },
+    )
+    .unwrap();
+    b.place(
+        BlockId(1),
+        PhysicalAddr {
+            tape: TapeId(2),
+            slot: SlotIndex(5),
+        },
+    )
+    .unwrap();
+    let catalog = b.build().unwrap();
+    let timing = TimingModel::paper_default();
+    let view = JukeboxView {
+        catalog: &catalog,
+        timing: &timing,
+        mounted: None,
+        head: SlotIndex(0),
+        now: SimTime::ZERO,
+        unavailable: &[],
+        offline: &[],
+    };
+    let mut index = EnvelopeIndex::default();
+    let first = vec![Request {
+        id: RequestId(9),
+        block: BlockId(0),
+        arrival: SimTime::ZERO,
+    }];
+    index.sync(&catalog, &first);
+    let upper = compute_upper_envelope_indexed(&view, &first, &index);
+    assert_eq!(upper.env, vec![101, 0, 0]);
+
+    let second = vec![Request {
+        id: RequestId(9),
+        block: BlockId(1),
+        arrival: SimTime::ZERO,
+    }];
+    index.sync(&catalog, &second);
+    assert_eq!(index.len(), 1);
+    let upper = compute_upper_envelope_indexed(&view, &second, &index);
+    assert_eq!(upper.env, vec![0, 0, 6]);
+    assert_eq!(upper, compute_upper_envelope_fresh(&view, &second));
 }
 
 #[test]

@@ -1,0 +1,433 @@
+//! Partitioned-horizon parallel stepping for the multi-drive core.
+//!
+//! Between two global events (an arrival becoming due, a checkpoint
+//! instant, the park/horizon boundary, any fault activity, a sweep-end
+//! reschedule) the multi-drive engine's drives are fully independent:
+//! each dispatch sets `now` to the dispatched drive's `free_at`, and a
+//! stop execution touches only that drive's head/plan/clock plus the
+//! *order-sensitive* shared collectors (tracer, metrics, external event
+//! list). [`SteppedMultiDrive::try_step_window`] exploits this: it
+//! computes the window end `W` (the earliest upcoming global event),
+//! ships every eligible drive's sweep to a worker as a [`WindowTask`],
+//! and the workers execute stops *speculatively* — all shared-state side
+//! effects are buffered as [`WinOp`]s inside per-stop [`StopBatch`]es
+//! instead of being applied.
+//!
+//! Committing is where determinism is restored: batches merge by
+//! `(dispatch instant, drive index)` — exactly the serial core's
+//! dispatch order (`next_drive` picks the minimum `(free_at, index)`,
+//! and `free_at` never decreases) — and each batch's ops replay in the
+//! serial statement order. The tracer therefore assigns the same
+//! sequence numbers, the metrics collector's insertion-ordered delay
+//! vector matches byte-for-byte, and the external event list drains in
+//! the same order, regardless of worker count.
+//!
+//! A drive that runs out of stops inside the window would next execute a
+//! sweep-end reschedule — a global event. The commit therefore cuts off
+//! at the earliest such frontier (again keyed `(instant, drive)`);
+//! batches past the cutoff are discarded and re-executed after the
+//! serial core has handled the reschedule. The same cutoff applies when
+//! a worker stops at the per-window stop cap, which bounds both window
+//! latency and discarded speculation.
+//!
+//! [`SteppedMultiDrive::try_step_window`]: crate::multidrive::SteppedMultiDrive
+//! [`SteppedMultiDrive`]: crate::multidrive::SteppedMultiDrive
+
+use std::sync::mpsc;
+
+use tapesim_model::{
+    BlockSize, LocateDirection, Micros, ReadContext, SimTime, SlotIndex, TimingModel,
+};
+use tapesim_sched::{SweepPhase, SweepPlan};
+
+use crate::error::SimError;
+use crate::stepped::EngineEvent;
+use crate::trace::TraceEvent;
+
+/// Most stops one drive executes per window: bounds window latency and
+/// the speculation discarded when a drive exhausts its sweep mid-window.
+pub(crate) const MAX_STOPS_PER_WINDOW: usize = 256;
+
+/// Slack added to the per-window stop budget beyond the shortest
+/// participant plan. The commit cuts off at the first sweep exhaustion,
+/// so stops speculated much past the shortest plan are discarded and
+/// re-simulated; the margin only needs to absorb stop-duration variance
+/// between drives.
+pub(crate) const STOP_BUDGET_MARGIN: usize = 32;
+
+/// One buffered side effect of a speculatively executed stop, replayed
+/// at commit in the exact serial statement order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WinOp {
+    /// `tracer.push(at, drive, event)`.
+    Trace(SimTime, TraceEvent),
+    /// `metrics.add_locate_time(at, dur)`.
+    Locate(SimTime, Micros),
+    /// `metrics.add_read_time(at, dur)` then `record_physical_read(at)`.
+    Read(SimTime, Micros),
+    /// `metrics.record_completion(arrival, done, block_bytes)`.
+    Complete {
+        /// The completed request's arrival instant.
+        arrival: SimTime,
+        /// The completion instant.
+        done: SimTime,
+    },
+    /// `events.push(event)` (external-arrival mode).
+    Event(EngineEvent),
+}
+
+/// One speculatively executed stop: its dispatch instant (= the drive's
+/// `free_at` when the serial core would have dispatched it), the drive
+/// state after it, and the buffered side effects.
+#[derive(Debug)]
+pub(crate) struct StopBatch {
+    pub dispatch_at: SimTime,
+    pub head_after: SlotIndex,
+    pub free_at_after: SimTime,
+    pub phase_after: Option<SweepPhase>,
+    pub ops: Vec<WinOp>,
+}
+
+/// A window of one drive's sweep, shipped to a worker thread. Owns
+/// clones of everything it reads so the task is `Send + 'static`.
+#[derive(Debug)]
+pub(crate) struct WindowTask {
+    pub d: usize,
+    pub plan: SweepPlan,
+    pub head: SlotIndex,
+    pub free_at: SimTime,
+    pub cur_phase: Option<SweepPhase>,
+    /// Exclusive bound: only stops dispatched strictly before it run.
+    pub window_end: SimTime,
+    /// Most stops to execute this window (≤ [`MAX_STOPS_PER_WINDOW`]).
+    /// The engine sets it just past the shortest participant plan, since
+    /// the first exhaustion cuts the commit off anyway; hitting the
+    /// budget reports a cutoff exactly like hitting the hard cap.
+    pub stop_budget: usize,
+    pub trace_on: bool,
+    pub external: bool,
+    pub block: BlockSize,
+    pub timing: TimingModel,
+}
+
+/// A worker's output for one drive's window.
+#[derive(Debug)]
+pub(crate) struct WindowResult {
+    pub d: usize,
+    /// The plan handed in, untouched; the commit pops exactly the
+    /// committed stops from it.
+    pub plan: SweepPlan,
+    pub batches: Vec<StopBatch>,
+    /// The drive's `free_at` where the worker stopped for a reason
+    /// *other* than reaching `window_end` (sweep exhausted, or the
+    /// per-window stop cap): the serial core must take over there, so no
+    /// batch at or past `(cutoff_at, d)` may commit.
+    pub cutoff_at: Option<SimTime>,
+}
+
+/// Executes one drive's stops for the window, buffering every shared
+/// side effect. This mirrors the fault-free stop path of
+/// `SteppedMultiDrive::step_drive` statement for statement — the window
+/// eligibility gate guarantees the fault branches are unreachable.
+pub(crate) fn simulate_window(task: WindowTask) -> WindowResult {
+    let tape = task.plan.tape;
+    // Walk the plan in pop order without consuming (or cloning) it: the
+    // commit pops exactly the committed prefix from the returned plan.
+    let mut work = task
+        .plan
+        .list
+        .forward_stops()
+        .map(|s| (s, SweepPhase::Forward))
+        .chain(
+            task.plan
+                .list
+                .reverse_stops()
+                .map(|s| (s, SweepPhase::Reverse)),
+        );
+    let budget = task.stop_budget.min(MAX_STOPS_PER_WINDOW);
+    let mut head = task.head;
+    let mut free_at = task.free_at;
+    let mut cur_phase = task.cur_phase;
+    let mut batches = Vec::new();
+    let mut cutoff_at = None;
+    loop {
+        if free_at >= task.window_end {
+            break;
+        }
+        if batches.len() >= budget {
+            cutoff_at = Some(free_at);
+            break;
+        }
+        let Some((stop, phase)) = work.next() else {
+            cutoff_at = Some(free_at);
+            break;
+        };
+        let dispatch_at = free_at;
+        let mut ops = Vec::with_capacity(4 + 2 * stop.requests.len());
+        if task.trace_on && cur_phase != Some(phase) {
+            cur_phase = Some(phase);
+            ops.push(WinOp::Trace(
+                dispatch_at,
+                TraceEvent::PhaseStart { tape, phase },
+            ));
+        }
+        let (lt, dir) = task.timing.drive.locate(head, stop.slot, task.block);
+        let ctx = match dir {
+            None => ReadContext::Streaming,
+            Some(LocateDirection::Forward) => ReadContext::AfterForwardLocate,
+            Some(LocateDirection::Reverse) => ReadContext::AfterReverseLocate,
+        };
+        let rt = task.timing.drive.read_block(task.block, ctx);
+        let t = dispatch_at + lt;
+        ops.push(WinOp::Locate(t, lt));
+        if task.trace_on {
+            ops.push(WinOp::Trace(
+                t,
+                TraceEvent::Locate {
+                    tape,
+                    from: head,
+                    to: stop.slot,
+                    dur: lt,
+                },
+            ));
+        }
+        let done = t + rt;
+        ops.push(WinOp::Read(done, rt));
+        head = stop.slot.next();
+        free_at = done;
+        if task.trace_on {
+            ops.push(WinOp::Trace(
+                done,
+                TraceEvent::Read {
+                    tape,
+                    slot: stop.slot,
+                    phase,
+                    dur: rt,
+                },
+            ));
+        }
+        for r in &stop.requests {
+            ops.push(WinOp::Complete {
+                arrival: r.arrival,
+                done,
+            });
+            if task.trace_on {
+                ops.push(WinOp::Trace(
+                    done,
+                    TraceEvent::Complete {
+                        req: r.id,
+                        tape,
+                        delay: done.duration_since(r.arrival),
+                    },
+                ));
+            }
+            if task.external {
+                ops.push(WinOp::Event(EngineEvent::Completed {
+                    req: r.id,
+                    at: done,
+                }));
+            }
+        }
+        batches.push(StopBatch {
+            dispatch_at,
+            head_after: head,
+            free_at_after: free_at,
+            phase_after: cur_phase,
+            ops,
+        });
+    }
+    // End the plan borrow explicitly: the opaque stop iterators have drop
+    // glue, so the borrow otherwise outlives the move below.
+    drop(work);
+    WindowResult {
+        d: task.d,
+        plan: task.plan,
+        batches,
+        cutoff_at,
+    }
+}
+
+/// A persistent pool of worker threads executing [`WindowTask`]s. Tasks
+/// round-robin over the workers; results return over one shared channel
+/// and carry their drive index, so arrival order does not matter.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    senders: Vec<mpsc::Sender<WindowTask>>,
+    results: mpsc::Receiver<WindowResult>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    pub workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (result_tx, results) = mpsc::channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<WindowTask>();
+            let out = result_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    if out.send(simulate_window(task)).is_err() {
+                        break;
+                    }
+                }
+            }));
+            senders.push(tx);
+        }
+        WorkerPool {
+            senders,
+            results,
+            handles,
+            workers,
+        }
+    }
+
+    /// Runs one window: ships every task, collects every result. The
+    /// results come back in nondeterministic order but are keyed by
+    /// drive index; commit ordering does not depend on this order.
+    pub fn run(&self, tasks: Vec<WindowTask>) -> Result<Vec<WindowResult>, SimError> {
+        let n = tasks.len();
+        for (i, task) in tasks.into_iter().enumerate() {
+            self.senders[i % self.senders.len()]
+                .send(task)
+                .map_err(|_| SimError::WorkerPanicked("window worker exited early".into()))?;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(
+                self.results
+                    .recv()
+                    .map_err(|_| SimError::WorkerPanicked("window worker exited early".into()))?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the task channels ends the workers' recv loops.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::TapeId;
+    use tapesim_sched::{ScheduledRead, ServiceList, SweepPlan};
+    use tapesim_workload::{Request, RequestId};
+
+    fn one_stop_plan(slot: u32, arrival_us: u64) -> SweepPlan {
+        let req = Request {
+            id: RequestId(7),
+            block: tapesim_layout::BlockId(0),
+            arrival: SimTime::from_micros(arrival_us),
+        };
+        SweepPlan {
+            tape: TapeId(0),
+            list: ServiceList::from_forward(vec![ScheduledRead {
+                slot: SlotIndex(slot),
+                requests: vec![req],
+            }]),
+        }
+    }
+
+    #[test]
+    fn worker_buffers_stop_side_effects_and_leaves_plan_untouched() {
+        let timing = TimingModel::paper_default();
+        let block = BlockSize::PAPER_DEFAULT;
+        let task = WindowTask {
+            d: 1,
+            plan: one_stop_plan(10, 5),
+            head: SlotIndex::BOT,
+            free_at: SimTime::from_micros(1_000),
+            cur_phase: None,
+            window_end: SimTime::from_micros(u64::MAX),
+            stop_budget: MAX_STOPS_PER_WINDOW,
+            trace_on: true,
+            external: true,
+            block,
+            timing: timing.clone(),
+        };
+        let result = simulate_window(task);
+        assert_eq!(result.d, 1);
+        // Exhausted after the single stop: the cutoff is the frontier.
+        assert_eq!(result.batches.len(), 1);
+        assert_eq!(result.cutoff_at, Some(result.batches[0].free_at_after));
+        // The plan comes back intact for the commit to pop from.
+        assert_eq!(result.plan.list.stops(), 1);
+        let batch = &result.batches[0];
+        assert_eq!(batch.dispatch_at, SimTime::from_micros(1_000));
+        assert_eq!(batch.head_after, SlotIndex(10).next());
+        assert!(batch.free_at_after > batch.dispatch_at);
+        // PhaseStart, Locate(+trace), Read(+trace), Complete(+trace+event).
+        assert_eq!(batch.ops.len(), 8);
+        assert!(matches!(
+            batch.ops[0],
+            WinOp::Trace(_, TraceEvent::PhaseStart { .. })
+        ));
+        assert!(matches!(batch.ops[1], WinOp::Locate(..)));
+        assert!(matches!(batch.ops[3], WinOp::Read(..)));
+        assert!(matches!(batch.ops[5], WinOp::Complete { .. }));
+        assert!(matches!(
+            batch.ops[7],
+            WinOp::Event(EngineEvent::Completed { .. })
+        ));
+    }
+
+    #[test]
+    fn window_end_stops_execution_without_cutoff() {
+        let timing = TimingModel::paper_default();
+        let task = WindowTask {
+            d: 0,
+            plan: one_stop_plan(10, 5),
+            head: SlotIndex::BOT,
+            free_at: SimTime::from_micros(1_000),
+            cur_phase: None,
+            window_end: SimTime::from_micros(1_000), // free_at >= end: nothing runs
+            stop_budget: MAX_STOPS_PER_WINDOW,
+            trace_on: false,
+            external: false,
+            block: BlockSize::PAPER_DEFAULT,
+            timing: timing.clone(),
+        };
+        let result = simulate_window(task);
+        assert!(result.batches.is_empty());
+        assert_eq!(result.cutoff_at, None);
+    }
+
+    #[test]
+    fn pool_runs_tasks_and_returns_all_results() {
+        let pool = WorkerPool::new(3);
+        let timing = TimingModel::paper_default();
+        let tasks: Vec<WindowTask> = (0..8u32)
+            .map(|d| WindowTask {
+                d: d as usize,
+                plan: one_stop_plan(5 + d, 0),
+                head: SlotIndex::BOT,
+                free_at: SimTime::from_micros(100),
+                cur_phase: None,
+                window_end: SimTime::from_micros(u64::MAX),
+                stop_budget: MAX_STOPS_PER_WINDOW,
+                trace_on: false,
+                external: false,
+                block: BlockSize::PAPER_DEFAULT,
+                timing: timing.clone(),
+            })
+            .collect();
+        let mut results = pool.run(tasks).unwrap();
+        results.sort_by_key(|r| r.d);
+        assert_eq!(results.len(), 8);
+        for (d, r) in results.iter().enumerate() {
+            assert_eq!(r.d, d);
+            assert_eq!(r.batches.len(), 1);
+        }
+    }
+}

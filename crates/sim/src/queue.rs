@@ -1,0 +1,447 @@
+//! Pending-event queues for the stepped engine cores.
+//!
+//! The multi-drive core keeps not-yet-visible arrivals (future Poisson
+//! materializations, closed-queue regenerations minted at a completion
+//! instant, external submissions) in a priority queue ordered by
+//! `(arrival instant, admission sequence)`. The admission sequence makes
+//! the order total, so ties at the same microsecond pop in FIFO
+//! admission order — the tie-break every golden trace depends on.
+//!
+//! Two implementations live behind the [`EventQueue`] trait:
+//!
+//! * [`BinaryHeapQueue`] — the original `BinaryHeap<Reverse<T>>`, kept as
+//!   the differential reference;
+//! * [`CalendarQueue`] — a µs-bucketed calendar queue (R. Brown, CACM
+//!   1988): events hash into `buckets[(at_µs / width) % n]`, popping
+//!   scans forward from the last popped instant one bucket-day at a
+//!   time, and the bucket count/width resize themselves to the live
+//!   population. Push and pop are O(1) amortized for the
+//!   time-clustered arrival streams the simulator produces, versus the
+//!   heap's O(log n).
+//!
+//! Both pop in exactly the same total order (`Ord` on the item), which
+//! the differential property test at the bottom of this module fuzzes
+//! with tie-heavy random interleavings.
+#![allow(clippy::cast_possible_truncation)] // bucket indices are reduced modulo the bucket count before casting
+
+/// An item with a microsecond timestamp the calendar can bucket by.
+///
+/// The queue's pop order is the item's `Ord`, which must order primarily
+/// by `at_micros()`; the timestamp only places the item in a bucket.
+pub trait TimeKeyed {
+    /// The event instant in microseconds.
+    fn at_micros(&self) -> u64;
+}
+
+/// A priority queue popping the minimum item (by `Ord`) first.
+///
+/// `peek` takes `&mut self` so implementations may cache the minimum's
+/// location between calls.
+pub trait EventQueue<T: Ord + TimeKeyed> {
+    /// Inserts an item.
+    fn push(&mut self, item: T);
+    /// Removes and returns the minimum item.
+    fn pop(&mut self) -> Option<T>;
+    /// The minimum item, without removing it.
+    fn peek(&mut self) -> Option<&T>;
+    /// Number of queued items.
+    fn len(&self) -> usize;
+    /// True when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Keeps only the items for which `keep` returns true (used by
+    /// request cancellation; order of calls is unspecified).
+    fn retain(&mut self, keep: &mut dyn FnMut(&T) -> bool);
+    /// Visits every queued item in unspecified order (used for
+    /// membership checks and checkpoint snapshots, which sort).
+    fn for_each(&self, f: &mut dyn FnMut(&T));
+}
+
+/// The reference implementation: `BinaryHeap<Reverse<T>>`, exactly the
+/// structure the engine used before the calendar queue landed.
+#[derive(Debug, Clone, Default)]
+pub struct BinaryHeapQueue<T: Ord> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<T>>,
+}
+
+impl<T: Ord> BinaryHeapQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+}
+
+impl<T: Ord + TimeKeyed> EventQueue<T> for BinaryHeapQueue<T> {
+    fn push(&mut self, item: T) {
+        self.heap.push(std::cmp::Reverse(item));
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|std::cmp::Reverse(x)| x)
+    }
+
+    fn peek(&mut self) -> Option<&T> {
+        self.heap.peek().map(|std::cmp::Reverse(x)| x)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn retain(&mut self, keep: &mut dyn FnMut(&T) -> bool) {
+        let kept: Vec<std::cmp::Reverse<T>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|std::cmp::Reverse(x)| keep(x))
+            .collect();
+        self.heap = kept.into();
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&T)) {
+        for std::cmp::Reverse(x) in &self.heap {
+            f(x);
+        }
+    }
+}
+
+/// Fewest buckets the calendar ever holds.
+const MIN_BUCKETS: usize = 8;
+/// Most buckets the calendar ever holds (2^20 bounds rebuild cost).
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// A µs-bucketed calendar queue. See the module docs for the contract;
+/// see [`EventQueue`] for the operations.
+///
+/// Degenerate distributions (very many items at one microsecond, or a
+/// lone far-future outlier stretching the bucket width) degrade pop to a
+/// linear scan of one bucket — correctness never depends on the
+/// distribution, only speed does.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<T> {
+    buckets: Vec<Vec<T>>,
+    /// Bucket width in microseconds (>= 1).
+    width: u64,
+    len: usize,
+    /// Lower bound on every queued timestamp; scanning starts at its
+    /// bucket-day. Advanced on pop, lowered on an out-of-order push.
+    floor: u64,
+    /// Cached location of the current minimum (`None` = recompute).
+    min_pos: Option<(usize, usize)>,
+}
+
+impl<T: Ord + TimeKeyed> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+fn empty_buckets<T>(n: usize) -> Vec<Vec<T>> {
+    std::iter::repeat_with(Vec::new).take(n).collect()
+}
+
+impl<T: Ord + TimeKeyed> CalendarQueue<T> {
+    /// An empty calendar with the minimum bucket count and 1 µs width.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: empty_buckets(MIN_BUCKETS),
+            width: 1,
+            len: 0,
+            floor: 0,
+            min_pos: None,
+        }
+    }
+
+    fn bucket_index(&self, at: u64) -> usize {
+        ((at / self.width) % self.buckets.len() as u64) as usize
+    }
+
+    /// Finds the minimum item: scan one full rotation of bucket-days
+    /// starting at the floor's day (each day admits only items inside
+    /// its year slice), then fall back to a direct scan when the
+    /// population is sparser than one rotation.
+    fn scan_min(&self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        let first_day = self.floor / self.width;
+        for day in first_day..first_day + n {
+            let b = (day % n) as usize;
+            let end = (day + 1).saturating_mul(self.width);
+            let mut found: Option<usize> = None;
+            for (i, item) in self.buckets[b].iter().enumerate() {
+                if item.at_micros() < end && found.is_none_or(|j| *item < self.buckets[b][j]) {
+                    found = Some(i);
+                }
+            }
+            if let Some(i) = found {
+                return Some((b, i));
+            }
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (i, item) in bucket.iter().enumerate() {
+                let better = match best {
+                    None => true,
+                    Some((bb, bi)) => *item < self.buckets[bb][bi],
+                };
+                if better {
+                    best = Some((b, i));
+                }
+            }
+        }
+        best
+    }
+
+    /// Re-buckets the live population: bucket count tracks the
+    /// population size, bucket width tracks the mean timestamp spacing.
+    fn resize(&mut self) {
+        let items: Vec<T> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let target = items
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for item in &items {
+            let at = item.at_micros();
+            lo = lo.min(at);
+            hi = hi.max(at);
+        }
+        let n = items.len().max(1) as u64;
+        self.width = ((hi.saturating_sub(lo)) / n).max(1);
+        self.buckets = empty_buckets(target);
+        self.min_pos = None;
+        for item in items {
+            let b = self.bucket_index(item.at_micros());
+            self.buckets[b].push(item);
+        }
+    }
+}
+
+impl<T: Ord + TimeKeyed> EventQueue<T> for CalendarQueue<T> {
+    fn push(&mut self, item: T) {
+        let at = item.at_micros();
+        if self.len == 0 || at < self.floor {
+            self.floor = at;
+        }
+        let b = self.bucket_index(at);
+        let new_is_min = match self.min_pos {
+            None => self.len == 0,
+            Some((mb, mi)) => item < self.buckets[mb][mi],
+        };
+        let pos = (b, self.buckets[b].len());
+        self.buckets[b].push(item);
+        self.len += 1;
+        if new_is_min {
+            self.min_pos = Some(pos);
+        }
+        if self.len > self.buckets.len().saturating_mul(2) && self.buckets.len() < MAX_BUCKETS {
+            self.resize();
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let (b, i) = match self.min_pos.take() {
+            Some(pos) => pos,
+            None => self.scan_min()?,
+        };
+        let item = self.buckets[b].swap_remove(i);
+        self.len -= 1;
+        self.floor = item.at_micros();
+        if self.buckets.len() > MIN_BUCKETS && self.len.saturating_mul(8) < self.buckets.len() {
+            self.resize();
+        }
+        Some(item)
+    }
+
+    fn peek(&mut self) -> Option<&T> {
+        if self.min_pos.is_none() {
+            self.min_pos = self.scan_min();
+        }
+        self.min_pos.map(|(b, i)| &self.buckets[b][i])
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn retain(&mut self, keep: &mut dyn FnMut(&T) -> bool) {
+        for bucket in &mut self.buckets {
+            bucket.retain(|item| keep(item));
+        }
+        self.len = self.buckets.iter().map(Vec::len).sum();
+        self.min_pos = None;
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&T)) {
+        for bucket in &self.buckets {
+            for item in bucket {
+                f(item);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tie-heavy test item: many items share an `at`, the `seq` makes
+    /// the order total — the same shape as the engine's queued arrivals.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Item {
+        at: u64,
+        seq: u64,
+    }
+
+    impl TimeKeyed for Item {
+        fn at_micros(&self) -> u64 {
+            self.at
+        }
+    }
+
+    fn drain<Q: EventQueue<Item>>(q: &mut Q) -> Vec<Item> {
+        let mut out = Vec::new();
+        while let Some(x) = q.pop() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_at_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        for (i, at) in [50u64, 10, 10, 99, 10, 50].iter().enumerate() {
+            q.push(Item {
+                at: *at,
+                seq: i as u64,
+            });
+        }
+        let order: Vec<(u64, u64)> = drain(&mut q).iter().map(|x| (x.at, x.seq)).collect();
+        assert_eq!(
+            order,
+            [(10, 1), (10, 2), (10, 4), (50, 0), (50, 5), (99, 3)]
+        );
+    }
+
+    #[test]
+    fn push_below_floor_after_pop_is_found() {
+        // A later push may land *before* the last popped instant (an
+        // open-Poisson arrival materialized late); the floor must move
+        // back down or the scan would start past the new minimum.
+        let mut q = CalendarQueue::new();
+        q.push(Item { at: 100, seq: 0 });
+        assert_eq!(q.pop(), Some(Item { at: 100, seq: 0 }));
+        q.push(Item { at: 90, seq: 1 });
+        q.push(Item { at: 95, seq: 2 });
+        assert_eq!(q.peek(), Some(&Item { at: 90, seq: 1 }));
+        assert_eq!(q.pop(), Some(Item { at: 90, seq: 1 }));
+        assert_eq!(q.pop(), Some(Item { at: 95, seq: 2 }));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn survives_resize_cycles_and_sparse_tails() {
+        let mut q = CalendarQueue::new();
+        // Grow: dense cluster, then a lone far-future outlier (forces
+        // the direct-scan fallback once the cluster drains).
+        for seq in 0..200u64 {
+            q.push(Item {
+                at: 1_000 + seq / 4,
+                seq,
+            });
+        }
+        q.push(Item {
+            at: 1_000_000_000,
+            seq: 200,
+        });
+        let mut popped = drain(&mut q);
+        assert_eq!(popped.len(), 201);
+        let mut expect = popped.clone();
+        expect.sort_unstable();
+        assert_eq!(popped, expect, "pop order must be the sorted order");
+        assert_eq!(popped.pop().map(|x| x.at), Some(1_000_000_000));
+    }
+
+    #[test]
+    fn retain_drops_and_rescans() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..20u64 {
+            q.push(Item { at: seq % 3, seq });
+        }
+        q.retain(&mut |item: &Item| item.seq.is_multiple_of(2));
+        assert_eq!(q.len(), 10);
+        let mut seen = 0;
+        q.for_each(&mut |item| {
+            assert_eq!(item.seq % 2, 0);
+            seen += 1;
+        });
+        assert_eq!(seen, 10);
+        let popped = drain(&mut q);
+        let mut expect = popped.clone();
+        expect.sort_unstable();
+        assert_eq!(popped, expect);
+    }
+
+    /// One random op applied to both queues.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        /// Push at `floor-ish + offset` (tie-heavy: offsets collide).
+        Push(u64),
+        Pop,
+        Peek,
+        /// Cancel every item whose seq is congruent to `k` mod 5.
+        Retain(u64),
+    }
+
+    proptest! {
+        /// Differential fuzz: any interleaving of pushes (tie-heavy
+        /// timestamps), pops, peeks, and retains produces exactly the
+        /// heap reference's pop order, then drains identically.
+        #[test]
+        fn calendar_matches_heap_reference(
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    (0u64..40).prop_map(Op::Push),
+                    Just(Op::Pop),
+                    Just(Op::Peek),
+                    (0u64..5).prop_map(Op::Retain),
+                ],
+                1..120,
+            )
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut heap = BinaryHeapQueue::new();
+            let mut seq = 0u64;
+            // A drifting base makes pushes land before and after the
+            // current floor, exercising the floor-reset path.
+            let mut base = 0u64;
+            for op in ops {
+                match op {
+                    Op::Push(offset) => {
+                        let item = Item { at: base + offset, seq };
+                        seq += 1;
+                        base += offset / 8;
+                        cal.push(item);
+                        heap.push(item);
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(cal.pop(), heap.pop());
+                    }
+                    Op::Peek => {
+                        prop_assert_eq!(cal.peek().copied(), heap.peek().copied());
+                    }
+                    Op::Retain(k) => {
+                        cal.retain(&mut |item: &Item| item.seq % 5 != k);
+                        heap.retain(&mut |item: &Item| item.seq % 5 != k);
+                    }
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+            prop_assert_eq!(drain(&mut cal), drain(&mut heap));
+        }
+    }
+}
