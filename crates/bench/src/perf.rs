@@ -587,6 +587,7 @@ pub fn run_matrix(scale: Scale, warmup_reps: u64, reps: u64) -> Result<PerfRepor
         scale: scale_name(scale).to_owned(),
         warmup_reps,
         reps,
+        // simlint: allow(par-contract, host metadata recorded in the report header; does not affect measured results)
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
         scenarios,
     })

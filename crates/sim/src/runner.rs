@@ -88,6 +88,7 @@ pub fn run_seeds(
     let reports: Vec<MetricsReport> = if let [seed] = seeds {
         vec![run_one(spec, *seed)?]
     } else {
+        // simlint: allow(par-contract, deterministic fork-join: one scoped thread per seed, results collected in seed order)
         std::thread::scope(|scope| {
             let handles: Vec<_> = seeds
                 .iter()

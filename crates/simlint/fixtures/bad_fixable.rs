@@ -1,0 +1,18 @@
+//! Fixture: every finding here carries a mechanical `--fix` rewrite.
+use std::collections::HashMap;
+
+pub fn index(keys: &[u64]) -> HashMap<u64, usize> {
+    let mut m = HashMap::with_capacity(keys.len());
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i);
+    }
+    m
+}
+
+pub fn rank(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn ties(v: &mut Vec<(u64, u64)>) {
+    v.sort_unstable_by(|a, b| a.1.cmp(&b.1));
+}

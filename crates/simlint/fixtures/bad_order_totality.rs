@@ -1,0 +1,16 @@
+//! Fixture: partial orders and unstable ties in comparator positions.
+pub fn sort_floats(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn unstable(v: &mut Vec<u64>) {
+    v.sort_unstable_by(|a, b| b.cmp(a));
+}
+
+pub fn float_key(v: &mut Vec<u64>) {
+    v.sort_by_key(|x| *x as f64);
+}
+
+pub fn heap() -> BinaryHeap<(f64, u64)> {
+    BinaryHeap::new()
+}

@@ -1,0 +1,17 @@
+//! Fixture: concurrency machinery outside the parallel core.
+use std::sync::Mutex as Lock;
+
+pub fn spawn_worker(n: u64) {
+    std::thread::spawn(move || {
+        let cell = RefCell::new(n);
+        let _ = cell.borrow();
+    });
+}
+
+pub fn drain(rx: &Receiver<u64>) -> u64 {
+    let mut sum = 0;
+    while let Ok(v) = rx.try_recv() {
+        sum += v;
+    }
+    sum
+}

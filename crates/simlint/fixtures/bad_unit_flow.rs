@@ -1,0 +1,15 @@
+//! Fixture: unit mismatches visible only through dataflow.
+pub fn deadline(now_micros: u64, len_mb: u64) -> u64 {
+    let deadline = now_micros;
+    deadline + len_mb
+}
+
+pub fn rename(start_micros: u64) -> u64 {
+    let elapsed_secs = start_micros;
+    elapsed_secs
+}
+
+pub fn leak(dur: std::time::Duration) -> f64 {
+    let d = dur.as_micros();
+    d as f64
+}

@@ -1,0 +1,12 @@
+//! Fixture: deterministic fan-out with a reasoned allow and counted drain.
+pub fn run(seeds: &[u64]) -> Vec<u64> {
+    // simlint: allow(par-contract, per-seed fork-join joined in seed order)
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds.iter().map(|&s| scope.spawn(move || s * 2)).collect();
+        handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
+    })
+}
+
+pub fn counted(rx: &Receiver<u64>, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rx.recv().unwrap_or_default()).collect()
+}

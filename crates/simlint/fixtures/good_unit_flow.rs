@@ -1,0 +1,19 @@
+//! Fixture: conversions, rates, and newtypes stay silent under dataflow.
+pub fn convert(delay_micros: u64) -> u64 {
+    let delay_millis = delay_micros / 1000;
+    delay_millis + 5
+}
+
+pub fn rate(size_mb: f64, elapsed_secs: f64) -> f64 {
+    let mb_per_sec = size_mb / elapsed_secs;
+    mb_per_sec
+}
+
+pub fn same(seek_micros: u64, settle_micros: u64) -> u64 {
+    seek_micros + settle_micros
+}
+
+pub fn newtype(raw_micros: u64) -> bool {
+    let t: Micros = Micros::from_raw(raw_micros);
+    t.is_zero()
+}

@@ -1,0 +1,379 @@
+//! The unit-dataflow pass (`unit-flow`): propagates unit kinds through
+//! `let` bindings and arithmetic inside each function body, flagging
+//! mixed-unit `+`/`-`/comparisons, bindings whose name contradicts their
+//! initializer, and dataflow-only unit values leaking into raw casts.
+//!
+//! Like every tree pass, this under-approximates: a kind is tracked only
+//! when the evidence is unambiguous (see `resolve::unit_of_name`), `*`
+//! and `/` erase kinds (they legitimately convert), and unknown kinds
+//! never conflict with anything.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Lint;
+use crate::lints::Emitter;
+use crate::parse::{BinOp, Block, Expr, File, FnDef, Item, Stmt};
+use crate::resolve::{is_numeric_prim, unit_of_method, unit_of_name, UnitKind};
+
+/// How a binding's kind became known: spelled in its own name, or only
+/// through dataflow. The distinction keeps the cast-leak check disjoint
+/// from the token-level `unit-cast` lint (which already fires on
+/// unit-named operands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prov {
+    Name,
+    Flow,
+}
+
+type Env = BTreeMap<String, (UnitKind, Prov)>;
+
+/// Runs the pass over every function in the file.
+pub fn check(em: &mut Emitter<'_>, file: &File) {
+    if !em.in_scope(Lint::UnitFlow) {
+        return;
+    }
+    file.for_each_fn(&mut |fd| check_fn(em, fd));
+}
+
+fn check_fn(em: &mut Emitter<'_>, fd: &FnDef) {
+    let mut env = Env::new();
+    for p in &fd.params {
+        // Only raw numeric parameters can silently carry a unit; newtype
+        // parameters are already policed by the type system.
+        if is_numeric_prim(&p.ty) {
+            if let Some(k) = unit_of_name(&p.name) {
+                env.insert(p.name.clone(), (k, Prov::Name));
+            }
+        }
+    }
+    if let Some(body) = &fd.body {
+        walk_block(em, body, &mut env);
+    }
+}
+
+fn walk_block(em: &mut Emitter<'_>, block: &Block, env: &mut Env) {
+    // Blocks get a scope copy so inner shadowing cannot leak out.
+    let mut scope = env.clone();
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let(l) => {
+                if let Some(init) = &l.init {
+                    walk_expr(em, init, &mut scope);
+                }
+                if let Some(eb) = &l.else_block {
+                    walk_block(em, eb, &mut scope);
+                }
+                bind_let(em, l, &mut scope);
+            }
+            Stmt::Expr(e) => walk_expr(em, e, &mut scope),
+            Stmt::Item(Item::Fn(fd)) => check_fn(em, fd),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn bind_let(em: &mut Emitter<'_>, l: &crate::parse::LetStmt, env: &mut Env) {
+    if l.name.is_empty() {
+        return;
+    }
+    // A type annotation that is not a raw numeric primitive means a
+    // newtype carries the unit; stop tracking under this name.
+    if l.ty.as_deref().is_some_and(|t| !is_numeric_prim(t)) {
+        env.remove(&l.name);
+        return;
+    }
+    let name_kind = unit_of_name(&l.name);
+    let init_kind = l.init.as_ref().and_then(|e| infer(e, env));
+    if let (Some(nk), Some(ik)) = (name_kind, init_kind) {
+        if nk != ik {
+            em.emit(
+                Lint::UnitFlow,
+                l.span.line,
+                l.span.col,
+                format!(
+                    "binding `{}` is named in {} but its initializer carries {}",
+                    l.name, nk.scale, ik.scale
+                ),
+                None,
+            );
+        }
+    }
+    match (name_kind, init_kind) {
+        (Some(k), _) => {
+            env.insert(l.name.clone(), (k, Prov::Name));
+        }
+        (None, Some(k)) => {
+            env.insert(l.name.clone(), (k, Prov::Flow));
+        }
+        (None, None) => {
+            // Shadowing with an unknown kind forgets the old binding.
+            env.remove(&l.name);
+        }
+    }
+}
+
+/// Recursive expression walk: reports mixed-unit arithmetic and dataflow
+/// cast leaks, then recurses into every child.
+fn walk_expr(em: &mut Emitter<'_>, e: &Expr, env: &mut Env) {
+    match e {
+        Expr::Binary(op, l, r, span) => {
+            walk_expr(em, l, env);
+            walk_expr(em, r, env);
+            if op.is_unit_sensitive() {
+                if let (Some(kl), Some(kr)) = (infer(l, env), infer(r, env)) {
+                    if kl != kr {
+                        let what = if matches!(op, BinOp::Add | BinOp::Sub) {
+                            "arithmetic"
+                        } else {
+                            "comparison"
+                        };
+                        em.emit(
+                            Lint::UnitFlow,
+                            span.line,
+                            span.col,
+                            format!("mixed units in {what}: {} vs {}", kl.scale, kr.scale),
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+        Expr::Cast(inner, ty, span) => {
+            walk_expr(em, inner, env);
+            // Leak check: a bare binding whose kind is known only via
+            // dataflow, cast to a raw numeric. (Unit-named operands are
+            // the token-level `unit-cast` lint's territory.)
+            if is_numeric_prim(ty) {
+                if let Expr::Path(segs, _) = inner.as_ref() {
+                    if let [name] = segs.as_slice() {
+                        if let Some((k, Prov::Flow)) = env.get(name) {
+                            em.emit(
+                                Lint::UnitFlow,
+                                span.line,
+                                span.col,
+                                format!(
+                                    "`{name}` carries {} (via dataflow) but leaks \
+                                     into a raw `as {ty}` cast",
+                                    k.scale
+                                ),
+                                None,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Expr::Unary(inner, _) | Expr::Ret(Some(inner), _) => walk_expr(em, inner, env),
+        Expr::Call(callee, args, _) => {
+            walk_expr(em, callee, env);
+            for a in args {
+                walk_expr(em, a, env);
+            }
+        }
+        Expr::Method(m) => {
+            walk_expr(em, &m.recv, env);
+            for a in &m.args {
+                walk_expr(em, a, env);
+            }
+        }
+        Expr::Field(inner, _, _) | Expr::Index(inner, _, _) => {
+            walk_expr(em, inner, env);
+            if let Expr::Index(_, idx, _) = e {
+                walk_expr(em, idx, env);
+            }
+        }
+        Expr::Closure(c) => walk_expr(em, &c.body, env),
+        Expr::Blk(b) => walk_block(em, b, env),
+        Expr::Ctrl(c) => {
+            for ex in &c.exprs {
+                walk_expr(em, ex, env);
+            }
+            for b in &c.blocks {
+                walk_block(em, b, env);
+            }
+        }
+        Expr::For(f) => {
+            walk_expr(em, &f.iter, env);
+            walk_block(em, &f.body, env);
+        }
+        Expr::MacroCall(_, args, _) | Expr::Tuple(args, _) | Expr::Array(args, _) => {
+            for a in args {
+                walk_expr(em, a, env);
+            }
+        }
+        Expr::StructLit(_, fields, _) => {
+            for f in fields {
+                walk_expr(em, f, env);
+            }
+        }
+        Expr::Path(..) | Expr::Num(..) | Expr::Str(..) | Expr::Ret(None, _) | Expr::Unknown(_) => {}
+    }
+}
+
+/// Methods that return a value of the same kind as their receiver.
+fn is_passthrough_method(name: &str) -> bool {
+    matches!(
+        name,
+        "min"
+            | "max"
+            | "clamp"
+            | "abs"
+            | "floor"
+            | "ceil"
+            | "round"
+            | "saturating_add"
+            | "saturating_sub"
+            | "wrapping_add"
+            | "wrapping_sub"
+            | "checked_add"
+            | "checked_sub"
+            | "unwrap_or"
+            | "unwrap_or_default"
+    )
+}
+
+/// Infers the unit kind of an expression, if unambiguous.
+fn infer(e: &Expr, env: &Env) -> Option<UnitKind> {
+    match e {
+        Expr::Path(segs, _) => match segs.as_slice() {
+            [name] => env
+                .get(name)
+                .map(|(k, _)| *k)
+                .or_else(|| unit_of_name(name)),
+            [.., last] => unit_of_name(last),
+            [] => None,
+        },
+        Expr::Field(_, name, _) => unit_of_name(name),
+        Expr::Method(m) => unit_of_method(&m.name).or_else(|| {
+            if is_passthrough_method(&m.name) {
+                infer(&m.recv, env)
+            } else {
+                None
+            }
+        }),
+        Expr::Call(callee, _, _) => match callee.as_ref() {
+            Expr::Path(segs, _) => segs.last().and_then(|s| unit_of_name(s)),
+            _ => None,
+        },
+        Expr::Cast(inner, _, _) | Expr::Unary(inner, _) => infer(inner, env),
+        // `+`/`-` preserve the (agreeing) operand kind; `*`//` convert.
+        Expr::Binary(BinOp::Add | BinOp::Sub, l, r, _) => {
+            let kl = infer(l, env);
+            let kr = infer(r, env);
+            match (kl, kr) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lints::check_file;
+    use crate::scan::FileCtx;
+
+    fn lint_lib(src: &str) -> Vec<&'static str> {
+        let ctx = FileCtx::classify("crates/sim/src/engine.rs");
+        check_file(&ctx, src)
+            .into_iter()
+            .map(|d| d.lint.id())
+            .collect()
+    }
+
+    fn unit_flow_count(src: &str) -> usize {
+        lint_lib(src)
+            .iter()
+            .filter(|id| **id == "unit-flow")
+            .count()
+    }
+
+    #[test]
+    fn mixed_unit_addition_flagged() {
+        let src = "fn f(now_us: u64, len_mb: u64) -> u64 { now_us + len_mb }\n";
+        assert_eq!(unit_flow_count(src), 1);
+    }
+
+    #[test]
+    fn mixed_scale_comparison_flagged() {
+        let src = "fn f(t_us: u64, limit_ms: u64) -> bool { t_us < limit_ms }\n";
+        assert_eq!(unit_flow_count(src), 1);
+    }
+
+    #[test]
+    fn same_unit_arithmetic_silent() {
+        let src = "fn f(a_us: u64, b_us: u64) -> u64 { a_us + b_us }\n";
+        assert_eq!(unit_flow_count(src), 0);
+    }
+
+    #[test]
+    fn conversion_via_mul_div_is_silent() {
+        // `*`//` legitimately change scale: no kind survives them.
+        let src = "fn f(t_us: u64) -> u64 { let t_ms = t_us / 1000; t_ms + 1 }\n";
+        assert_eq!(unit_flow_count(src), 0);
+    }
+
+    #[test]
+    fn mismatch_propagates_through_binding() {
+        let src = "fn f(now_us: u64, pos_mb: u64) -> u64 {\n\
+                   let deadline = now_us;\n\
+                   deadline + pos_mb\n}\n";
+        assert_eq!(unit_flow_count(src), 1);
+    }
+
+    #[test]
+    fn binding_name_contradicting_initializer_flagged() {
+        let src = "fn f(start_us: u64) -> u64 { let elapsed_secs = start_us; elapsed_secs }\n";
+        assert_eq!(unit_flow_count(src), 1);
+    }
+
+    #[test]
+    fn flow_only_cast_leak_flagged() {
+        // `d`'s kind is invisible in its name — only dataflow knows — so
+        // the token-level unit-cast lint cannot see this leak.
+        let src = "fn f(dur_us: u64) -> f64 { let d = dur_us; d as f64 }\n";
+        assert_eq!(unit_flow_count(src), 1);
+    }
+
+    #[test]
+    fn named_cast_is_left_to_token_lint() {
+        // `dur_micros as f64` is the old lint's finding; unit-flow must
+        // not double-report it.
+        let src = "fn f(dur_micros: u64) -> f64 { dur_micros as f64 }\n";
+        assert_eq!(unit_flow_count(src), 0);
+        assert!(lint_lib(src).contains(&"unit-cast"));
+    }
+
+    #[test]
+    fn rates_never_conflict() {
+        let src = "fn f(mb_per_sec: f64, t: f64) -> f64 { mb_per_sec + t }\n";
+        assert_eq!(unit_flow_count(src), 0);
+    }
+
+    #[test]
+    fn newtype_bindings_are_not_tracked() {
+        let src = "fn f(t_us: u64) -> bool { let m: Micros = convert(t_us); m > other() }\n";
+        assert_eq!(unit_flow_count(src), 0);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = "fn f(now_us: u64, len_mb: u64) -> u64 {\n\
+                   // simlint: allow(unit-flow, proven same scale upstream)\n\
+                   now_us + len_mb\n}\n";
+        assert_eq!(unit_flow_count(src), 0);
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_silent() {
+        let ctx = FileCtx::classify("crates/simlint/src/foo.rs");
+        let n = check_file(&ctx, "fn f(a_us: u64, b_mb: u64) -> u64 { a_us + b_mb }\n")
+            .into_iter()
+            .filter(|d| d.lint.id() == "unit-flow")
+            .count();
+        assert_eq!(n, 0);
+    }
+}

@@ -25,17 +25,31 @@ pub enum Lint {
     /// D3: `unwrap`/`expect`/`panic!`-family/constant-index panics in
     /// non-test library code without a documented invariant.
     Panic,
+    /// D4: mixed unit kinds reaching `+`/`-`/compare, or a unit quantity
+    /// whose kind is only known through dataflow leaking into a raw cast.
+    UnitFlow,
+    /// D5: comparators that are not provably total (`partial_cmp().
+    /// unwrap()`, float sort keys, `BinaryHeap` over floats) or that
+    /// forfeit stable order (`sort_unstable_by*`).
+    OrderTotality,
+    /// D6: the parallel-determinism contract — concurrency primitives
+    /// outside `par.rs`, shared-mutable captures in worker closures, and
+    /// arrival-order channel drains.
+    ParContract,
 }
 
 impl Lint {
     /// All lints, in catalog order.
-    pub const ALL: [Lint; 6] = [
+    pub const ALL: [Lint; 9] = [
         Lint::HashOrder,
         Lint::WallClock,
         Lint::AmbientRng,
         Lint::UnitCast,
         Lint::UnitConst,
         Lint::Panic,
+        Lint::UnitFlow,
+        Lint::OrderTotality,
+        Lint::ParContract,
     ];
 
     /// The stable lint id used in diagnostics and allow-annotations.
@@ -47,24 +61,30 @@ impl Lint {
             Lint::UnitCast => "unit-cast",
             Lint::UnitConst => "unit-const",
             Lint::Panic => "panic",
+            Lint::UnitFlow => "unit-flow",
+            Lint::OrderTotality => "order-totality",
+            Lint::ParContract => "par-contract",
         }
     }
 
-    /// The lint family (D1/D2/D3) for reporting.
+    /// The lint family (D1..D6) for reporting.
     pub fn family(self) -> &'static str {
         match self {
             Lint::HashOrder | Lint::WallClock | Lint::AmbientRng => "determinism",
             Lint::UnitCast | Lint::UnitConst => "unit-safety",
             Lint::Panic => "panic-hygiene",
+            Lint::UnitFlow => "unit-dataflow",
+            Lint::OrderTotality => "ordering-totality",
+            Lint::ParContract => "parallel-contract",
         }
     }
 
-    /// Default severity. The unit-safety family is advisory by default
-    /// (the token-level heuristic can over-approximate) and is promoted
-    /// to deny by the `-D` flag, which CI passes.
+    /// Default severity. The unit-safety families are advisory by default
+    /// (their heuristics can over-approximate) and are promoted to deny
+    /// by the `-D` flag, which CI passes.
     pub fn default_severity(self) -> Severity {
         match self {
-            Lint::UnitCast | Lint::UnitConst => Severity::Warning,
+            Lint::UnitCast | Lint::UnitConst | Lint::UnitFlow => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -103,6 +123,22 @@ impl Lint {
                 "propagate a typed error (e.g. SimError) or document the \
                  invariant with `// simlint: allow(panic, <reason>)`"
             }
+            Lint::UnitFlow => {
+                "keep quantities in one unit kind per expression (convert \
+                 via the model units layer first), or annotate \
+                 `// simlint: allow(unit-flow, <reason>)`"
+            }
+            Lint::OrderTotality => {
+                "use `f64::total_cmp` or a total integer key like `(at, \
+                 seq)`, and prefer stable `sort_by*`; run `simlint --fix` \
+                 for the mechanical rewrite"
+            }
+            Lint::ParContract => {
+                "keep concurrency primitives inside `par.rs`, capture only \
+                 per-task state in worker closures, and drain results in \
+                 deterministic order — or annotate \
+                 `// simlint: allow(par-contract, <reason>)`"
+            }
         }
     }
 }
@@ -129,6 +165,24 @@ impl Severity {
     }
 }
 
+/// One byte-range replacement inside a file.
+#[derive(Debug, Clone)]
+pub struct Edit {
+    /// Byte offset of the first replaced byte.
+    pub lo: usize,
+    /// Byte offset one past the last replaced byte.
+    pub hi: usize,
+    /// Replacement text (empty for a deletion).
+    pub text: String,
+}
+
+/// A mechanically safe rewrite attached to a diagnostic, applied by
+/// `simlint --fix`.
+#[derive(Debug, Clone)]
+pub struct Fix {
+    pub edits: Vec<Edit>,
+}
+
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -141,6 +195,8 @@ pub struct Diagnostic {
     pub message: String,
     /// The full source line, for the rustc-style snippet.
     pub snippet: String,
+    /// A mechanical rewrite, when one exists (`--fix`).
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -194,10 +250,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The JSON report schema version. History: 1 = the original report
+/// (`"version"` key, no fix information); 2 = renamed the key to
+/// `schema_version`, added per-violation `"fixable"`.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Serializes a full run to the machine-readable JSON report.
 pub fn to_json(diags: &[Diagnostic], files_scanned: usize, root: &Path) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!(
         "  \"root\": \"{}\",\n",
         json_escape(&root.display().to_string())
@@ -217,13 +278,15 @@ pub fn to_json(diags: &[Diagnostic], files_scanned: usize, root: &Path) -> Strin
     for (i, d) in diags.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"lint\": \"{}\", \"family\": \"{}\", \"severity\": \"{}\", \
-             \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\" }}{}\n",
+             \"file\": \"{}\", \"line\": {}, \"col\": {}, \"fixable\": {}, \
+             \"message\": \"{}\" }}{}\n",
             d.lint,
             d.lint.family(),
             d.severity.label(),
             json_escape(&d.file),
             d.line,
             d.col,
+            d.fix.is_some(),
             json_escape(&d.message),
             if i + 1 < diags.len() { "," } else { "" }
         ));
@@ -246,6 +309,7 @@ mod tests {
             col: 22,
             message: "`HashMap` iteration order is nondeterministic".into(),
             snippet: "    let mut faulted: HashMap<RequestId, TapeId> = HashMap::new();".into(),
+            fix: None,
         }
     }
 
@@ -261,11 +325,12 @@ mod tests {
     #[test]
     fn json_report_shape() {
         let json = to_json(&[sample()], 42, &PathBuf::from("/w"));
-        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"files_scanned\": 42"));
         assert!(json.contains("\"violations\": 1"));
         assert!(json.contains("\"lint\": \"hash-order\""));
         assert!(json.contains("\"family\": \"determinism\""));
+        assert!(json.contains("\"fixable\": false"));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! `--fix`: applies the mechanically safe rewrites attached to
+//! diagnostics (byte-range edits recorded by the passes).
+//!
+//! Edits are applied back-to-front so earlier offsets stay valid, and
+//! overlapping edits are skipped conservatively (first writer wins). The
+//! rewrites are chosen to be idempotent: a fixed file re-lints with no
+//! remaining fixable findings, so `--fix` twice is `--fix` once.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Edit};
+
+/// Applies every fix attached to `diags` to `src`. Returns `None` when
+/// there is nothing to do.
+pub fn apply_to_source(src: &str, diags: &[Diagnostic]) -> Option<String> {
+    let mut edits: Vec<&Edit> = diags
+        .iter()
+        .filter_map(|d| d.fix.as_ref())
+        .flat_map(|f| f.edits.iter())
+        .collect();
+    if edits.is_empty() {
+        return None;
+    }
+    // Back-to-front, longest-first on ties so replacements at the same
+    // offset behave deterministically.
+    edits.sort_by_key(|e| (std::cmp::Reverse(e.lo), std::cmp::Reverse(e.hi)));
+    let mut out = src.to_string();
+    let mut last_lo = usize::MAX;
+    for e in edits {
+        if e.lo > e.hi || e.hi > out.len() || e.hi > last_lo {
+            // Malformed or overlapping a later (already applied) edit:
+            // skip; the next `--fix` run picks it up on clean offsets.
+            continue;
+        }
+        if !out.is_char_boundary(e.lo) || !out.is_char_boundary(e.hi) {
+            continue;
+        }
+        out.replace_range(e.lo..e.hi, &e.text);
+        last_lo = e.lo;
+    }
+    Some(out)
+}
+
+/// The result of a workspace `--fix` run.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FixOutcome {
+    pub files_changed: usize,
+    pub edits_applied: usize,
+}
+
+/// Applies every available fix across the workspace, writing files in
+/// place. Returns what changed.
+pub fn fix_workspace(root: &Path) -> io::Result<FixOutcome> {
+    let files = crate::scan::collect_files(root)?;
+    let mut outcome = FixOutcome::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        let ctx = crate::scan::FileCtx::classify(&rel);
+        let diags = crate::lints::check_file(&ctx, &src);
+        let edit_count: usize = diags
+            .iter()
+            .filter_map(|d| d.fix.as_ref())
+            .map(|f| f.edits.len())
+            .sum();
+        if let Some(fixed) = apply_to_source(&src, &diags) {
+            if fixed != src {
+                fs::write(path, fixed)?;
+                outcome.files_changed += 1;
+                outcome.edits_applied += edit_count;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::check_file;
+    use crate::scan::FileCtx;
+
+    fn fix_lib(src: &str) -> String {
+        let ctx = FileCtx::classify("crates/sim/src/engine.rs");
+        let diags = check_file(&ctx, src);
+        apply_to_source(src, &diags).unwrap_or_else(|| src.to_string())
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_rewrites_to_total_cmp() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let fixed = fix_lib(src);
+        assert!(fixed.contains("a.total_cmp(b)"), "{fixed}");
+        assert!(!fixed.contains("unwrap"), "{fixed}");
+    }
+
+    #[test]
+    fn hash_map_rewrites_to_btree_map() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() -> HashMap<u32, u32> { HashMap::with_capacity(8) }\n";
+        let fixed = fix_lib(src);
+        assert!(fixed.contains("use std::collections::BTreeMap;"), "{fixed}");
+        assert!(fixed.contains("BTreeMap<u32, u32>"), "{fixed}");
+        assert!(fixed.contains("BTreeMap::new()"), "{fixed}");
+        assert!(!fixed.contains("HashMap"), "{fixed}");
+        assert!(!fixed.contains("with_capacity"), "{fixed}");
+    }
+
+    #[test]
+    fn sort_unstable_by_rewrites_to_stable() {
+        let src = "fn f(v: &mut Vec<u64>) { v.sort_unstable_by_key(|x| x + 1); }\n";
+        let fixed = fix_lib(src);
+        assert!(fixed.contains("v.sort_by_key(|x| x + 1)"), "{fixed}");
+    }
+
+    #[test]
+    fn fix_is_idempotent() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let once = fix_lib(src);
+        let twice = fix_lib(&once);
+        assert_eq!(once, twice);
+        // And the fixed source has no fixable findings left.
+        let ctx = FileCtx::classify("crates/sim/src/engine.rs");
+        let remaining = check_file(&ctx, &once);
+        assert!(remaining.iter().all(|d| d.fix.is_none()), "{remaining:?}");
+    }
+
+    #[test]
+    fn no_fixes_returns_none() {
+        let ctx = FileCtx::classify("crates/sim/src/engine.rs");
+        let src = "fn f() -> u32 { 1 }\n";
+        let diags = check_file(&ctx, src);
+        assert!(apply_to_source(src, &diags).is_none());
+    }
+}

@@ -1,12 +1,14 @@
-//! A minimal Rust lexer, sufficient for token-level lint analysis.
+//! A minimal Rust lexer, sufficient for token-level and tree-level lint
+//! analysis.
 //!
 //! The container this project builds in has no access to crates.io, so
 //! `simlint` cannot use `syn`; instead it tokenizes source text itself.
 //! The lexer understands everything needed to avoid false positives from
 //! non-code text: line/block comments (nested), string literals (plain,
-//! raw, byte, C), char literals vs. lifetimes, and numeric literals. It
-//! does not build a syntax tree — the lint passes work on the token
-//! stream plus brace matching.
+//! raw, byte, C), char and byte-char literals vs. lifetimes, and numeric
+//! literals. Every token carries its byte span so the `--fix` rewriter
+//! can splice replacements back into the original source; the parser
+//! (`parse`) builds its item/expression tree on top of this stream.
 
 /// The kind of a lexed token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,18 +19,24 @@ pub enum TokenKind {
     Lifetime,
     /// A numeric literal, with its exact source text (`1e6`, `0x1F`, ...).
     Number(String),
-    /// A string, byte-string, raw-string, or char literal (content dropped).
+    /// A string, byte-string, raw-string, char, or byte-char literal
+    /// (content dropped).
     StrLit,
     /// A single punctuation character (`.`, `[`, `!`, ...).
     Punct(char),
 }
 
-/// One token with its source position (1-based line and column).
+/// One token with its source position (1-based line and column) and its
+/// byte span in the original source (`lo..hi`).
 #[derive(Debug, Clone)]
 pub struct Token {
     pub kind: TokenKind,
     pub line: u32,
     pub col: u32,
+    /// Byte offset of the token's first byte.
+    pub lo: usize,
+    /// Byte offset one past the token's last byte.
+    pub hi: usize,
 }
 
 impl Token {
@@ -115,7 +123,16 @@ pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
 
     while let Some(b) = cur.peek() {
-        let (line, col) = (cur.line, cur.col);
+        let (line, col, lo) = (cur.line, cur.col, cur.pos);
+        let mut push = |kind: TokenKind, cur: &Cursor<'_>| {
+            out.tokens.push(Token {
+                kind,
+                line,
+                col,
+                lo,
+                hi: cur.pos,
+            });
+        };
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 cur.bump();
@@ -158,68 +175,47 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 lex_string(&mut cur);
-                out.tokens.push(Token {
-                    kind: TokenKind::StrLit,
-                    line,
-                    col,
-                });
+                push(TokenKind::StrLit, &cur);
+            }
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                // Byte-char literal `b'x'` / `b'\xff'` — one token, not an
+                // ident `b` followed by a char literal.
+                cur.bump();
+                lex_char(&mut cur);
+                push(TokenKind::StrLit, &cur);
             }
             b'r' | b'b' | b'c' if starts_prefixed_string(&cur) => {
                 lex_prefixed_string(&mut cur);
-                out.tokens.push(Token {
-                    kind: TokenKind::StrLit,
-                    line,
-                    col,
-                });
+                push(TokenKind::StrLit, &cur);
             }
             b'\'' => {
                 // Lifetime (`'a`, `'static`) or char literal (`'x'`, `'\n'`).
                 if is_char_literal(&cur) {
                     lex_char(&mut cur);
-                    out.tokens.push(Token {
-                        kind: TokenKind::StrLit,
-                        line,
-                        col,
-                    });
+                    push(TokenKind::StrLit, &cur);
                 } else {
                     cur.bump();
                     while cur.peek().is_some_and(is_ident_continue) {
                         cur.bump();
                     }
-                    out.tokens.push(Token {
-                        kind: TokenKind::Lifetime,
-                        line,
-                        col,
-                    });
+                    push(TokenKind::Lifetime, &cur);
                 }
             }
             b if b.is_ascii_digit() => {
                 let start = cur.pos;
                 lex_number(&mut cur);
-                out.tokens.push(Token {
-                    kind: TokenKind::Number(src[start..cur.pos].to_string()),
-                    line,
-                    col,
-                });
+                push(TokenKind::Number(src[start..cur.pos].to_string()), &cur);
             }
             b if is_ident_start(b) => {
                 let start = cur.pos;
                 while cur.peek().is_some_and(is_ident_continue) {
                     cur.bump();
                 }
-                out.tokens.push(Token {
-                    kind: TokenKind::Ident(src[start..cur.pos].to_string()),
-                    line,
-                    col,
-                });
+                push(TokenKind::Ident(src[start..cur.pos].to_string()), &cur);
             }
             _ => {
                 cur.bump();
-                out.tokens.push(Token {
-                    kind: TokenKind::Punct(b as char),
-                    line,
-                    col,
-                });
+                push(TokenKind::Punct(b as char), &cur);
             }
         }
     }
@@ -268,19 +264,47 @@ fn lex_string(cur: &mut Cursor<'_>) {
 }
 
 fn lex_prefixed_string(cur: &mut Cursor<'_>) {
-    // Consume prefix letters.
-    while cur.peek().is_some_and(|b| matches!(b, b'r' | b'b' | b'c')) {
-        cur.bump();
+    // Consume prefix letters, remembering whether the literal is raw:
+    // raw strings (`r"..."`, `br#"..."#`) process no escapes at all, so a
+    // backslash before the closing quote must not swallow it. (Treating
+    // zero-hash raw strings as escaped used to mislex `r"a\"` and
+    // silently skip every token to the next quote.)
+    let mut raw = false;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'r' => {
+                raw = true;
+                cur.bump();
+            }
+            b'b' | b'c' => {
+                cur.bump();
+            }
+            _ => break,
+        }
     }
-    // Raw string: count `#`s, then scan to `"` followed by that many `#`s.
     let mut hashes = 0usize;
     while cur.peek() == Some(b'#') {
         hashes += 1;
         cur.bump();
     }
     cur.bump(); // opening quote
-    if hashes == 0 {
-        // Non-raw prefixed string (`b"..."`): escapes apply.
+    if raw {
+        // Raw string: scan to `"` followed by exactly `hashes` `#`s; no
+        // escape processing (zero hashes close at the first quote).
+        while let Some(b) = cur.bump() {
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    } else {
+        // Non-raw prefixed string (`b"..."`, `c"..."`): escapes apply.
         while let Some(b) = cur.peek() {
             match b {
                 b'\\' => {
@@ -293,19 +317,6 @@ fn lex_prefixed_string(cur: &mut Cursor<'_>) {
                 }
                 _ => {
                     cur.bump();
-                }
-            }
-        }
-    } else {
-        while let Some(b) = cur.bump() {
-            if b == b'"' {
-                let mut seen = 0usize;
-                while seen < hashes && cur.peek() == Some(b'#') {
-                    cur.bump();
-                    seen += 1;
-                }
-                if seen == hashes {
-                    return;
                 }
             }
         }
@@ -442,5 +453,85 @@ mod tests {
         let lexed = lex("a\n  b");
         assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
         assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_spans_slice_back_to_the_source() {
+        let src = "let delay_micros = stop.free_at + 10;";
+        for t in lex(src).tokens {
+            let text = &src[t.lo..t.hi];
+            match &t.kind {
+                TokenKind::Ident(s) => assert_eq!(text, s),
+                TokenKind::Number(s) => assert_eq!(text, s),
+                TokenKind::Punct(c) => assert_eq!(text, c.to_string()),
+                _ => {}
+            }
+        }
+    }
+
+    // -- Regression tests: lexer gaps that used to skip or mislex tokens --
+
+    #[test]
+    fn regression_nested_block_comments_terminate_correctly() {
+        // The token after a nested comment must survive; an unbalanced
+        // close must not swallow it.
+        let lexed = lex("/* a /* b /* c */ */ */ after");
+        assert_eq!(idents("/* a /* b /* c */ */ */ after"), vec!["after"]);
+        assert_eq!(lexed.tokens.len(), 1);
+        // `/*/` does not close the comment it opens.
+        assert_eq!(idents("/*/ still a comment */ after"), vec!["after"]);
+        // Unterminated nesting consumes to EOF without panicking.
+        assert!(idents("/* open /* deeper */ still open").is_empty());
+    }
+
+    #[test]
+    fn regression_zero_hash_raw_string_has_no_escapes() {
+        // `r"a\"` is a complete raw string (`a\`): the backslash is a
+        // literal byte, not an escape. The old escape-processing path
+        // swallowed the closing quote and silently skipped every token
+        // up to the next `"` in the file.
+        let src = "let x = r\"a\\\"; let y = 2;";
+        let ids = idents(src);
+        assert!(
+            ids.contains(&"y".to_string()),
+            "tokens after the raw string were skipped: {ids:?}"
+        );
+        // Same for raw byte strings.
+        let src = "let x = br\"a\\\"; let z = 3;";
+        assert!(idents(src).contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn regression_hashed_raw_strings_close_on_exact_hash_count() {
+        let src = "let r = r##\"quote \"# inside\"##; next";
+        let ids = idents(src);
+        assert!(ids.contains(&"next".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"inside".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn regression_byte_string_and_byte_char_literals() {
+        // Byte strings honor escapes; a `\"` does not close them.
+        let ids = idents("let b = b\"x\\\"y\"; tail");
+        assert!(ids.contains(&"tail".to_string()), "{ids:?}");
+        // Byte-char literals are one StrLit token, not a stray `b` ident
+        // (which used to leak into identifier-based lint matching).
+        let lexed = lex("let c = b'\\xff'; done");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("b")));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::StrLit)
+                .count(),
+            1
+        );
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn regression_c_string_literals() {
+        let ids = idents("let c = c\"null\\\"ok\"; end");
+        assert!(ids.contains(&"end".to_string()), "{ids:?}");
     }
 }

@@ -1,7 +1,7 @@
 //! `simlint` — workspace-local static analysis for the tape-jukebox
 //! reproduction.
 //!
-//! Three lint families protect the properties the experiment pipeline
+//! Six lint families protect the properties the experiment pipeline
 //! depends on (see README "Static analysis" for the catalog and the
 //! allow-annotation grammar):
 //!
@@ -14,18 +14,40 @@
 //!   go through the `model` units layer, not raw `as` casts or inline
 //!   constants;
 //! - **panic hygiene** (`panic`) — library code propagates typed errors
-//!   or documents its invariants; it does not abort.
+//!   or documents its invariants; it does not abort;
+//! - **unit dataflow** (`unit-flow`) — unit kinds inferred from binding
+//!   names and `Duration` accessors are propagated through `let` chains
+//!   and arithmetic; mixing dimensions under `+`/`-`/comparison, or
+//!   casting a tracked quantity to a bare numeric, is flagged even when
+//!   no unit word appears at the use site;
+//! - **ordering totality** (`order-totality`) — float comparators must be
+//!   total (`total_cmp`, not `partial_cmp().unwrap()`), sort keys must
+//!   not be floats, `BinaryHeap` must not order floats, and custom
+//!   comparators must use stable sorts;
+//! - **parallel-determinism contract** (`par-contract`) — concurrency
+//!   primitives live in `par.rs` (reasoned allows elsewhere), worker
+//!   closures must not capture `Rc`/`RefCell`-style shared-mutable state,
+//!   and arrival-order channel drains (`try_recv`, `try_iter`,
+//!   `recv_timeout`) are banned everywhere.
 //!
 //! The container this repository builds in has no crates.io access, so
-//! the pass is dependency-free: a hand-rolled lexer (`lexer`) feeds
-//! token-level checks (`lints`) — the same analyses a `syn` AST walk
-//! would do for these patterns, without the parse tree.
+//! the pass is dependency-free: a hand-rolled lexer (`lexer`) feeds both
+//! token-level checks (`lints`) and a tolerant recursive-descent parser
+//! (`parse`) whose item/expression tree drives name resolution
+//! (`resolve`), the intraprocedural unit-dataflow walk (`dataflow`), and
+//! the contract passes (`contracts`). Mechanically safe rewrites attach
+//! to diagnostics and are applied by `--fix` (`fixes`).
 
 #![forbid(unsafe_code)]
 
+pub mod contracts;
+pub mod dataflow;
 pub mod diag;
+pub mod fixes;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
+pub mod resolve;
 pub mod scan;
 
 use std::fs;

@@ -1,8 +1,10 @@
-//! The lint passes: token-stream checks for the three lint families.
+//! The lint passes: the shared [`Emitter`], the token-stream checks for
+//! the original three families, and orchestration of the tree-level
+//! passes (`dataflow`, `contracts`) on top of the `parse` tree.
 
-use crate::diag::{Diagnostic, Lint, Severity};
+use crate::diag::{Diagnostic, Edit, Fix, Lint, Severity};
 use crate::lexer::{lex, Token, TokenKind};
-use crate::scan::{in_test_span, test_spans, Annotations, FileCtx};
+use crate::scan::{in_test_span, test_spans, Annotations, FileCtx, TestSpans};
 
 /// Identifier words that mark a value as unit-carrying (time, position,
 /// or size). A cast operand whose final identifier contains one of these
@@ -50,105 +52,175 @@ const UNIT_CONSTS: [&str; 8] = [
 /// Macros whose expansion is a panic.
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
-/// Runs every in-scope lint over one file.
-pub fn check_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let spans = test_spans(&lexed);
-    let ann = Annotations::parse(&lexed.comments);
-    let lines: Vec<&str> = src.lines().collect();
-    let toks = &lexed.tokens;
-    let mut out = Vec::new();
+/// Shared diagnostic sink for every pass over one file. Centralizes the
+/// scope matrix, `#[cfg(test)]` exemptions, and allow-annotations so the
+/// token pass and the tree passes filter identically.
+pub struct Emitter<'a> {
+    ctx: &'a FileCtx,
+    spans: TestSpans,
+    ann: Annotations,
+    lines: Vec<&'a str>,
+    out: Vec<Diagnostic>,
+}
 
-    let emit = |lint: Lint, tok: &Token, message: String, out: &mut Vec<Diagnostic>| {
-        if !ctx.lint_in_scope(lint) {
+impl<'a> Emitter<'a> {
+    /// True if `lint` applies to this file at all (cheap pre-filter so
+    /// tree passes can skip whole files).
+    pub fn in_scope(&self, lint: Lint) -> bool {
+        self.ctx.lint_in_scope(lint)
+    }
+
+    /// Records a finding at `line:col`, subject to scope, test-span, and
+    /// allow-annotation filtering.
+    pub fn emit(&mut self, lint: Lint, line: u32, col: u32, message: String, fix: Option<Fix>) {
+        if !self.ctx.lint_in_scope(lint) {
             return;
         }
         // The determinism lints for wall-clock/RNG apply even in test
         // code; the rest exempt `#[cfg(test)]` spans.
         let test_exempt = !matches!(lint, Lint::WallClock | Lint::AmbientRng);
-        if test_exempt && in_test_span(&spans, tok.line) {
+        if test_exempt && in_test_span(&self.spans, line) {
             return;
         }
-        if ann.allows(lint, tok.line) {
+        if self.ann.allows(lint, line) {
             return;
         }
-        let snippet = lines
-            .get(tok.line as usize - 1)
+        let snippet = self
+            .lines
+            .get(line as usize - 1)
             .copied()
             .unwrap_or("")
             .to_string();
-        out.push(Diagnostic {
+        self.out.push(Diagnostic {
             lint,
             severity: lint.default_severity(),
-            file: ctx.rel.clone(),
-            line: tok.line,
-            col: tok.col,
+            file: self.ctx.rel.clone(),
+            line,
+            col,
             message,
             snippet,
+            fix,
         });
-    };
+    }
 
+    /// Convenience: emit at a token's position.
+    fn emit_tok(&mut self, lint: Lint, tok: &Token, message: String, fix: Option<Fix>) {
+        self.emit(lint, tok.line, tok.col, message, fix);
+    }
+}
+
+/// Runs every in-scope lint over one file.
+pub fn check_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let mut em = Emitter {
+        ctx,
+        spans: test_spans(&lexed),
+        ann: Annotations::parse(&lexed.comments),
+        lines: src.lines().collect(),
+        out: Vec::new(),
+    };
+    token_pass(&mut em, &lexed.tokens);
+    // The tree passes only run where one of their lints is in scope.
+    if em.in_scope(Lint::UnitFlow)
+        || em.in_scope(Lint::OrderTotality)
+        || em.in_scope(Lint::ParContract)
+    {
+        let file = crate::parse::parse(src, &lexed.tokens);
+        crate::dataflow::check(&mut em, &file);
+        crate::contracts::check(&mut em, &file, &lexed.tokens, ctx);
+    }
+
+    // Malformed annotations are errors: a typo'd allow must not silently
+    // fail to suppress (or silently over-suppress).
+    for (line, why) in &em.ann.malformed {
+        let snippet = em
+            .lines
+            .get(*line as usize - 1)
+            .copied()
+            .unwrap_or("")
+            .to_string();
+        em.out.push(Diagnostic {
+            lint: Lint::Panic,
+            severity: Severity::Error,
+            file: ctx.rel.clone(),
+            line: *line,
+            col: 1,
+            message: format!("malformed simlint annotation: {why}"),
+            snippet,
+            fix: None,
+        });
+    }
+
+    em.out
+}
+
+/// The original token-stream checks (determinism, unit-safety, panic
+/// hygiene).
+fn token_pass(em: &mut Emitter<'_>, toks: &[Token]) {
     for i in 0..toks.len() {
         let t = &toks[i];
         match &t.kind {
             TokenKind::Ident(name) => match name.as_str() {
-                "HashMap" | "HashSet" => emit(
-                    Lint::HashOrder,
-                    t,
-                    format!("`{name}` iteration order is nondeterministic"),
-                    &mut out,
-                ),
-                "now" if path_prefix(toks, i, &["Instant", "SystemTime"]) => emit(
+                "HashMap" | "HashSet" => {
+                    let fix = hash_container_fix(toks, i, name);
+                    em.emit_tok(
+                        Lint::HashOrder,
+                        t,
+                        format!("`{name}` iteration order is nondeterministic"),
+                        fix,
+                    );
+                }
+                "now" if path_prefix(toks, i, &["Instant", "SystemTime"]) => em.emit_tok(
                     Lint::WallClock,
                     t,
                     "wall-clock read makes simulation runs irreproducible".to_string(),
-                    &mut out,
+                    None,
                 ),
-                "thread_rng" => emit(
+                "thread_rng" => em.emit_tok(
                     Lint::AmbientRng,
                     t,
                     "`thread_rng` is seeded from the OS; use the run seed".to_string(),
-                    &mut out,
+                    None,
                 ),
-                "random" if path_prefix(toks, i, &["rand"]) => emit(
+                "random" if path_prefix(toks, i, &["rand"]) => em.emit_tok(
                     Lint::AmbientRng,
                     t,
                     "`rand::random` is seeded from the OS; use the run seed".to_string(),
-                    &mut out,
+                    None,
                 ),
                 "as" if cast_target(toks, i).is_some() => {
                     if let Some(word) = unit_cast_operand(toks, i) {
                         let target = cast_target(toks, i).unwrap_or_default();
-                        emit(
+                        em.emit_tok(
                             Lint::UnitCast,
                             t,
                             format!(
                                 "raw `as {target}` cast on unit-carrying value \
                                  (`{word}`) outside the units layer"
                             ),
-                            &mut out,
+                            None,
                         );
                     }
                 }
                 "unwrap" | "expect" if prev_is(toks, i, '.') && next_is(toks, i, '(') => {
-                    emit(
+                    em.emit_tok(
                         Lint::Panic,
                         t,
                         format!("`.{name}()` can panic in library code"),
-                        &mut out,
+                        None,
                     );
                 }
-                "unwrap" if path_call_position(toks, i) => emit(
+                "unwrap" if path_call_position(toks, i) => em.emit_tok(
                     Lint::Panic,
                     t,
                     "`Option::unwrap`/`Result::unwrap` reference can panic".to_string(),
-                    &mut out,
+                    None,
                 ),
-                m if PANIC_MACROS.contains(&m) && next_is(toks, i, '!') => emit(
+                m if PANIC_MACROS.contains(&m) && next_is(toks, i, '!') => em.emit_tok(
                     Lint::Panic,
                     t,
                     format!("`{m}!` aborts instead of propagating a typed error"),
-                    &mut out,
+                    None,
                 ),
                 _ => {}
             },
@@ -160,47 +232,72 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
                         || next_is(toks, i, '*')
                         || next_is(toks, i, '/'))
                 {
-                    emit(
+                    em.emit_tok(
                         Lint::UnitConst,
                         t,
                         format!(
                             "bare unit-conversion constant `{text}` in arithmetic; \
                              name it via the units layer"
                         ),
-                        &mut out,
+                        None,
                     );
                 }
             }
-            TokenKind::Punct('[') if const_index(toks, i) => emit(
+            TokenKind::Punct('[') if const_index(toks, i) => em.emit_tok(
                 Lint::Panic,
                 t,
                 "constant-index slice access panics when out of bounds".to_string(),
-                &mut out,
+                None,
             ),
             _ => {}
         }
     }
+}
 
-    // Malformed annotations are errors: a typo'd allow must not silently
-    // fail to suppress (or silently over-suppress).
-    for (line, why) in &ann.malformed {
-        let snippet = lines
-            .get(*line as usize - 1)
-            .copied()
-            .unwrap_or("")
-            .to_string();
-        out.push(Diagnostic {
-            lint: Lint::Panic,
-            severity: Severity::Error,
-            file: ctx.rel.clone(),
-            line: *line,
-            col: 1,
-            message: format!("malformed simlint annotation: {why}"),
-            snippet,
-        });
+/// Builds the `--fix` rewrite for a `HashMap`/`HashSet` occurrence: the
+/// ordered-container rename, plus a `::with_capacity(..)` -> `::new()`
+/// rewrite when the call directly follows (BTree containers take no
+/// capacity hint).
+fn hash_container_fix(toks: &[Token], i: usize, name: &str) -> Option<Fix> {
+    let replacement = if name == "HashMap" {
+        "BTreeMap"
+    } else {
+        "BTreeSet"
+    };
+    let t = toks.get(i)?;
+    let mut edits = vec![Edit {
+        lo: t.lo,
+        hi: t.hi,
+        text: replacement.to_string(),
+    }];
+    // `HashMap::with_capacity(n)` / turbofish-free form only.
+    if toks.get(i + 1).is_some_and(|x| x.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|x| x.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|x| x.is_ident("with_capacity"))
+        && toks.get(i + 4).is_some_and(|x| x.is_punct('('))
+    {
+        let mut depth = 0i32;
+        let mut k = i + 4;
+        while let Some(x) = toks.get(k) {
+            if x.is_punct('(') {
+                depth += 1;
+            } else if x.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    if let (Some(wc), Some(close)) = (toks.get(i + 3), toks.get(k)) {
+                        edits.push(Edit {
+                            lo: wc.lo,
+                            hi: close.hi,
+                            text: "new()".to_string(),
+                        });
+                    }
+                    break;
+                }
+            }
+            k += 1;
+        }
     }
-
-    out
+    Some(Fix { edits })
 }
 
 /// True if token `i` is preceded by `::` which is itself preceded by one

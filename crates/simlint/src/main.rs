@@ -9,7 +9,7 @@ use simlint::diag::{to_json, Severity};
 use simlint::scan::find_root;
 
 const USAGE: &str = "\
-simlint — determinism / unit-safety / panic-hygiene lints for this workspace
+simlint — determinism / unit-safety / panic-hygiene / contract lints for this workspace
 
 USAGE:
     cargo run -p simlint [-- OPTIONS]
@@ -17,6 +17,8 @@ USAGE:
 OPTIONS:
     --root <path>    Workspace root (default: auto-detected)
     --json <path>    Write the machine-readable report ('-' for stdout)
+    --fix            Apply mechanically safe rewrites in place, then re-lint
+    --check          With --fix: apply nothing; fail if any fix would apply
     -D, --deny       Promote advisory (unit-safety) warnings to errors
     -q, --quiet      Suppress per-violation diagnostics, print summary only
     -h, --help       Show this help
@@ -27,6 +29,8 @@ struct Options {
     json: Option<PathBuf>,
     deny: bool,
     quiet: bool,
+    fix: bool,
+    check: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -35,6 +39,8 @@ fn parse_args() -> Result<Options, String> {
         json: None,
         deny: false,
         quiet: false,
+        fix: false,
+        check: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,6 +53,8 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--json requires a path")?;
                 opts.json = Some(PathBuf::from(v));
             }
+            "--fix" => opts.fix = true,
+            "--check" => opts.check = true,
             "-D" | "--deny" => opts.deny = true,
             "-q" | "--quiet" => opts.quiet = true,
             "-h" | "--help" => {
@@ -55,6 +63,9 @@ fn parse_args() -> Result<Options, String> {
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if opts.check && !opts.fix {
+        return Err("--check requires --fix".into());
     }
     Ok(opts)
 }
@@ -71,6 +82,27 @@ fn main() -> ExitCode {
         eprintln!("simlint: could not locate the workspace root (try --root)");
         return ExitCode::from(2);
     };
+
+    if opts.fix && !opts.check {
+        match simlint::fixes::fix_workspace(&root) {
+            Ok(outcome) => {
+                println!(
+                    "simlint: applied {} edit{} across {} file{}",
+                    outcome.edits_applied,
+                    if outcome.edits_applied == 1 { "" } else { "s" },
+                    outcome.files_changed,
+                    if outcome.files_changed == 1 { "" } else { "s" },
+                );
+            }
+            Err(e) => {
+                eprintln!("simlint: --fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        // Fall through: re-lint the fixed tree so remaining (unfixable)
+        // findings are still reported and gate the exit code.
+    }
+
     let (mut diags, files) = match simlint::run_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -82,6 +114,24 @@ fn main() -> ExitCode {
         for d in &mut diags {
             d.severity = Severity::Error;
         }
+    }
+
+    if opts.fix && opts.check {
+        let fixable = diags.iter().filter(|d| d.fix.is_some()).count();
+        if fixable > 0 {
+            if !opts.quiet {
+                for d in diags.iter().filter(|d| d.fix.is_some()) {
+                    println!("{}", d.render());
+                }
+            }
+            println!(
+                "simlint: {fixable} finding{} would be rewritten by --fix",
+                if fixable == 1 { "" } else { "s" },
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("simlint: no pending fixes — tree is clean under --fix --check");
+        return ExitCode::SUCCESS;
     }
 
     if !opts.quiet {

@@ -1,0 +1,2186 @@
+//! A tolerant recursive-descent parser over the `lexer` token stream.
+//!
+//! The goal is *under-approximation*: build an item/expression tree that
+//! is right whenever it claims anything, and degrade to [`Expr::Unknown`]
+//! wherever the grammar gets exotic. Lints that walk this tree then err
+//! on the side of silence rather than false positives. The parser is
+//! total: every path consumes at least one token, and a global fuel
+//! counter bounds the walk even on adversarial input.
+//!
+//! Multi-character operators (`==`, `..`, `=>`, `->`) do not exist at the
+//! token level — the lexer emits single-character puncts — so the parser
+//! reassembles them via *gluedness*: two adjacent tokens form one operator
+//! iff the first ends exactly where the second begins (`tok.hi == next.lo`).
+
+use crate::lexer::Token;
+
+/// A source span: 1-based line/col of the first token plus the byte range
+/// `lo..hi` covering the whole node (used by `--fix` to splice rewrites).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+/// One flattened `use` import: `alias` is the name visible in the file,
+/// `path` the full segment list (`use std::sync::Mutex as M` gives
+/// alias `M`, path `["std", "sync", "Mutex"]`).
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    pub alias: String,
+    pub path: Vec<String>,
+    pub span: Span,
+}
+
+/// A top-level or nested item. Only the shapes the lints care about are
+/// modeled; everything else is `Other`.
+#[derive(Debug)]
+pub enum Item {
+    Fn(FnDef),
+    /// Inline `mod name { ... }` with its nested items.
+    Mod(String, Vec<Item>),
+    /// `impl`/`trait` body members (the contained `fn`s).
+    Members(Vec<Item>),
+    Other,
+}
+
+/// A function definition (or trait-method declaration, with `body: None`).
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Option<Block>,
+    pub span: Span,
+}
+
+/// One function parameter: the binding name (first identifier of the
+/// pattern) and the exact source text of its type.
+#[derive(Debug)]
+pub struct Param {
+    pub name: String,
+    pub ty: String,
+}
+
+#[derive(Debug)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    Let(LetStmt),
+    Expr(Expr),
+    Item(Item),
+}
+
+/// `let [mut] name[: ty] = init [else { .. }];` — `name` is empty when the
+/// pattern is not a simple identifier (tuple/struct patterns).
+#[derive(Debug)]
+pub struct LetStmt {
+    pub name: String,
+    /// Exact source text of the annotated type, if any.
+    pub ty: Option<String>,
+    pub init: Option<Expr>,
+    pub else_block: Option<Block>,
+    pub span: Span,
+}
+
+/// Binary operators the dataflow pass distinguishes. Compound assignment
+/// is folded onto its base operator with `assign: true` in [`Expr::Binary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    /// Plain `=` assignment.
+    Assign,
+    /// `..` / `..=` range.
+    Range,
+}
+
+impl BinOp {
+    /// True for `+`/`-` and the six comparisons — the operators where
+    /// mixing unit kinds is meaningful and checkable.
+    pub fn is_unit_sensitive(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Sub
+                | BinOp::Lt
+                | BinOp::Gt
+                | BinOp::Le
+                | BinOp::Ge
+                | BinOp::EqEq
+                | BinOp::Ne
+        )
+    }
+}
+
+/// A method call with the spans `--fix` needs: `dot_lo..call_hi` covers
+/// `.name(args)` so a trailing `.unwrap()` can be deleted, and
+/// `name_span` covers just the method name so it can be renamed.
+#[derive(Debug)]
+pub struct MethodCall {
+    pub recv: Expr,
+    pub name: String,
+    pub args: Vec<Expr>,
+    pub name_span: Span,
+    /// Byte offset of the `.` introducing this call.
+    pub dot_lo: usize,
+    /// Byte offset one past the closing `)`.
+    pub call_hi: usize,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub struct ClosureDef {
+    pub is_move: bool,
+    /// Parameter binding names (first identifier of each pattern).
+    pub params: Vec<String>,
+    pub body: Expr,
+    pub span: Span,
+}
+
+/// `if`/`while`/`match`/`loop`/`unsafe` — conditions, scrutinees, and
+/// non-block match-arm bodies in `exprs`; all attached blocks in `blocks`.
+#[derive(Debug)]
+pub struct CtrlExpr {
+    pub exprs: Vec<Expr>,
+    pub blocks: Vec<Block>,
+    pub span: Span,
+}
+
+/// `for pat in iter { body }` — kept distinct from [`CtrlExpr`] so the
+/// parallel-contract pass can inspect commit-side iteration sources.
+#[derive(Debug)]
+pub struct ForExpr {
+    /// Exact source text of the loop pattern.
+    pub pat: String,
+    pub iter: Expr,
+    pub body: Block,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub enum Expr {
+    /// A (possibly qualified) path: `x`, `Foo::Bar`, `self.len` is *not*
+    /// a path (that is `Field`).
+    Path(Vec<String>, Span),
+    /// Numeric literal with its exact text.
+    Num(String, Span),
+    /// Any string/char literal.
+    Str(Span),
+    Binary(BinOp, Box<Expr>, Box<Expr>, Span),
+    /// Prefix `-`/`!`/`&`/`*` or a rhs-only range; operand retained.
+    Unary(Box<Expr>, Span),
+    Call(Box<Expr>, Vec<Expr>, Span),
+    Method(Box<MethodCall>),
+    Field(Box<Expr>, String, Span),
+    Index(Box<Expr>, Box<Expr>, Span),
+    /// `expr as Ty`, with the exact type text.
+    Cast(Box<Expr>, String, Span),
+    Closure(Box<ClosureDef>),
+    Blk(Box<Block>),
+    Ctrl(Box<CtrlExpr>),
+    For(Box<ForExpr>),
+    /// `name!(args)` — args parsed tolerantly as expressions.
+    MacroCall(String, Vec<Expr>, Span),
+    Tuple(Vec<Expr>, Span),
+    Array(Vec<Expr>, Span),
+    /// `Path { field: expr, .. }` — the path and the field-value exprs.
+    StructLit(Vec<String>, Vec<Expr>, Span),
+    /// `return`/`break` with optional value.
+    Ret(Option<Box<Expr>>, Span),
+    /// Anything the parser declined to understand; spans one+ tokens.
+    Unknown(Span),
+}
+
+impl Expr {
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Path(_, s)
+            | Expr::Num(_, s)
+            | Expr::Str(s)
+            | Expr::Binary(_, _, _, s)
+            | Expr::Unary(_, s)
+            | Expr::Call(_, _, s)
+            | Expr::Field(_, _, s)
+            | Expr::Index(_, _, s)
+            | Expr::Cast(_, _, s)
+            | Expr::MacroCall(_, _, s)
+            | Expr::Tuple(_, s)
+            | Expr::Array(_, s)
+            | Expr::StructLit(_, _, s)
+            | Expr::Ret(_, s)
+            | Expr::Unknown(s) => *s,
+            Expr::Method(m) => m.span,
+            Expr::Closure(c) => c.span,
+            Expr::Blk(b) => b.span,
+            Expr::Ctrl(c) => c.span,
+            Expr::For(f) => f.span,
+        }
+    }
+}
+
+/// The parse result for one file.
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+    pub uses: Vec<UseImport>,
+}
+
+impl File {
+    /// Depth-first visit of every function definition in the file.
+    pub fn for_each_fn(&self, f: &mut dyn FnMut(&FnDef)) {
+        fn walk(items: &[Item], f: &mut dyn FnMut(&FnDef)) {
+            for it in items {
+                match it {
+                    Item::Fn(fd) => f(fd),
+                    Item::Mod(_, inner) | Item::Members(inner) => walk(inner, f),
+                    Item::Other => {}
+                }
+            }
+        }
+        walk(&self.items, f);
+    }
+}
+
+impl Block {
+    /// Depth-first visit of every expression in this block (including
+    /// nested blocks, closures, and control-flow bodies).
+    pub fn for_each_expr(&self, f: &mut dyn FnMut(&Expr)) {
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::Let(l) => {
+                    if let Some(init) = &l.init {
+                        init.for_each(f);
+                    }
+                    if let Some(eb) = &l.else_block {
+                        eb.for_each_expr(f);
+                    }
+                }
+                Stmt::Expr(e) => e.for_each(f),
+                Stmt::Item(Item::Fn(fd)) => {
+                    if let Some(b) = &fd.body {
+                        b.for_each_expr(f);
+                    }
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+}
+
+impl Expr {
+    /// Depth-first visit of this expression and every sub-expression.
+    pub fn for_each(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary(_, l, r, _) => {
+                l.for_each(f);
+                r.for_each(f);
+            }
+            Expr::Unary(e, _) | Expr::Cast(e, _, _) | Expr::Field(e, _, _) => e.for_each(f),
+            Expr::Index(e, i, _) => {
+                e.for_each(f);
+                i.for_each(f);
+            }
+            Expr::Call(c, args, _) => {
+                c.for_each(f);
+                for a in args {
+                    a.for_each(f);
+                }
+            }
+            Expr::Method(m) => {
+                m.recv.for_each(f);
+                for a in &m.args {
+                    a.for_each(f);
+                }
+            }
+            Expr::Closure(c) => c.body.for_each(f),
+            Expr::Blk(b) => b.for_each_expr(f),
+            Expr::Ctrl(c) => {
+                for e in &c.exprs {
+                    e.for_each(f);
+                }
+                for b in &c.blocks {
+                    b.for_each_expr(f);
+                }
+            }
+            Expr::For(fl) => {
+                fl.iter.for_each(f);
+                fl.body.for_each_expr(f);
+            }
+            Expr::MacroCall(_, args, _) | Expr::Tuple(args, _) | Expr::Array(args, _) => {
+                for a in args {
+                    a.for_each(f);
+                }
+            }
+            Expr::StructLit(_, fields, _) => {
+                for fe in fields {
+                    fe.for_each(f);
+                }
+            }
+            Expr::Ret(Some(e), _) => e.for_each(f),
+            Expr::Ret(None, _)
+            | Expr::Path(..)
+            | Expr::Num(..)
+            | Expr::Str(..)
+            | Expr::Unknown(_) => {}
+        }
+    }
+}
+
+/// Identifiers that cannot begin a path expression.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "match"
+            | "for"
+            | "loop"
+            | "unsafe"
+            | "async"
+            | "return"
+            | "break"
+            | "continue"
+            | "move"
+            | "let"
+            | "else"
+            | "as"
+            | "in"
+            | "where"
+    )
+}
+
+fn is_item_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "fn" | "struct"
+            | "enum"
+            | "union"
+            | "use"
+            | "impl"
+            | "trait"
+            | "mod"
+            | "const"
+            | "static"
+            | "type"
+            | "extern"
+            | "macro_rules"
+    )
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: &'a [Token],
+    pos: usize,
+    fuel: usize,
+}
+
+/// Parses a lexed file into its item tree.
+pub fn parse(src: &str, toks: &[Token]) -> File {
+    let mut p = Parser {
+        src,
+        toks,
+        pos: 0,
+        // Generous bound: normal parsing touches each token a small
+        // constant number of times. Exhaustion aborts to end-of-input.
+        fuel: toks.len().saturating_mul(32).saturating_add(64),
+    };
+    let mut file = File::default();
+    p.parse_items(None, &mut file);
+    file
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn bump(&mut self) {
+        if self.fuel == 0 {
+            self.pos = self.toks.len();
+            return;
+        }
+        self.fuel -= 1;
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if token `i` ends exactly where token `i+1` begins — i.e. the
+    /// two source characters are adjacent and form one operator.
+    fn glued(&self, i: usize) -> bool {
+        match (self.toks.get(i), self.toks.get(i + 1)) {
+            (Some(a), Some(b)) => a.hi == b.lo,
+            _ => false,
+        }
+    }
+
+    /// Punct char of token `pos + off`, if it is a punct.
+    fn punct_at(&self, off: usize) -> Option<char> {
+        match self.peek_at(off)?.kind {
+            crate::lexer::TokenKind::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Span of the single token at index `i`.
+    fn tok_span(&self, i: usize) -> Span {
+        match self.toks.get(i) {
+            Some(t) => Span {
+                line: t.line,
+                col: t.col,
+                lo: t.lo,
+                hi: t.hi,
+            },
+            None => Span::default(),
+        }
+    }
+
+    /// Span from token index `start` through the last consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        let s = self.tok_span(start);
+        let end = if self.pos > start {
+            self.pos - 1
+        } else {
+            start
+        };
+        let hi = self.toks.get(end).map_or(s.hi, |t| t.hi);
+        Span { hi, ..s }
+    }
+
+    /// Exact source text of tokens `start..end` (token indices).
+    fn text(&self, start: usize, end: usize) -> String {
+        match (
+            self.toks.get(start),
+            end.checked_sub(1).and_then(|e| self.toks.get(e)),
+        ) {
+            (Some(a), Some(b)) if b.hi >= a.lo => {
+                self.src.get(a.lo..b.hi).unwrap_or("").to_string()
+            }
+            _ => String::new(),
+        }
+    }
+
+    // ---------------------------------------------------------------- items
+
+    /// Parses items until EOF (`end == None`) or a closing `}`.
+    fn parse_items(&mut self, end: Option<char>, file: &mut File) -> Vec<Item> {
+        let mut items = Vec::new();
+        while let Some(t) = self.peek() {
+            if let Some(c) = end {
+                if t.is_punct(c) {
+                    self.bump();
+                    break;
+                }
+            }
+            if self.at_punct('#') {
+                self.skip_attr();
+                continue;
+            }
+            if self.at_ident("pub") {
+                self.bump();
+                if self.at_punct('(') {
+                    self.skip_balanced('(', ')');
+                }
+                continue;
+            }
+            // `unsafe fn` / `async fn` / `const fn` / `extern "C" fn`.
+            if (self.at_ident("unsafe") || self.at_ident("async"))
+                && self.peek_at(1).is_some_and(|t| t.is_ident("fn"))
+            {
+                self.bump();
+                continue;
+            }
+            if self.at_ident("const") && self.peek_at(1).is_some_and(|t| t.is_ident("fn")) {
+                self.bump();
+                continue;
+            }
+            match self.peek().and_then(|t| t.ident()) {
+                Some("fn") => {
+                    let fd = self.parse_fn(file);
+                    items.push(Item::Fn(fd));
+                }
+                Some("use") => {
+                    self.parse_use(file);
+                }
+                Some("mod") => {
+                    self.bump();
+                    let name = self
+                        .peek()
+                        .and_then(|t| t.ident())
+                        .unwrap_or("")
+                        .to_string();
+                    self.bump();
+                    if self.eat_punct('{') {
+                        let inner = self.parse_items(Some('}'), file);
+                        items.push(Item::Mod(name, inner));
+                    } else {
+                        self.eat_punct(';');
+                    }
+                }
+                Some("impl") | Some("trait") => {
+                    self.bump();
+                    self.skip_to_body_brace();
+                    if self.eat_punct('{') {
+                        let members = self.parse_items(Some('}'), file);
+                        items.push(Item::Members(members));
+                    }
+                }
+                Some("struct") | Some("enum") | Some("union") => {
+                    self.skip_item_decl();
+                    items.push(Item::Other);
+                }
+                Some("const") | Some("static") | Some("type") => {
+                    self.skip_to_semi();
+                    items.push(Item::Other);
+                }
+                Some("extern") => {
+                    // `extern crate x;` or `extern "C" { ... }`.
+                    self.bump();
+                    while let Some(t) = self.peek() {
+                        if t.is_punct(';') {
+                            self.bump();
+                            break;
+                        }
+                        if t.is_punct('{') {
+                            self.skip_balanced('{', '}');
+                            break;
+                        }
+                        self.bump();
+                    }
+                    items.push(Item::Other);
+                }
+                Some("macro_rules") => {
+                    self.bump(); // macro_rules
+                    self.eat_punct('!');
+                    self.bump(); // name
+                    if self.at_punct('{') {
+                        self.skip_balanced('{', '}');
+                    }
+                    items.push(Item::Other);
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if end.is_none() {
+            file.items = std::mem::take(&mut items);
+            Vec::new()
+        } else {
+            items
+        }
+    }
+
+    /// Skips `#[...]` / `#![...]`.
+    fn skip_attr(&mut self) {
+        self.bump(); // '#'
+        self.eat_punct('!');
+        if self.at_punct('[') {
+            self.skip_balanced('[', ']');
+        }
+    }
+
+    /// Skips a balanced `open...close` region, starting at `open`.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0u32;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips tokens to just past the next `;` at bracket depth 0.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let crate::lexer::TokenKind::Punct(c) = t.kind {
+                match c {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    ';' if depth == 0 => {
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a struct/enum/union declaration: to `;` or through its `{}`.
+    fn skip_item_decl(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('{') {
+                self.skip_balanced('{', '}');
+                return;
+            }
+            if t.is_punct('(') {
+                // Tuple struct: `struct Foo(u32);`
+                self.skip_balanced('(', ')');
+                continue;
+            }
+            self.bump();
+        }
+    }
+
+    /// Advances to the `{` opening an impl/trait body (angle-aware so
+    /// `impl Iterator<Item = Foo>` does not confuse it), without eating it.
+    fn skip_to_body_brace(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                crate::lexer::TokenKind::Punct('<') => angle += 1,
+                crate::lexer::TokenKind::Punct('>') => angle -= 1,
+                crate::lexer::TokenKind::Punct('-')
+                    if self.glued(self.pos) && self.punct_at(1) == Some('>') =>
+                {
+                    self.bump(); // `-`; the `>` is consumed below
+                }
+                crate::lexer::TokenKind::Punct('{') if angle <= 0 => return,
+                crate::lexer::TokenKind::Punct(';') if angle <= 0 => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Parses a `use` declaration into flattened imports.
+    fn parse_use(&mut self, file: &mut File) {
+        let start = self.pos;
+        self.bump(); // use
+        let mut prefix = Vec::new();
+        self.parse_use_tree(&mut prefix, file, start);
+        // Whatever remains of the declaration.
+        if !self.at_punct(';') {
+            self.skip_to_semi();
+        } else {
+            self.bump();
+        }
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, file: &mut File, start: usize) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.peek() {
+                Some(t) if t.ident().is_some() => {
+                    let seg = t.ident().unwrap_or("").to_string();
+                    self.bump();
+                    if seg == "self" && prefix.len() > depth_at_entry {
+                        // `{self, ...}` — imports the prefix itself.
+                    } else {
+                        prefix.push(seg);
+                    }
+                    if self.at_punct(':') && self.punct_at(1) == Some(':') {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    // End of one leaf path, possibly with `as alias`.
+                    let mut alias = prefix.last().cloned().unwrap_or_default();
+                    if self.eat_ident("as") {
+                        alias = self
+                            .peek()
+                            .and_then(|t| t.ident())
+                            .unwrap_or("")
+                            .to_string();
+                        self.bump();
+                    }
+                    file.uses.push(UseImport {
+                        alias,
+                        path: prefix.clone(),
+                        span: self.span_from(start),
+                    });
+                    prefix.truncate(depth_at_entry);
+                    if !self.eat_punct(',') {
+                        return;
+                    }
+                }
+                Some(t) if t.is_punct('{') => {
+                    self.bump();
+                    loop {
+                        if self.eat_punct('}') {
+                            break;
+                        }
+                        let before = self.pos;
+                        self.parse_use_tree(prefix, file, start);
+                        self.eat_punct(',');
+                        if self.pos == before {
+                            self.bump();
+                        }
+                        if self.peek().is_none() {
+                            break;
+                        }
+                    }
+                    prefix.truncate(depth_at_entry);
+                    if !self.eat_punct(',') {
+                        return;
+                    }
+                }
+                Some(t) if t.is_punct('*') => {
+                    self.bump();
+                    prefix.truncate(depth_at_entry);
+                    if !self.eat_punct(',') {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ functions
+
+    fn parse_fn(&mut self, file: &mut File) -> FnDef {
+        let start = self.pos;
+        self.bump(); // fn
+        let name = self
+            .peek()
+            .and_then(|t| t.ident())
+            .unwrap_or("")
+            .to_string();
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.at_punct('(') {
+            params = self.parse_params();
+        }
+        // Return type and where clause: skip to the body `{` or `;`.
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                crate::lexer::TokenKind::Punct('<') => angle += 1,
+                crate::lexer::TokenKind::Punct('>') => angle -= 1,
+                crate::lexer::TokenKind::Punct('-')
+                    if self.glued(self.pos) && self.punct_at(1) == Some('>') =>
+                {
+                    self.bump();
+                }
+                crate::lexer::TokenKind::Punct('(') => {
+                    self.skip_balanced('(', ')');
+                    continue;
+                }
+                crate::lexer::TokenKind::Punct('[') => {
+                    self.skip_balanced('[', ']');
+                    continue;
+                }
+                crate::lexer::TokenKind::Punct('{') if angle <= 0 => break,
+                crate::lexer::TokenKind::Punct(';') if angle <= 0 => break,
+                _ => {}
+            }
+            self.bump();
+        }
+        let body = if self.at_punct('{') {
+            Some(self.parse_block(file))
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        FnDef {
+            name,
+            params,
+            body,
+            span: self.span_from(start),
+        }
+    }
+
+    /// Parses `( pat: Ty, ... )`, returning (name, type-text) pairs.
+    fn parse_params(&mut self) -> Vec<Param> {
+        let mut params = Vec::new();
+        self.bump(); // '('
+        loop {
+            if self.eat_punct(')') || self.peek().is_none() {
+                break;
+            }
+            if self.at_punct('#') {
+                self.skip_attr();
+                continue;
+            }
+            // One parameter: pattern tokens to `:` at depth 0, then type
+            // tokens to `,`/`)` at depth 0.
+            let mut name = String::new();
+            let mut depth = 0i32;
+            let mut saw_colon = false;
+            while let Some(t) = self.peek() {
+                match &t.kind {
+                    crate::lexer::TokenKind::Punct(c) => match c {
+                        '(' | '[' | '{' | '<' => depth += 1,
+                        ')' if depth == 0 => break,
+                        ')' | ']' | '}' | '>' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        ':' if depth == 0 && !self.glued(self.pos) => {
+                            saw_colon = true;
+                            self.bump();
+                            break;
+                        }
+                        _ => {}
+                    },
+                    crate::lexer::TokenKind::Ident(s)
+                        if name.is_empty() && s != "mut" && s != "ref" =>
+                    {
+                        name = s.clone();
+                    }
+                    _ => {}
+                }
+                self.bump();
+            }
+            let ty_start = self.pos;
+            if saw_colon {
+                let mut depth = 0i32;
+                while let Some(t) = self.peek() {
+                    if let crate::lexer::TokenKind::Punct(c) = t.kind {
+                        match c {
+                            '(' | '[' | '{' | '<' => depth += 1,
+                            ')' if depth == 0 => break,
+                            ')' | ']' | '}' => depth -= 1,
+                            '>' => {
+                                // `->` inside `fn(..) -> T` types keeps depth.
+                                depth -= 1;
+                            }
+                            ',' if depth == 0 => break,
+                            '-' if self.glued(self.pos) && self.punct_at(1) == Some('>') => {
+                                self.bump();
+                                depth += 1; // cancel the `>` decrement below
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.bump();
+                }
+            }
+            let ty = self.text(ty_start, self.pos);
+            if !name.is_empty() || !ty.is_empty() {
+                params.push(Param { name, ty });
+            }
+            self.eat_punct(',');
+        }
+        params
+    }
+
+    /// Skips a balanced `<...>` generic region starting at `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                crate::lexer::TokenKind::Punct('<') => depth += 1,
+                crate::lexer::TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                crate::lexer::TokenKind::Punct('-')
+                    if self.glued(self.pos) && self.punct_at(1) == Some('>') =>
+                {
+                    // `->` inside a fn-pointer type: skip both halves.
+                    self.bump();
+                }
+                crate::lexer::TokenKind::Punct('(') => {
+                    self.skip_balanced('(', ')');
+                    continue;
+                }
+                crate::lexer::TokenKind::Punct('{') => {
+                    self.skip_balanced('{', '}');
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // --------------------------------------------------------------- blocks
+
+    fn parse_block(&mut self, file: &mut File) -> Block {
+        let start = self.pos;
+        self.bump(); // '{'
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct('}') => {
+                    self.bump();
+                    break;
+                }
+                Some(t) if t.is_punct(';') => {
+                    self.bump();
+                }
+                Some(t) if t.is_punct('#') => self.skip_attr(),
+                Some(t) if t.is_ident("pub") => {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                Some(t) if t.is_ident("let") => {
+                    stmts.push(Stmt::Let(self.parse_let(file)));
+                }
+                Some(t) if t.is_ident("fn") => {
+                    let fd = self.parse_fn(file);
+                    stmts.push(Stmt::Item(Item::Fn(fd)));
+                }
+                Some(t)
+                    if t.ident().is_some_and(is_item_keyword)
+                        // `const` could be `const { .. }` block or item.
+                        && !(t.is_ident("const")
+                            && self.peek_at(1).is_some_and(|n| n.is_punct('{'))) =>
+                {
+                    let before = self.pos;
+                    match t.ident() {
+                        Some("use") => self.parse_use(file),
+                        Some("impl") | Some("trait") => {
+                            self.bump();
+                            self.skip_to_body_brace();
+                            if self.eat_punct('{') {
+                                let members = self.parse_items(Some('}'), file);
+                                stmts.push(Stmt::Item(Item::Members(members)));
+                            }
+                        }
+                        Some("struct") | Some("enum") | Some("union") => self.skip_item_decl(),
+                        Some("mod") => {
+                            self.bump();
+                            self.bump(); // name
+                            if self.eat_punct('{') {
+                                let inner = self.parse_items(Some('}'), file);
+                                stmts.push(Stmt::Item(Item::Mod(String::new(), inner)));
+                            } else {
+                                self.eat_punct(';');
+                            }
+                        }
+                        _ => self.skip_to_semi(),
+                    }
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                Some(_) => {
+                    let e = self.parse_expr(0, true, file);
+                    stmts.push(Stmt::Expr(e));
+                    self.eat_punct(';');
+                }
+            }
+        }
+        Block {
+            stmts,
+            span: self.span_from(start),
+        }
+    }
+
+    fn parse_let(&mut self, file: &mut File) -> LetStmt {
+        let start = self.pos;
+        self.bump(); // let
+        self.eat_ident("mut");
+        // Simple-identifier pattern?
+        let mut name = String::new();
+        if let Some(t) = self.peek() {
+            if let Some(id) = t.ident() {
+                let next_is_simple = matches!(self.punct_at(1), Some(':' | '=' | ';') | None);
+                if !is_expr_keyword(id) && next_is_simple {
+                    name = id.to_string();
+                    self.bump();
+                }
+            }
+        }
+        if name.is_empty() {
+            // Complex pattern: skip to `:`/`=`/`;` at depth 0.
+            let mut depth = 0i32;
+            while let Some(t) = self.peek() {
+                if let crate::lexer::TokenKind::Punct(c) = t.kind {
+                    match c {
+                        '(' | '[' | '{' | '<' => depth += 1,
+                        ')' | ']' | '}' | '>' => depth -= 1,
+                        ':' | '=' | ';' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                self.bump();
+            }
+        }
+        let mut ty = None;
+        if self.at_punct(':') {
+            self.bump();
+            let ty_start = self.pos;
+            let mut depth = 0i32;
+            while let Some(t) = self.peek() {
+                if let crate::lexer::TokenKind::Punct(c) = t.kind {
+                    match c {
+                        '<' | '(' | '[' => depth += 1,
+                        '>' | ')' | ']' => depth -= 1,
+                        '=' | ';' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                self.bump();
+            }
+            ty = Some(self.text(ty_start, self.pos));
+        }
+        let mut init = None;
+        if self.at_punct('=') && !(self.glued(self.pos) && self.punct_at(1) == Some('=')) {
+            self.bump();
+            init = Some(self.parse_expr(0, true, file));
+        }
+        let mut else_block = None;
+        if self.at_ident("else") {
+            self.bump();
+            if self.at_punct('{') {
+                else_block = Some(self.parse_block(file));
+            }
+        }
+        self.eat_punct(';');
+        LetStmt {
+            name,
+            ty,
+            init,
+            else_block,
+            span: self.span_from(start),
+        }
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    /// Pratt-parses an expression. `allow_struct` gates `Path { ... }`
+    /// struct literals (false inside `if`/`while`/`match`/`for` heads).
+    fn parse_expr(&mut self, min_bp: u8, allow_struct: bool, file: &mut File) -> Expr {
+        let start = self.pos;
+        let lhs = self.parse_prefix(allow_struct, file);
+        let mut lhs = self.parse_postfix(lhs, file);
+        loop {
+            // `as Ty` casts bind tighter than every binary operator but
+            // looser than unary prefix (`*x as f64` is `(*x) as f64`).
+            if self.at_ident("as") && min_bp <= 50 {
+                self.bump();
+                let ty = self.parse_cast_ty();
+                let hi = self
+                    .pos
+                    .checked_sub(1)
+                    .map_or(lhs.span().hi, |i| self.tok_span(i).hi);
+                let span = Span { hi, ..lhs.span() };
+                lhs = Expr::Cast(Box::new(lhs), ty, span);
+                continue;
+            }
+            let Some((op, bp, len)) = self.peek_binop() else {
+                break;
+            };
+            if bp < min_bp {
+                break;
+            }
+            for _ in 0..len {
+                self.bump();
+            }
+            // Range with no rhs (`idx..`): stop if nothing can follow.
+            if op == BinOp::Range && self.range_rhs_absent() {
+                lhs = Expr::Binary(
+                    op,
+                    Box::new(lhs),
+                    Box::new(Expr::Unknown(self.span_from(self.pos.saturating_sub(1)))),
+                    self.span_from(start),
+                );
+                continue;
+            }
+            let rhs_min = if op == BinOp::Assign { bp } else { bp + 1 };
+            let rhs = self.parse_expr(rhs_min, allow_struct, file);
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), self.span_from(start));
+        }
+        lhs
+    }
+
+    fn range_rhs_absent(&self) -> bool {
+        match self.peek() {
+            None => true,
+            Some(t) => matches!(
+                t.kind,
+                crate::lexer::TokenKind::Punct(')' | ']' | '}' | ',' | ';' | '=')
+            ),
+        }
+    }
+
+    /// Recognizes the binary operator at the cursor: `(op, binding-power,
+    /// token-count)`. Multi-character operators require gluedness.
+    fn peek_binop(&self) -> Option<(BinOp, u8, usize)> {
+        let c1 = self.punct_at(0)?;
+        let g1 = self.glued(self.pos);
+        let c2 = if g1 { self.punct_at(1) } else { None };
+        let g2 = g1 && self.glued(self.pos + 1);
+        let c3 = if g2 { self.punct_at(2) } else { None };
+        let r = match (c1, c2, c3) {
+            ('<', Some('<'), Some('=')) => (BinOp::Shl, 6, 3),
+            ('>', Some('>'), Some('=')) => (BinOp::Shr, 6, 3),
+            ('.', Some('.'), Some('=')) => (BinOp::Range, 10, 3),
+            ('<', Some('<'), _) => (BinOp::Shl, 38, 2),
+            ('>', Some('>'), _) => (BinOp::Shr, 38, 2),
+            ('.', Some('.'), _) => (BinOp::Range, 10, 2),
+            ('=', Some('='), _) => (BinOp::EqEq, 22, 2),
+            ('=', Some('>'), _) => return None, // match arm arrow
+            ('!', Some('='), _) => (BinOp::Ne, 22, 2),
+            ('<', Some('='), _) => (BinOp::Le, 22, 2),
+            ('>', Some('='), _) => (BinOp::Ge, 22, 2),
+            ('&', Some('&'), _) => (BinOp::AndAnd, 18, 2),
+            ('|', Some('|'), _) => (BinOp::OrOr, 14, 2),
+            ('+', Some('='), _) => (BinOp::Add, 6, 2),
+            ('-', Some('='), _) => (BinOp::Sub, 6, 2),
+            ('*', Some('='), _) => (BinOp::Mul, 6, 2),
+            ('/', Some('='), _) => (BinOp::Div, 6, 2),
+            ('%', Some('='), _) => (BinOp::Rem, 6, 2),
+            ('&', Some('='), _) => (BinOp::BitAnd, 6, 2),
+            ('|', Some('='), _) => (BinOp::BitOr, 6, 2),
+            ('^', Some('='), _) => (BinOp::BitXor, 6, 2),
+            ('-', Some('>'), _) => return None, // stray return arrow
+            ('=', _, _) => (BinOp::Assign, 6, 1),
+            ('<', _, _) => (BinOp::Lt, 22, 1),
+            ('>', _, _) => (BinOp::Gt, 22, 1),
+            ('+', _, _) => (BinOp::Add, 42, 1),
+            ('-', _, _) => (BinOp::Sub, 42, 1),
+            ('*', _, _) => (BinOp::Mul, 46, 1),
+            ('/', _, _) => (BinOp::Div, 46, 1),
+            ('%', _, _) => (BinOp::Rem, 46, 1),
+            ('&', _, _) => (BinOp::BitAnd, 34, 1),
+            ('|', _, _) => (BinOp::BitOr, 26, 1),
+            ('^', _, _) => (BinOp::BitXor, 30, 1),
+            _ => return None,
+        };
+        Some(r)
+    }
+
+    fn parse_prefix(&mut self, allow_struct: bool, file: &mut File) -> Expr {
+        let start = self.pos;
+        let Some(t) = self.peek() else {
+            return Expr::Unknown(self.span_from(start));
+        };
+        match &t.kind {
+            crate::lexer::TokenKind::Number(n) => {
+                let n = n.clone();
+                self.bump();
+                Expr::Num(n, self.span_from(start))
+            }
+            crate::lexer::TokenKind::StrLit => {
+                self.bump();
+                Expr::Str(self.span_from(start))
+            }
+            crate::lexer::TokenKind::Lifetime => {
+                // Loop label: `'a: loop { .. }` — skip label and colon.
+                self.bump();
+                self.eat_punct(':');
+                self.parse_prefix(allow_struct, file)
+            }
+            crate::lexer::TokenKind::Punct(c) => {
+                let c = *c;
+                match c {
+                    '(' => {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        let mut tuple = false;
+                        loop {
+                            if self.eat_punct(')') || self.peek().is_none() {
+                                break;
+                            }
+                            elems.push(self.parse_expr(0, true, file));
+                            if self.eat_punct(',') {
+                                tuple = true;
+                            } else if !self.at_punct(')') {
+                                // Junk we cannot parse: bail to `)`.
+                                self.skip_group_tail(')');
+                                break;
+                            }
+                        }
+                        let sp = self.span_from(start);
+                        if !tuple && elems.len() == 1 {
+                            match elems.pop() {
+                                Some(e) => e,
+                                None => Expr::Unknown(sp),
+                            }
+                        } else {
+                            Expr::Tuple(elems, sp)
+                        }
+                    }
+                    '[' => {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        loop {
+                            if self.eat_punct(']') || self.peek().is_none() {
+                                break;
+                            }
+                            elems.push(self.parse_expr(0, true, file));
+                            if !self.eat_punct(',') && !self.eat_punct(';') && !self.at_punct(']') {
+                                self.skip_group_tail(']');
+                                break;
+                            }
+                        }
+                        Expr::Array(elems, self.span_from(start))
+                    }
+                    '{' => {
+                        let b = self.parse_block(file);
+                        Expr::Blk(Box::new(b))
+                    }
+                    '&' | '*' | '-' | '!' => {
+                        self.bump();
+                        if c == '&' {
+                            self.eat_punct('&'); // `&&x`
+                            self.eat_ident("mut");
+                        }
+                        let inner = self.parse_expr(58, allow_struct, file);
+                        Expr::Unary(Box::new(inner), self.span_from(start))
+                    }
+                    '|' => self.parse_closure(false, file),
+                    '.' if self.glued(self.pos) && self.punct_at(1) == Some('.') => {
+                        // Prefix range `..hi` / `..` / `..=hi`.
+                        self.bump();
+                        self.bump();
+                        if self.at_punct('=') {
+                            self.bump();
+                        }
+                        if self.range_rhs_absent() {
+                            Expr::Unknown(self.span_from(start))
+                        } else {
+                            let inner = self.parse_expr(11, allow_struct, file);
+                            Expr::Unary(Box::new(inner), self.span_from(start))
+                        }
+                    }
+                    '#' => {
+                        self.skip_attr();
+                        self.parse_prefix(allow_struct, file)
+                    }
+                    _ => {
+                        self.bump();
+                        Expr::Unknown(self.span_from(start))
+                    }
+                }
+            }
+            crate::lexer::TokenKind::Ident(id) => {
+                let id = id.clone();
+                match id.as_str() {
+                    "if" => self.parse_if(file),
+                    "while" => {
+                        self.bump();
+                        let mut exprs = Vec::new();
+                        self.parse_cond(&mut exprs, file);
+                        let mut blocks = Vec::new();
+                        if self.at_punct('{') {
+                            blocks.push(self.parse_block(file));
+                        }
+                        Expr::Ctrl(Box::new(CtrlExpr {
+                            exprs,
+                            blocks,
+                            span: self.span_from(start),
+                        }))
+                    }
+                    "match" => self.parse_match(file),
+                    "for" => self.parse_for(file),
+                    "loop" | "unsafe" | "async" => {
+                        self.bump();
+                        self.eat_ident("move");
+                        let mut blocks = Vec::new();
+                        if self.at_punct('{') {
+                            blocks.push(self.parse_block(file));
+                        }
+                        Expr::Ctrl(Box::new(CtrlExpr {
+                            exprs: Vec::new(),
+                            blocks,
+                            span: self.span_from(start),
+                        }))
+                    }
+                    "const" if self.peek_at(1).is_some_and(|n| n.is_punct('{')) => {
+                        self.bump();
+                        let b = self.parse_block(file);
+                        Expr::Blk(Box::new(b))
+                    }
+                    "return" | "break" => {
+                        self.bump();
+                        let val = match self.peek() {
+                            Some(t)
+                                if !matches!(
+                                    t.kind,
+                                    crate::lexer::TokenKind::Punct(';' | '}' | ')' | ']' | ',')
+                                ) =>
+                            {
+                                Some(Box::new(self.parse_expr(0, allow_struct, file)))
+                            }
+                            _ => None,
+                        };
+                        Expr::Ret(val, self.span_from(start))
+                    }
+                    "continue" => {
+                        self.bump();
+                        Expr::Ret(None, self.span_from(start))
+                    }
+                    "move" => {
+                        self.bump();
+                        if self.at_punct('|') {
+                            self.parse_closure(true, file)
+                        } else {
+                            Expr::Unknown(self.span_from(start))
+                        }
+                    }
+                    "let" => {
+                        // `let pat = expr` as a condition fragment (callers
+                        // use parse_cond; this is a safety net).
+                        self.bump();
+                        Expr::Unknown(self.span_from(start))
+                    }
+                    _ if is_expr_keyword(&id) => {
+                        self.bump();
+                        Expr::Unknown(self.span_from(start))
+                    }
+                    _ => self.parse_path_expr(allow_struct, file),
+                }
+            }
+        }
+    }
+
+    /// After a failed element parse inside `(...)` / `[...]`, skips to the
+    /// closing delimiter (balanced).
+    fn skip_group_tail(&mut self, close: char) {
+        let open = match close {
+            ')' => '(',
+            ']' => '[',
+            _ => '{',
+        };
+        let mut depth = 1i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_if(&mut self, file: &mut File) -> Expr {
+        let start = self.pos;
+        self.bump(); // if
+        let mut exprs = Vec::new();
+        let mut blocks = Vec::new();
+        self.parse_cond(&mut exprs, file);
+        if self.at_punct('{') {
+            blocks.push(self.parse_block(file));
+        }
+        while self.at_ident("else") {
+            self.bump();
+            if self.at_ident("if") {
+                self.bump();
+                self.parse_cond(&mut exprs, file);
+                if self.at_punct('{') {
+                    blocks.push(self.parse_block(file));
+                }
+            } else if self.at_punct('{') {
+                blocks.push(self.parse_block(file));
+                break;
+            } else {
+                break;
+            }
+        }
+        Expr::Ctrl(Box::new(CtrlExpr {
+            exprs,
+            blocks,
+            span: self.span_from(start),
+        }))
+    }
+
+    /// Parses an `if`/`while` condition, handling `let`-pattern fragments
+    /// and `&&` chains. Pushes each evaluated expression into `exprs`.
+    fn parse_cond(&mut self, exprs: &mut Vec<Expr>, file: &mut File) {
+        loop {
+            if self.at_ident("let") {
+                self.bump();
+                // Skip the pattern to a lone `=` at depth 0.
+                let mut depth = 0i32;
+                while let Some(t) = self.peek() {
+                    if let crate::lexer::TokenKind::Punct(c) = t.kind {
+                        match c {
+                            '(' | '[' | '{' | '<' => depth += 1,
+                            ')' | ']' | '}' | '>' => depth -= 1,
+                            '=' if depth == 0
+                                && !(self.glued(self.pos)
+                                    && matches!(self.punct_at(1), Some('=' | '>'))) =>
+                            {
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.bump();
+                }
+                self.eat_punct('=');
+                exprs.push(self.parse_expr(19, false, file));
+            } else {
+                exprs.push(self.parse_expr(19, false, file));
+            }
+            // `&&`-chained condition fragments.
+            if self.punct_at(0) == Some('&')
+                && self.glued(self.pos)
+                && self.punct_at(1) == Some('&')
+            {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn parse_match(&mut self, file: &mut File) -> Expr {
+        let start = self.pos;
+        self.bump(); // match
+        let mut exprs = vec![self.parse_expr(0, false, file)];
+        let mut blocks = Vec::new();
+        if self.eat_punct('{') {
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct('}') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(t) if t.is_punct('#') => {
+                        self.skip_attr();
+                    }
+                    Some(_) => {
+                        // Pattern (and optional guard) to `=>` at depth 0.
+                        let mut depth = 0i32;
+                        while let Some(t) = self.peek() {
+                            if let crate::lexer::TokenKind::Punct(c) = t.kind {
+                                match c {
+                                    '(' | '[' | '{' | '<' => depth += 1,
+                                    ')' | ']' | '>' => depth -= 1,
+                                    '}' => {
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                        depth -= 1;
+                                    }
+                                    '=' if depth == 0
+                                        && self.glued(self.pos)
+                                        && self.punct_at(1) == Some('>') =>
+                                    {
+                                        break;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            self.bump();
+                        }
+                        if self.at_punct('}') {
+                            continue;
+                        }
+                        self.bump(); // `=`
+                        self.bump(); // `>`
+                        if self.at_punct('{') {
+                            blocks.push(self.parse_block(file));
+                        } else {
+                            exprs.push(self.parse_expr(0, true, file));
+                        }
+                        self.eat_punct(',');
+                    }
+                }
+            }
+        }
+        Expr::Ctrl(Box::new(CtrlExpr {
+            exprs,
+            blocks,
+            span: self.span_from(start),
+        }))
+    }
+
+    fn parse_for(&mut self, file: &mut File) -> Expr {
+        let start = self.pos;
+        self.bump(); // for
+        let pat_start = self.pos;
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match &t.kind {
+                crate::lexer::TokenKind::Ident(s) if s == "in" && depth == 0 => break,
+                crate::lexer::TokenKind::Punct(c) => match c {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    _ => {}
+                },
+                _ => {}
+            }
+            self.bump();
+        }
+        let pat = self.text(pat_start, self.pos);
+        self.eat_ident("in");
+        let iter = self.parse_expr(0, false, file);
+        let body = if self.at_punct('{') {
+            self.parse_block(file)
+        } else {
+            Block {
+                stmts: Vec::new(),
+                span: self.span_from(self.pos),
+            }
+        };
+        Expr::For(Box::new(ForExpr {
+            pat,
+            iter,
+            body,
+            span: self.span_from(start),
+        }))
+    }
+
+    fn parse_closure(&mut self, is_move: bool, file: &mut File) -> Expr {
+        let start = self.pos;
+        self.bump(); // first `|`
+        let mut params = Vec::new();
+        if !(self.at_punct('|') && {
+            // `||` empty params: the second pipe is glued to the first.
+            let prev = self.pos.checked_sub(1);
+            prev.is_some_and(|p| self.glued(p))
+        }) {
+            // Parse params until the closing `|` at depth 0.
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct('|') => break,
+                    Some(_) => {
+                        // One pattern: first ident is the binding name.
+                        let mut name = String::new();
+                        let mut depth = 0i32;
+                        while let Some(t) = self.peek() {
+                            match &t.kind {
+                                crate::lexer::TokenKind::Punct(c) => match c {
+                                    '(' | '[' | '<' => depth += 1,
+                                    ')' | ']' | '>' => depth -= 1,
+                                    ',' if depth == 0 => break,
+                                    '|' if depth == 0 => break,
+                                    _ => {}
+                                },
+                                crate::lexer::TokenKind::Ident(s)
+                                    if name.is_empty() && s != "mut" && s != "ref" =>
+                                {
+                                    name = s.clone();
+                                }
+                                _ => {}
+                            }
+                            self.bump();
+                        }
+                        if !name.is_empty() {
+                            params.push(name);
+                        }
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.eat_punct('|');
+        // Optional `-> Ty` before a brace body.
+        if self.punct_at(0) == Some('-') && self.glued(self.pos) && self.punct_at(1) == Some('>') {
+            self.bump();
+            self.bump();
+            while let Some(t) = self.peek() {
+                if t.is_punct('{') {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let body = if self.at_punct('{') {
+            Expr::Blk(Box::new(self.parse_block(file)))
+        } else {
+            self.parse_expr(0, true, file)
+        };
+        Expr::Closure(Box::new(ClosureDef {
+            is_move,
+            params,
+            body,
+            span: self.span_from(start),
+        }))
+    }
+
+    /// Parses a path expression and, depending on what follows, a macro
+    /// call or struct literal.
+    fn parse_path_expr(&mut self, allow_struct: bool, file: &mut File) -> Expr {
+        let start = self.pos;
+        let mut segs = Vec::new();
+        loop {
+            match self.peek().and_then(|t| t.ident()) {
+                Some(id) if !is_expr_keyword(id) || matches!(id, "self" | "crate") => {
+                    segs.push(id.to_string());
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.punct_at(0) == Some(':')
+                && self.glued(self.pos)
+                && self.punct_at(1) == Some(':')
+            {
+                self.bump();
+                self.bump();
+                if self.at_punct('<') {
+                    // Turbofish `::<T>`.
+                    self.skip_angles();
+                    if !(self.punct_at(0) == Some(':')
+                        && self.glued(self.pos)
+                        && self.punct_at(1) == Some(':'))
+                    {
+                        break;
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.bump();
+            return Expr::Unknown(self.span_from(start));
+        }
+        // Macro call: `name!(..)` / `name![..]` / `name!{..}`.
+        if self.at_punct('!') && self.glued(self.pos) {
+            let name = segs.join("::");
+            self.bump(); // !
+            let args = match self.punct_at(0) {
+                Some('(') => self.parse_macro_args(')', file),
+                Some('[') => self.parse_macro_args(']', file),
+                Some('{') => {
+                    self.skip_balanced('{', '}');
+                    Vec::new()
+                }
+                _ => Vec::new(),
+            };
+            return Expr::MacroCall(name, args, self.span_from(start));
+        }
+        // Struct literal: `Path { field: .. }` (only in allow_struct
+        // position, and only when it plausibly is one).
+        if allow_struct && self.at_punct('{') && self.looks_like_struct_lit(&segs) {
+            self.bump(); // {
+            let mut fields = Vec::new();
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct('}') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(t) if t.is_punct('.') => {
+                        // `..base`
+                        self.bump();
+                        self.eat_punct('.');
+                        fields.push(self.parse_expr(0, true, file));
+                        self.eat_punct(',');
+                    }
+                    Some(_) => {
+                        let fstart = self.pos;
+                        self.bump(); // field name
+                        if self.eat_punct(':') {
+                            fields.push(self.parse_expr(0, true, file));
+                        } else {
+                            // Shorthand `field,`.
+                            let name = self.text(fstart, self.pos);
+                            fields.push(Expr::Path(vec![name], self.span_from(fstart)));
+                        }
+                        self.eat_punct(',');
+                    }
+                }
+            }
+            return Expr::StructLit(segs, fields, self.span_from(start));
+        }
+        Expr::Path(segs, self.span_from(start))
+    }
+
+    /// Heuristic filter for `Path {`: struct names are capitalized or
+    /// qualified, and the body must open like a field list.
+    fn looks_like_struct_lit(&self, segs: &[String]) -> bool {
+        let plausible_name = segs.len() > 1
+            || segs
+                .last()
+                .and_then(|s| s.chars().next())
+                .is_some_and(|c| c.is_ascii_uppercase());
+        if !plausible_name {
+            return false;
+        }
+        // After `{`: `}`, `ident :`, `ident ,`, `ident }`, or `..`.
+        match self.peek_at(1) {
+            None => false,
+            Some(t) if t.is_punct('}') => true,
+            Some(t) if t.is_punct('.') => true,
+            Some(t) if t.ident().is_some() => matches!(self.punct_at(2), Some(':' | ',' | '}')),
+            _ => false,
+        }
+    }
+
+    /// Parses macro arguments `(a, b, ...)` tolerantly: each element is
+    /// parsed as an expression, and anything unparseable is skipped to the
+    /// next comma or the closing delimiter.
+    fn parse_macro_args(&mut self, close: char, file: &mut File) -> Vec<Expr> {
+        self.bump(); // open delim
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct(close) => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    args.push(self.parse_expr(0, true, file));
+                    if self.eat_punct(',') {
+                        continue;
+                    }
+                    if self.peek().is_some_and(|t| t.is_punct(close)) {
+                        continue;
+                    }
+                    // Unparseable tail (patterns, format specs): skip to
+                    // the next comma or the close, balanced.
+                    let mut depth = 0i32;
+                    while let Some(t) = self.peek() {
+                        if let crate::lexer::TokenKind::Punct(c) = t.kind {
+                            match c {
+                                '(' | '[' | '{' => depth += 1,
+                                ')' | ']' | '}' => {
+                                    if depth == 0 && c == close {
+                                        break;
+                                    }
+                                    depth -= 1;
+                                }
+                                ',' if depth == 0 => break,
+                                _ => {}
+                            }
+                        }
+                        self.bump();
+                    }
+                    self.eat_punct(',');
+                }
+            }
+        }
+        args
+    }
+
+    /// Applies postfix operators: `.method(..)`, `.field`, `(..)` calls,
+    /// `[..]` indexing, `?`, and `as Ty` casts.
+    fn parse_postfix(&mut self, mut lhs: Expr, file: &mut File) -> Expr {
+        let start_lo = lhs.span();
+        loop {
+            match self.peek() {
+                Some(t) if t.is_punct('?') => {
+                    self.bump();
+                }
+                Some(t) if t.is_punct('.') => {
+                    // Not a range: `..` is handled by the binop loop.
+                    if self.glued(self.pos) && self.punct_at(1) == Some('.') {
+                        return lhs;
+                    }
+                    let dot_lo = t.lo;
+                    self.bump();
+                    match self.peek() {
+                        Some(nt) if nt.ident().is_some() => {
+                            let name = nt.ident().unwrap_or("").to_string();
+                            let name_span = self.tok_span(self.pos);
+                            self.bump();
+                            // Optional turbofish before the call parens.
+                            if self.punct_at(0) == Some(':')
+                                && self.glued(self.pos)
+                                && self.punct_at(1) == Some(':')
+                            {
+                                self.bump();
+                                self.bump();
+                                if self.at_punct('<') {
+                                    self.skip_angles();
+                                }
+                            }
+                            if self.at_punct('(') {
+                                let args = self.parse_call_args(file);
+                                let call_hi = self
+                                    .pos
+                                    .checked_sub(1)
+                                    .map_or(name_span.hi, |i| self.tok_span(i).hi);
+                                let span = Span {
+                                    line: start_lo.line,
+                                    col: start_lo.col,
+                                    lo: start_lo.lo,
+                                    hi: call_hi,
+                                };
+                                lhs = Expr::Method(Box::new(MethodCall {
+                                    recv: lhs,
+                                    name,
+                                    args,
+                                    name_span,
+                                    dot_lo,
+                                    call_hi,
+                                    span,
+                                }));
+                            } else {
+                                let span = Span {
+                                    line: start_lo.line,
+                                    col: start_lo.col,
+                                    lo: start_lo.lo,
+                                    hi: name_span.hi,
+                                };
+                                lhs = Expr::Field(Box::new(lhs), name, span);
+                            }
+                        }
+                        Some(nt) if matches!(nt.kind, crate::lexer::TokenKind::Number(_)) => {
+                            // Tuple index `.0`.
+                            let name = match &nt.kind {
+                                crate::lexer::TokenKind::Number(n) => n.clone(),
+                                _ => String::new(),
+                            };
+                            let hi = nt.hi;
+                            self.bump();
+                            let span = Span {
+                                line: start_lo.line,
+                                col: start_lo.col,
+                                lo: start_lo.lo,
+                                hi,
+                            };
+                            lhs = Expr::Field(Box::new(lhs), name, span);
+                        }
+                        _ => return lhs,
+                    }
+                }
+                Some(t) if t.is_punct('(') => {
+                    // Only paths/fields/closures etc. are callable; this
+                    // is expression position so a call is the right read.
+                    let args = self.parse_call_args(file);
+                    let hi = self
+                        .pos
+                        .checked_sub(1)
+                        .map_or(start_lo.hi, |i| self.tok_span(i).hi);
+                    let span = Span { hi, ..start_lo };
+                    lhs = Expr::Call(Box::new(lhs), args, span);
+                }
+                Some(t) if t.is_punct('[') => {
+                    self.bump();
+                    let idx = self.parse_expr(0, true, file);
+                    if !self.eat_punct(']') {
+                        self.skip_group_tail(']');
+                    }
+                    let hi = self
+                        .pos
+                        .checked_sub(1)
+                        .map_or(start_lo.hi, |i| self.tok_span(i).hi);
+                    let span = Span { hi, ..start_lo };
+                    lhs = Expr::Index(Box::new(lhs), Box::new(idx), span);
+                }
+                _ => return lhs,
+            }
+        }
+    }
+
+    /// Scans the type after `as`: path segments with optional generics,
+    /// returning the exact source text.
+    fn parse_cast_ty(&mut self) -> String {
+        let ty_start = self.pos;
+        loop {
+            match self.peek() {
+                Some(t) if t.ident().is_some() => {
+                    self.bump();
+                    if self.punct_at(0) == Some(':')
+                        && self.glued(self.pos)
+                        && self.punct_at(1) == Some(':')
+                    {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    // Generic args only when `<` is glued to the type
+                    // name (`Vec<` vs the comparison `x as u64 < y`).
+                    if self.at_punct('<') && self.glued(self.pos.saturating_sub(1)) {
+                        self.skip_angles();
+                    }
+                    break;
+                }
+                Some(t) if t.is_punct('&') || t.is_punct('*') => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.text(ty_start, self.pos)
+    }
+
+    /// Parses `( arg, arg, ... )` starting at `(`.
+    fn parse_call_args(&mut self, file: &mut File) -> Vec<Expr> {
+        self.bump(); // (
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct(')') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    args.push(self.parse_expr(0, true, file));
+                    if self.eat_punct(',') {
+                        continue;
+                    }
+                    if self.at_punct(')') {
+                        continue;
+                    }
+                    self.skip_group_tail(')');
+                    break;
+                }
+            }
+        }
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> File {
+        let lexed = lex(src);
+        parse(src, &lexed.tokens)
+    }
+
+    fn only_fn(file: &File) -> &FnDef {
+        let mut found = None;
+        for it in &file.items {
+            if let Item::Fn(fd) = it {
+                assert!(found.is_none(), "more than one fn");
+                found = Some(fd);
+            }
+        }
+        match found {
+            Some(fd) => fd,
+            None => panic!("no fn parsed"),
+        }
+    }
+
+    #[test]
+    fn fn_signature_and_let_bindings() {
+        let src = "fn seek(from_mb: f64, to_mb: f64) -> Micros {\n    let dist = from_mb - to_mb;\n    let t: Micros = cost(dist);\n    t\n}";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        assert_eq!(fd.name, "seek");
+        assert_eq!(fd.params.len(), 2);
+        assert_eq!(fd.params[0].name, "from_mb");
+        assert_eq!(fd.params[0].ty, "f64");
+        let body = fd.body.as_ref().expect("body");
+        assert_eq!(body.stmts.len(), 3);
+        let Stmt::Let(l) = &body.stmts[0] else {
+            panic!("expected let")
+        };
+        assert_eq!(l.name, "dist");
+        assert!(matches!(l.init, Some(Expr::Binary(BinOp::Sub, _, _, _))));
+        let Stmt::Let(l2) = &body.stmts[1] else {
+            panic!("expected let")
+        };
+        assert_eq!(l2.ty.as_deref(), Some("Micros"));
+        assert!(matches!(l2.init, Some(Expr::Call(_, _, _))));
+    }
+
+    #[test]
+    fn method_chain_records_fix_spans() {
+        let src = "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr(Expr::Method(outer)) = &body.stmts[0] else {
+            panic!("expected method call")
+        };
+        assert_eq!(outer.name, "unwrap");
+        // The fix span `.unwrap()` slices back exactly.
+        assert_eq!(&src[outer.dot_lo..outer.call_hi], ".unwrap()");
+        let Expr::Method(inner) = &outer.recv else {
+            panic!("expected inner method")
+        };
+        assert_eq!(inner.name, "partial_cmp");
+        assert_eq!(&src[inner.name_span.lo..inner.name_span.hi], "partial_cmp");
+        assert_eq!(inner.args.len(), 1);
+    }
+
+    #[test]
+    fn closure_params_and_body() {
+        let src = "fn f(v: &mut Vec<u64>) { v.sort_by_key(|x| *x as f64); }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr(Expr::Method(m)) = &body.stmts[0] else {
+            panic!("expected method call")
+        };
+        assert_eq!(m.name, "sort_by_key");
+        let Some(Expr::Closure(c)) = m.args.first() else {
+            panic!("expected closure arg")
+        };
+        assert_eq!(c.params, vec!["x".to_string()]);
+        assert!(matches!(c.body, Expr::Cast(_, ref ty, _) if ty == "f64"));
+    }
+
+    #[test]
+    fn if_condition_does_not_eat_block_as_struct_lit() {
+        let src = "fn f(q: usize) -> bool { if q > 0 { true } else { false } }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr(Expr::Ctrl(c)) = &body.stmts[0] else {
+            panic!("expected if")
+        };
+        assert_eq!(c.exprs.len(), 1);
+        assert_eq!(c.blocks.len(), 2);
+        assert!(matches!(c.exprs[0], Expr::Binary(BinOp::Gt, _, _, _)));
+    }
+
+    #[test]
+    fn struct_literal_in_expr_position() {
+        let src = "fn f() -> Ev { Ev { at: now_us + delay_us, seq: 0 } }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr(Expr::StructLit(path, fields, _)) = &body.stmts[0] else {
+            panic!("expected struct literal")
+        };
+        assert_eq!(path, &vec!["Ev".to_string()]);
+        assert_eq!(fields.len(), 2);
+        assert!(matches!(fields[0], Expr::Binary(BinOp::Add, _, _, _)));
+    }
+
+    #[test]
+    fn for_loop_iter_and_body() {
+        let src = "fn f(m: &BTreeMap<u64, u64>) { for (k, v) in m.iter() { touch(k, v); } }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr(Expr::For(fl)) = &body.stmts[0] else {
+            panic!("expected for loop")
+        };
+        assert_eq!(fl.pat, "(k, v)");
+        let Expr::Method(m) = &fl.iter else {
+            panic!("expected method iter")
+        };
+        assert_eq!(m.name, "iter");
+        assert_eq!(fl.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn use_tree_flattening_with_aliases() {
+        let src = "use std::sync::{Mutex as Mx, mpsc};\nuse std::collections::BTreeMap;\n";
+        let file = parse_src(src);
+        let find = |alias: &str| {
+            file.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(find("Mx").as_deref(), Some("std::sync::Mutex"));
+        assert_eq!(find("mpsc").as_deref(), Some("std::sync::mpsc"));
+        assert_eq!(
+            find("BTreeMap").as_deref(),
+            Some("std::collections::BTreeMap")
+        );
+    }
+
+    #[test]
+    fn impl_methods_are_visited() {
+        let src = "impl Drive {\n    pub fn rewind(&mut self) -> Micros { self.pos = 0; REWIND_US }\n    fn helper() {}\n}";
+        let file = parse_src(src);
+        let mut names = Vec::new();
+        file.for_each_fn(&mut |fd| names.push(fd.name.clone()));
+        assert_eq!(names, vec!["rewind".to_string(), "helper".to_string()]);
+    }
+
+    #[test]
+    fn match_arms_parse_bodies() {
+        let src = "fn f(x: Option<u64>) -> u64 { match x { Some(v) => v + 1, None => { 0 } } }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr(Expr::Ctrl(c)) = &body.stmts[0] else {
+            panic!("expected match")
+        };
+        // Scrutinee + one non-block arm body.
+        assert_eq!(c.exprs.len(), 2);
+        assert_eq!(c.blocks.len(), 1);
+    }
+
+    #[test]
+    fn tolerance_unknown_makes_progress() {
+        // Deliberately weird input must terminate and produce a tree.
+        let src = "fn f() { let x = @#$ ?? ::: y!{ macro junk }; x }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        assert!(fd.body.is_some());
+    }
+
+    #[test]
+    fn generic_fn_and_turbofish() {
+        let src = "fn f<T: Ord>(v: Vec<T>) -> usize { v.iter().collect::<Vec<_>>().len() }";
+        let file = parse_src(src);
+        let fd = only_fn(&file);
+        assert_eq!(fd.name, "f");
+        assert_eq!(fd.params.len(), 1);
+        assert_eq!(fd.params[0].ty, "Vec<T>");
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr(Expr::Method(m)) = &body.stmts[0] else {
+            panic!("expected method chain")
+        };
+        assert_eq!(m.name, "len");
+    }
+}

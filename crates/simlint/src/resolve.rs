@@ -1,0 +1,201 @@
+//! Per-file symbol resolution: flattened `use`-path lookup and the unit
+//! vocabulary shared by the dataflow pass.
+//!
+//! Unit kinds are deliberately conservative: a kind is assigned only when
+//! an identifier (split on `_`) or a whitelisted conversion method names
+//! exactly one scale-bearing unit. Names mixing dimensions (`bytes_per_sec`)
+//! are rates and get no kind, so dividing or multiplying never produces a
+//! false mixed-unit report.
+
+use std::collections::BTreeMap;
+
+use crate::parse::File;
+
+/// The alias table built from a file's `use` declarations: local name ->
+/// full path segments.
+#[derive(Debug, Default)]
+pub struct Imports {
+    map: BTreeMap<String, Vec<String>>,
+}
+
+impl Imports {
+    pub fn build(file: &File) -> Imports {
+        let mut map = BTreeMap::new();
+        for u in &file.uses {
+            if !u.alias.is_empty() && !u.path.is_empty() {
+                map.insert(u.alias.clone(), u.path.clone());
+            }
+        }
+        Imports { map }
+    }
+
+    /// The imported path a local name resolves to, if any.
+    pub fn path_of(&self, name: &str) -> Option<&[String]> {
+        self.map.get(name).map(Vec::as_slice)
+    }
+
+    /// True if `name` is an alias for (or import of) an item whose real
+    /// name matches `pred` — e.g. `use std::sync::Mutex as Lock` makes
+    /// `Lock` resolve to a path whose last segment is `Mutex`.
+    pub fn resolves_to(&self, name: &str, pred: impl Fn(&str) -> bool) -> bool {
+        self.path_of(name)
+            .and_then(|p| p.last())
+            .is_some_and(|last| pred(last))
+    }
+}
+
+/// The physical dimension of a quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    Time,
+    Size,
+    Slot,
+}
+
+/// A unit kind: dimension plus scale. Two kinds mix (and are flagged in
+/// `+`/`-`/compare) whenever they differ in either component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitKind {
+    pub dim: Dim,
+    /// Human-readable scale name (`micros`, `megabytes`, ...).
+    pub scale: &'static str,
+}
+
+impl UnitKind {
+    const fn new(dim: Dim, scale: &'static str) -> UnitKind {
+        UnitKind { dim, scale }
+    }
+}
+
+/// Scale-bearing identifier words. Unlike the token lint's broader
+/// `UNIT_WORDS` (which includes scaleless words like `delay`), only words
+/// that pin an exact scale participate in dataflow.
+fn word_kind(w: &str) -> Option<UnitKind> {
+    let k = match w {
+        "us" | "usec" | "usecs" | "micro" | "micros" => UnitKind::new(Dim::Time, "micros"),
+        "ms" | "msec" | "msecs" | "millis" => UnitKind::new(Dim::Time, "millis"),
+        "sec" | "secs" | "second" | "seconds" => UnitKind::new(Dim::Time, "secs"),
+        "minutes" => UnitKind::new(Dim::Time, "minutes"),
+        "hour" | "hours" => UnitKind::new(Dim::Time, "hours"),
+        "byte" | "bytes" => UnitKind::new(Dim::Size, "bytes"),
+        "kb" | "kib" => UnitKind::new(Dim::Size, "kilobytes"),
+        "mb" | "mib" => UnitKind::new(Dim::Size, "megabytes"),
+        "gb" | "gib" => UnitKind::new(Dim::Size, "gigabytes"),
+        "slot" | "slots" => UnitKind::new(Dim::Slot, "slots"),
+        _ => return None,
+    };
+    Some(k)
+}
+
+/// Infers the unit kind an identifier carries from its name. Returns
+/// `None` for names with no unit word, with conflicting unit words
+/// (`bytes_per_sec`-style rates), or containing `per`.
+pub fn unit_of_name(name: &str) -> Option<UnitKind> {
+    let lower = name.to_lowercase();
+    let mut found: Option<UnitKind> = None;
+    for w in lower.split('_') {
+        if w == "per" {
+            return None;
+        }
+        if let Some(k) = word_kind(w) {
+            match found {
+                None => found = Some(k),
+                Some(prev) if prev == k => {}
+                Some(_) => return None, // mixed words: a rate or conversion
+            }
+        }
+    }
+    found
+}
+
+/// Whitelisted conversion methods whose return value has a known kind.
+/// (`as_bytes` is absent on purpose: `str::as_bytes` is not a size.)
+pub fn unit_of_method(name: &str) -> Option<UnitKind> {
+    let k = match name {
+        "as_micros" => UnitKind::new(Dim::Time, "micros"),
+        "as_millis" => UnitKind::new(Dim::Time, "millis"),
+        "as_secs" | "as_secs_f64" | "as_secs_f32" => UnitKind::new(Dim::Time, "secs"),
+        _ => return None,
+    };
+    Some(k)
+}
+
+/// True for the primitive numeric types whose values can silently carry
+/// any unit. Newtypes (e.g. `Micros`) are excluded: the type system
+/// already polices those.
+pub fn is_numeric_prim(ty: &str) -> bool {
+    matches!(
+        ty.trim(),
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    #[test]
+    fn names_with_one_unit_word_have_kinds() {
+        let us = unit_of_name("now_us");
+        assert_eq!(us.map(|k| k.scale), Some("micros"));
+        assert_eq!(unit_of_name("pos_mb").map(|k| k.scale), Some("megabytes"));
+        assert_eq!(unit_of_name("slots").map(|k| k.dim), Some(Dim::Slot));
+        assert_eq!(
+            unit_of_name("seek_time_us").map(|k| k.scale),
+            Some("micros")
+        );
+    }
+
+    #[test]
+    fn rates_and_plain_names_have_no_kind() {
+        assert_eq!(unit_of_name("bytes_per_sec"), None);
+        assert_eq!(unit_of_name("mb_per_second"), None);
+        assert_eq!(unit_of_name("count"), None);
+        assert_eq!(unit_of_name("queue_len"), None);
+        // Same-dimension different-scale mix is a conversion, not a kind.
+        assert_eq!(unit_of_name("us_to_ms"), None);
+    }
+
+    #[test]
+    fn conversion_methods() {
+        assert_eq!(unit_of_method("as_micros").map(|k| k.scale), Some("micros"));
+        assert_eq!(unit_of_method("as_secs_f64").map(|k| k.scale), Some("secs"));
+        assert_eq!(unit_of_method("as_bytes"), None);
+        assert_eq!(unit_of_method("len"), None);
+    }
+
+    #[test]
+    fn import_alias_resolution() {
+        let src = "use std::sync::{Mutex as Lock, mpsc};\n";
+        let file = parse(src, &lex(src).tokens);
+        let imports = Imports::build(&file);
+        assert!(imports.resolves_to("Lock", |n| n == "Mutex"));
+        assert!(!imports.resolves_to("Lock", |n| n == "RwLock"));
+        assert_eq!(
+            imports.path_of("mpsc").map(|p| p.join("::")),
+            Some("std::sync::mpsc".to_string())
+        );
+    }
+
+    #[test]
+    fn numeric_primitives() {
+        assert!(is_numeric_prim("u64"));
+        assert!(is_numeric_prim(" f64 "));
+        assert!(!is_numeric_prim("Micros"));
+        assert!(!is_numeric_prim("Vec<u64>"));
+    }
+}

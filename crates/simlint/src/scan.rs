@@ -88,12 +88,17 @@ impl FileCtx {
             // concerns across every crate.
             Lint::HashOrder | Lint::Panic => self.kind == FileKind::Lib,
             // Unit safety applies to the result-affecting crates, outside
-            // the units layer that implements the conversions.
-            Lint::UnitCast | Lint::UnitConst => {
+            // the units layer that implements the conversions. The
+            // dataflow variant shares the token lint's scope exactly.
+            Lint::UnitCast | Lint::UnitConst | Lint::UnitFlow => {
                 self.kind == FileKind::Lib
                     && UNIT_CRATES.contains(&self.crate_name.as_str())
                     && !self.units_layer
             }
+            // Comparator totality and the parallel contract are library-
+            // code concerns: harness code does not feed the goldens, and
+            // the vendored shims mirror foreign APIs.
+            Lint::OrderTotality | Lint::ParContract => self.kind == FileKind::Lib,
         }
     }
 }

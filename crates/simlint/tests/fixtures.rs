@@ -29,6 +29,10 @@ fn ids(diags: &[Diagnostic]) -> Vec<&str> {
     diags.iter().map(|d| d.lint.id()).collect()
 }
 
+fn count(diags: &[Diagnostic], id: &str) -> usize {
+    diags.iter().filter(|d| d.lint.id() == id).count()
+}
+
 #[test]
 fn hash_order_fires_on_hash_collections() {
     let diags = check_fixture("bad_hash_order.rs");
@@ -56,10 +60,12 @@ fn ambient_rng_fires_on_thread_rng_and_random() {
 #[test]
 fn unit_cast_fires_on_unit_carrying_operands_only() {
     let diags = check_fixture("bad_unit_cast.rs");
-    // `delay_micros as f64` and `size_mb as u64` are flagged; the
-    // unit-less `s as f64` is not.
-    assert_eq!(diags.len(), 2, "{:?}", ids(&diags));
-    assert!(diags.iter().all(|d| d.lint.id() == "unit-cast"));
+    // `delay_micros as f64` and `size_mb as u64` are the token lint's
+    // findings; the dataflow pass separately sees the mixed-dimension
+    // `d + s as f64` and the tracked `s` leaking into a raw cast.
+    assert_eq!(count(&diags, "unit-cast"), 2, "{:?}", ids(&diags));
+    assert_eq!(count(&diags, "unit-flow"), 2, "{:?}", ids(&diags));
+    assert_eq!(diags.len(), 4, "{:?}", ids(&diags));
 }
 
 #[test]
@@ -106,6 +112,122 @@ fn annotated_fixture_is_clean() {
 fn clean_fixture_is_clean() {
     let diags = check_fixture("good_clean.rs");
     assert!(diags.is_empty(), "{:?}", ids(&diags));
+}
+
+#[test]
+fn unit_flow_fires_on_dataflow_only_mismatches() {
+    let diags = check_fixture("bad_unit_flow.rs");
+    // Mixed-dimension arithmetic through a binding, a binding whose name
+    // contradicts its initializer's scale, and a tracked `Duration`
+    // accessor result leaking into a raw cast.
+    assert_eq!(count(&diags, "unit-flow"), 3, "{:?}", ids(&diags));
+}
+
+#[test]
+fn unit_flow_good_fixture_is_clean() {
+    let diags = check_fixture("good_unit_flow.rs");
+    assert!(diags.is_empty(), "{:?}", ids(&diags));
+}
+
+#[test]
+fn order_totality_fires_on_partial_orders_and_unstable_ties() {
+    let diags = check_fixture("bad_order_totality.rs");
+    // partial_cmp().unwrap(), sort_unstable_by with a comparator, a
+    // float sort key, and a BinaryHeap over floats. (The `.unwrap()`
+    // additionally trips the panic lint — separate family.)
+    assert_eq!(count(&diags, "order-totality"), 4, "{:?}", ids(&diags));
+    assert!(
+        diags
+            .iter()
+            .filter(|d| d.lint.id() == "order-totality")
+            .filter(|d| d.fix.is_some())
+            .count()
+            >= 2,
+        "partial_cmp and sort_unstable_by rewrites expected: {:?}",
+        ids(&diags)
+    );
+}
+
+#[test]
+fn order_totality_good_fixture_is_clean() {
+    let diags = check_fixture("good_order_totality.rs");
+    assert_eq!(count(&diags, "order-totality"), 0, "{:?}", ids(&diags));
+}
+
+#[test]
+fn par_contract_fires_on_machinery_outside_par_module() {
+    let diags = check_fixture("bad_par_contract.rs");
+    // Mutex ident + its smuggling alias, thread::spawn, a RefCell built
+    // inside the worker closure, and an arrival-order try_recv drain.
+    assert_eq!(count(&diags, "par-contract"), 5, "{:?}", ids(&diags));
+}
+
+#[test]
+fn par_contract_good_fixture_is_clean() {
+    let diags = check_fixture("good_par_contract.rs");
+    assert!(diags.is_empty(), "{:?}", ids(&diags));
+}
+
+#[test]
+fn par_contract_primitive_scan_exempts_par_module() {
+    // The same machinery under the `par.rs` basename keeps only the
+    // everywhere-checks (closure captures, arrival-order drains).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad_par_contract.rs");
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    let ctx = FileCtx::classify("crates/sim/src/par.rs");
+    let diags = simlint::lints::check_file(&ctx, &src);
+    let msgs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint.id() == "par-contract")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(msgs.len(), 2, "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("shared-mutable")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("arrival order")), "{msgs:?}");
+}
+
+#[test]
+fn fix_rewrites_fixable_fixture_and_is_idempotent() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad_fixable.rs");
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    let ctx = FileCtx::classify("crates/sim/src/bad_fixable.rs");
+
+    let diags = simlint::lints::check_file(&ctx, &src);
+    let once = simlint::fixes::apply_to_source(&src, &diags).expect("fixes available");
+    assert!(once.contains("use std::collections::BTreeMap;"), "{once}");
+    assert!(once.contains("BTreeMap::new()"), "{once}");
+    assert!(once.contains("a.total_cmp(b)"), "{once}");
+    assert!(once.contains("v.sort_by(|a, b| a.1.cmp(&b.1))"), "{once}");
+    assert!(!once.contains("HashMap"), "{once}");
+    assert!(!once.contains("partial_cmp"), "{once}");
+
+    // Idempotence: the fixed source has no fixable findings left, so a
+    // second `--fix` pass is a no-op.
+    let rediags = simlint::lints::check_file(&ctx, &once);
+    assert!(
+        rediags.iter().all(|d| d.fix.is_none()),
+        "{:?}",
+        ids(&rediags)
+    );
+    let twice = simlint::fixes::apply_to_source(&once, &rediags);
+    assert!(twice.is_none(), "{twice:?}");
+}
+
+#[test]
+fn json_report_schema_is_versioned() {
+    let diags = check_fixture("bad_order_totality.rs");
+    let json = simlint::diag::to_json(&diags, 1, Path::new("/tmp"));
+    assert_eq!(simlint::diag::SCHEMA_VERSION, 2);
+    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"fixable\": true"), "{json}");
+    assert!(json.contains("\"fixable\": false"), "{json}");
 }
 
 #[test]
