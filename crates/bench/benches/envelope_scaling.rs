@@ -34,6 +34,7 @@ fn bench_envelope(c: &mut Criterion) {
                 now: SimTime::ZERO,
                 unavailable: &[],
                 offline: &[],
+                fleet: tapesim::sched::FleetView::SINGLE,
             };
             b.iter(|| compute_upper_envelope(&view, snap))
         });

@@ -43,6 +43,7 @@ fn bench_major(c: &mut Criterion) {
                             now: SimTime::ZERO,
                             unavailable: &[],
                             offline: &[],
+                            fleet: tapesim::sched::FleetView::SINGLE,
                         };
                         s.major_reschedule(&view, &mut p)
                     },

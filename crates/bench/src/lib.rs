@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod fleet;
 pub mod perf;
 
 use std::collections::BTreeMap;

@@ -67,13 +67,13 @@ pub mod prelude {
     pub use crate::figures::*;
     pub use tapesim_analysis::{ascii_plot, fnum, Series, Table};
     pub use tapesim_layout::{
-        build_placement, build_spare_layout, expansion_factor, BlockId, Catalog, LayoutKind,
-        PlacementConfig, SpareConfig, SpareUse,
+        build_fleet_placement, build_placement, build_spare_layout, expansion_factor, BlockId,
+        Catalog, LayoutKind, PlacementConfig, ReplicaScope, SpareConfig, SpareUse,
     };
     pub use tapesim_model::FaultConfig;
     pub use tapesim_model::{
-        BlockSize, DriveModel, JukeboxGeometry, Micros, RobotModel, SimTime, SlotIndex, TapeId,
-        TimingModel,
+        BlockSize, DriveModel, InterLibraryModel, JukeboxGeometry, LibraryTopo, Micros, RobotModel,
+        SimTime, SlotIndex, TapeId, TimingModel, Topology,
     };
     pub use tapesim_sched::{
         make_scheduler, AlgorithmId, EnvelopePolicy, Scheduler, TapeSelectPolicy,

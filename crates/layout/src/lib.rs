@@ -14,7 +14,10 @@
 //!   data, `NR` replicas, and a normalized hot-region start position `SP`;
 //! * [`build_spare_layout`] — partially filled jukeboxes whose spare
 //!   capacity is either left empty or filled with hot replicas at the
-//!   tape ends ("replication for free").
+//!   tape ends ("replication for free");
+//! * [`build_fleet_placement`] — the same layouts over a multi-library
+//!   fleet topology, with replicas confined to the original's library or
+//!   spread across libraries ([`ReplicaScope`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +31,8 @@ pub mod spare;
 pub use block::{BlockId, Heat};
 pub use catalog::{Catalog, CatalogBuilder, CatalogError};
 pub use expansion::{expansion_factor, expansion_table, scaled_queue_length, ExpansionRow};
-pub use placement::{build_placement, LayoutKind, PlacedCatalog, PlacementConfig, PlacementError};
+pub use placement::{
+    build_fleet_placement, build_placement, LayoutKind, PlacedCatalog, PlacementConfig,
+    PlacementError, ReplicaScope,
+};
 pub use spare::{build_spare_layout, SpareConfig, SpareUse};

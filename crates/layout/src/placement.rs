@@ -15,7 +15,7 @@
 #![allow(clippy::cast_possible_truncation)] // slot and tape counts are bounded by jukebox geometry
 #![allow(clippy::cast_precision_loss)] // capacity totals stay far below 2^53
 
-use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId};
+use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId, Topology};
 
 use crate::block::BlockId;
 use crate::catalog::{Catalog, CatalogError};
@@ -67,6 +67,22 @@ impl PlacementConfig {
             sp: 1.0,
         }
     }
+}
+
+/// Where a hot block's `NR` replicas may live relative to its original's
+/// library, for fleet topologies (see [`Topology`]). Irrelevant for
+/// single-library topologies, where both scopes coincide with the classic
+/// [`build_placement`] assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaScope {
+    /// Replicas stay in the original's library: no mount ever pays a
+    /// pass-through transfer, but every copy of a hot block competes for
+    /// the same library's drives and robot arms.
+    InLibrary,
+    /// Replicas spread round-robin across the *other* libraries first, so
+    /// up to `NR` additional libraries can serve a hot block from local
+    /// shelves — trading shelf locality for fleet-wide parallelism.
+    CrossLibrary,
 }
 
 /// Errors raised while computing a placement.
@@ -143,6 +159,68 @@ pub fn build_placement(
             return Err(PlacementError::NoCapacity);
         }
         match try_build(geometry, block, slots, cfg, d) {
+            Ok((catalog, hot_tapes)) => {
+                return Ok(PlacedCatalog {
+                    catalog,
+                    expansion: e,
+                    hot_tapes,
+                    config: cfg,
+                });
+            }
+            Err(TryBuildError::DoesNotFit) => d -= 1,
+            Err(TryBuildError::Catalog(e)) => return Err(e.into()),
+        }
+    }
+}
+
+/// [`build_placement`] for a fleet [`Topology`]: hot originals are
+/// assigned exactly as the classic layouts assign them, but each hot
+/// block's `NR` replicas are targeted by `scope` — confined to the
+/// original's library, or spread round-robin across the other libraries.
+/// For a single-library topology the produced catalog is identical to
+/// [`build_placement`] under either scope.
+///
+/// # Errors
+/// Everything [`build_placement`] raises, plus
+/// [`PlacementError::TooManyReplicas`] when `NR` exceeds what the scope
+/// admits (e.g. in-library replication beyond the smallest library's
+/// shelf count) and [`PlacementError::InvalidParameter`] when the
+/// topology's shelf total disagrees with the geometry.
+pub fn build_fleet_placement(
+    geometry: JukeboxGeometry,
+    block: BlockSize,
+    cfg: PlacementConfig,
+    topology: &Topology,
+    scope: ReplicaScope,
+) -> Result<PlacedCatalog, PlacementError> {
+    validate_config(geometry, &cfg)?;
+    if topology.check_geometry(&geometry).is_err() {
+        return Err(PlacementError::InvalidParameter("topology"));
+    }
+    if scope == ReplicaScope::InLibrary && cfg.ph_percent > 0.0 {
+        // Every replica needs a distinct tape inside the origin's library.
+        let min_lib = topology
+            .libraries()
+            .iter()
+            .map(|l| u32::from(l.tapes))
+            .min()
+            .unwrap_or(0);
+        if cfg.replicas + 1 > min_lib {
+            return Err(PlacementError::TooManyReplicas {
+                requested: cfg.replicas,
+                max: min_lib.saturating_sub(1),
+            });
+        }
+    }
+    let slots = geometry.slots_per_tape(block);
+    let total = geometry.total_slots(block);
+    let e = expansion_factor(cfg.replicas, cfg.ph_percent);
+    let mut d = ((total as f64 / e).floor() as u64 + 2).min(total) as u32;
+    loop {
+        if d == 0 {
+            return Err(PlacementError::NoCapacity);
+        }
+        match try_build_fleet(geometry, block, slots, cfg, d, topology, scope) {
             Ok((catalog, hot_tapes)) => {
                 return Ok(PlacedCatalog {
                     catalog,
@@ -284,6 +362,170 @@ fn try_build(
         .filter_map(|(i, &is_origin)| is_origin.then_some(TapeId(i as u16)))
         .collect();
     Ok((catalog, hot_tapes))
+}
+
+fn try_build_fleet(
+    geometry: JukeboxGeometry,
+    block: BlockSize,
+    slots: u32,
+    cfg: PlacementConfig,
+    d: u32,
+    topology: &Topology,
+    scope: ReplicaScope,
+) -> Result<(Catalog, Vec<TapeId>), TryBuildError> {
+    let t = geometry.tapes as u32;
+    let hot = hot_count_for(d, cfg.ph_percent);
+    let nr = if hot == 0 { 0 } else { cfg.replicas };
+    let copies = hot as u64 * (1 + nr) as u64 + (d - hot) as u64;
+    if copies > geometry.total_slots(block) {
+        return Err(TryBuildError::DoesNotFit);
+    }
+    // With one library there is nothing to cross: both scopes reduce to
+    // the classic assignment, keeping single-library fleet placements
+    // identical to `build_placement`.
+    let scope = if topology.library_count() == 1 {
+        ReplicaScope::InLibrary
+    } else {
+        scope
+    };
+    let hot_prefix = match cfg.layout {
+        LayoutKind::Horizontal => 0,
+        LayoutKind::Vertical => hot.div_ceil(slots),
+    };
+    if cfg.layout == LayoutKind::Vertical && hot_prefix >= t && d > hot {
+        return Err(TryBuildError::DoesNotFit);
+    }
+
+    let mut hot_on_tape: Vec<Vec<BlockId>> = vec![Vec::new(); t as usize];
+    let mut origin_tapes: Vec<bool> = vec![false; t as usize];
+    for b in 0..hot {
+        // Origins are assigned exactly as the classic layouts assign
+        // them; only replica targets differ by scope.
+        let origin = match cfg.layout {
+            LayoutKind::Horizontal => b % t,
+            LayoutKind::Vertical => b / slots,
+        };
+        origin_tapes[origin as usize] = true;
+        hot_on_tape[origin as usize].push(BlockId(b));
+        if nr == 0 {
+            continue;
+        }
+        let ring = replica_ring(topology, scope, cfg.layout, origin, b, nr, hot_prefix);
+        if (ring.len() as u32) < nr {
+            return Err(TryBuildError::DoesNotFit);
+        }
+        for &tape in ring.iter().take(nr as usize) {
+            hot_on_tape[tape as usize].push(BlockId(b));
+        }
+    }
+
+    for copies in &hot_on_tape {
+        if copies.len() as u32 > slots {
+            return Err(TryBuildError::DoesNotFit);
+        }
+    }
+
+    let mut builder = Catalog::builder(geometry, block, d, hot);
+    let mut free: Vec<Vec<SlotIndex>> = Vec::with_capacity(t as usize);
+    for (tape_idx, copies) in hot_on_tape.iter().enumerate() {
+        let len = copies.len() as u32;
+        let start = region_start(cfg.sp, len, slots);
+        for (i, &b) in copies.iter().enumerate() {
+            builder.place(
+                b,
+                PhysicalAddr {
+                    tape: TapeId(tape_idx as u16),
+                    slot: SlotIndex(start + i as u32),
+                },
+            )?;
+        }
+        let mut f: Vec<SlotIndex> = (0..start)
+            .chain(start + len..slots)
+            .map(SlotIndex)
+            .collect();
+        f.reverse();
+        free.push(f);
+    }
+
+    place_cold_round_robin(&mut builder, geometry, slots, &mut free, hot, d, cfg.layout)?;
+    let catalog = builder.build().map_err(TryBuildError::Catalog)?;
+    let hot_tapes = origin_tapes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &is_origin)| is_origin.then_some(TapeId(i as u16)))
+        .collect();
+    Ok((catalog, hot_tapes))
+}
+
+/// Replica target tapes for hot block `b` whose original sits on
+/// `origin`, in assignment order: replica `j` lands on the `j`-th entry.
+/// Entries are distinct tapes, never the origin, and (for vertical
+/// layouts) never a hot-prefix tape. A result shorter than `nr` means the
+/// scope cannot host that many distinct copies.
+fn replica_ring(
+    topology: &Topology,
+    scope: ReplicaScope,
+    layout: LayoutKind,
+    origin: u32,
+    b: u32,
+    nr: u32,
+    hot_prefix: u32,
+) -> Vec<u32> {
+    let lib = u32::from(topology.library_of_tape(TapeId(origin as u16)));
+    let l = u32::from(topology.library_count());
+    let lib_tapes = |i: u32| -> u32 {
+        topology
+            .libraries()
+            .get(i as usize)
+            .map_or(0, |x| u32::from(x.tapes))
+    };
+    let base = |i: u32| u32::from(topology.tape_base(i as u16));
+    match scope {
+        ReplicaScope::InLibrary => {
+            let (lo, n) = (base(lib), lib_tapes(lib));
+            match layout {
+                // Rotate within the library starting just after the
+                // origin — the classic `(origin + 1 + j) % T`, confined.
+                LayoutKind::Horizontal => (1..n).map(|k| lo + ((origin - lo) + k) % n).collect(),
+                // The classic round-robin over non-hot tapes, confined to
+                // the origin's library.
+                LayoutKind::Vertical => {
+                    let avail: Vec<u32> = (lo..lo + n).filter(|&x| x >= hot_prefix).collect();
+                    let len = avail.len() as u32;
+                    if len < nr {
+                        return Vec::new();
+                    }
+                    (0..nr)
+                        .map(|j| avail[((b * nr + j) % len) as usize])
+                        .collect()
+                }
+            }
+        }
+        ReplicaScope::CrossLibrary => {
+            // Breadth-first over the *other* libraries (then the origin's
+            // own, last), one tape per library per pass, rotating within
+            // each library by the block id so replicas spread over its
+            // shelves. Each (library, tape) pair appears exactly once, so
+            // entries are distinct.
+            let max_n = (0..l).map(lib_tapes).max().unwrap_or(0);
+            let mut ring = Vec::new();
+            for pass in 0..max_n {
+                for k in 1..=l {
+                    let tl = (lib + k) % l;
+                    let n_t = lib_tapes(tl);
+                    if pass >= n_t {
+                        continue;
+                    }
+                    let tape = base(tl) + (b + pass) % n_t;
+                    if tape == origin || tape < hot_prefix {
+                        continue;
+                    }
+                    ring.push(tape);
+                }
+            }
+            ring
+        }
+    }
 }
 
 /// Start slot of a contiguous region of `len` copies on a tape of `slots`
@@ -556,6 +798,155 @@ mod tests {
         for b in 0..c.hot_count() {
             assert_eq!(c.replicas(BlockId(b)).len(), 5);
         }
+    }
+
+    fn paper_topology(libraries: u16, tapes_each: u16) -> Topology {
+        Topology::uniform(
+            libraries,
+            1,
+            1,
+            tapes_each,
+            tapesim_model::RobotModel::exb210(),
+            tapesim_model::InterLibraryModel::DEFAULT,
+        )
+        .unwrap()
+    }
+
+    /// Compares two catalogs copy for copy.
+    fn same_catalog(a: &Catalog, b: &Catalog) -> bool {
+        a.num_blocks() == b.num_blocks()
+            && (0..a.num_blocks()).all(|i| a.replicas(BlockId(i)) == b.replicas(BlockId(i)))
+    }
+
+    #[test]
+    fn single_library_fleet_matches_classic_placement() {
+        let topo = paper_topology(1, 10);
+        for layout in [LayoutKind::Horizontal, LayoutKind::Vertical] {
+            for scope in [ReplicaScope::InLibrary, ReplicaScope::CrossLibrary] {
+                let cfg = PlacementConfig {
+                    layout,
+                    ph_percent: 10.0,
+                    replicas: 3,
+                    sp: 1.0,
+                };
+                let classic = build_placement(paper_geom(), B16, cfg).unwrap();
+                let fleet = build_fleet_placement(paper_geom(), B16, cfg, &topo, scope).unwrap();
+                assert!(
+                    same_catalog(&classic.catalog, &fleet.catalog),
+                    "{layout:?}/{scope:?} diverged from build_placement"
+                );
+                assert_eq!(classic.hot_tapes, fleet.hot_tapes);
+            }
+        }
+    }
+
+    #[test]
+    fn in_library_replicas_share_the_original_library() {
+        let topo = paper_topology(2, 5);
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            replicas: 2,
+            sp: 0.0,
+        };
+        let placed =
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::InLibrary).unwrap();
+        let c = &placed.catalog;
+        for b in 0..c.hot_count() {
+            let addrs = c.replicas(BlockId(b));
+            assert_eq!(addrs.len(), 3);
+            let libs: Vec<u16> = addrs.iter().map(|a| topo.library_of_tape(a.tape)).collect();
+            assert!(
+                libs.windows(2).all(|w| w[0] == w[1]),
+                "block {b} spread across libraries: {libs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_library_replicas_reach_other_libraries_first() {
+        let topo = paper_topology(2, 5);
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            replicas: 1,
+            sp: 0.0,
+        };
+        let placed =
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::CrossLibrary)
+                .unwrap();
+        let c = &placed.catalog;
+        for b in 0..c.hot_count() {
+            let addrs = c.replicas(BlockId(b));
+            assert_eq!(addrs.len(), 2);
+            let l0 = topo.library_of_tape(addrs[0].tape);
+            let l1 = topo.library_of_tape(addrs[1].tape);
+            assert_ne!(l0, l1, "block {b}'s only replica stayed in-library");
+        }
+    }
+
+    #[test]
+    fn cross_library_vertical_avoids_hot_prefix_tapes() {
+        let topo = paper_topology(2, 5);
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Vertical,
+            ph_percent: 10.0,
+            replicas: 3,
+            sp: 1.0,
+        };
+        let placed =
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::CrossLibrary)
+                .unwrap();
+        let c = &placed.catalog;
+        // Originals pack the global prefix; replicas never land there.
+        let hot_prefix = placed.hot_tapes.iter().map(|t| t.0).max().unwrap();
+        for b in 0..c.hot_count() {
+            let addrs = c.replicas(BlockId(b));
+            assert_eq!(addrs.len(), 4);
+            for a in addrs.iter().skip(1) {
+                assert!(a.tape.0 > hot_prefix, "replica on hot tape {}", a.tape);
+            }
+        }
+    }
+
+    #[test]
+    fn in_library_replication_bounded_by_smallest_library() {
+        let topo = paper_topology(2, 5);
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            replicas: 5,
+            sp: 0.0,
+        };
+        assert_eq!(
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::InLibrary)
+                .unwrap_err(),
+            PlacementError::TooManyReplicas {
+                requested: 5,
+                max: 4
+            }
+        );
+        // Cross-library scope can host the same NR.
+        assert!(
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::CrossLibrary)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn fleet_topology_must_match_geometry() {
+        let topo = paper_topology(2, 4); // 8 tapes != 10
+        assert!(matches!(
+            build_fleet_placement(
+                paper_geom(),
+                B16,
+                PlacementConfig::paper_baseline(),
+                &topo,
+                ReplicaScope::InLibrary
+            )
+            .unwrap_err(),
+            PlacementError::InvalidParameter("topology")
+        ));
     }
 
     #[test]

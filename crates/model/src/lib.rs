@@ -32,6 +32,7 @@ pub mod faults;
 pub mod serpentine;
 pub mod synth;
 pub mod time;
+pub mod topology;
 pub mod units;
 pub mod validate;
 
@@ -46,5 +47,6 @@ pub use serpentine::{
     logical_sweep_order, nearest_neighbor_order, SerpentineGeometry, SerpentineModel, SerpentinePos,
 };
 pub use time::{Micros, SimTime};
+pub use topology::{InterLibraryModel, LibraryTopo, Topology, TopologyError};
 pub use units::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId};
 pub use validate::{validate_model, ValidationConfig, ValidationReport, WalkError};

@@ -14,8 +14,54 @@
 use std::collections::VecDeque;
 
 use tapesim_layout::Catalog;
-use tapesim_model::{SimTime, SlotIndex, TapeId, TimingModel};
+use tapesim_model::{Micros, SimTime, SlotIndex, TapeId, TimingModel};
 use tapesim_workload::Request;
+
+/// Fleet-level state visible to the cost model: what this drive's
+/// library robot pool is doing and how far away each tape is homed.
+///
+/// The pre-fleet engine exposed neither quantity, so the legacy value
+/// [`FleetView::SINGLE`] (robot free now, no penalties) keeps every cost
+/// computed by a single-library/single-robot run bit-identical to the
+/// historical arithmetic — both extra terms are exactly zero micros.
+#[derive(Clone, Copy)]
+pub struct FleetView<'a> {
+    /// Earliest instant the robot pool serving this drive's library can
+    /// begin another exchange. `SimTime::ZERO` means "free now" and adds
+    /// nothing to any cost.
+    pub robot_free: SimTime,
+    /// Extra mount latency per tape id (pass-through transfer from the
+    /// tape's home library to this drive's library). An empty slice means
+    /// no tape carries a penalty.
+    pub mount_penalty: &'a [Micros],
+}
+
+impl FleetView<'static> {
+    /// The legacy single-library view: robot free, no penalties.
+    pub const SINGLE: FleetView<'static> = FleetView {
+        robot_free: SimTime::ZERO,
+        mount_penalty: &[],
+    };
+}
+
+impl FleetView<'_> {
+    /// How long a mount starting at `now` would wait for a robot arm.
+    #[inline]
+    pub fn robot_wait(&self, now: SimTime) -> Micros {
+        Micros::from_micros(self.robot_free.as_micros().saturating_sub(now.as_micros()))
+    }
+
+    /// Pass-through penalty for mounting `tape` on this drive (zero when
+    /// the tape is homed in this drive's library, and always zero for
+    /// the legacy view).
+    #[inline]
+    pub fn penalty(&self, tape: TapeId) -> Micros {
+        self.mount_penalty
+            .get(tape.index())
+            .copied()
+            .unwrap_or(Micros::ZERO)
+    }
+}
 
 /// A read-only snapshot of the jukebox state handed to schedulers.
 ///
@@ -43,6 +89,9 @@ pub struct JukeboxView<'a> {
     /// tapes may come back after repair, and a request whose only copies
     /// are offline should be left pending rather than scheduled.
     pub offline: &'a [TapeId],
+    /// Fleet-level robot/pass-through state. [`FleetView::SINGLE`] for
+    /// single-library runs (adds zero to every cost).
+    pub fleet: FleetView<'a>,
 }
 
 impl JukeboxView<'_> {

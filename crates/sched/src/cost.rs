@@ -145,15 +145,22 @@ pub fn counts_for_all_tapes(catalog: &Catalog, pending: &PendingList) -> Vec<usi
 }
 
 /// Cost to prepare `tape` for service: zero when it is already mounted,
-/// otherwise rewind (if a tape is mounted) + eject + exchange + load.
+/// otherwise rewind (if a tape is mounted) + eject + exchange + load,
+/// plus the fleet terms — the wait for this library's robot pool and the
+/// pass-through transfer if `tape` is homed in another library. Both
+/// fleet terms are exactly zero under [`crate::FleetView::SINGLE`], so
+/// single-library costs are unchanged from the pre-fleet model.
 pub fn mount_cost(view: &JukeboxView<'_>, tape: TapeId) -> Micros {
+    let fleet = view.fleet.robot_wait(view.now) + view.fleet.penalty(tape);
     match view.mounted {
         Some(m) if m == tape => Micros::ZERO,
-        Some(_) => view
-            .timing
-            .full_switch_from(view.head, view.catalog.block_size()),
+        Some(_) => {
+            view.timing
+                .full_switch_from(view.head, view.catalog.block_size())
+                + fleet
+        }
         // Empty drive: the robot fetches the tape and the drive loads it.
-        None => view.timing.robot.exchange() + view.timing.drive.load(),
+        None => view.timing.robot.exchange() + view.timing.drive.load() + fleet,
     }
 }
 
@@ -379,6 +386,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         // Already mounted: free.
         assert_eq!(
@@ -409,6 +417,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         let c0 = candidate_for_tape(&c, &p, TapeId(0)).unwrap();
         let c1 = candidate_for_tape(&c, &p, TapeId(1)).unwrap();

@@ -1224,6 +1224,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         }
     }
 

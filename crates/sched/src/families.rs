@@ -177,6 +177,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         }
     }
 

@@ -112,6 +112,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         let mut p: PendingList = vec![req(0, 1), req(1, 0)].into_iter().collect();
         let mut s = FifoScheduler::new();
@@ -134,6 +135,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         let mut p: PendingList = vec![req(0, 0)].into_iter().collect();
         let plan = FifoScheduler::new().major_reschedule(&v, &mut p).unwrap();
@@ -153,6 +155,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         let mut p: PendingList = vec![req(0, 0)].into_iter().collect();
         let plan = FifoScheduler::new().major_reschedule(&v, &mut p).unwrap();
@@ -171,6 +174,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         assert!(FifoScheduler::new()
             .major_reschedule(&v, &mut PendingList::new())

@@ -29,8 +29,8 @@ pub mod registry;
 pub mod select;
 
 pub use api::{
-    ArrivalOutcome, JukeboxView, PendingList, ScheduledRead, Scheduler, ServiceList, SweepPhase,
-    SweepPlan,
+    ArrivalOutcome, FleetView, JukeboxView, PendingList, ScheduledRead, Scheduler, ServiceList,
+    SweepPhase, SweepPlan,
 };
 pub use cost::{
     candidate_for_tape, candidates_for_all_tapes, effective_bandwidth, execution_cost,

@@ -209,6 +209,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         let pending = [req(0, 0)];
         // Envelope already covers t0 up to slot 11.
@@ -229,6 +230,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         let pending = [req(0, 0)];
         let env = vec![0, 0, 0];
@@ -251,6 +253,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         // Request 0 (block 1) pins tape 2's envelope implicitly? No —
         // env1 is given. Say tape 2 is already open to slot 401.
@@ -275,6 +278,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         let env1 = vec![0, 0, 0];
         // Block 0: t0@10 (mounted, no switch) vs t1@20 (switch) — t0 wins.
@@ -300,6 +304,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         };
         assert_eq!(theorem2_bound_secs(&view, 0, 0.0), 0.0);
         let b1 = theorem2_bound_secs(&view, 1, 100.0);

@@ -254,6 +254,7 @@ mod tests {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: crate::api::FleetView::SINGLE,
         }
     }
 
@@ -374,6 +375,7 @@ mod tests {
         let offline = [TapeId(3)];
         let v = JukeboxView {
             offline: &offline,
+            fleet: crate::api::FleetView::SINGLE,
             ..view(&c, &t, None)
         };
         for policy in TapeSelectPolicy::ALL {
@@ -392,6 +394,7 @@ mod tests {
         let offline = [TapeId(1)];
         let v = JukeboxView {
             offline: &offline,
+            fleet: crate::api::FleetView::SINGLE,
             ..view(&c, &t, None)
         };
         assert_eq!(
@@ -406,6 +409,7 @@ mod tests {
         let all_off = [TapeId(1), TapeId(2)];
         let v2 = JukeboxView {
             offline: &all_off,
+            fleet: crate::api::FleetView::SINGLE,
             ..view(&c, &t, None)
         };
         assert_eq!(TapeSelectPolicy::OldestMaxRequests.select(&v2, &p), None);

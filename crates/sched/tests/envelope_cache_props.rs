@@ -102,6 +102,7 @@ proptest! {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: tapesim_sched::FleetView::SINGLE,
         };
         let pending = one_request_per_block(&ids);
         let cached = compute_upper_envelope(&view, &pending);
@@ -127,6 +128,7 @@ proptest! {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: tapesim_sched::FleetView::SINGLE,
         };
         let pending = one_request_per_block(&ids);
         // Drive the cache exactly as the extension loop does: from the
@@ -215,6 +217,7 @@ proptest! {
                 now: SimTime::ZERO,
                 unavailable: &unavailable,
                 offline: &[],
+                fleet: tapesim_sched::FleetView::SINGLE,
             };
             // The same availability filter a major reschedule applies.
             let snapshot: Vec<Request> = live
@@ -274,6 +277,7 @@ fn index_pin_refcounts_survive_duplicate_requests() {
         now: SimTime::ZERO,
         unavailable: &[],
         offline: &[],
+        fleet: tapesim_sched::FleetView::SINGLE,
     };
     let req = |id: u64, blk: u32| Request {
         id: RequestId(id),
@@ -333,6 +337,7 @@ fn index_sync_treats_id_reuse_with_new_fields_as_remove_plus_add() {
         now: SimTime::ZERO,
         unavailable: &[],
         offline: &[],
+        fleet: tapesim_sched::FleetView::SINGLE,
     };
     let mut index = EnvelopeIndex::default();
     let first = vec![Request {
@@ -388,6 +393,7 @@ fn refresh_after_invalidate_reflects_new_assignments() {
         now: SimTime::ZERO,
         unavailable: &[],
         offline: &[],
+        fleet: tapesim_sched::FleetView::SINGLE,
     };
     let pending = one_request_per_block(&[BlockId(0), BlockId(1)]);
     let env = vec![0, 0, 0];

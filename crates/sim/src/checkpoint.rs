@@ -192,8 +192,14 @@ pub struct DriveCheckpoint {
 pub struct MultiCheckpoint {
     /// Arrival-queue tiebreak counter.
     pub seq: u64,
-    /// When the robot arm is next free, in microseconds.
+    /// When the robot arm is next free, in microseconds. For fleet
+    /// topologies this is robot 0's clock (kept for format stability).
     pub robot_free_us: u64,
+    /// Per-robot free instants for fleet topologies (all robots, in
+    /// global robot order). Empty for the legacy single-arm shape, whose
+    /// only arm is `robot_free_us` — keeping legacy checkpoint bytes
+    /// identical to the pre-fleet format.
+    pub robots_free_us: Vec<u64>,
     /// Queued arrivals: `(at_us, seq, request)`.
     pub queued: Vec<(u64, u64, Request)>,
 }
@@ -628,14 +634,21 @@ pub fn to_text(c: &Checkpoint) -> String {
                 r.arrival.as_micros()
             );
         }
-        w.line(
-            "multi",
-            &[
-                ("seq", mc.seq.to_string()),
-                ("robot_free_us", mc.robot_free_us.to_string()),
-                ("queued", js(&queued)),
-            ],
-        );
+        let mut fields = vec![
+            ("seq", mc.seq.to_string()),
+            ("robot_free_us", mc.robot_free_us.to_string()),
+        ];
+        let robots = mc
+            .robots_free_us
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(";");
+        if !mc.robots_free_us.is_empty() {
+            fields.push(("robots_free_us", js(&robots)));
+        }
+        fields.push(("queued", js(&queued)));
+        w.line("multi", &fields);
     }
     if let Some(wb) = &c.writeback {
         let mut fields = vec![
@@ -1085,9 +1098,18 @@ pub fn from_text(text: &str) -> Result<Checkpoint, SimError> {
                             ));
                         }
                     }
+                    let robots_free_us = match f.map.get("robots_free_us") {
+                        Some(raw) => raw
+                            .split(';')
+                            .filter(|t| !t.is_empty())
+                            .map(|t| parse_u64(t, "robots_free_us"))
+                            .collect::<Result<Vec<u64>, String>>()?,
+                        None => Vec::new(),
+                    };
                     c.multi = Some(MultiCheckpoint {
                         seq: f.u64("seq")?,
                         robot_free_us: f.u64("robot_free_us")?,
+                        robots_free_us,
                         queued,
                     });
                 }
@@ -1313,6 +1335,7 @@ mod tests {
             multi: Some(MultiCheckpoint {
                 seq: 55,
                 robot_free_us: 41_999_000,
+                robots_free_us: Vec::new(),
                 queued: vec![(
                     42_500_000,
                     54,
@@ -1331,9 +1354,25 @@ mod tests {
     fn round_trips_through_text() {
         let c = sample();
         let text = to_text(&c);
+        // Legacy (single-robot) checkpoints carry no fleet field, keeping
+        // the on-disk format identical to the pre-fleet schema.
+        assert!(!text.contains("robots_free_us"));
         let back = from_text(&text).expect("parse back");
         assert_eq!(back, c);
         // Serialization is deterministic.
+        assert_eq!(to_text(&back), text);
+    }
+
+    #[test]
+    fn round_trips_fleet_robot_clocks() {
+        let mut c = sample();
+        if let Some(mc) = &mut c.multi {
+            mc.robots_free_us = vec![41_999_000, 0, 12_345];
+        }
+        let text = to_text(&c);
+        assert!(text.contains("robots_free_us"));
+        let back = from_text(&text).expect("parse back");
+        assert_eq!(back, c);
         assert_eq!(to_text(&back), text);
     }
 

@@ -770,6 +770,7 @@ impl<'a> SteppedEngine<'a> {
             now: self.now,
             unavailable: &[],
             offline: &self.offline_buf,
+            fleet: tapesim_sched::FleetView::SINGLE,
         };
         let Some(plan) = self.scheduler.major_reschedule(&view, &mut self.pending) else {
             // Step 4: idle until the next arrival or fault event (a repair
@@ -1109,6 +1110,7 @@ impl<'a> SteppedEngine<'a> {
                             now: self.now,
                             unavailable: &[],
                             offline: &self.offline_buf,
+                            fleet: tapesim_sched::FleetView::SINGLE,
                         };
                         let req_id = req.id;
                         let outcome = self.scheduler.on_arrival(
@@ -1212,6 +1214,7 @@ impl<'a> SteppedEngine<'a> {
                     now: self.now,
                     unavailable: &[],
                     offline: &self.offline_buf,
+                    fleet: tapesim_sched::FleetView::SINGLE,
                 };
                 let req_id = req.id;
                 let outcome = self.scheduler.on_arrival(
@@ -1256,6 +1259,7 @@ impl<'a> SteppedEngine<'a> {
                 now: self.now,
                 unavailable: &[],
                 offline: &self.offline_buf,
+                fleet: tapesim_sched::FleetView::SINGLE,
             };
             let req_id = req.id;
             let outcome =
@@ -1366,6 +1370,7 @@ fn process_due_arrivals(
             now,
             unavailable: &[],
             offline,
+            fleet: tapesim_sched::FleetView::SINGLE,
         };
         let req_id = req.id;
         let outcome = scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, pending);

@@ -32,9 +32,9 @@ use std::collections::BTreeMap;
 use tapesim_layout::{BlockId, Catalog};
 use tapesim_model::{
     BlockSize, FaultConfig, FaultInjector, LocateDirection, Micros, PhysicalAddr, ReadContext,
-    SimTime, SlotIndex, TapeId, TimingModel,
+    SimTime, SlotIndex, TapeId, TimingModel, Topology,
 };
-use tapesim_sched::{JukeboxView, PendingList, Scheduler};
+use tapesim_sched::{FleetView, JukeboxView, PendingList, Scheduler};
 use tapesim_workload::{ArrivalProcess, Request, RequestFactory, RequestId};
 
 use crate::checkpoint::{
@@ -200,6 +200,64 @@ pub fn run_multi_drive_checkpointed(
     Ok(engine.finish())
 }
 
+/// Runs a fleet [`Topology`] to completion:
+/// [`SteppedMultiDrive::new_with_topology`] stepped to the horizon. With
+/// a legacy topology (one library, one robot arm) this produces exactly
+/// the report of [`run_multi_drive_with_faults`] at the topology's drive
+/// count — and a byte-identical trace.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    topology: Topology,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    faults: &FaultConfig,
+    fault_seed: u64,
+) -> Result<MetricsReport, SimError> {
+    run_fleet_traced(
+        catalog,
+        timing,
+        topology,
+        scheduler,
+        factory,
+        cfg,
+        faults,
+        fault_seed,
+        &mut NullSink,
+    )
+}
+
+/// [`run_fleet`] recording every event into `sink`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_traced(
+    catalog: &Catalog,
+    timing: &TimingModel,
+    topology: Topology,
+    scheduler: &mut dyn Scheduler,
+    factory: &mut RequestFactory,
+    cfg: &SimConfig,
+    faults: &FaultConfig,
+    fault_seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<MetricsReport, SimError> {
+    let mut engine = SteppedMultiDrive::new_with_topology(
+        catalog,
+        timing,
+        topology,
+        scheduler,
+        factory,
+        cfg,
+        faults,
+        fault_seed,
+        sink,
+        &CheckpointOpts::none(),
+    )?;
+    while engine.step()? == StepOutcome::Running {}
+    Ok(engine.finish())
+}
+
 /// [`run_multi_drive_with_faults`] with partitioned-horizon parallel
 /// stepping on `workers` threads (see
 /// [`SteppedMultiDrive::set_parallel`]). The worker count changes
@@ -288,7 +346,22 @@ pub struct SteppedMultiDrive<'a> {
     seq: u64,
     metrics: MetricsCollector,
     saturated: bool,
-    robot_free: SimTime,
+    /// The fleet shape; `Topology::single` (one library, one arm) unless
+    /// built through a `*_with_topology` entry point.
+    topology: Topology,
+    /// Cached `!topology.is_legacy()`: gates every fleet-only behavior
+    /// (robot queue visibility, pass-through penalties, fleet trace
+    /// events) so legacy runs stay byte-identical to the pre-fleet core.
+    fleet: bool,
+    /// Per-robot next-free instants, indexed by global robot index.
+    /// Legacy topologies have exactly one entry — the historical
+    /// `robot_free` clock.
+    robots_free: Vec<SimTime>,
+    /// Per-library, per-tape cross-library mount penalty table handed to
+    /// scheduler views; empty for legacy topologies.
+    penalties: Vec<Vec<Micros>>,
+    /// Owning library of each drive, precomputed.
+    drive_lib: Vec<u16>,
     faulted: BTreeMap<RequestId, TapeId>,
     states: Vec<DriveState>,
     now: SimTime,
@@ -336,7 +409,76 @@ impl<'a> SteppedMultiDrive<'a> {
         opts: &CheckpointOpts,
     ) -> Result<Self, SimError> {
         Self::build(
-            catalog, timing, scheduler, factory, cfg, drives, faults, fault_seed, sink, opts, false,
+            catalog, timing, scheduler, factory, cfg, drives, faults, fault_seed, sink, opts,
+            false, None,
+        )
+    }
+
+    /// Builds a stepped multi-drive engine over an explicit fleet
+    /// [`Topology`]: drives spread across one or more libraries, each
+    /// library's mounts serializing on its own robot-arm pool, and
+    /// cross-library mounts paying the pass-through transfer. The drive
+    /// count is the topology's total; the topology's shelf total must
+    /// match the catalog geometry. A legacy topology (one library, one
+    /// arm) behaves byte-identically to [`SteppedMultiDrive::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_topology(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        topology: Topology,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+        opts: &CheckpointOpts,
+    ) -> Result<Self, SimError> {
+        let drives = topology.total_drives();
+        Self::build(
+            catalog,
+            timing,
+            scheduler,
+            factory,
+            cfg,
+            drives,
+            faults,
+            fault_seed,
+            sink,
+            opts,
+            false,
+            Some(topology),
+        )
+    }
+
+    /// [`SteppedMultiDrive::new_with_topology`] in external-arrival mode
+    /// (see [`SteppedMultiDrive::new_external`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_external_with_topology(
+        catalog: &'a Catalog,
+        timing: &'a TimingModel,
+        topology: Topology,
+        scheduler: &'a mut dyn Scheduler,
+        factory: &'a mut RequestFactory,
+        cfg: &SimConfig,
+        faults: &FaultConfig,
+        fault_seed: u64,
+        sink: &'a mut dyn TraceSink,
+    ) -> Result<Self, SimError> {
+        let drives = topology.total_drives();
+        Self::build(
+            catalog,
+            timing,
+            scheduler,
+            factory,
+            cfg,
+            drives,
+            faults,
+            fault_seed,
+            sink,
+            &CheckpointOpts::none(),
+            true,
+            Some(topology),
         )
     }
 
@@ -369,6 +511,7 @@ impl<'a> SteppedMultiDrive<'a> {
             sink,
             &CheckpointOpts::none(),
             true,
+            None,
         )
     }
 
@@ -385,6 +528,7 @@ impl<'a> SteppedMultiDrive<'a> {
         sink: &'a mut dyn TraceSink,
         opts: &CheckpointOpts,
         external: bool,
+        topology: Option<Topology>,
     ) -> Result<Self, SimError> {
         if drives < 1 {
             return Err(SimError::InvalidConfig("need at least one drive"));
@@ -404,6 +548,28 @@ impl<'a> SteppedMultiDrive<'a> {
                 "checkpointing requires generated arrivals",
             ));
         }
+        let topology = match topology {
+            Some(t) => {
+                t.check_geometry(&catalog.geometry()).map_err(|_| {
+                    SimError::InvalidConfig("topology shelf total must match the geometry")
+                })?;
+                if t.total_drives() != drives {
+                    return Err(SimError::InvalidConfig(
+                        "topology drive total must match the drive count",
+                    ));
+                }
+                t
+            }
+            None => Topology::single(drives, catalog.geometry().tapes, timing.robot),
+        };
+        // The fleet tag is empty for legacy topologies, so historical
+        // fingerprints (and the golden checkpoint) are unchanged.
+        let topo_tag = topology.fingerprint_tag();
+        let extra = if external {
+            format!("external{topo_tag}")
+        } else {
+            topo_tag
+        };
         let fp = checkpoint::run_fingerprint(
             EngineKind::Multi,
             catalog,
@@ -414,7 +580,7 @@ impl<'a> SteppedMultiDrive<'a> {
             &format!("{faults:?}"),
             fault_seed,
             drives,
-            if external { "external" } else { "" },
+            &extra,
         );
         let resumed = match opts.resume() {
             Some(path) => {
@@ -452,6 +618,23 @@ impl<'a> SteppedMultiDrive<'a> {
             })
             .collect();
 
+        let fleet = !topology.is_legacy();
+        let robots_free = vec![SimTime::ZERO; usize::from(topology.total_robots())];
+        let penalties: Vec<Vec<Micros>> = if fleet {
+            (0..topology.library_count())
+                .map(|lib| {
+                    (0..catalog.geometry().tapes)
+                        .map(|t| {
+                            topology.transfer_penalty(lib, topology.library_of_tape(TapeId(t)))
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let drive_lib: Vec<u16> = (0..drives).map(|d| topology.library_of_drive(d)).collect();
+
         let mut engine = SteppedMultiDrive {
             catalog,
             timing,
@@ -474,7 +657,11 @@ impl<'a> SteppedMultiDrive<'a> {
             seq: 0,
             metrics: MetricsCollector::new(warmup_end),
             saturated: false,
-            robot_free: SimTime::ZERO,
+            topology,
+            fleet,
+            robots_free,
+            penalties,
+            drive_lib,
             faulted: BTreeMap::new(),
             states,
             now: SimTime::ZERO,
@@ -577,7 +764,18 @@ impl<'a> SteppedMultiDrive<'a> {
                 })
                 .collect();
             engine.seq = mc.seq;
-            engine.robot_free = SimTime::from_micros(mc.robot_free_us);
+            if engine.fleet {
+                if mc.robots_free_us.len() != engine.robots_free.len() {
+                    return Err(SimError::CheckpointCorrupt(
+                        "checkpoint robot count does not match the topology".into(),
+                    ));
+                }
+                for (slot, &us) in engine.robots_free.iter_mut().zip(mc.robots_free_us.iter()) {
+                    *slot = SimTime::from_micros(us);
+                }
+            } else if let Some(slot) = engine.robots_free.first_mut() {
+                *slot = SimTime::from_micros(mc.robot_free_us);
+            }
             for &(at, qseq, req) in mc.queued.iter() {
                 engine.queued.push(QueuedArrival {
                     at: SimTime::from_micros(at),
@@ -1035,6 +1233,33 @@ impl<'a> SteppedMultiDrive<'a> {
         Ok(true)
     }
 
+    /// The arm of library `lib` that frees earliest; ties break on the
+    /// lower global robot index. Arbitration therefore depends only on
+    /// the arm clocks — never on event-discovery order — which keeps the
+    /// parallel differential byte-identical. For legacy topologies this
+    /// is always robot 0.
+    fn pick_robot(&self, lib: u16) -> usize {
+        let base = usize::from(self.topology.robot_base(lib));
+        let count = self
+            .topology
+            .libraries()
+            .get(usize::from(lib))
+            .map_or(1, |l| usize::from(l.robots));
+        (base..base + count)
+            .min_by_key(|&r| (self.robots_free.get(r).copied().unwrap_or(SimTime::ZERO), r))
+            .unwrap_or(base)
+    }
+
+    /// One robot-exchange duration for library `lib`'s arms. Equals
+    /// `timing.robot.exchange()` for the default single topology.
+    fn lib_exchange(&self, lib: u16) -> Micros {
+        self.topology
+            .libraries()
+            .get(usize::from(lib))
+            .map_or(self.timing.robot, |l| l.robot)
+            .exchange()
+    }
+
     /// One full drive-dispatch event, translated statement for statement
     /// from the monolithic `'outer` loop this engine used to be.
     #[allow(clippy::too_many_lines)]
@@ -1074,7 +1299,12 @@ impl<'a> SteppedMultiDrive<'a> {
                         .collect(),
                     multi: Some(MultiCheckpoint {
                         seq: self.seq,
-                        robot_free_us: self.robot_free.as_micros(),
+                        robot_free_us: self.robots_free.first().map_or(0, |t| t.as_micros()),
+                        robots_free_us: if self.fleet {
+                            self.robots_free.iter().map(|t| t.as_micros()).collect()
+                        } else {
+                            Vec::new()
+                        },
                         queued: arrivals
                             .iter()
                             .map(|q| (q.at.as_micros(), q.seq, q.req))
@@ -1225,6 +1455,13 @@ impl<'a> SteppedMultiDrive<'a> {
             };
             tapes_held_except_into(&self.states, d, &mut self.unavailable_buf);
             let (mounted, head) = (self.states[d].mounted, self.states[d].head);
+            let fleet_view = fleet_view_for(
+                self.fleet,
+                &self.topology,
+                &self.robots_free,
+                &self.penalties,
+                self.drive_lib[d],
+            );
             if let Some(plan) = self.states[d].plan.as_mut() {
                 let view = JukeboxView {
                     catalog: self.catalog,
@@ -1234,6 +1471,7 @@ impl<'a> SteppedMultiDrive<'a> {
                     now: self.now,
                     unavailable: &self.unavailable_buf,
                     offline: &self.offline_buf,
+                    fleet: fleet_view,
                 };
                 let req_id = q.req.id;
                 let outcome = self.scheduler.on_arrival(
@@ -1502,6 +1740,13 @@ impl<'a> SteppedMultiDrive<'a> {
             now: self.now,
             unavailable: &self.unavailable_buf,
             offline: &self.offline_buf,
+            fleet: fleet_view_for(
+                self.fleet,
+                &self.topology,
+                &self.robots_free,
+                &self.penalties,
+                self.drive_lib[d],
+            ),
         };
         match self.scheduler.major_reschedule(&view, &mut self.pending) {
             Some(plan) => {
@@ -1542,8 +1787,72 @@ impl<'a> SteppedMultiDrive<'a> {
                         );
                         t = t + rewind + self.timing.drive.eject();
                     }
-                    self.robot_free = t.max(self.robot_free) + self.timing.robot.exchange();
-                    let mut ready = self.robot_free + self.timing.drive.load();
+                    // Destination arm: the earliest-free arm in this
+                    // drive's library (robot 0 for legacy topologies,
+                    // where the arithmetic below reduces statement for
+                    // statement to the historical single-clock form).
+                    let lib = self.drive_lib[d];
+                    let r_dst = self.pick_robot(lib);
+                    let exchange = self.lib_exchange(lib);
+                    let mut start = t.max(self.robots_free[r_dst]);
+                    let mut transfer = Micros::ZERO;
+                    let mut r_src = None;
+                    if self.fleet {
+                        let tape_lib = self.topology.library_of_tape(plan.tape);
+                        if tape_lib != lib {
+                            // Cross-library mount: the home library's arm
+                            // must export the tape into the pass-through
+                            // port before the destination arm can import
+                            // and exchange it.
+                            let src = self.pick_robot(tape_lib);
+                            start = start.max(self.robots_free[src]);
+                            transfer = self.topology.transfer_penalty(lib, tape_lib);
+                            r_src = Some(src);
+                        }
+                        let wait = start.duration_since(t);
+                        if wait > Micros::ZERO {
+                            trace_event!(
+                                self.tracer,
+                                start,
+                                d as u16,
+                                TraceEvent::RobotBusy {
+                                    robot: r_dst as u16,
+                                    dur: wait,
+                                }
+                            );
+                        }
+                    }
+                    if let Some(src) = r_src {
+                        // The source arm is busy for the export leg only;
+                        // the pass-through walk and import charge the
+                        // destination arm below.
+                        let export = Micros::from_secs_f64(self.topology.interlib.export_s);
+                        self.robots_free[src] = start + export;
+                        trace_event!(
+                            self.tracer,
+                            start + export,
+                            d as u16,
+                            TraceEvent::RobotExchange {
+                                robot: src as u16,
+                                tape: plan.tape,
+                                dur: export,
+                            }
+                        );
+                    }
+                    self.robots_free[r_dst] = start + transfer + exchange;
+                    if self.fleet {
+                        trace_event!(
+                            self.tracer,
+                            self.robots_free[r_dst],
+                            d as u16,
+                            TraceEvent::RobotExchange {
+                                robot: r_dst as u16,
+                                tape: plan.tape,
+                                dur: transfer + exchange,
+                            }
+                        );
+                    }
+                    let mut ready = self.robots_free[r_dst] + self.timing.drive.load();
                     let mut tape_failed_on_load = false;
                     if self.injector.is_active() {
                         let mut tries = 0u32;
@@ -1553,9 +1862,22 @@ impl<'a> SteppedMultiDrive<'a> {
                                 break;
                             }
                             tries += 1;
-                            self.robot_free =
-                                ready.max(self.robot_free) + self.timing.robot.exchange();
-                            ready = self.robot_free + self.timing.drive.load();
+                            // Retries stay on the same arm: the tape is
+                            // already at the destination library.
+                            self.robots_free[r_dst] = ready.max(self.robots_free[r_dst]) + exchange;
+                            if self.fleet {
+                                trace_event!(
+                                    self.tracer,
+                                    self.robots_free[r_dst],
+                                    d as u16,
+                                    TraceEvent::RobotExchange {
+                                        robot: r_dst as u16,
+                                        tape: plan.tape,
+                                        dur: exchange,
+                                    }
+                                );
+                            }
+                            ready = self.robots_free[r_dst] + self.timing.drive.load();
                         }
                     }
                     self.metrics
@@ -1696,6 +2018,40 @@ impl<'a> SteppedMultiDrive<'a> {
                 .set_fault_accounting(0, Vec::new(), Micros::ZERO, stranded);
         }
         self.metrics.report(window, self.saturated)
+    }
+}
+
+/// The scheduler's view of robot contention for drives in library `lib`:
+/// the earliest-free arm's clock plus the library's cross-library mount
+/// penalty row. Legacy topologies see [`FleetView::SINGLE`] — zero added
+/// cost everywhere, keeping scheduler decisions byte-identical to the
+/// pre-fleet core. Takes fields (not `&self`) so callers can hold
+/// disjoint mutable borrows of the engine.
+fn fleet_view_for<'v>(
+    fleet: bool,
+    topology: &Topology,
+    robots_free: &[SimTime],
+    penalties: &'v [Vec<Micros>],
+    lib: u16,
+) -> FleetView<'v> {
+    if !fleet {
+        return FleetView::SINGLE;
+    }
+    let base = usize::from(topology.robot_base(lib));
+    let count = topology
+        .libraries()
+        .get(usize::from(lib))
+        .map_or(1, |l| usize::from(l.robots));
+    let robot_free = robots_free
+        .iter()
+        .skip(base)
+        .take(count)
+        .copied()
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    FleetView {
+        robot_free,
+        mount_penalty: penalties.get(usize::from(lib)).map_or(&[], Vec::as_slice),
     }
 }
 

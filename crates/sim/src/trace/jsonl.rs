@@ -134,6 +134,15 @@ pub fn to_jsonl(rec: &TraceRecord) -> String {
             f("from_tape", from.0.to_string());
             f("to_tape", to.0.to_string());
         }
+        TraceEvent::RobotBusy { robot, dur } => {
+            f("robot", robot.to_string());
+            f("dur_us", dur.as_micros().to_string());
+        }
+        TraceEvent::RobotExchange { robot, tape, dur } => {
+            f("robot", robot.to_string());
+            f("tape", tape.0.to_string());
+            f("dur_us", dur.as_micros().to_string());
+        }
         TraceEvent::DeltaFlush {
             tape,
             blocks,
@@ -354,6 +363,15 @@ fn record_from_fields(m: &BTreeMap<String, String>) -> Result<TraceRecord, Strin
             req: req()?,
             from: tape("from_tape")?,
             to: tape("to_tape")?,
+        },
+        "robot_busy" => TraceEvent::RobotBusy {
+            robot: int("robot")? as u16,
+            dur: dur("dur_us")?,
+        },
+        "robot_exchange" => TraceEvent::RobotExchange {
+            robot: int("robot")? as u16,
+            tape: tape("tape")?,
+            dur: dur("dur_us")?,
         },
         "delta_flush" => TraceEvent::DeltaFlush {
             tape: tape("tape")?,

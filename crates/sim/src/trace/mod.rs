@@ -219,6 +219,27 @@ pub enum TraceEvent {
         /// The tape that served the request instead.
         to: TapeId,
     },
+    /// A mount waited for its library's robot arm to come free (fleet
+    /// topologies only; never emitted by the legacy single-robot shape).
+    /// `at` is the instant the wait ended.
+    RobotBusy {
+        /// Global robot index (see `Topology::robot_base`).
+        robot: u16,
+        /// How long the mount waited behind earlier exchanges.
+        dur: Micros,
+    },
+    /// A robot arm finished an exchange leg for `tape` (fleet topologies
+    /// only). `at` is the instant the arm came free again; `dur` covers
+    /// the whole leg (export, pass-through + exchange, or a retry
+    /// exchange).
+    RobotExchange {
+        /// Global robot index performing the leg.
+        robot: u16,
+        /// The tape being moved.
+        tape: TapeId,
+        /// Arm-busy duration of this leg.
+        dur: Micros,
+    },
     /// Buffered delta blocks were destaged to `tape` (write-back
     /// extension).
     DeltaFlush {
@@ -256,6 +277,8 @@ impl TraceEvent {
             TraceEvent::DriveRepair { .. } => "drive_repair",
             TraceEvent::RequestFailed { .. } => "request_failed",
             TraceEvent::Failover { .. } => "failover",
+            TraceEvent::RobotBusy { .. } => "robot_busy",
+            TraceEvent::RobotExchange { .. } => "robot_exchange",
             TraceEvent::DeltaFlush { .. } => "delta_flush",
         }
     }

@@ -786,6 +786,7 @@ impl<'a> SteppedWriteBack<'a> {
             now: self.now,
             unavailable: &[],
             offline: &[],
+            fleet: tapesim_sched::FleetView::SINGLE,
         };
         if let Some(plan) = self.scheduler.major_reschedule(&view, &mut self.pending) {
             self.run_sweep(plan)?;

@@ -1,0 +1,242 @@
+//! Fleet-topology properties.
+//!
+//! The multi-library engine generalizes the single-arm jukebox: mounts
+//! serialize on their library's robot arms, cross-library reads pay a
+//! pass-through penalty, and a legacy topology (one library, one arm)
+//! must be indistinguishable from the historical engine — byte-identical
+//! JSONL traces, exactly equal reports. These tests pin that contract
+//! plus the physical invariants of the arm model: an arm performs one
+//! exchange at a time, and every mount is fed by an exchange performed
+//! by an arm of the mounting drive's own library.
+
+use tapesim::layout::{
+    build_fleet_placement, build_placement, Catalog, LayoutKind, PlacementConfig, ReplicaScope,
+};
+use tapesim::model::{
+    BlockSize, FaultConfig, InterLibraryModel, JukeboxGeometry, RobotModel, TimingModel, Topology,
+};
+use tapesim::sched::{make_scheduler, AlgorithmId};
+use tapesim::sim::{
+    run_fleet_traced, run_multi_drive_traced, JsonlSink, MemorySink, MetricsReport, SimConfig,
+    TraceEvent, TraceRecord,
+};
+use tapesim::workload::{ArrivalProcess, BlockSampler, RequestFactory};
+
+const SEED: u64 = 0x1CDE_1999;
+
+fn factory_for(catalog: &Catalog, queue_length: u32) -> RequestFactory {
+    RequestFactory::new(
+        BlockSampler::from_catalog(catalog, 40.0),
+        ArrivalProcess::Closed { queue_length },
+        SEED,
+    )
+}
+
+/// A two-cabinet fleet (2 libraries × 2 drives × 1 arm) with replicas
+/// spread across libraries, so cross-library mounts actually happen.
+fn two_library_fixture() -> (tapesim::layout::PlacedCatalog, Topology) {
+    let topology = Topology::uniform(
+        2,
+        2,
+        1,
+        10,
+        RobotModel::exb210(),
+        InterLibraryModel::DEFAULT,
+    )
+    .unwrap();
+    let placed = build_fleet_placement(
+        JukeboxGeometry::new(20, 7 * 1024),
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            replicas: 1,
+            sp: 0.0,
+        },
+        &topology,
+        ReplicaScope::CrossLibrary,
+    )
+    .unwrap();
+    (placed, topology)
+}
+
+fn run_fleet_mem(
+    catalog: &Catalog,
+    topology: Topology,
+    queue_length: u32,
+) -> (MetricsReport, Vec<TraceRecord>) {
+    let timing = TimingModel::paper_default();
+    let mut factory = factory_for(catalog, queue_length);
+    let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+    let mut sink = MemorySink::new();
+    let report = run_fleet_traced(
+        catalog,
+        &timing,
+        topology,
+        sched.as_mut(),
+        &mut factory,
+        &SimConfig::quick(),
+        &FaultConfig::NONE,
+        0,
+        &mut sink,
+    )
+    .unwrap();
+    (report, sink.into_events())
+}
+
+/// A 1-library/1-arm topology is the legacy engine: same report, and a
+/// byte-identical JSONL trace with no robot events in it.
+#[test]
+fn single_library_fleet_is_byte_identical_to_legacy_engine() {
+    let placed = build_placement(
+        JukeboxGeometry::PAPER_DEFAULT,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig {
+            replicas: 1,
+            ..PlacementConfig::paper_baseline()
+        },
+    )
+    .unwrap();
+    let timing = TimingModel::paper_default();
+    let drives = 4u16;
+
+    let (legacy_report, legacy_trace) = {
+        let mut factory = factory_for(&placed.catalog, 40);
+        let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+        let mut sink = JsonlSink::new(Vec::new());
+        let report = run_multi_drive_traced(
+            &placed.catalog,
+            &timing,
+            sched.as_mut(),
+            &mut factory,
+            &SimConfig::quick(),
+            drives,
+            &FaultConfig::NONE,
+            0,
+            &mut sink,
+        )
+        .unwrap();
+        (report, sink.finish().unwrap())
+    };
+
+    let (fleet_report, fleet_trace) = {
+        let topology = Topology::single(drives, placed.catalog.geometry().tapes, timing.robot);
+        assert!(topology.is_legacy());
+        let mut factory = factory_for(&placed.catalog, 40);
+        let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+        let mut sink = JsonlSink::new(Vec::new());
+        let report = run_fleet_traced(
+            &placed.catalog,
+            &timing,
+            topology,
+            sched.as_mut(),
+            &mut factory,
+            &SimConfig::quick(),
+            &FaultConfig::NONE,
+            0,
+            &mut sink,
+        )
+        .unwrap();
+        (report, sink.finish().unwrap())
+    };
+
+    assert!(legacy_report.completed > 0, "legacy run did no work");
+    assert_eq!(
+        fleet_report, legacy_report,
+        "legacy-topology reports diverge"
+    );
+    assert_eq!(fleet_trace, legacy_trace, "legacy-topology traces diverge");
+    let text = String::from_utf8(fleet_trace).unwrap();
+    assert!(
+        !text.contains("robot_busy") && !text.contains("robot_exchange"),
+        "legacy topology must not emit robot events"
+    );
+}
+
+/// One exchange at a time per arm: every `RobotExchange` occupies its
+/// arm for `[at - dur, at]`, and those intervals never overlap for the
+/// same global robot index. Checked on a two-library fleet and on a
+/// single library with two arms (where `pick_robot` alternates arms).
+#[test]
+fn robot_exchanges_never_overlap_per_arm() {
+    let (placed, topology) = two_library_fixture();
+    check_exchange_serialization(&placed.catalog, topology);
+
+    let two_arms =
+        Topology::uniform(1, 4, 2, 10, RobotModel::exb210(), InterLibraryModel::NONE).unwrap();
+    let placed = build_placement(
+        JukeboxGeometry::PAPER_DEFAULT,
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig::paper_baseline(),
+    )
+    .unwrap();
+    check_exchange_serialization(&placed.catalog, two_arms);
+}
+
+fn check_exchange_serialization(catalog: &Catalog, topology: Topology) {
+    let robots = usize::from(topology.total_robots());
+    let (report, trace) = run_fleet_mem(catalog, topology, 120);
+    assert!(report.completed > 0, "fleet run did no work");
+
+    // Arm-busy intervals in microseconds: `at` is the instant the leg
+    // ended, so the arm was held for [at - dur, at].
+    let mut busy: Vec<Vec<(u64, u64)>> = vec![Vec::new(); robots];
+    for rec in &trace {
+        if let TraceEvent::RobotExchange { robot, dur, .. } = rec.event {
+            assert!(
+                usize::from(robot) < robots,
+                "robot index {robot} out of range"
+            );
+            let end = rec.at.as_micros();
+            busy[usize::from(robot)].push((end - dur.as_micros(), end));
+        }
+    }
+    assert!(
+        busy.iter().any(|b| !b.is_empty()),
+        "fleet run emitted no robot exchanges"
+    );
+    for (robot, mut intervals) in busy.into_iter().enumerate() {
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1,
+                "robot {robot}: exchange [{}, {}] overlaps [{}, {}]",
+                w[1].0,
+                w[1].1,
+                w[0].0,
+                w[0].1
+            );
+        }
+    }
+}
+
+/// Mounts are conserved through the arms: every `Mount` on drive `d` is
+/// fed by an earlier-or-simultaneous `RobotExchange` of the same tape by
+/// an arm of `d`'s library — a tape cannot appear in a drive without its
+/// library's robot having handled it.
+#[test]
+fn every_fleet_mount_is_fed_by_its_librarys_arm() {
+    let (placed, topology) = two_library_fixture();
+    let (report, trace) = run_fleet_mem(&placed.catalog, topology.clone(), 120);
+    assert!(report.tape_switches > 0, "run never switched tapes");
+
+    let mut mounts = 0u64;
+    for rec in &trace {
+        if let TraceEvent::Mount { tape, .. } = rec.event {
+            mounts += 1;
+            let lib = topology.library_of_drive(rec.drive);
+            let fed = trace.iter().any(|x| match x.event {
+                TraceEvent::RobotExchange { robot, tape: t, .. } => {
+                    t == tape && x.at <= rec.at && topology.library_of_robot(robot) == lib
+                }
+                _ => false,
+            });
+            assert!(
+                fed,
+                "mount of tape {tape:?} on drive {} (library {lib}) has no feeding exchange",
+                rec.drive
+            );
+        }
+    }
+    assert!(mounts > 0, "fleet run never mounted a tape");
+}

@@ -115,6 +115,7 @@ proptest! {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: tapesim::sched::FleetView::SINGLE,
         };
         let upper = compute_upper_envelope(&view, &pending);
         prop_assert_eq!(upper.assigned.len(), pending.len());
@@ -169,6 +170,7 @@ proptest! {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: tapesim::sched::FleetView::SINGLE,
         };
         let mut sched = make_scheduler(alg);
         let plan = sched.major_reschedule(&view, &mut pending).expect("non-empty pending");
@@ -497,6 +499,7 @@ mod fault_properties {
                 now: SimTime::ZERO,
                 unavailable: &[],
                 offline: &offline,
+                fleet: tapesim::sched::FleetView::SINGLE,
             };
             let mut sched = make_scheduler(AlgorithmId::all()[alg_idx]);
             if let Some(plan) = sched.major_reschedule(&view, &mut pending) {

@@ -11,8 +11,13 @@
 //! microsecond, a metric counted on the wrong side of a step) shows up
 //! as a byte diff here.
 
-use tapesim::layout::{build_placement, BlockId, PlacementConfig};
-use tapesim::model::{BlockSize, FaultConfig, JukeboxGeometry, Micros, SimTime, TimingModel};
+use tapesim::layout::{
+    build_fleet_placement, build_placement, BlockId, LayoutKind, PlacementConfig, ReplicaScope,
+};
+use tapesim::model::{
+    BlockSize, FaultConfig, InterLibraryModel, JukeboxGeometry, Micros, RobotModel, SimTime,
+    TimingModel, Topology,
+};
 use tapesim::sched::{make_scheduler, AlgorithmId, EnvelopePolicy, TapeSelectPolicy};
 use tapesim::sim::{
     run_multi_drive_parallel_traced, run_multi_drive_traced, run_simulation_traced,
@@ -466,6 +471,80 @@ fn worker_count_is_invisible_for_generated_workloads() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Fleet topologies through the parallel stepper: robot arbitration is
+/// keyed on arm clocks, never on event-discovery order, so the worker
+/// count must stay invisible — byte-identical traces and exactly equal
+/// reports for a two-library fleet with cross-library replicas, with and
+/// without faults.
+#[test]
+fn worker_count_is_invisible_for_fleet_topologies() {
+    let topology = Topology::uniform(
+        2,
+        2,
+        1,
+        10,
+        RobotModel::exb210(),
+        InterLibraryModel::DEFAULT,
+    )
+    .unwrap();
+    let placed = build_fleet_placement(
+        JukeboxGeometry::new(20, 7 * 1024),
+        BlockSize::PAPER_DEFAULT,
+        PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            replicas: 1,
+            sp: 0.0,
+        },
+        &topology,
+        ReplicaScope::CrossLibrary,
+    )
+    .unwrap();
+    let timing = TimingModel::paper_default();
+    let cfg = SimConfig::quick();
+    let process = ArrivalProcess::Closed { queue_length: 40 };
+    let run = |workers: usize, faults: &FaultConfig| -> (MetricsReport, Vec<u8>) {
+        let mut factory = factory_for(&placed.catalog, process);
+        let mut sched = make_scheduler(AlgorithmId::paper_recommended());
+        let mut sink = JsonlSink::new(Vec::new());
+        let report = {
+            let mut engine = SteppedMultiDrive::new_with_topology(
+                &placed.catalog,
+                &timing,
+                topology.clone(),
+                sched.as_mut(),
+                &mut factory,
+                &cfg,
+                faults,
+                FAULT_SEED,
+                &mut sink,
+                &CheckpointOpts::none(),
+            )
+            .unwrap();
+            engine.set_parallel(workers);
+            while engine.step().unwrap() == StepOutcome::Running {}
+            engine.finish()
+        };
+        (report, sink.finish().unwrap())
+    };
+    for faults in [FaultConfig::NONE, light_faults()] {
+        let tag = if faults.is_inert() { "none" } else { "light" };
+        let (ref_report, ref_trace) = run(1, &faults);
+        assert!(ref_report.completed > 0, "faults={tag}: fleet did no work");
+        for workers in worker_counts() {
+            let (report, trace) = run(workers, &faults);
+            assert_eq!(
+                report, ref_report,
+                "faults={tag}: fleet report diverges at {workers} workers"
+            );
+            assert_eq!(
+                trace, ref_trace,
+                "faults={tag}: fleet trace diverges at {workers} workers"
+            );
         }
     }
 }

@@ -71,6 +71,7 @@ proptest! {
             now: SimTime::ZERO,
             unavailable: &[],
             offline: &[],
+            fleet: tapesim::sched::FleetView::SINGLE,
         };
         // One request per block.
         let pending: Vec<Request> = ids
@@ -141,6 +142,7 @@ fn bound_is_tight_for_single_request() {
         now: SimTime::ZERO,
         unavailable: &[],
         offline: &[],
+        fleet: tapesim::sched::FleetView::SINGLE,
     };
     let pending: Vec<Request> = (0..2)
         .map(|i| Request {
