@@ -36,7 +36,9 @@
 
 use std::path::{Path, PathBuf};
 
-use tapesim::layout::{build_placement, BlockId, Catalog, LayoutKind, PlacementConfig};
+use tapesim::layout::{
+    build_placement, BlockId, Catalog, LayoutKind, PlacementConfig, PlacementScheme,
+};
 use tapesim::model::{BlockSize, FaultConfig, JukeboxGeometry, Micros, SimTime, TimingModel};
 use tapesim::sched::{make_scheduler, AlgorithmId, EnvelopePolicy, TapeSelectPolicy};
 use tapesim::sim::checkpoint::{self, CheckpointOpts};
@@ -173,7 +175,7 @@ fn service_catalog() -> Result<Catalog, String> {
         PlacementConfig {
             layout: LayoutKind::Vertical,
             ph_percent: 10.0,
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             sp: 1.0,
         },
     )

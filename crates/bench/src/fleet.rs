@@ -116,7 +116,7 @@ fn run_point(case: FleetCase, nr: u32, scope: ReplicaScope, scale: Scale) -> Met
     let cfg = PlacementConfig {
         layout: LayoutKind::Horizontal,
         ph_percent: 10.0,
-        replicas: nr,
+        scheme: PlacementScheme::Replication { nr },
         sp: 0.0,
     };
     let placed = build_fleet_placement(geometry, BlockSize::PAPER_DEFAULT, cfg, &topology, scope)

@@ -24,6 +24,7 @@
 pub mod chaos;
 pub mod fleet;
 pub mod perf;
+pub mod redundancy;
 
 use std::collections::BTreeMap;
 use std::fs;

@@ -2,7 +2,9 @@
 //! six-dimensional parameter space (arrival process, skew, transfer size,
 //! algorithm, placement, replication) plus simulation scale.
 
-use tapesim_layout::{build_placement, LayoutKind, PlacedCatalog, PlacementConfig, PlacementError};
+use tapesim_layout::{
+    build_placement, LayoutKind, PlacedCatalog, PlacementConfig, PlacementError, PlacementScheme,
+};
 use tapesim_model::{BlockSize, FaultConfig, JukeboxGeometry, Micros, TimingModel};
 use tapesim_sched::AlgorithmId;
 use tapesim_sim::{default_seeds, run_seeds, MetricsReport, RunSpec, SimConfig, SimError};
@@ -171,7 +173,7 @@ impl ExperimentConfig {
             PlacementConfig {
                 layout: self.layout,
                 ph_percent: self.ph_percent,
-                replicas: self.replicas,
+                scheme: PlacementScheme::Replication { nr: self.replicas },
                 sp: self.sp,
             },
         )

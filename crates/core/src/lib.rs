@@ -67,8 +67,9 @@ pub mod prelude {
     pub use crate::figures::*;
     pub use tapesim_analysis::{ascii_plot, fnum, Series, Table};
     pub use tapesim_layout::{
-        build_fleet_placement, build_placement, build_spare_layout, expansion_factor, BlockId,
-        Catalog, LayoutKind, PlacementConfig, ReplicaScope, SpareConfig, SpareUse,
+        build_fleet_placement, build_placement, build_spare_layout, expansion_factor,
+        scheme_expansion_factor, BlockId, Catalog, LayoutKind, PlacementConfig, PlacementScheme,
+        ReplicaScope, SpareConfig, SpareUse, StripeInfo,
     };
     pub use tapesim_model::FaultConfig;
     pub use tapesim_model::{

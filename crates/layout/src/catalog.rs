@@ -68,6 +68,69 @@ impl std::fmt::Display for CatalogError {
 
 impl std::error::Error for CatalogError {}
 
+/// Erasure-stripe annotation for a catalog whose "blocks" are shard
+/// cells (see `PlacementScheme::Erasure`). Logical block `b` is stored
+/// as [`StripeInfo::cells_of`]`(b)` consecutive cell ids: hot blocks own
+/// `k + m` cells (one per stripe tape, any `k` reconstruct the block),
+/// cold blocks own `k` data cells laid out contiguously on one tape.
+/// `None` on a catalog means cells are whole logical blocks (the
+/// replication and no-redundancy schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeInfo {
+    /// Data shards per block; any `k` surviving shards of a hot block
+    /// reconstruct it.
+    pub k: u8,
+    /// Parity shards per hot block (cold blocks store none).
+    pub m: u8,
+    /// Logical blocks behind the shard cells.
+    pub logical_blocks: u32,
+    /// Logical hot blocks; logical ids `0..logical_hot` are hot.
+    pub logical_hot: u32,
+}
+
+impl StripeInfo {
+    /// Shard cells stored per hot block (`k + m`).
+    #[inline]
+    pub fn shards_per_hot(&self) -> u32 {
+        u32::from(self.k) + u32::from(self.m)
+    }
+
+    /// Data shards per block (`k`).
+    #[inline]
+    pub fn data_shards(&self) -> u32 {
+        u32::from(self.k)
+    }
+
+    /// The shard cells of logical block `b` as `(first_cell, count)`:
+    /// `k + m` cells for hot blocks, `k` for cold.
+    pub fn cells_of(&self, logical: u32) -> (u32, u32) {
+        let km = self.shards_per_hot();
+        let k = self.data_shards();
+        if logical < self.logical_hot {
+            (logical * km, km)
+        } else {
+            (self.logical_hot * km + (logical - self.logical_hot) * k, k)
+        }
+    }
+
+    /// The logical block a shard cell belongs to.
+    pub fn logical_of(&self, cell: u32) -> u32 {
+        let km = self.shards_per_hot();
+        let hot_cells = self.logical_hot * km;
+        if cell < hot_cells {
+            cell / km
+        } else {
+            self.logical_hot + (cell - hot_cells) / self.data_shards()
+        }
+    }
+
+    /// Total shard cells the catalog stores.
+    pub fn total_cells(&self) -> u32 {
+        self.logical_hot * self.shards_per_hot()
+            + (self.logical_blocks - self.logical_hot) * self.data_shards()
+    }
+}
+
 /// Immutable catalog of block placements for one jukebox.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Catalog {
@@ -79,6 +142,8 @@ pub struct Catalog {
     replicas: Vec<Vec<PhysicalAddr>>,
     /// `slot_map[tape][slot]` = block stored there, if any.
     slot_map: Vec<Vec<Option<BlockId>>>,
+    /// Present iff the catalog's blocks are erasure shard cells.
+    stripe: Option<StripeInfo>,
 }
 
 impl Catalog {
@@ -100,6 +165,7 @@ impl Catalog {
                 vec![None; geometry.slots_per_tape(block_size) as usize];
                 geometry.tapes as usize
             ],
+            stripe: None,
         }
     }
 
@@ -208,6 +274,52 @@ impl Catalog {
     pub fn measured_expansion(&self) -> f64 {
         self.total_copies() as f64 / self.num_blocks() as f64
     }
+
+    /// The erasure-stripe annotation, when this catalog's blocks are
+    /// shard cells rather than whole logical blocks.
+    #[inline]
+    pub fn stripe(&self) -> Option<&StripeInfo> {
+        self.stripe.as_ref()
+    }
+
+    /// Logical blocks behind the catalog: equals [`Catalog::num_blocks`]
+    /// for whole-block catalogs, and the striped logical count for
+    /// erasure catalogs. Workload samplers draw from this range.
+    pub fn logical_num_blocks(&self) -> u32 {
+        self.stripe
+            .as_ref()
+            .map_or_else(|| self.num_blocks(), |s| s.logical_blocks)
+    }
+
+    /// Logical hot blocks (logical ids `0..hot` are hot). Equals
+    /// [`Catalog::hot_count`] for whole-block catalogs.
+    pub fn logical_hot_count(&self) -> u32 {
+        self.stripe
+            .as_ref()
+            .map_or_else(|| self.hot_count(), |s| s.logical_hot)
+    }
+
+    /// The logical block size: [`Catalog::block_size`] for whole-block
+    /// catalogs, `k` shard cells for erasure catalogs.
+    pub fn logical_block_size(&self) -> BlockSize {
+        self.stripe.as_ref().map_or(self.block_size, |s| {
+            BlockSize::from_mb(self.block_size.mb() * s.data_shards())
+        })
+    }
+
+    /// Measured expansion in logical units: stored cells over
+    /// `logical_blocks * k` for erasure catalogs (the denominator is the
+    /// cell count the logical data would occupy without parity), and
+    /// exactly [`Catalog::measured_expansion`] otherwise.
+    pub fn measured_logical_expansion(&self) -> f64 {
+        match &self.stripe {
+            None => self.measured_expansion(),
+            Some(s) => {
+                self.total_copies() as f64
+                    / (f64::from(s.logical_blocks) * f64::from(s.data_shards()))
+            }
+        }
+    }
 }
 
 /// Incremental catalog builder that validates every placement.
@@ -218,9 +330,18 @@ pub struct CatalogBuilder {
     hot_count: u32,
     replicas: Vec<Vec<PhysicalAddr>>,
     slot_map: Vec<Vec<Option<BlockId>>>,
+    stripe: Option<StripeInfo>,
 }
 
 impl CatalogBuilder {
+    /// Marks the catalog as an erasure-shard catalog: its block count and
+    /// hot count must equal the cell totals `info` implies.
+    pub fn set_stripe(&mut self, info: StripeInfo) {
+        debug_assert_eq!(self.replicas.len() as u32, info.total_cells());
+        debug_assert_eq!(self.hot_count, info.logical_hot * info.shards_per_hot());
+        self.stripe = Some(info);
+    }
+
     /// Places a copy of `block` at `addr`.
     pub fn place(&mut self, block: BlockId, addr: PhysicalAddr) -> Result<(), CatalogError> {
         if block.index() >= self.replicas.len() {
@@ -272,6 +393,7 @@ impl CatalogBuilder {
             hot_count: self.hot_count,
             replicas: self.replicas,
             slot_map: self.slot_map,
+            stripe: self.stripe,
         })
     }
 }
@@ -409,6 +531,61 @@ mod tests {
         assert_eq!(survivors, vec![addr(2, 0)]);
         let none: Vec<_> = c.replicas_of(BlockId(0), &[TapeId(0), TapeId(2)]).collect();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn stripe_cell_mapping_roundtrips() {
+        let s = StripeInfo {
+            k: 2,
+            m: 1,
+            logical_blocks: 5,
+            logical_hot: 2,
+        };
+        // Hot blocks own 3 cells each, cold blocks 2.
+        assert_eq!(s.cells_of(0), (0, 3));
+        assert_eq!(s.cells_of(1), (3, 3));
+        assert_eq!(s.cells_of(2), (6, 2));
+        assert_eq!(s.cells_of(4), (10, 2));
+        assert_eq!(s.total_cells(), 12);
+        for logical in 0..s.logical_blocks {
+            let (base, len) = s.cells_of(logical);
+            for cell in base..base + len {
+                assert_eq!(s.logical_of(cell), logical, "cell {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_catalog_reports_logical_shape() {
+        // 3 tapes x 64 shard slots; 1 hot logical block as 2+1 shards on
+        // distinct tapes, 1 cold logical block as 2 contiguous cells.
+        let mut b = Catalog::builder(JukeboxGeometry::new(3, 1024), BlockSize::from_mb(16), 5, 3);
+        b.set_stripe(StripeInfo {
+            k: 2,
+            m: 1,
+            logical_blocks: 2,
+            logical_hot: 1,
+        });
+        b.place(BlockId(0), addr(0, 0)).unwrap();
+        b.place(BlockId(1), addr(1, 0)).unwrap();
+        b.place(BlockId(2), addr(2, 0)).unwrap();
+        b.place(BlockId(3), addr(0, 1)).unwrap();
+        b.place(BlockId(4), addr(0, 2)).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.num_blocks(), 5);
+        assert_eq!(c.hot_count(), 3);
+        assert_eq!(c.logical_num_blocks(), 2);
+        assert_eq!(c.logical_hot_count(), 1);
+        assert_eq!(c.logical_block_size().mb(), 32);
+        // 5 cells stored for 2 logical blocks of 2 cells each.
+        assert!((c.measured_logical_expansion() - 1.25).abs() < 1e-12);
+        // Unstriped catalogs: logical == physical.
+        let mut plain = small_builder(1, 0);
+        plain.place(BlockId(0), addr(0, 0)).unwrap();
+        let plain = plain.build().unwrap();
+        assert_eq!(plain.logical_num_blocks(), plain.num_blocks());
+        assert_eq!(plain.logical_block_size(), plain.block_size());
+        assert!(plain.stripe().is_none());
     }
 
     #[test]

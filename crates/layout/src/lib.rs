@@ -29,10 +29,12 @@ pub mod placement;
 pub mod spare;
 
 pub use block::{BlockId, Heat};
-pub use catalog::{Catalog, CatalogBuilder, CatalogError};
-pub use expansion::{expansion_factor, expansion_table, scaled_queue_length, ExpansionRow};
+pub use catalog::{Catalog, CatalogBuilder, CatalogError, StripeInfo};
+pub use expansion::{
+    expansion_factor, expansion_table, scaled_queue_length, scheme_expansion_factor, ExpansionRow,
+};
 pub use placement::{
     build_fleet_placement, build_placement, LayoutKind, PlacedCatalog, PlacementConfig,
-    PlacementError, ReplicaScope,
+    PlacementError, PlacementScheme, ReplicaScope,
 };
 pub use spare::{build_spare_layout, SpareConfig, SpareUse};

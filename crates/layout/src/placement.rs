@@ -18,8 +18,8 @@
 use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId, Topology};
 
 use crate::block::BlockId;
-use crate::catalog::{Catalog, CatalogError};
-use crate::expansion::expansion_factor;
+use crate::catalog::{Catalog, CatalogError, StripeInfo};
+use crate::expansion::scheme_expansion_factor;
 
 /// Which layout to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,16 +31,59 @@ pub enum LayoutKind {
     Vertical,
 }
 
+/// How redundant copies of hot data are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementScheme {
+    /// `NR` whole-block replicas of every hot block — the paper's scheme
+    /// (`E = 1 + NR * PH / 100`).
+    Replication {
+        /// Number of replicas of each hot block (`NR`).
+        nr: u32,
+    },
+    /// `k + m` erasure-coded shards of every hot block, one shard per
+    /// tape on `k + m` distinct tapes; any `k` surviving shards
+    /// reconstruct the block (`E = 1 + (PH / 100) * m / k`). Cold blocks
+    /// store their `k` data shards contiguously on a single tape (no
+    /// parity), so a cold read streams exactly like a whole-block read.
+    Erasure {
+        /// Data shards per block; must divide the logical block size in
+        /// MB.
+        k: u8,
+        /// Parity shards per hot block.
+        m: u8,
+    },
+}
+
+impl PlacementScheme {
+    /// No redundancy: zero replicas.
+    pub const NONE: PlacementScheme = PlacementScheme::Replication { nr: 0 };
+
+    /// Physical copies (replication) or shard cells (erasure) stored per
+    /// hot block — also the distinct tapes a hot block occupies.
+    pub fn copies_per_hot(&self) -> u32 {
+        match *self {
+            PlacementScheme::Replication { nr } => nr + 1,
+            PlacementScheme::Erasure { k, m } => u32::from(k) + u32::from(m),
+        }
+    }
+
+    /// True for erasure-coded striping.
+    pub fn is_erasure(&self) -> bool {
+        matches!(self, PlacementScheme::Erasure { .. })
+    }
+}
+
 /// Parameters of a placement, mirroring the paper's experiment notation:
-/// `PH` (percent hot), `NR` (number of replicas), `SP` (start position).
+/// `PH` (percent hot), the redundancy scheme (`NR` replication or `k+m`
+/// erasure striping), `SP` (start position).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlacementConfig {
     /// Layout of hot originals.
     pub layout: LayoutKind,
     /// Percent of logical blocks that are hot (`PH`), in `[0, 100]`.
     pub ph_percent: f64,
-    /// Number of replicas of each hot block (`NR`).
-    pub replicas: u32,
+    /// How hot blocks are made redundant.
+    pub scheme: PlacementScheme,
     /// Normalized start position of the hot/replica region within each
     /// tape (`SP`), in `[0, 1]`.
     pub sp: f64,
@@ -52,7 +95,7 @@ impl PlacementConfig {
         PlacementConfig {
             layout: LayoutKind::Horizontal,
             ph_percent: 10.0,
-            replicas: 0,
+            scheme: PlacementScheme::NONE,
             sp: 0.0,
         }
     }
@@ -63,7 +106,9 @@ impl PlacementConfig {
         PlacementConfig {
             layout: LayoutKind::Vertical,
             ph_percent: 10.0,
-            replicas: geometry.tapes as u32 - 1,
+            scheme: PlacementScheme::Replication {
+                nr: geometry.tapes as u32 - 1,
+            },
             sp: 1.0,
         }
     }
@@ -95,6 +140,13 @@ pub enum PlacementError {
         /// Maximum feasible for this geometry/layout.
         max: u32,
     },
+    /// Erasure `k + m` exceeds the distinct tapes a stripe can span.
+    TooManyShards {
+        /// Requested shard count (`k + m`).
+        requested: u32,
+        /// Maximum distinct tapes available to one stripe.
+        max: u32,
+    },
     /// The configuration admits no blocks at all.
     NoCapacity,
     /// `PH` or `SP` outside their valid ranges.
@@ -108,6 +160,12 @@ impl std::fmt::Display for PlacementError {
         match self {
             PlacementError::TooManyReplicas { requested, max } => {
                 write!(f, "requested {requested} replicas; at most {max} feasible")
+            }
+            PlacementError::TooManyShards { requested, max } => {
+                write!(
+                    f,
+                    "requested {requested} erasure shards per stripe; at most {max} tapes available"
+                )
             }
             PlacementError::NoCapacity => write!(f, "no blocks fit this configuration"),
             PlacementError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
@@ -129,10 +187,12 @@ impl From<CatalogError> for PlacementError {
 pub struct PlacedCatalog {
     /// The block-to-tape mapping.
     pub catalog: Catalog,
-    /// Analytic expansion factor `E = 1 + NR * PH / 100`.
+    /// Analytic expansion factor for the scheme (see
+    /// [`scheme_expansion_factor`]).
     pub expansion: f64,
     /// Tapes that hold hot originals (one entry for horizontal layouts
     /// means every tape does; listed explicitly for vertical layouts).
+    /// For erasure placements: every tape holding a hot shard cell.
     pub hot_tapes: Vec<TapeId>,
     /// The configuration that produced this catalog.
     pub config: PlacementConfig,
@@ -146,31 +206,22 @@ pub fn build_placement(
     block: BlockSize,
     cfg: PlacementConfig,
 ) -> Result<PlacedCatalog, PlacementError> {
-    validate_config(geometry, &cfg)?;
+    validate_config(geometry, block, &cfg)?;
     let slots = geometry.slots_per_tape(block);
-    let total = geometry.total_slots(block);
-    let e = expansion_factor(cfg.replicas, cfg.ph_percent);
-    // Upper bound on the number of logical blocks, then search downward for
-    // the largest feasible count. Rounding of the hot count means the exact
-    // bound can be off by a block or two in either direction.
-    let mut d = ((total as f64 / e).floor() as u64 + 2).min(total) as u32;
-    loop {
-        if d == 0 {
-            return Err(PlacementError::NoCapacity);
+    let e = scheme_expansion_factor(cfg.scheme, cfg.ph_percent);
+    let upper = logical_upper_bound(geometry, block, cfg.scheme, e);
+    let (catalog, hot_tapes) = bisect_largest(upper, |d| match cfg.scheme {
+        PlacementScheme::Replication { nr } => try_build(geometry, block, slots, cfg, nr, d),
+        PlacementScheme::Erasure { k, m } => {
+            try_build_ec(geometry, block, cfg, d, k, m, None, ReplicaScope::InLibrary)
         }
-        match try_build(geometry, block, slots, cfg, d) {
-            Ok((catalog, hot_tapes)) => {
-                return Ok(PlacedCatalog {
-                    catalog,
-                    expansion: e,
-                    hot_tapes,
-                    config: cfg,
-                });
-            }
-            Err(TryBuildError::DoesNotFit) => d -= 1,
-            Err(TryBuildError::Catalog(e)) => return Err(e.into()),
-        }
-    }
+    })?;
+    Ok(PlacedCatalog {
+        catalog,
+        expansion: e,
+        hot_tapes,
+        config: cfg,
+    })
 }
 
 /// [`build_placement`] for a fleet [`Topology`]: hot originals are
@@ -193,65 +244,169 @@ pub fn build_fleet_placement(
     topology: &Topology,
     scope: ReplicaScope,
 ) -> Result<PlacedCatalog, PlacementError> {
-    validate_config(geometry, &cfg)?;
+    validate_config(geometry, block, &cfg)?;
     if topology.check_geometry(&geometry).is_err() {
         return Err(PlacementError::InvalidParameter("topology"));
     }
-    if scope == ReplicaScope::InLibrary && cfg.ph_percent > 0.0 {
-        // Every replica needs a distinct tape inside the origin's library.
-        let min_lib = topology
-            .libraries()
-            .iter()
-            .map(|l| u32::from(l.tapes))
-            .min()
-            .unwrap_or(0);
-        if cfg.replicas + 1 > min_lib {
-            return Err(PlacementError::TooManyReplicas {
-                requested: cfg.replicas,
-                max: min_lib.saturating_sub(1),
-            });
+    // With one library there is nothing to cross: both scopes reduce to
+    // the classic assignment. Demoting *before* the capacity guard keeps
+    // the guard consistent with the scope the build will actually use.
+    let scope = if topology.library_count() == 1 {
+        ReplicaScope::InLibrary
+    } else {
+        scope
+    };
+    if cfg.ph_percent > 0.0 {
+        // Every copy (replica or shard cell) of a hot block needs a
+        // distinct tape reachable under `scope`: the origin's library for
+        // InLibrary, the whole fleet for CrossLibrary.
+        let cap = match scope {
+            ReplicaScope::InLibrary => topology
+                .libraries()
+                .iter()
+                .map(|l| u32::from(l.tapes))
+                .min()
+                .unwrap_or(0),
+            ReplicaScope::CrossLibrary => geometry.tapes as u32,
+        };
+        match cfg.scheme {
+            PlacementScheme::Replication { nr } if nr + 1 > cap => {
+                return Err(PlacementError::TooManyReplicas {
+                    requested: nr,
+                    max: cap.saturating_sub(1),
+                });
+            }
+            PlacementScheme::Erasure { k, m } if u32::from(k) + u32::from(m) > cap => {
+                return Err(PlacementError::TooManyShards {
+                    requested: u32::from(k) + u32::from(m),
+                    max: cap,
+                });
+            }
+            _ => {}
         }
     }
     let slots = geometry.slots_per_tape(block);
-    let total = geometry.total_slots(block);
-    let e = expansion_factor(cfg.replicas, cfg.ph_percent);
-    let mut d = ((total as f64 / e).floor() as u64 + 2).min(total) as u32;
-    loop {
-        if d == 0 {
-            return Err(PlacementError::NoCapacity);
+    let e = scheme_expansion_factor(cfg.scheme, cfg.ph_percent);
+    let upper = logical_upper_bound(geometry, block, cfg.scheme, e);
+    let (catalog, hot_tapes) = bisect_largest(upper, |d| match cfg.scheme {
+        PlacementScheme::Replication { nr } => {
+            try_build_fleet(geometry, block, slots, cfg, nr, d, topology, scope)
         }
-        match try_build_fleet(geometry, block, slots, cfg, d, topology, scope) {
-            Ok((catalog, hot_tapes)) => {
-                return Ok(PlacedCatalog {
-                    catalog,
-                    expansion: e,
-                    hot_tapes,
-                    config: cfg,
-                });
-            }
-            Err(TryBuildError::DoesNotFit) => d -= 1,
-            Err(TryBuildError::Catalog(e)) => return Err(e.into()),
+        PlacementScheme::Erasure { k, m } => {
+            try_build_ec(geometry, block, cfg, d, k, m, Some(topology), scope)
         }
-    }
+    })?;
+    Ok(PlacedCatalog {
+        catalog,
+        expansion: e,
+        hot_tapes,
+        config: cfg,
+    })
 }
 
-fn validate_config(geometry: JukeboxGeometry, cfg: &PlacementConfig) -> Result<(), PlacementError> {
+fn validate_config(
+    geometry: JukeboxGeometry,
+    block: BlockSize,
+    cfg: &PlacementConfig,
+) -> Result<(), PlacementError> {
     if !(0.0..=100.0).contains(&cfg.ph_percent) || !cfg.ph_percent.is_finite() {
         return Err(PlacementError::InvalidParameter("ph_percent"));
     }
     if !(0.0..=1.0).contains(&cfg.sp) || !cfg.sp.is_finite() {
         return Err(PlacementError::InvalidParameter("sp"));
     }
-    // Every hot block has its original on one tape plus NR replicas, each
-    // on a distinct other tape.
-    let max = geometry.tapes as u32 - 1;
-    if cfg.replicas > max && cfg.ph_percent > 0.0 {
-        return Err(PlacementError::TooManyReplicas {
-            requested: cfg.replicas,
-            max,
-        });
+    match cfg.scheme {
+        PlacementScheme::Replication { nr } => {
+            // Every hot block has its original on one tape plus NR
+            // replicas, each on a distinct other tape.
+            let max = geometry.tapes as u32 - 1;
+            if nr > max && cfg.ph_percent > 0.0 {
+                return Err(PlacementError::TooManyReplicas { requested: nr, max });
+            }
+        }
+        PlacementScheme::Erasure { k, m } => {
+            if k == 0 || m == 0 {
+                return Err(PlacementError::InvalidParameter(
+                    "erasure k and m must be positive",
+                ));
+            }
+            let km = u32::from(k) + u32::from(m);
+            if km > 16 {
+                return Err(PlacementError::InvalidParameter("erasure k + m exceeds 16"));
+            }
+            if !block.mb().is_multiple_of(u32::from(k)) {
+                return Err(PlacementError::InvalidParameter(
+                    "block size not divisible by erasure k",
+                ));
+            }
+            if km > geometry.tapes as u32 && cfg.ph_percent > 0.0 {
+                return Err(PlacementError::TooManyShards {
+                    requested: km,
+                    max: geometry.tapes as u32,
+                });
+            }
+        }
     }
     Ok(())
+}
+
+/// Upper bound on the feasible logical block count: jukebox capacity
+/// divided by the per-block storage cost (`E` whole blocks for
+/// replication, `E * k` shard cells for erasure), padded because
+/// hot-count rounding can push the exact bound a block or two either way.
+fn logical_upper_bound(
+    geometry: JukeboxGeometry,
+    block: BlockSize,
+    scheme: PlacementScheme,
+    e: f64,
+) -> u32 {
+    let (total, unit) = match scheme {
+        PlacementScheme::Replication { .. } => (geometry.total_slots(block), 1.0),
+        PlacementScheme::Erasure { k, .. } => (
+            geometry.total_slots(shard_size(block, k)),
+            f64::from(u32::from(k)),
+        ),
+    };
+    ((total as f64 / (e * unit)).floor() as u64 + 2).min(total) as u32
+}
+
+/// Physical cell size of one erasure data shard.
+fn shard_size(block: BlockSize, k: u8) -> BlockSize {
+    BlockSize::from_mb(block.mb() / u32::from(k))
+}
+
+/// Finds the largest `d` in `1..=upper` for which `try_at(d)` succeeds
+/// and returns that build, assuming feasibility is downward-closed (if
+/// `d` fits, so does `d - 1`). Replaces the former linear walk from the
+/// upper bound — O(log upper) rebuilds instead of O(slack) — and returns
+/// the identical catalog: both pick the largest feasible `d`, and the
+/// build at a given `d` is deterministic. Erasure placements can violate
+/// monotonicity by one block in rare SP-rounding corners (a shrinking hot
+/// region can split a tape's trailing free run below `k` contiguous
+/// cells); the result is then a feasible placement at most one block
+/// under the optimum.
+fn bisect_largest<T>(
+    upper: u32,
+    mut try_at: impl FnMut(u32) -> Result<T, TryBuildError>,
+) -> Result<T, PlacementError> {
+    // Invariant: every count above `hi` is infeasible; `best` holds the
+    // build at `lo`, the largest known-feasible count (none yet at 0).
+    let mut best: Option<T> = None;
+    let mut lo = 0u32;
+    let mut hi = upper;
+    while lo < hi {
+        // Upper midpoint so the range strictly shrinks on success.
+        let mid = hi - (hi - lo) / 2;
+        match try_at(mid) {
+            Ok(v) => {
+                best = Some(v);
+                lo = mid;
+            }
+            Err(TryBuildError::DoesNotFit) => hi = mid - 1,
+            Err(TryBuildError::Catalog(e)) => return Err(e.into()),
+        }
+    }
+    best.ok_or(PlacementError::NoCapacity)
 }
 
 enum TryBuildError {
@@ -275,11 +430,12 @@ fn try_build(
     block: BlockSize,
     slots: u32,
     cfg: PlacementConfig,
+    nr: u32,
     d: u32,
 ) -> Result<(Catalog, Vec<TapeId>), TryBuildError> {
     let t = geometry.tapes as u32;
     let hot = hot_count_for(d, cfg.ph_percent);
-    let nr = if hot == 0 { 0 } else { cfg.replicas };
+    let nr = if hot == 0 { 0 } else { nr };
     let copies = hot as u64 * (1 + nr) as u64 + (d - hot) as u64;
     if copies > geometry.total_slots(block) {
         return Err(TryBuildError::DoesNotFit);
@@ -364,30 +520,24 @@ fn try_build(
     Ok((catalog, hot_tapes))
 }
 
+#[allow(clippy::too_many_arguments)] // placement knobs are irreducible here
 fn try_build_fleet(
     geometry: JukeboxGeometry,
     block: BlockSize,
     slots: u32,
     cfg: PlacementConfig,
+    nr: u32,
     d: u32,
     topology: &Topology,
     scope: ReplicaScope,
 ) -> Result<(Catalog, Vec<TapeId>), TryBuildError> {
     let t = geometry.tapes as u32;
     let hot = hot_count_for(d, cfg.ph_percent);
-    let nr = if hot == 0 { 0 } else { cfg.replicas };
+    let nr = if hot == 0 { 0 } else { nr };
     let copies = hot as u64 * (1 + nr) as u64 + (d - hot) as u64;
     if copies > geometry.total_slots(block) {
         return Err(TryBuildError::DoesNotFit);
     }
-    // With one library there is nothing to cross: both scopes reduce to
-    // the classic assignment, keeping single-library fleet placements
-    // identical to `build_placement`.
-    let scope = if topology.library_count() == 1 {
-        ReplicaScope::InLibrary
-    } else {
-        scope
-    };
     let hot_prefix = match cfg.layout {
         LayoutKind::Horizontal => 0,
         LayoutKind::Vertical => hot.div_ceil(slots),
@@ -524,6 +674,247 @@ fn replica_ring(
                 }
             }
             ring
+        }
+    }
+}
+
+/// Builds an erasure-striped catalog: its "blocks" are shard *cells* of
+/// `block.mb() / k` MB (see [`StripeInfo`]). Hot logical block `h` stores
+/// `k + m` cells on that many distinct tapes, chosen by layout and scope;
+/// cold logical block `c` stores its `k` data cells contiguously on one
+/// tape, so a cold read streams exactly like a whole-block read.
+#[allow(clippy::too_many_arguments)] // placement knobs are irreducible here
+fn try_build_ec(
+    geometry: JukeboxGeometry,
+    block: BlockSize,
+    cfg: PlacementConfig,
+    d: u32,
+    k: u8,
+    m: u8,
+    topology: Option<&Topology>,
+    scope: ReplicaScope,
+) -> Result<(Catalog, Vec<TapeId>), TryBuildError> {
+    let t = geometry.tapes as u32;
+    let km = u32::from(k) + u32::from(m);
+    let kk = u32::from(k);
+    let shard = shard_size(block, k);
+    let slots = geometry.slots_per_tape(shard);
+    let hot = hot_count_for(d, cfg.ph_percent);
+    let cells = u64::from(hot) * u64::from(km) + u64::from(d - hot) * u64::from(kk);
+    if cells > geometry.total_slots(shard) {
+        return Err(TryBuildError::DoesNotFit);
+    }
+
+    // Per-tape list of hot shard cells, in cell-id order.
+    let mut hot_on_tape: Vec<Vec<BlockId>> = vec![Vec::new(); t as usize];
+    let mut is_hot_tape = vec![false; t as usize];
+    for h in 0..hot {
+        let tapes = stripe_tapes(cfg.layout, scope, topology, t, slots, km, h)?;
+        debug_assert_eq!(tapes.len() as u32, km);
+        for (j, &tape) in tapes.iter().enumerate() {
+            hot_on_tape[tape as usize].push(BlockId(h * km + j as u32));
+            is_hot_tape[tape as usize] = true;
+        }
+    }
+
+    // Hot cells occupy one contiguous region per tape, positioned by SP.
+    let hot_cells = hot * km;
+    let mut builder = Catalog::builder(geometry, shard, cells as u32, hot_cells);
+    builder.set_stripe(StripeInfo {
+        k,
+        m,
+        logical_blocks: d,
+        logical_hot: hot,
+    });
+    // Per tape, the ascending free runs `[lo, hi)` left around the hot
+    // region; cold blocks carve `k`-cell pieces off them.
+    let mut runs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(t as usize);
+    for (tape_idx, cells_here) in hot_on_tape.iter().enumerate() {
+        let len = cells_here.len() as u32;
+        if len > slots {
+            return Err(TryBuildError::DoesNotFit);
+        }
+        let start = region_start(cfg.sp, len, slots);
+        for (i, &cell) in cells_here.iter().enumerate() {
+            builder.place(
+                cell,
+                PhysicalAddr {
+                    tape: TapeId(tape_idx as u16),
+                    slot: SlotIndex(start + i as u32),
+                },
+            )?;
+        }
+        runs.push(vec![(0, start), (start + len, slots)]);
+    }
+
+    // Cold blocks round-robin over tapes; each takes `k` contiguous
+    // cells. Vertical visits stripe-free tapes first, like the classic
+    // hot/cold separation.
+    let order: Vec<usize> = match cfg.layout {
+        LayoutKind::Horizontal => (0..t as usize).collect(),
+        LayoutKind::Vertical => (0..t as usize)
+            .filter(|&i| !is_hot_tape[i])
+            .chain((0..t as usize).filter(|&i| is_hot_tape[i]))
+            .collect(),
+    };
+    let mut cursor = 0usize;
+    for c in hot..d {
+        let first_cell = hot_cells + (c - hot) * kk;
+        let mut placed = false;
+        for step in 0..order.len() {
+            let tape_idx = order[(cursor + step) % order.len()];
+            if let Some(slot0) = take_run(&mut runs[tape_idx], kk) {
+                for j in 0..kk {
+                    builder.place(
+                        BlockId(first_cell + j),
+                        PhysicalAddr {
+                            tape: TapeId(tape_idx as u16),
+                            slot: SlotIndex(slot0 + j),
+                        },
+                    )?;
+                }
+                cursor = (cursor + step + 1) % order.len();
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(TryBuildError::DoesNotFit);
+        }
+    }
+    let catalog = builder.build().map_err(TryBuildError::Catalog)?;
+    let hot_tapes = is_hot_tape
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &h)| h.then_some(TapeId(i as u16)))
+        .collect();
+    Ok((catalog, hot_tapes))
+}
+
+/// Takes the `need` lowest contiguous cells from a tape's free runs,
+/// returning the first slot, or `None` when no run is long enough (runs
+/// shorter than `need` stay as unusable fragments — at most `need - 1`
+/// cells each).
+fn take_run(runs: &mut [(u32, u32)], need: u32) -> Option<u32> {
+    for (lo, hi) in runs.iter_mut() {
+        if *hi - *lo >= need {
+            let s = *lo;
+            *lo += need;
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// The `km` distinct tapes hosting hot stripe `h`'s shard cells, in shard
+/// order. `topology == None` means the classic single jukebox.
+fn stripe_tapes(
+    layout: LayoutKind,
+    scope: ReplicaScope,
+    topology: Option<&Topology>,
+    t: u32,
+    slots: u32,
+    km: u32,
+    h: u32,
+) -> Result<Vec<u32>, TryBuildError> {
+    if let (Some(topo), ReplicaScope::CrossLibrary) = (topology, scope) {
+        let l = u32::from(topo.library_count());
+        let lib_tapes = |i: u32| -> u32 {
+            topo.libraries()
+                .get(i as usize)
+                .map_or(0, |x| u32::from(x.tapes))
+        };
+        let base = |i: u32| u32::from(topo.tape_base(i as u16));
+        let max_n = (0..l).map(lib_tapes).max().unwrap_or(0);
+        return match layout {
+            LayoutKind::Horizontal => {
+                // Breadth-first over libraries starting at the one owning
+                // tape `h % t`: one shard per library per pass, rotated
+                // within each library by the stripe id. Distinct because
+                // each (library, pass) pair contributes at most one tape.
+                let lib0 = u32::from(topo.library_of_tape(TapeId((h % t) as u16)));
+                let mut tapes = Vec::with_capacity(km as usize);
+                'outer: for pass in 0..max_n {
+                    for i in 0..l {
+                        let tl = (lib0 + i) % l;
+                        let n_t = lib_tapes(tl);
+                        if pass >= n_t {
+                            continue;
+                        }
+                        tapes.push(base(tl) + (h + pass) % n_t);
+                        if tapes.len() as u32 == km {
+                            break 'outer;
+                        }
+                    }
+                }
+                if (tapes.len() as u32) < km {
+                    return Err(TryBuildError::DoesNotFit);
+                }
+                Ok(tapes)
+            }
+            LayoutKind::Vertical => {
+                // Groups of `km` tapes chosen breadth-first across
+                // libraries, so every stripe spans as many libraries as
+                // it can while hot data still packs onto few tapes. Each
+                // group hosts `slots` stripes before the next opens.
+                let mut order = Vec::with_capacity(t as usize);
+                for pass in 0..max_n {
+                    for i in 0..l {
+                        if pass < lib_tapes(i) {
+                            order.push(base(i) + pass);
+                        }
+                    }
+                }
+                let g = (h / slots) as usize;
+                order
+                    .chunks_exact(km as usize)
+                    .nth(g)
+                    .map(<[u32]>::to_vec)
+                    .ok_or(TryBuildError::DoesNotFit)
+            }
+        };
+    }
+    // Classic jukebox, or in-library fleet scope: the stripe stays inside
+    // one library (the whole jukebox when there is no topology).
+    let libs: Vec<(u32, u32)> = match topology {
+        None => vec![(0, t)],
+        Some(topo) => (0..topo.library_count())
+            .map(|i| {
+                (
+                    u32::from(topo.tape_base(i)),
+                    u32::from(topo.libraries()[i as usize].tapes),
+                )
+            })
+            .collect(),
+    };
+    match layout {
+        LayoutKind::Horizontal => {
+            // The classic rotating window `(origin + j) % n`, confined to
+            // the library owning tape `h % t`.
+            let origin = h % t;
+            let (lo, n) = libs
+                .iter()
+                .copied()
+                .find(|&(lo, n)| origin >= lo && origin < lo + n)
+                .ok_or(TryBuildError::DoesNotFit)?;
+            if km > n {
+                return Err(TryBuildError::DoesNotFit);
+            }
+            Ok((0..km).map(|j| lo + ((origin - lo) + j) % n).collect())
+        }
+        LayoutKind::Vertical => {
+            // Contiguous groups of `km` tapes, library by library (never
+            // spanning one); each group hosts `slots` stripes — its tapes
+            // fill completely — before the next opens.
+            let mut groups = Vec::new();
+            for (lo, n) in libs {
+                for q in 0..n / km {
+                    groups.push(lo + q * km);
+                }
+            }
+            let g = (h / slots) as usize;
+            let base = *groups.get(g).ok_or(TryBuildError::DoesNotFit)?;
+            Ok((base..base + km).collect())
         }
     }
 }
@@ -706,7 +1097,7 @@ mod tests {
         let cfg = PlacementConfig {
             layout: LayoutKind::Vertical,
             ph_percent: 10.0,
-            replicas: 2,
+            scheme: PlacementScheme::Replication { nr: 2 },
             sp: 1.0,
         };
         let placed = build_placement(paper_geom(), B16, cfg).unwrap();
@@ -726,7 +1117,7 @@ mod tests {
         let cfg = PlacementConfig {
             layout: LayoutKind::Horizontal,
             ph_percent: 10.0,
-            replicas: 9,
+            scheme: PlacementScheme::Replication { nr: 9 },
             sp: 1.0,
         };
         let placed = build_placement(paper_geom(), B16, cfg).unwrap();
@@ -740,7 +1131,7 @@ mod tests {
     #[test]
     fn too_many_replicas_rejected() {
         let cfg = PlacementConfig {
-            replicas: 10,
+            scheme: PlacementScheme::Replication { nr: 10 },
             ..PlacementConfig::paper_baseline()
         };
         assert_eq!(
@@ -776,7 +1167,7 @@ mod tests {
     fn zero_percent_hot_is_all_cold() {
         let cfg = PlacementConfig {
             ph_percent: 0.0,
-            replicas: 5,
+            scheme: PlacementScheme::Replication { nr: 5 },
             ..PlacementConfig::paper_baseline()
         };
         let placed = build_placement(paper_geom(), B16, cfg).unwrap();
@@ -789,7 +1180,7 @@ mod tests {
         let cfg = PlacementConfig {
             layout: LayoutKind::Vertical,
             ph_percent: 10.0,
-            replicas: 4,
+            scheme: PlacementScheme::Replication { nr: 4 },
             sp: 1.0,
         };
         let placed = build_placement(JukeboxGeometry::FIVE_TAPE, B16, cfg).unwrap();
@@ -826,7 +1217,7 @@ mod tests {
                 let cfg = PlacementConfig {
                     layout,
                     ph_percent: 10.0,
-                    replicas: 3,
+                    scheme: PlacementScheme::Replication { nr: 3 },
                     sp: 1.0,
                 };
                 let classic = build_placement(paper_geom(), B16, cfg).unwrap();
@@ -846,7 +1237,7 @@ mod tests {
         let cfg = PlacementConfig {
             layout: LayoutKind::Horizontal,
             ph_percent: 10.0,
-            replicas: 2,
+            scheme: PlacementScheme::Replication { nr: 2 },
             sp: 0.0,
         };
         let placed =
@@ -869,7 +1260,7 @@ mod tests {
         let cfg = PlacementConfig {
             layout: LayoutKind::Horizontal,
             ph_percent: 10.0,
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             sp: 0.0,
         };
         let placed =
@@ -891,7 +1282,7 @@ mod tests {
         let cfg = PlacementConfig {
             layout: LayoutKind::Vertical,
             ph_percent: 10.0,
-            replicas: 3,
+            scheme: PlacementScheme::Replication { nr: 3 },
             sp: 1.0,
         };
         let placed =
@@ -915,7 +1306,7 @@ mod tests {
         let cfg = PlacementConfig {
             layout: LayoutKind::Horizontal,
             ph_percent: 10.0,
-            replicas: 5,
+            scheme: PlacementScheme::Replication { nr: 5 },
             sp: 0.0,
         };
         assert_eq!(
@@ -959,5 +1350,131 @@ mod tests {
         .unwrap();
         assert_eq!(placed.catalog.num_blocks(), 71_680);
         assert_eq!(placed.catalog.hot_count(), 7_168);
+    }
+
+    #[test]
+    fn bisection_matches_linear_walk_for_replication() {
+        // The feasibility search replaced a linear walk down from the
+        // capacity upper bound. Replication feasibility is monotone, so
+        // both must land on the same largest `d` — and the deterministic
+        // builder then yields byte-identical catalogs.
+        for geom in [paper_geom(), JukeboxGeometry::FIVE_TAPE] {
+            for layout in [LayoutKind::Horizontal, LayoutKind::Vertical] {
+                for nr in [0u32, 1, 3] {
+                    for (ph, sp) in [(0.0, 0.0), (10.0, 0.0), (10.0, 1.0), (50.0, 0.5)] {
+                        let cfg = PlacementConfig {
+                            layout,
+                            ph_percent: ph,
+                            scheme: PlacementScheme::Replication { nr },
+                            sp,
+                        };
+                        let slots = geom.slots_per_tape(B16);
+                        let e = scheme_expansion_factor(cfg.scheme, ph);
+                        let upper = logical_upper_bound(geom, B16, cfg.scheme, e);
+                        let mut walk = None;
+                        for d in (1..=upper).rev() {
+                            match try_build(geom, B16, slots, cfg, nr, d) {
+                                Ok(v) => {
+                                    walk = Some((d, v));
+                                    break;
+                                }
+                                Err(TryBuildError::DoesNotFit) => {}
+                                Err(TryBuildError::Catalog(err)) => {
+                                    panic!("catalog bug at d={d}: {err:?}")
+                                }
+                            }
+                        }
+                        let (d, (cat, hot_tapes)) =
+                            walk.expect("some block count must be feasible");
+                        let placed = build_placement(geom, B16, cfg).unwrap();
+                        let tag = format!("{geom:?}/{layout:?}/nr{nr}/ph{ph}/sp{sp}");
+                        assert_eq!(placed.catalog.num_blocks(), d, "{tag}");
+                        assert!(same_catalog(&placed.catalog, &cat), "{tag}");
+                        assert_eq!(placed.hot_tapes, hot_tapes, "{tag}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_library_replication_bounded_by_fleet() {
+        // 10 replicas + the original need 11 distinct tapes; the whole
+        // fleet has 10, so even the widest scope reports the typed
+        // capacity error instead of failing deep inside the bisection.
+        let topo = paper_topology(2, 5);
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            scheme: PlacementScheme::Replication { nr: 10 },
+            sp: 0.0,
+        };
+        assert_eq!(
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::CrossLibrary)
+                .unwrap_err(),
+            PlacementError::TooManyReplicas {
+                requested: 10,
+                max: 9
+            }
+        );
+    }
+
+    #[test]
+    fn erasure_shards_bounded_by_scope() {
+        // A 4 + 2 stripe needs 6 distinct tapes: more than one 5-tape
+        // library (InLibrary fails with the scope's cap), but fine
+        // across the 10-tape fleet.
+        let topo = paper_topology(2, 5);
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            scheme: PlacementScheme::Erasure { k: 4, m: 2 },
+            sp: 0.0,
+        };
+        assert_eq!(
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::InLibrary)
+                .unwrap_err(),
+            PlacementError::TooManyShards {
+                requested: 6,
+                max: 5
+            }
+        );
+        let placed =
+            build_fleet_placement(paper_geom(), B16, cfg, &topo, ReplicaScope::CrossLibrary)
+                .unwrap();
+        let c = &placed.catalog;
+        let stripe = c.stripe().unwrap();
+        assert!(c.logical_hot_count() > 0);
+        for b in 0..c.logical_hot_count() {
+            let (first, count) = stripe.cells_of(b);
+            assert_eq!(count, 6);
+            let libs: std::collections::BTreeSet<u16> = (first..first + count)
+                .map(|cell| topo.library_of_tape(c.replicas(BlockId(cell))[0].tape))
+                .collect();
+            assert!(libs.len() > 1, "stripe {b} confined to one library");
+        }
+    }
+
+    #[test]
+    fn erasure_shards_bounded_by_fleet() {
+        // 8 + 4 needs 12 distinct tapes; the fleet has 10. Both scopes
+        // report the same typed error.
+        let topo = paper_topology(2, 5);
+        let cfg = PlacementConfig {
+            layout: LayoutKind::Horizontal,
+            ph_percent: 10.0,
+            scheme: PlacementScheme::Erasure { k: 8, m: 4 },
+            sp: 0.0,
+        };
+        for scope in [ReplicaScope::InLibrary, ReplicaScope::CrossLibrary] {
+            assert_eq!(
+                build_fleet_placement(paper_geom(), B16, cfg, &topo, scope).unwrap_err(),
+                PlacementError::TooManyShards {
+                    requested: 12,
+                    max: 10
+                },
+                "{scope:?}"
+            );
+        }
     }
 }

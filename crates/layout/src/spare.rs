@@ -18,7 +18,9 @@ use tapesim_model::{BlockSize, JukeboxGeometry, PhysicalAddr, SlotIndex, TapeId}
 
 use crate::block::BlockId;
 use crate::catalog::Catalog;
-use crate::placement::{LayoutKind, PlacedCatalog, PlacementConfig, PlacementError};
+use crate::placement::{
+    LayoutKind, PlacedCatalog, PlacementConfig, PlacementError, PlacementScheme,
+};
 
 /// What to do with unused capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -177,7 +179,7 @@ pub fn build_spare_layout(
         config: PlacementConfig {
             layout: LayoutKind::Vertical,
             ph_percent: cfg.ph_percent,
-            replicas: 0, // replica count is variable per block; see expansion
+            scheme: PlacementScheme::NONE, // replica count is variable per block; see expansion
             sp: 1.0,
         },
     })

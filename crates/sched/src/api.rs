@@ -83,11 +83,14 @@ pub struct JukeboxView<'a> {
     /// The current simulation time.
     pub now: SimTime,
     /// Tapes held by other drives; schedulers must not select them.
+    /// Must be sorted ascending: [`JukeboxView::is_available`] binary
+    /// searches it from the scheduler inner loop.
     pub unavailable: &'a [TapeId],
     /// Tapes currently failed (offline) per the fault injector;
     /// schedulers must not select them. Unlike `unavailable`, offline
     /// tapes may come back after repair, and a request whose only copies
-    /// are offline should be left pending rather than scheduled.
+    /// are offline should be left pending rather than scheduled. Must be
+    /// sorted ascending, like `unavailable`.
     pub offline: &'a [TapeId],
     /// Fleet-level robot/pass-through state. [`FleetView::SINGLE`] for
     /// single-library runs (adds zero to every cost).
@@ -95,17 +98,34 @@ pub struct JukeboxView<'a> {
 }
 
 impl JukeboxView<'_> {
+    /// Checks (in debug builds) the sorted-slice contract on
+    /// `unavailable` and `offline` that the binary searches below rely
+    /// on. Engines call this once per view construction.
+    #[inline]
+    pub fn debug_assert_sorted(&self) {
+        debug_assert!(
+            // simlint: allow(panic, windows(2) yields exactly-2-element slices)
+            self.unavailable.windows(2).all(|w| w[0] < w[1]),
+            "JukeboxView::unavailable must be sorted ascending without duplicates"
+        );
+        debug_assert!(
+            // simlint: allow(panic, windows(2) yields exactly-2-element slices)
+            self.offline.windows(2).all(|w| w[0] < w[1]),
+            "JukeboxView::offline must be sorted ascending without duplicates"
+        );
+    }
+
     /// True when `tape` may be selected by this drive's scheduler: it is
     /// neither held by another drive nor offline due to a fault.
     #[inline]
     pub fn is_available(&self, tape: TapeId) -> bool {
-        !self.unavailable.contains(&tape) && !self.offline.contains(&tape)
+        self.unavailable.binary_search(&tape).is_err() && !self.is_offline(tape)
     }
 
     /// True when `tape` is failed/offline per the fault injector.
     #[inline]
     pub fn is_offline(&self, tape: TapeId) -> bool {
-        self.offline.contains(&tape)
+        self.offline.binary_search(&tape).is_ok()
     }
 }
 

@@ -21,6 +21,7 @@
 
 pub mod api;
 pub mod cost;
+pub mod ec;
 pub mod envelope;
 pub mod families;
 pub mod fifo;
@@ -36,6 +37,7 @@ pub use cost::{
     candidate_for_tape, candidates_for_all_tapes, effective_bandwidth, execution_cost,
     forward_list_for, mount_cost, split_sweep, start_head, walk_cost, TapeCandidate,
 };
+pub use ec::{choose_shards, read_envelope, shard_pick_cost};
 pub use envelope::{
     compute_upper_envelope, compute_upper_envelope_fresh, compute_upper_envelope_indexed,
     prefix_cost, EnvelopeIndex, EnvelopePolicy, EnvelopeScheduler, ExtensionCache, UpperEnvelope,

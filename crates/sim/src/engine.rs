@@ -353,6 +353,14 @@ impl<'a> SteppedEngine<'a> {
         if cfg.warmup >= cfg.duration {
             return Err(SimError::InvalidConfig("warmup must precede the horizon"));
         }
+        // A striped (erasure) catalog stores shard cells: a generated
+        // workload would sample cells as if they were logical blocks.
+        // Only the erasure driver (external-arrival mode) may run one.
+        if catalog.stripe().is_some() && !external {
+            return Err(SimError::InvalidConfig(
+                "striped catalogs require the erasure driver",
+            ));
+        }
         faults.validate().map_err(SimError::InvalidConfig)?;
         opts.validate()?;
         if external && (opts.resume().is_some() || opts.write_every().is_some()) {
@@ -772,6 +780,7 @@ impl<'a> SteppedEngine<'a> {
             offline: &self.offline_buf,
             fleet: tapesim_sched::FleetView::SINGLE,
         };
+        view.debug_assert_sorted();
         let Some(plan) = self.scheduler.major_reschedule(&view, &mut self.pending) else {
             // Step 4: idle until the next arrival or fault event (a repair
             // can make a stranded request schedulable again).
@@ -1112,6 +1121,7 @@ impl<'a> SteppedEngine<'a> {
                             offline: &self.offline_buf,
                             fleet: tapesim_sched::FleetView::SINGLE,
                         };
+                        view.debug_assert_sorted();
                         let req_id = req.id;
                         let outcome = self.scheduler.on_arrival(
                             &view,
@@ -1216,6 +1226,7 @@ impl<'a> SteppedEngine<'a> {
                     offline: &self.offline_buf,
                     fleet: tapesim_sched::FleetView::SINGLE,
                 };
+                view.debug_assert_sorted();
                 let req_id = req.id;
                 let outcome = self.scheduler.on_arrival(
                     &view,
@@ -1261,6 +1272,7 @@ impl<'a> SteppedEngine<'a> {
                 offline: &self.offline_buf,
                 fleet: tapesim_sched::FleetView::SINGLE,
             };
+            view.debug_assert_sorted();
             let req_id = req.id;
             let outcome =
                 self.scheduler
@@ -1372,6 +1384,7 @@ fn process_due_arrivals(
             offline,
             fleet: tapesim_sched::FleetView::SINGLE,
         };
+        view.debug_assert_sorted();
         let req_id = req.id;
         let outcome = scheduler.on_arrival(&view, plan.tape, &mut plan.list, req, pending);
         trace_event!(
@@ -1395,7 +1408,7 @@ fn process_due_arrivals(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tapesim_layout::{build_placement, LayoutKind, PlacementConfig};
+    use tapesim_layout::{build_placement, LayoutKind, PlacementConfig, PlacementScheme};
     use tapesim_model::{BlockSize, JukeboxGeometry};
     use tapesim_sched::{make_scheduler, AlgorithmId, EnvelopePolicy, TapeSelectPolicy};
     use tapesim_workload::BlockSampler;
@@ -1407,7 +1420,7 @@ mod tests {
             PlacementConfig {
                 layout,
                 ph_percent: 10.0,
-                replicas: nr,
+                scheme: PlacementScheme::Replication { nr },
                 sp,
             },
         )

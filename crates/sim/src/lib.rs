@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod ec;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -31,6 +32,7 @@ pub mod trace;
 pub mod writeback;
 
 pub use checkpoint::{Checkpoint, CheckpointOpts, EngineKind};
+pub use ec::run_erasure_simulation;
 pub use engine::{
     run_simulation, run_simulation_checkpointed, run_simulation_traced, run_simulation_with_faults,
     SimConfig, SteppedEngine,

@@ -281,6 +281,7 @@ impl MetricsCollector {
             rejected: 0,
             expired: 0,
             tape_downtime_s: self.tape_downtime.iter().map(|d| d.as_secs_f64()).collect(),
+            ec_unavailable: 0,
             saturated,
         }
     }
@@ -428,6 +429,11 @@ pub struct MetricsReport {
     /// Per-tape downtime in seconds over the whole run. Empty when fault
     /// injection is off.
     pub tape_downtime_s: Vec<f64>,
+    /// Erasure reads that failed because fewer than `k` shards of their
+    /// stripe survived (subset of `failed_requests`). Installed by
+    /// [`crate::ec::run_erasure_simulation`]; always zero for
+    /// replication-scheme runs.
+    pub ec_unavailable: u64,
     /// True when an open-queuing run was cut short because the pending
     /// queue exceeded the configured bound (overloaded server).
     pub saturated: bool,
@@ -532,6 +538,7 @@ impl MetricsReport {
                     })
                     .collect()
             },
+            ec_unavailable: avg_count(reports, |r| r.ec_unavailable),
             saturated: reports.iter().any(|r| r.saturated),
         }
     }

@@ -541,6 +541,14 @@ impl<'a> SteppedMultiDrive<'a> {
         if cfg.warmup >= cfg.duration {
             return Err(SimError::InvalidConfig("warmup must precede the horizon"));
         }
+        // A striped (erasure) catalog stores shard cells: a generated
+        // workload would sample cells as if they were logical blocks.
+        // Only the erasure driver (external-arrival mode) may run one.
+        if catalog.stripe().is_some() && !external {
+            return Err(SimError::InvalidConfig(
+                "striped catalogs require the erasure driver",
+            ));
+        }
         faults.validate().map_err(SimError::InvalidConfig)?;
         opts.validate()?;
         if external && (opts.resume().is_some() || opts.write_every().is_some()) {
@@ -822,6 +830,15 @@ impl<'a> SteppedMultiDrive<'a> {
     /// The tape currently mounted in drive `d`, if any.
     pub fn drive_mounted(&self, d: usize) -> Option<TapeId> {
         self.states.get(d).and_then(|s| s.mounted)
+    }
+
+    /// True when the copy at `addr` has been permanently lost to a fault
+    /// (its tape failed without repair, or the copy itself went bad and
+    /// cannot heal). Lets an external driver — the erasure layer — make
+    /// the same liveness judgement the engine makes when it fails
+    /// requests.
+    pub fn copy_lost_forever(&self, addr: PhysicalAddr) -> bool {
+        self.injector.copy_lost_forever(addr)
     }
 
     /// True if drive `d` is administratively offline.
@@ -1473,6 +1490,7 @@ impl<'a> SteppedMultiDrive<'a> {
                     offline: &self.offline_buf,
                     fleet: fleet_view,
                 };
+                view.debug_assert_sorted();
                 let req_id = q.req.id;
                 let outcome = self.scheduler.on_arrival(
                     &view,
@@ -1748,6 +1766,7 @@ impl<'a> SteppedMultiDrive<'a> {
                 self.drive_lib[d],
             ),
         };
+        view.debug_assert_sorted();
         match self.scheduler.major_reschedule(&view, &mut self.pending) {
             Some(plan) => {
                 trace_event!(
@@ -2056,7 +2075,8 @@ fn fleet_view_for<'v>(
 }
 
 /// Tapes mounted in (or reserved by) every drive other than `except`,
-/// collected into a reusable scratch buffer.
+/// collected into a reusable scratch buffer — sorted, because
+/// `JukeboxView` binary-searches its `unavailable` slice.
 fn tapes_held_except_into(states: &[DriveState], except: usize, out: &mut Vec<TapeId>) {
     out.clear();
     out.extend(
@@ -2066,12 +2086,13 @@ fn tapes_held_except_into(states: &[DriveState], except: usize, out: &mut Vec<Ta
             .filter(|&(i, _)| i != except)
             .filter_map(|(_, s)| s.mounted),
     );
+    out.sort_unstable();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tapesim_layout::{build_placement, LayoutKind, PlacementConfig};
+    use tapesim_layout::{build_placement, LayoutKind, PlacementConfig, PlacementScheme};
     use tapesim_model::{BlockSize, JukeboxGeometry};
     use tapesim_sched::{make_scheduler, AlgorithmId, TapeSelectPolicy};
     use tapesim_workload::BlockSampler;
@@ -2083,7 +2104,7 @@ mod tests {
             PlacementConfig {
                 layout,
                 ph_percent: 10.0,
-                replicas: nr,
+                scheme: PlacementScheme::Replication { nr },
                 sp,
             },
         )
@@ -2201,7 +2222,7 @@ mod tests {
             PlacementConfig {
                 layout: LayoutKind::Horizontal,
                 ph_percent: 0.0,
-                replicas: 0,
+                scheme: PlacementScheme::Replication { nr: 0 },
                 sp: 0.0,
             },
         )

@@ -529,7 +529,7 @@ mod tests {
     use super::*;
     use crate::engine::SimConfig;
     use crate::trace::NullSink;
-    use tapesim_layout::{build_placement, Catalog, LayoutKind, PlacementConfig};
+    use tapesim_layout::{build_placement, Catalog, LayoutKind, PlacementConfig, PlacementScheme};
     use tapesim_model::{BlockSize, FaultConfig, JukeboxGeometry, TimingModel};
     use tapesim_sched::{make_scheduler, AlgorithmId, Scheduler, TapeSelectPolicy};
     use tapesim_workload::{ArrivalProcess, BlockSampler, RequestFactory};
@@ -541,7 +541,7 @@ mod tests {
             PlacementConfig {
                 layout: LayoutKind::Horizontal,
                 ph_percent: 10.0,
-                replicas: 0,
+                scheme: PlacementScheme::Replication { nr: 0 },
                 sp: 0.0,
             },
         )

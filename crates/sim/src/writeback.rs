@@ -788,6 +788,8 @@ impl<'a> SteppedWriteBack<'a> {
             offline: &[],
             fleet: tapesim_sched::FleetView::SINGLE,
         };
+
+        view.debug_assert_sorted();
         if let Some(plan) = self.scheduler.major_reschedule(&view, &mut self.pending) {
             self.run_sweep(plan)?;
             return Ok(if self.done {

@@ -53,9 +53,16 @@ impl BlockSampler {
         }
     }
 
-    /// Creates a sampler matching a catalog's hot/cold partition.
+    /// Creates a sampler matching a catalog's hot/cold partition. For an
+    /// erasure-striped catalog this samples *logical* blocks (the
+    /// request-visible unit), not shard cells; for a plain catalog the
+    /// logical accessors are the physical ones, so nothing changes.
     pub fn from_catalog(catalog: &Catalog, rh_percent: f64) -> Self {
-        BlockSampler::new(catalog.num_blocks(), catalog.hot_count(), rh_percent)
+        BlockSampler::new(
+            catalog.logical_num_blocks(),
+            catalog.logical_hot_count(),
+            rh_percent,
+        )
     }
 
     /// Draws one block id.

@@ -8,7 +8,7 @@
 //! scheduling quantum the single-drive engine does not need), so open
 //! traces legitimately diverge by that microsecond.
 
-use tapesim::layout::{build_placement, PlacementConfig};
+use tapesim::layout::{build_placement, PlacementConfig, PlacementScheme};
 use tapesim::model::{BlockSize, FaultConfig, JukeboxGeometry, TimingModel};
 use tapesim::sched::{make_scheduler, AlgorithmId, EnvelopePolicy, TapeSelectPolicy};
 use tapesim::sim::{
@@ -131,7 +131,7 @@ fn one_drive_differential_holds_under_replication() {
         JukeboxGeometry::PAPER_DEFAULT,
         BlockSize::PAPER_DEFAULT,
         PlacementConfig {
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             ..PlacementConfig::paper_baseline()
         },
     )

@@ -10,7 +10,8 @@
 //! by an arm of the mounting drive's own library.
 
 use tapesim::layout::{
-    build_fleet_placement, build_placement, Catalog, LayoutKind, PlacementConfig, ReplicaScope,
+    build_fleet_placement, build_placement, Catalog, LayoutKind, PlacementConfig, PlacementScheme,
+    ReplicaScope,
 };
 use tapesim::model::{
     BlockSize, FaultConfig, InterLibraryModel, JukeboxGeometry, RobotModel, TimingModel, Topology,
@@ -50,7 +51,7 @@ fn two_library_fixture() -> (tapesim::layout::PlacedCatalog, Topology) {
         PlacementConfig {
             layout: LayoutKind::Horizontal,
             ph_percent: 10.0,
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             sp: 0.0,
         },
         &topology,
@@ -92,7 +93,7 @@ fn single_library_fleet_is_byte_identical_to_legacy_engine() {
         JukeboxGeometry::PAPER_DEFAULT,
         BlockSize::PAPER_DEFAULT,
         PlacementConfig {
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             ..PlacementConfig::paper_baseline()
         },
     )

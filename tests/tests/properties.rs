@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use tapesim::layout::{build_placement, LayoutKind, PlacementConfig};
+use tapesim::layout::{build_placement, LayoutKind, PlacementConfig, PlacementScheme};
 use tapesim::model::{SimTime, SlotIndex};
 use tapesim::prelude::*;
 use tapesim::sched::envelope::compute_upper_envelope;
@@ -35,7 +35,7 @@ proptest! {
         let max_nr = geometry.tapes as u32 - 1;
         let nr = (nr_frac * max_nr as f64).floor() as u32;
         let block = BlockSize::PAPER_DEFAULT;
-        let cfg = PlacementConfig { layout, ph_percent: ph, replicas: nr, sp };
+        let cfg = PlacementConfig { layout, ph_percent: ph, scheme: PlacementScheme::Replication { nr }, sp };
         let Ok(placed) = build_placement(geometry, block, cfg) else {
             // Vertical layouts can be infeasible when hot tapes leave no
             // room for distinct replicas; that is a valid outcome.

@@ -12,7 +12,8 @@
 //! as a byte diff here.
 
 use tapesim::layout::{
-    build_fleet_placement, build_placement, BlockId, LayoutKind, PlacementConfig, ReplicaScope,
+    build_fleet_placement, build_placement, BlockId, LayoutKind, PlacementConfig, PlacementScheme,
+    ReplicaScope,
 };
 use tapesim::model::{
     BlockSize, FaultConfig, InterLibraryModel, JukeboxGeometry, Micros, RobotModel, SimTime,
@@ -250,7 +251,7 @@ fn stepped_equals_batch_under_open_arrivals() {
         JukeboxGeometry::PAPER_DEFAULT,
         BlockSize::PAPER_DEFAULT,
         PlacementConfig {
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             ..PlacementConfig::paper_baseline()
         },
     )
@@ -425,7 +426,7 @@ fn worker_count_is_invisible_for_generated_workloads() {
         JukeboxGeometry::PAPER_DEFAULT,
         BlockSize::PAPER_DEFAULT,
         PlacementConfig {
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             ..PlacementConfig::paper_baseline()
         },
     )
@@ -497,7 +498,7 @@ fn worker_count_is_invisible_for_fleet_topologies() {
         PlacementConfig {
             layout: LayoutKind::Horizontal,
             ph_percent: 10.0,
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             sp: 0.0,
         },
         &topology,
@@ -630,7 +631,7 @@ fn worker_count_is_invisible_for_service_mode() {
         JukeboxGeometry::PAPER_DEFAULT,
         BlockSize::PAPER_DEFAULT,
         PlacementConfig {
-            replicas: 1,
+            scheme: PlacementScheme::Replication { nr: 1 },
             ..PlacementConfig::paper_baseline()
         },
     )

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use tapesim::layout::{build_placement, PlacementConfig};
+use tapesim::layout::{build_placement, PlacementConfig, PlacementScheme};
 use tapesim::model::{BlockSize, FaultConfig, JukeboxGeometry, Micros, TimingModel};
 use tapesim::sched::{make_scheduler, AlgorithmId};
 use tapesim::sim::{
@@ -49,7 +49,7 @@ fn run_traced(
         JukeboxGeometry::FIVE_TAPE,
         BlockSize::PAPER_DEFAULT,
         PlacementConfig {
-            replicas,
+            scheme: PlacementScheme::Replication { nr: replicas },
             ..PlacementConfig::paper_baseline()
         },
     )
